@@ -1,0 +1,138 @@
+// Command experiments regenerates the paper's evaluation artifacts
+// (Tables 1-2, Figures 6-12):
+//
+//	experiments -exp all                 # everything, quick configuration
+//	experiments -exp fig6,fig10          # selected figures
+//	experiments -exp table2 -full        # paper-scale (100 traces per cell)
+//	experiments -exp table2 -trials 25
+//
+// The mapping from each experiment to the paper's artifact is DESIGN.md §4;
+// paper-vs-measured numbers are recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"prorace/internal/experiments"
+	"prorace/internal/workload"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated: table1,fig6,fig7,fig8,fig9,fig10,table2,fig11,fig12,related,all")
+	full := flag.Bool("full", false, "paper-scale configuration (slow)")
+	scale := flag.Int("scale", 0, "override workload scale")
+	trials := flag.Int("trials", 0, "override Table 2 traces per cell")
+	seed := flag.Int64("seed", 1, "base scheduler seed")
+	flag.Parse()
+
+	cfg := experiments.Quick()
+	if *full {
+		cfg = experiments.Full()
+	}
+	if *scale > 0 {
+		cfg.Scale = workload.Scale(*scale)
+	}
+	if *trials > 0 {
+		cfg.Table2Trials = *trials
+	}
+	cfg.Seed = *seed
+	h := experiments.NewHarness(cfg)
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	run := func(name string, f func() (string, error)) {
+		if !all && !want[name] {
+			return
+		}
+		ran++
+		t0 := time.Now()
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		fmt.Printf("[%s regenerated in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	run("table1", func() (string, error) {
+		return experiments.Table1(h.Config().Scale), nil
+	})
+	run("fig6", func() (string, error) {
+		f, err := h.Figure6()
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
+	})
+	run("fig7", func() (string, error) {
+		f, err := h.Figure7()
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
+	})
+	run("fig8", func() (string, error) {
+		f, err := h.Figure8()
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
+	})
+	run("fig9", func() (string, error) {
+		f, err := h.Figure9()
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
+	})
+	run("fig10", func() (string, error) {
+		f, err := h.Figure10()
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
+	})
+	run("table2", func() (string, error) {
+		f, err := h.Table2()
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
+	})
+	run("fig11", func() (string, error) {
+		f, err := h.Figure11()
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
+	})
+	run("fig12", func() (string, error) {
+		f, err := h.Figure12()
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
+	})
+	run("related", func() (string, error) {
+		f, err := h.RelatedWork()
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
+	})
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *expFlag)
+		os.Exit(2)
+	}
+}

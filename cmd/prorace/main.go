@@ -1,0 +1,281 @@
+// Command prorace runs the ProRace pipeline from the command line:
+//
+//	prorace list                           # workloads and bugs
+//	prorace run -workload mysql -period 1000
+//	prorace run -bug apache-21287 -period 100 -trials 20
+//	prorace trace -workload apache -period 1000 -o apache.trace
+//	prorace analyze -workload apache -in apache.trace
+//	prorace disasm -workload pfscan | head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prorace/internal/bugs"
+	"prorace/internal/core"
+	"prorace/internal/isa"
+	"prorace/internal/pmu/driver"
+	"prorace/internal/replay"
+	"prorace/internal/report"
+	"prorace/internal/tracefmt"
+	"prorace/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "disasm":
+		err = cmdDisasm(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: prorace <command> [flags]
+
+commands:
+  list      list built-in workloads and Table 2 bugs
+  run       trace and analyze a workload or bug end to end
+  trace     run the online phase only, writing the trace to a file
+  analyze   run the offline phase over a trace file
+  disasm    disassemble a workload's program`)
+}
+
+func cmdList() error {
+	t := report.NewTable("workloads", "name", "threads", "class")
+	for _, w := range workload.All(1) {
+		t.AddRow(w.Name, w.Threads, w.Class)
+	}
+	fmt.Print(t.String())
+	fmt.Println()
+	b := report.NewTable("bugs (paper Table 2)", "id", "app", "manifestation", "access type")
+	for _, bug := range bugs.All() {
+		b.AddRow(bug.ID, bug.App, bug.Manifestation, bug.Type)
+	}
+	fmt.Print(b.String())
+	return nil
+}
+
+type commonFlags struct {
+	workloadName string
+	bugID        string
+	period       uint64
+	seed         int64
+	scale        int
+	driverName   string
+	modeName     string
+}
+
+func addCommon(fs *flag.FlagSet) *commonFlags {
+	c := &commonFlags{}
+	fs.StringVar(&c.workloadName, "workload", "", "built-in workload name")
+	fs.StringVar(&c.bugID, "bug", "", "Table 2 bug id (alternative to -workload)")
+	fs.Uint64Var(&c.period, "period", 10000, "PEBS sampling period")
+	fs.Int64Var(&c.seed, "seed", 1, "scheduler seed")
+	fs.IntVar(&c.scale, "scale", 1, "workload scale factor")
+	fs.StringVar(&c.driverName, "driver", "prorace", "driver model: prorace or vanilla")
+	fs.StringVar(&c.modeName, "mode", "fb", "reconstruction: bb, fwd or fb")
+	return c
+}
+
+func (c *commonFlags) resolve() (workload.Workload, *bugs.Built, error) {
+	if c.bugID != "" {
+		bug, err := bugs.ByID(c.bugID)
+		if err != nil {
+			return workload.Workload{}, nil, err
+		}
+		built := bug.Build(workload.Scale(c.scale))
+		return built.Workload, built, nil
+	}
+	if c.workloadName == "" {
+		return workload.Workload{}, nil, fmt.Errorf("one of -workload or -bug is required")
+	}
+	w, err := workload.ByName(c.workloadName, workload.Scale(c.scale))
+	return w, nil, err
+}
+
+func (c *commonFlags) traceOptions(w workload.Workload) (core.TraceOptions, error) {
+	opts := core.TraceOptions{Period: c.period, Seed: c.seed, Machine: w.Machine}
+	switch c.driverName {
+	case "prorace":
+		opts.Kind = driver.ProRace
+		opts.EnablePT = true
+	case "vanilla":
+		opts.Kind = driver.Vanilla
+	default:
+		return opts, fmt.Errorf("unknown driver %q", c.driverName)
+	}
+	return opts, nil
+}
+
+func (c *commonFlags) analysisOptions() (core.AnalysisOptions, error) {
+	switch c.modeName {
+	case "bb":
+		return core.AnalysisOptions{Mode: replay.ModeBasicBlock}, nil
+	case "fwd":
+		return core.AnalysisOptions{Mode: replay.ModeForward}, nil
+	case "fb":
+		return core.AnalysisOptions{Mode: replay.ModeForwardBackward}, nil
+	}
+	return core.AnalysisOptions{}, fmt.Errorf("unknown mode %q", c.modeName)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	c := addCommon(fs)
+	trials := fs.Int("trials", 1, "number of traces (distinct seeds)")
+	overhead := fs.Bool("overhead", true, "measure overhead against an untraced run")
+	fs.Parse(args)
+
+	w, built, err := c.resolve()
+	if err != nil {
+		return err
+	}
+	topts, err := c.traceOptions(w)
+	if err != nil {
+		return err
+	}
+	topts.MeasureOverhead = *overhead
+	aopts, err := c.analysisOptions()
+	if err != nil {
+		return err
+	}
+
+	detected := 0
+	for trial := 0; trial < *trials; trial++ {
+		topts.Seed = c.seed + int64(trial)*7919
+		res, err := core.Run(w.Program, topts, aopts)
+		if err != nil {
+			return err
+		}
+		tr, ar := res.TraceResult, res.AnalysisResult
+		fmt.Printf("trial %d (seed %d): %.3f ms execution, overhead %.2f%%, %d samples (%d dropped), trace %d bytes\n",
+			trial+1, topts.Seed, tr.TracedStats.Seconds()*1e3, tr.Overhead*100,
+			tr.Trace.SampleCount(), tr.Dropped, tr.Trace.TotalBytes())
+		fmt.Printf("  reconstruction: %d sampled + %d forward + %d backward + %d bb (%.1fx); offline %v\n",
+			ar.ReplayStats.Sampled, ar.ReplayStats.Forward, ar.ReplayStats.Backward,
+			ar.ReplayStats.BasicBlock, ar.ReplayStats.RecoveryRatio(), ar.TotalTime().Round(1000))
+		if built != nil {
+			if built.Detected(ar.Reports) {
+				detected++
+				fmt.Printf("  planted bug %s DETECTED\n", built.Bug.ID)
+			} else {
+				fmt.Printf("  planted bug %s not detected in this trace\n", built.Bug.ID)
+			}
+		}
+		fmt.Print(report.FormatRaces(w.Program, ar.Reports))
+	}
+	if built != nil && *trials > 1 {
+		fmt.Printf("\ndetection probability: %d/%d\n", detected, *trials)
+	}
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	c := addCommon(fs)
+	out := fs.String("o", "prorace.trace", "output trace file")
+	compress := fs.Bool("compress", false, "DEFLATE-compress the trace file")
+	fs.Parse(args)
+
+	w, _, err := c.resolve()
+	if err != nil {
+		return err
+	}
+	topts, err := c.traceOptions(w)
+	if err != nil {
+		return err
+	}
+	topts.MeasureOverhead = true
+	res, err := core.TraceProgram(w.Program, topts)
+	if err != nil {
+		return err
+	}
+	payload := res.Trace.Encode()
+	if *compress {
+		payload, err = res.Trace.EncodeCompressed()
+		if err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(*out, payload, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("traced %s at period %d: overhead %.2f%%, %d samples, wrote %s\n",
+		w.Name, c.period, res.Overhead*100, res.Trace.SampleCount(), *out)
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	c := addCommon(fs)
+	in := fs.String("in", "prorace.trace", "input trace file")
+	fs.Parse(args)
+
+	raw, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	tr, err := tracefmt.DecodeTraceAuto(raw)
+	if err != nil {
+		return err
+	}
+	if c.workloadName == "" && c.bugID == "" {
+		c.workloadName = tr.Program
+	}
+	w, built, err := c.resolve()
+	if err != nil {
+		return err
+	}
+	aopts, err := c.analysisOptions()
+	if err != nil {
+		return err
+	}
+	ar, err := core.Analyze(w.Program, tr, aopts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("analysis of %s (%d samples): %d accesses (%.1fx recovery) in %v\n",
+		*in, tr.SampleCount(), ar.ReplayStats.Total(), ar.ReplayStats.RecoveryRatio(),
+		ar.TotalTime().Round(1000))
+	if built != nil && built.Detected(ar.Reports) {
+		fmt.Printf("planted bug %s DETECTED\n", built.Bug.ID)
+	}
+	fmt.Print(report.FormatRaces(w.Program, ar.Reports))
+	return nil
+}
+
+func cmdDisasm(args []string) error {
+	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
+	c := addCommon(fs)
+	fs.Parse(args)
+	w, _, err := c.resolve()
+	if err != nil {
+		return err
+	}
+	fmt.Print(isa.Disassemble(w.Program.Insts))
+	return nil
+}

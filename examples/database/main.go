@@ -1,0 +1,60 @@
+// Database: sweep the sampling period on the mysql application model to
+// choose a production configuration — the sensitivity analysis of the
+// paper's §7.2 — then inspect what the offline phase recovers at the
+// chosen period.
+//
+// Run with: go run ./examples/database
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prorace"
+)
+
+func main() {
+	w := prorace.MustWorkload("mysql", 1)
+	fmt.Printf("workload: %s (%d worker threads, %s-bound)\n\n", w.Name, w.Threads, w.Class)
+
+	// Online sensitivity analysis: find the smallest sampling period that
+	// fits a production overhead budget.
+	const budget = 0.10 // 10%
+	fmt.Println("period    overhead   samples   trace MB/s   within 10% budget?")
+	var chosen uint64
+	for _, period := range []uint64{100000, 10000, 1000, 100, 10} {
+		topts := prorace.ProRaceTraceOptions(period, 7, w.Machine)
+		topts.MeasureOverhead = true
+		tr, err := prorace.Trace(w.Program, topts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok := tr.Overhead <= budget
+		if ok {
+			chosen = period
+		}
+		fmt.Printf("%-9d %7.2f%%  %8d   %8.1f     %v\n",
+			period, tr.Overhead*100, tr.Trace.SampleCount(), tr.Trace.MBPerSecond(), ok)
+	}
+	fmt.Printf("\nchosen production period: %d\n\n", chosen)
+
+	// Offline: one full analysis at the chosen period, with the three
+	// reconstruction modes compared (the paper's Figure 11 view).
+	topts := prorace.ProRaceTraceOptions(chosen, 7, w.Machine)
+	tr, err := prorace.Trace(w.Program, topts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, mode := range []prorace.ReplayMode{
+		prorace.ReplayBasicBlock, prorace.ReplayForward, prorace.ReplayForwardBackward,
+	} {
+		ar, err := prorace.Analyze(w.Program, tr, prorace.AnalysisOptions{Mode: mode})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %6d accesses (%5.1fx recovery)  analysis %8v  races %d\n",
+			mode, ar.ReplayStats.Total(), ar.ReplayStats.RecoveryRatio(),
+			ar.TotalTime().Round(1000), len(ar.Reports))
+	}
+	fmt.Println("\nmysql's base workload is race-free: zero reports expected.")
+}

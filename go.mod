@@ -1,0 +1,3 @@
+module prorace
+
+go 1.22

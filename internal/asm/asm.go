@@ -1,0 +1,253 @@
+// Package asm provides a small assembler for building programs for the
+// simulated machine. Workloads, bug reproducers and tests use it the way
+// the paper's evaluation uses compiled C: as the means of producing the
+// binaries that the tracer observes and the replay engine re-executes.
+//
+// The builder supports named globals in the data segment, labels with
+// forward references, and symbolic memory operands in every addressing
+// mode, including PC-relative operands whose displacement is fixed up
+// against the final instruction address.
+//
+// Note on CALL/RET: the machine keeps return addresses on a per-thread
+// shadow call stack rather than in addressable memory (see
+// internal/machine). CALL and RET therefore produce no PEBS load/store
+// events, and RET targets are resolved offline from PT TIP packets —
+// exactly how a hardware PT decoder resolves returns.
+package asm
+
+import (
+	"fmt"
+
+	"prorace/internal/isa"
+	"prorace/internal/prog"
+)
+
+// Mem describes a memory operand. Construct values with Base, BaseIndex,
+// Abs, Global or GlobalIdx rather than directly.
+type Mem struct {
+	mode   isa.Mode
+	base   isa.Reg
+	index  isa.Reg
+	scale  uint8
+	disp   int64
+	sym    string // data symbol for PC-relative / absolute-symbol operands
+	symAbs bool   // true: symbol resolved as absolute, false: PC-relative
+}
+
+// Base addresses [r + disp].
+func Base(r isa.Reg, disp int64) Mem { return Mem{mode: isa.ModeBase, base: r, disp: disp} }
+
+// BaseIndex addresses [base + index*scale + disp].
+func BaseIndex(base, index isa.Reg, scale uint8, disp int64) Mem {
+	return Mem{mode: isa.ModeBaseIndex, base: base, index: index, scale: scale, disp: disp}
+}
+
+// Abs addresses the absolute location addr.
+func Abs(addr uint64) Mem { return Mem{mode: isa.ModeAbs, disp: int64(addr)} }
+
+// Global addresses the named global PC-relatively (plus disp), the way
+// position-independent x86-64 code addresses its globals. These are the
+// accesses ProRace can always reconstruct offline.
+func Global(name string, disp int64) Mem {
+	return Mem{mode: isa.ModePCRel, sym: name, disp: disp}
+}
+
+// GlobalAbs addresses the named global by absolute address (plus disp),
+// as non-PIC code would.
+func GlobalAbs(name string, disp int64) Mem {
+	return Mem{mode: isa.ModeAbs, sym: name, symAbs: true, disp: disp}
+}
+
+// Builder assembles one program.
+type Builder struct {
+	name    string
+	insts   []isa.Inst
+	fixups  []fixup
+	data    []byte
+	symbols map[string]*symEntry
+	order   []string // symbol emission order, for stable output
+	funcs   []funcSpan
+	fbs     map[string]*FuncBuilder
+	entry   string
+	errs    []error
+}
+
+type symEntry struct {
+	kind prog.SymKind
+	addr uint64 // data symbols: final address; funcs: set at Build
+	size uint64
+	inst int // funcs: instruction index of entry
+	def  bool
+}
+
+type funcSpan struct {
+	name       string
+	start, end int
+}
+
+type fixupKind uint8
+
+const (
+	fixBranch fixupKind = iota // Imm <- address of label
+	fixCallee                  // Imm <- address of function
+	fixPCRel                   // Disp <- symbol addr - (inst addr + InstSize) + disp
+	fixAbsSym                  // Disp <- symbol addr + disp
+	fixImmSym                  // Imm  <- symbol addr + imm (for MOVI of addresses)
+)
+
+type fixup struct {
+	kind  fixupKind
+	inst  int
+	sym   string
+	scope string // function name for label scoping; "" for global symbols
+}
+
+// New returns a Builder for a program with the given name.
+func New(name string) *Builder {
+	return &Builder{name: name, symbols: map[string]*symEntry{}, fbs: map[string]*FuncBuilder{}}
+}
+
+func (b *Builder) errorf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf("asm %s: "+format, append([]any{b.name}, args...)...))
+}
+
+// Global reserves size zeroed bytes in the data segment for a named global
+// aligned to 8 bytes, and returns its address.
+func (b *Builder) Global(name string, size uint64) uint64 {
+	return b.GlobalInit(name, make([]byte, size))
+}
+
+// GlobalInit places initialised bytes in the data segment under a name and
+// returns the address.
+func (b *Builder) GlobalInit(name string, init []byte) uint64 {
+	if _, dup := b.symbols[name]; dup {
+		b.errorf("duplicate global %q", name)
+		return 0
+	}
+	for len(b.data)%8 != 0 {
+		b.data = append(b.data, 0)
+	}
+	addr := isa.DataBase + uint64(len(b.data))
+	b.data = append(b.data, init...)
+	b.symbols[name] = &symEntry{kind: prog.SymData, addr: addr, size: uint64(len(init)), def: true}
+	b.order = append(b.order, name)
+	return addr
+}
+
+// NextDataAddr returns the address the next Global/GlobalInit call will
+// place its object at (8-byte aligned). It lets statically initialised
+// data contain pointers to itself or to objects laid out right after it.
+func (b *Builder) NextDataAddr() uint64 {
+	n := uint64(len(b.data))
+	n = (n + 7) &^ 7
+	return isa.DataBase + n
+}
+
+// GlobalWords is GlobalInit for a slice of 64-bit words.
+func (b *Builder) GlobalWords(name string, words []uint64) uint64 {
+	buf := make([]byte, len(words)*8)
+	for i, w := range words {
+		for k := 0; k < 8; k++ {
+			buf[i*8+k] = byte(w >> (8 * k))
+		}
+	}
+	return b.GlobalInit(name, buf)
+}
+
+// Func begins a new function. Instructions are emitted through the returned
+// FuncBuilder until the next Func call or Build.
+func (b *Builder) Func(name string) *FuncBuilder {
+	b.closeFunc()
+	if _, dup := b.symbols[name]; dup {
+		b.errorf("duplicate symbol %q", name)
+	}
+	b.symbols[name] = &symEntry{kind: prog.SymFunc, inst: len(b.insts), def: true}
+	b.order = append(b.order, name)
+	b.funcs = append(b.funcs, funcSpan{name: name, start: len(b.insts), end: -1})
+	fb := &FuncBuilder{b: b, name: name, labels: map[string]int{}}
+	b.fbs[name] = fb
+	return fb
+}
+
+func (b *Builder) closeFunc() {
+	if n := len(b.funcs); n > 0 && b.funcs[n-1].end < 0 {
+		b.funcs[n-1].end = len(b.insts)
+	}
+}
+
+// SetEntry selects the function where thread 0 starts. Defaults to "main".
+func (b *Builder) SetEntry(fn string) { b.entry = fn }
+
+// Build resolves all fixups and returns the validated program.
+func (b *Builder) Build() (*prog.Program, error) {
+	b.closeFunc()
+	// Assign function addresses.
+	for _, f := range b.funcs {
+		b.symbols[f.name].addr = isa.IndexToAddr(f.start)
+		b.symbols[f.name].size = uint64(f.end-f.start) * isa.InstSize
+	}
+	// Apply fixups. Branch fixups resolve against the emitting function's
+	// labels first, then against global function symbols.
+	for _, fx := range b.fixups {
+		in := &b.insts[fx.inst]
+		if fx.kind == fixBranch {
+			if fb := b.fbs[fx.scope]; fb != nil {
+				if idx, ok := fb.resolveLabel(fx.sym); ok {
+					in.Imm = int64(isa.IndexToAddr(idx))
+					continue
+				}
+			}
+		}
+		s, ok := b.symbols[fx.sym]
+		if !ok || !s.def {
+			b.errorf("undefined symbol %q referenced by instruction %d", fx.sym, fx.inst)
+			continue
+		}
+		switch fx.kind {
+		case fixBranch, fixCallee:
+			if s.kind != prog.SymFunc && fx.kind == fixCallee {
+				b.errorf("call target %q is not a function", fx.sym)
+				continue
+			}
+			in.Imm = int64(s.addr)
+		case fixPCRel:
+			instAddr := isa.IndexToAddr(fx.inst)
+			in.Disp += int64(s.addr) - int64(instAddr+isa.InstSize)
+		case fixAbsSym:
+			in.Disp += int64(s.addr)
+		case fixImmSym:
+			in.Imm += int64(s.addr)
+		}
+	}
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	p := &prog.Program{Name: b.name, Insts: b.insts, Data: b.data}
+	for _, name := range b.order {
+		s := b.symbols[name]
+		p.Symbols = append(p.Symbols, prog.Symbol{Name: name, Addr: s.addr, Size: s.size, Kind: s.kind})
+	}
+	entry := b.entry
+	if entry == "" {
+		entry = "main"
+	}
+	es, ok := b.symbols[entry]
+	if !ok || es.kind != prog.SymFunc {
+		return nil, fmt.Errorf("asm %s: entry function %q not defined", b.name, entry)
+	}
+	p.Entry = es.addr
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build for programs known to be well formed; it panics on
+// error. Workload constructors use it because their programs are static.
+func (b *Builder) MustBuild() *prog.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,281 @@
+package asm
+
+import (
+	"testing"
+
+	"prorace/internal/isa"
+)
+
+func TestBuildSimpleProgram(t *testing.T) {
+	b := New("t")
+	b.Global("counter", 8)
+	m := b.Func("main")
+	m.MovI(isa.R1, 5)
+	m.Label("loop")
+	m.Load(isa.R0, Global("counter", 0))
+	m.AddI(isa.R0, 1)
+	m.Store(Global("counter", 0), isa.R0)
+	m.SubI(isa.R1, 1)
+	m.CmpI(isa.R1, 0)
+	m.Jne("loop")
+	m.Exit(0)
+
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != isa.CodeBase {
+		t.Errorf("entry = %#x", p.Entry)
+	}
+	// The backward branch targets the instruction after MOVI.
+	var jne isa.Inst
+	for _, in := range p.Insts {
+		if in.Op == isa.JNE {
+			jne = in
+		}
+	}
+	if jne.Imm != int64(isa.IndexToAddr(1)) {
+		t.Errorf("jne target = %#x, want %#x", uint64(jne.Imm), isa.IndexToAddr(1))
+	}
+	// PC-relative loads must resolve to the global's address.
+	sym := p.MustLookup("counter")
+	for k, in := range p.Insts {
+		if in.Op == isa.LOAD && in.Mode == isa.ModePCRel {
+			pc := isa.IndexToAddr(k)
+			got := in.EffectiveAddress(func(isa.Reg) uint64 { return 0 }, pc)
+			if got != sym.Addr {
+				t.Errorf("inst %d: pcrel resolves to %#x, want %#x", k, got, sym.Addr)
+			}
+		}
+	}
+}
+
+func TestGlobalPlacementAndAlignment(t *testing.T) {
+	b := New("t")
+	a1 := b.GlobalInit("a", []byte{1, 2, 3}) // 3 bytes, next global must align
+	a2 := b.Global("b", 8)
+	if a1 != isa.DataBase {
+		t.Errorf("first global at %#x", a1)
+	}
+	if a2%8 != 0 || a2 <= a1 {
+		t.Errorf("second global misaligned: %#x", a2)
+	}
+	a3 := b.GlobalWords("w", []uint64{0xDEADBEEF, 42})
+	m := b.Func("main")
+	m.Exit(0)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.MustLookup("w")
+	if s.Addr != a3 || s.Size != 16 {
+		t.Errorf("words symbol = %+v", s)
+	}
+	off := a3 - isa.DataBase
+	if p.Data[off] != 0xEF || p.Data[off+1] != 0xBE || p.Data[off+8] != 42 {
+		t.Errorf("word encoding wrong: % x", p.Data[off:off+16])
+	}
+}
+
+func TestForwardLabelReference(t *testing.T) {
+	b := New("t")
+	m := b.Func("main")
+	m.MovI(isa.R0, 1)
+	m.CmpI(isa.R0, 0)
+	m.Jeq("done") // forward reference
+	m.MovI(isa.R1, 2)
+	m.Label("done")
+	m.Exit(0)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[2].Imm != int64(isa.IndexToAddr(4)) {
+		t.Errorf("forward jeq target = %#x, want %#x", uint64(p.Insts[2].Imm), isa.IndexToAddr(4))
+	}
+}
+
+func TestLabelsAreFunctionScoped(t *testing.T) {
+	b := New("t")
+	f1 := b.Func("main")
+	f1.Label("loop")
+	f1.Jmp("loop")
+	f2 := b.Func("worker")
+	f2.Label("loop") // same label name, different function
+	f2.Jmp("loop")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Imm != int64(isa.IndexToAddr(0)) {
+		t.Errorf("main loop target = %#x", uint64(p.Insts[0].Imm))
+	}
+	if p.Insts[1].Imm != int64(isa.IndexToAddr(1)) {
+		t.Errorf("worker loop target = %#x", uint64(p.Insts[1].Imm))
+	}
+}
+
+func TestCallAndMovSym(t *testing.T) {
+	b := New("t")
+	b.Global("g", 8)
+	m := b.Func("main")
+	m.Call("helper")
+	m.MovSym(isa.R2, "helper", 0)
+	m.MovSym(isa.R3, "g", 8)
+	m.Exit(0)
+	h := b.Func("helper")
+	h.Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	helperAddr := p.MustLookup("helper").Addr
+	if p.Insts[0].Imm != int64(helperAddr) {
+		t.Errorf("call target = %#x, want %#x", uint64(p.Insts[0].Imm), helperAddr)
+	}
+	if p.Insts[1].Imm != int64(helperAddr) {
+		t.Errorf("movsym = %#x, want %#x", uint64(p.Insts[1].Imm), helperAddr)
+	}
+	gAddr := p.MustLookup("g").Addr
+	if p.Insts[2].Imm != int64(gAddr+8) {
+		t.Errorf("movsym+off = %#x, want %#x", uint64(p.Insts[2].Imm), gAddr+8)
+	}
+}
+
+func TestGlobalAbsOperand(t *testing.T) {
+	b := New("t")
+	addr := b.Global("g", 8)
+	m := b.Func("main")
+	m.Load(isa.R0, GlobalAbs("g", 0))
+	m.Exit(0)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := p.Insts[0]
+	if in.Mode != isa.ModeAbs || uint64(in.Disp) != addr {
+		t.Errorf("abs operand = %+v, want disp %#x", in, addr)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	// Undefined label.
+	b := New("t")
+	m := b.Func("main")
+	m.Jmp("nowhere")
+	m.Exit(0)
+	if _, err := b.Build(); err == nil {
+		t.Error("undefined label must fail")
+	}
+	// Duplicate global.
+	b = New("t")
+	b.Global("g", 8)
+	b.Global("g", 8)
+	f := b.Func("main")
+	f.Exit(0)
+	if _, err := b.Build(); err == nil {
+		t.Error("duplicate global must fail")
+	}
+	// Duplicate label.
+	b = New("t")
+	f = b.Func("main")
+	f.Label("x")
+	f.Label("x")
+	f.Exit(0)
+	if _, err := b.Build(); err == nil {
+		t.Error("duplicate label must fail")
+	}
+	// Missing entry.
+	b = New("t")
+	f = b.Func("notmain")
+	f.Exit(0)
+	if _, err := b.Build(); err == nil {
+		t.Error("missing main must fail")
+	}
+	// Call to a data symbol.
+	b = New("t")
+	b.Global("d", 8)
+	f = b.Func("main")
+	f.Call("d")
+	f.Exit(0)
+	if _, err := b.Build(); err == nil {
+		t.Error("call to data symbol must fail")
+	}
+	// MustBuild panics.
+	b = New("t")
+	f = b.Func("main")
+	f.Jmp("nowhere")
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild must panic on error")
+		}
+	}()
+	b.MustBuild()
+}
+
+func TestSetEntry(t *testing.T) {
+	b := New("t")
+	f := b.Func("start")
+	f.Exit(0)
+	b.SetEntry("start")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != p.MustLookup("start").Addr {
+		t.Error("entry not set to start")
+	}
+}
+
+func TestSyscallHelpers(t *testing.T) {
+	b := New("t")
+	b.Global("lk", 8)
+	m := b.Func("main")
+	m.Lock("lk")
+	m.Unlock("lk")
+	m.SpawnThread("worker", isa.R4)
+	m.Join(isa.R5)
+	m.NetIO(4096)
+	m.FileIO(512)
+	m.Exit(0)
+	w := b.Func("worker")
+	w.Exit(0)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sys []isa.Sys
+	for _, in := range p.Insts {
+		if in.Op == isa.SYSCALL {
+			sys = append(sys, in.Sys)
+		}
+	}
+	want := []isa.Sys{isa.SysLock, isa.SysUnlock, isa.SysThreadCreate, isa.SysThreadJoin,
+		isa.SysNetIO, isa.SysFileIO, isa.SysExit, isa.SysExit}
+	if len(sys) != len(want) {
+		t.Fatalf("syscalls = %v, want %v", sys, want)
+	}
+	for i := range want {
+		if sys[i] != want[i] {
+			t.Errorf("syscall %d = %v, want %v", i, sys[i], want[i])
+		}
+	}
+	// Lock helper computes the lock address via LEA of a pcrel operand.
+	if p.Insts[0].Op != isa.LEA || p.Insts[0].Mode != isa.ModePCRel {
+		t.Errorf("lock prologue = %v", p.Insts[0])
+	}
+}
+
+func TestBaseIndexDefaultScale(t *testing.T) {
+	b := New("t")
+	m := b.Func("main")
+	m.Load(isa.R0, BaseIndex(isa.R1, isa.R2, 0, 0)) // scale 0 -> default 1
+	m.Exit(0)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Scale != 1 {
+		t.Errorf("default scale = %d, want 1", p.Insts[0].Scale)
+	}
+}

@@ -1,0 +1,241 @@
+package asm
+
+import (
+	"prorace/internal/isa"
+)
+
+// FuncBuilder emits instructions for one function. Labels are scoped to
+// the function; Jmp/branch targets name either a local label or another
+// function.
+type FuncBuilder struct {
+	b      *Builder
+	name   string
+	labels map[string]int // label -> instruction index
+}
+
+func (f *FuncBuilder) emit(in isa.Inst) int {
+	idx := len(f.b.insts)
+	f.b.insts = append(f.b.insts, in)
+	return idx
+}
+
+func (f *FuncBuilder) emitMem(in isa.Inst, m Mem) int {
+	in.Mode = m.mode
+	in.Base = m.base
+	in.Index = m.index
+	in.Scale = m.scale
+	in.Disp = m.disp
+	if m.mode == isa.ModeBaseIndex && in.Scale == 0 {
+		in.Scale = 1
+	}
+	idx := f.emit(in)
+	if m.sym != "" {
+		kind := fixPCRel
+		if m.symAbs {
+			kind = fixAbsSym
+		}
+		f.b.fixups = append(f.b.fixups, fixup{kind: kind, inst: idx, sym: m.sym})
+	}
+	return idx
+}
+
+// Label defines a function-scoped label at the current position.
+func (f *FuncBuilder) Label(name string) {
+	if _, dup := f.labels[name]; dup {
+		f.b.errorf("duplicate label %q in %s", name, f.name)
+	}
+	f.labels[name] = len(f.b.insts)
+}
+
+func (f *FuncBuilder) branchTo(op isa.Op, target string) {
+	idx := f.emit(isa.Inst{Op: op})
+	f.b.fixups = append(f.b.fixups, fixup{kind: fixBranch, inst: idx, sym: target, scope: f.name})
+}
+
+// --- data movement ---
+
+// MovI sets rd to an immediate.
+func (f *FuncBuilder) MovI(rd isa.Reg, imm int64) { f.emit(isa.Inst{Op: isa.MOVI, Rd: rd, Imm: imm}) }
+
+// MovSym sets rd to the address of a symbol (function or global) plus off.
+func (f *FuncBuilder) MovSym(rd isa.Reg, sym string, off int64) {
+	idx := f.emit(isa.Inst{Op: isa.MOVI, Rd: rd, Imm: off})
+	f.b.fixups = append(f.b.fixups, fixup{kind: fixImmSym, inst: idx, sym: sym})
+}
+
+// Mov copies rs into rd.
+func (f *FuncBuilder) Mov(rd, rs isa.Reg) { f.emit(isa.Inst{Op: isa.MOV, Rd: rd, Rs: rs}) }
+
+// Lea computes the effective address of m into rd.
+func (f *FuncBuilder) Lea(rd isa.Reg, m Mem) { f.emitMem(isa.Inst{Op: isa.LEA, Rd: rd}, m) }
+
+// Load reads 8 bytes at m into rd.
+func (f *FuncBuilder) Load(rd isa.Reg, m Mem) int {
+	return f.emitMem(isa.Inst{Op: isa.LOAD, Rd: rd}, m)
+}
+
+// Store writes rs to the 8 bytes at m.
+func (f *FuncBuilder) Store(m Mem, rs isa.Reg) int {
+	return f.emitMem(isa.Inst{Op: isa.STORE, Rs: rs}, m)
+}
+
+// --- arithmetic ---
+
+// Op2 emits a register-register ALU operation rd = rd op rs.
+func (f *FuncBuilder) Op2(op isa.Op, rd, rs isa.Reg) { f.emit(isa.Inst{Op: op, Rd: rd, Rs: rs}) }
+
+// OpI emits an immediate ALU operation rd = rd op imm.
+func (f *FuncBuilder) OpI(op isa.Op, rd isa.Reg, imm int64) {
+	f.emit(isa.Inst{Op: op, Rd: rd, Imm: imm})
+}
+
+// Add emits rd += rs.
+func (f *FuncBuilder) Add(rd, rs isa.Reg) { f.Op2(isa.ADD, rd, rs) }
+
+// Sub emits rd -= rs.
+func (f *FuncBuilder) Sub(rd, rs isa.Reg) { f.Op2(isa.SUB, rd, rs) }
+
+// Mul emits rd *= rs.
+func (f *FuncBuilder) Mul(rd, rs isa.Reg) { f.Op2(isa.MUL, rd, rs) }
+
+// Xor emits rd ^= rs.
+func (f *FuncBuilder) Xor(rd, rs isa.Reg) { f.Op2(isa.XOR, rd, rs) }
+
+// And emits rd &= rs.
+func (f *FuncBuilder) And(rd, rs isa.Reg) { f.Op2(isa.AND, rd, rs) }
+
+// Or emits rd |= rs.
+func (f *FuncBuilder) Or(rd, rs isa.Reg) { f.Op2(isa.OR, rd, rs) }
+
+// AddI emits rd += imm (reverse-executable).
+func (f *FuncBuilder) AddI(rd isa.Reg, imm int64) { f.OpI(isa.ADDI, rd, imm) }
+
+// SubI emits rd -= imm (reverse-executable).
+func (f *FuncBuilder) SubI(rd isa.Reg, imm int64) { f.OpI(isa.SUBI, rd, imm) }
+
+// MulI emits rd *= imm.
+func (f *FuncBuilder) MulI(rd isa.Reg, imm int64) { f.OpI(isa.MULI, rd, imm) }
+
+// AndI emits rd &= imm.
+func (f *FuncBuilder) AndI(rd isa.Reg, imm int64) { f.OpI(isa.ANDI, rd, imm) }
+
+// OrI emits rd |= imm.
+func (f *FuncBuilder) OrI(rd isa.Reg, imm int64) { f.OpI(isa.ORI, rd, imm) }
+
+// XorI emits rd ^= imm (reverse-executable).
+func (f *FuncBuilder) XorI(rd isa.Reg, imm int64) { f.OpI(isa.XORI, rd, imm) }
+
+// ShlI emits rd <<= imm.
+func (f *FuncBuilder) ShlI(rd isa.Reg, imm int64) { f.OpI(isa.SHLI, rd, imm) }
+
+// ShrI emits rd >>= imm.
+func (f *FuncBuilder) ShrI(rd isa.Reg, imm int64) { f.OpI(isa.SHRI, rd, imm) }
+
+// --- comparison and control flow ---
+
+// Cmp compares two registers, setting flags.
+func (f *FuncBuilder) Cmp(a, b isa.Reg) { f.emit(isa.Inst{Op: isa.CMP, Rd: a, Rs: b}) }
+
+// CmpI compares a register with an immediate, setting flags.
+func (f *FuncBuilder) CmpI(a isa.Reg, imm int64) { f.emit(isa.Inst{Op: isa.CMPI, Rd: a, Imm: imm}) }
+
+// Jmp jumps unconditionally to a label or function.
+func (f *FuncBuilder) Jmp(target string) { f.branchTo(isa.JMP, target) }
+
+// Jeq branches if the last comparison was equal.
+func (f *FuncBuilder) Jeq(target string) { f.branchTo(isa.JEQ, target) }
+
+// Jne branches if the last comparison was unequal.
+func (f *FuncBuilder) Jne(target string) { f.branchTo(isa.JNE, target) }
+
+// Jlt branches on signed less-than.
+func (f *FuncBuilder) Jlt(target string) { f.branchTo(isa.JLT, target) }
+
+// Jle branches on signed less-or-equal.
+func (f *FuncBuilder) Jle(target string) { f.branchTo(isa.JLE, target) }
+
+// Jgt branches on signed greater-than.
+func (f *FuncBuilder) Jgt(target string) { f.branchTo(isa.JGT, target) }
+
+// Jge branches on signed greater-or-equal.
+func (f *FuncBuilder) Jge(target string) { f.branchTo(isa.JGE, target) }
+
+// JmpR jumps to the address in rs (indirect).
+func (f *FuncBuilder) JmpR(rs isa.Reg) { f.emit(isa.Inst{Op: isa.JMPR, Rs: rs}) }
+
+// Call calls a function by name.
+func (f *FuncBuilder) Call(fn string) {
+	idx := f.emit(isa.Inst{Op: isa.CALL})
+	f.b.fixups = append(f.b.fixups, fixup{kind: fixCallee, inst: idx, sym: fn})
+}
+
+// CallR calls through the address in rs (indirect).
+func (f *FuncBuilder) CallR(rs isa.Reg) { f.emit(isa.Inst{Op: isa.CALLR, Rs: rs}) }
+
+// Ret returns from the current function.
+func (f *FuncBuilder) Ret() { f.emit(isa.Inst{Op: isa.RET}) }
+
+// Nop emits a no-op.
+func (f *FuncBuilder) Nop() { f.emit(isa.Inst{Op: isa.NOP}) }
+
+// Halt stops the executing thread.
+func (f *FuncBuilder) Halt() { f.emit(isa.Inst{Op: isa.HALT}) }
+
+// --- syscalls ---
+
+// Syscall emits a raw syscall.
+func (f *FuncBuilder) Syscall(s isa.Sys) { f.emit(isa.Inst{Op: isa.SYSCALL, Sys: s}) }
+
+// Exit terminates the thread with the code in R0.
+func (f *FuncBuilder) Exit(code int64) {
+	f.MovI(isa.R0, code)
+	f.Syscall(isa.SysExit)
+}
+
+// Lock acquires the mutex whose address is the named global.
+func (f *FuncBuilder) Lock(lockSym string) {
+	f.Lea(isa.R0, Global(lockSym, 0))
+	f.Syscall(isa.SysLock)
+}
+
+// Unlock releases the mutex whose address is the named global.
+func (f *FuncBuilder) Unlock(lockSym string) {
+	f.Lea(isa.R0, Global(lockSym, 0))
+	f.Syscall(isa.SysUnlock)
+}
+
+// SpawnThread starts fn in a new thread with arg in the child's R0 and
+// leaves the thread ID in R0.
+func (f *FuncBuilder) SpawnThread(fn string, arg isa.Reg) {
+	f.MovSym(isa.R0, fn, 0)
+	if arg != isa.R1 {
+		f.Mov(isa.R1, arg)
+	}
+	f.Syscall(isa.SysThreadCreate)
+}
+
+// Join blocks until the thread whose ID is in rs exits.
+func (f *FuncBuilder) Join(rs isa.Reg) {
+	if rs != isa.R0 {
+		f.Mov(isa.R0, rs)
+	}
+	f.Syscall(isa.SysThreadJoin)
+}
+
+// NetIO performs n bytes of simulated network I/O.
+func (f *FuncBuilder) NetIO(n int64) {
+	f.MovI(isa.R0, n)
+	f.Syscall(isa.SysNetIO)
+}
+
+// FileIO performs n bytes of simulated file I/O.
+func (f *FuncBuilder) FileIO(n int64) {
+	f.MovI(isa.R0, n)
+	f.Syscall(isa.SysFileIO)
+}
+
+// resolveLabel finds a function-scoped label's instruction index.
+func (f *FuncBuilder) resolveLabel(name string) (int, bool) {
+	idx, ok := f.labels[name]
+	return idx, ok
+}

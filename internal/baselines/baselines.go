@@ -1,0 +1,181 @@
+// Package baselines implements the three prior sampling detectors the
+// paper positions ProRace against in §2, so the comparison that motivates
+// the work can be reproduced quantitatively:
+//
+//   - LiteRace (Marino et al., PLDI 2009): static instrumentation with an
+//     adaptive cold-region sampler — every memory access pays an
+//     instrumentation check; bursts of accesses in rarely executed
+//     functions are fully tracked. The paper quotes 1.47x average
+//     slowdown (2-4% on apache) and coverage limited to sampled accesses.
+//   - Pacer (Bond et al., PLDI 2010): global random sampling at rate r;
+//     detection probability is proportional to r, and the paper quotes
+//     1.86x slowdown at r = 3%.
+//   - DataCollider (Erickson et al., OSDI 2010): no instrumentation —
+//     sampled accesses arm one of at most four hardware watchpoints and
+//     delay the thread; a trap during the delay is a conflicting access
+//     caught in the act. Very low overhead, but coverage limited to
+//     sampled accesses whose races physically overlap the delay window.
+//
+// Each baseline is a machine.Tracer over the same simulated machine as the
+// ProRace pipeline, so overhead numbers are directly comparable, and each
+// yields race reports through its own detection model.
+package baselines
+
+import (
+	"fmt"
+
+	"prorace/internal/machine"
+	"prorace/internal/prog"
+	"prorace/internal/race"
+	"prorace/internal/replay"
+	"prorace/internal/synctrace"
+	"prorace/internal/tracefmt"
+)
+
+// Kind selects a baseline detector.
+type Kind int
+
+const (
+	// LiteRace is the adaptive cold-region instrumentation sampler.
+	LiteRace Kind = iota
+	// Pacer is the global random sampler.
+	Pacer
+	// DataCollider is the watchpoint-and-delay sampler.
+	DataCollider
+)
+
+// String names the baseline.
+func (k Kind) String() string {
+	switch k {
+	case LiteRace:
+		return "literace"
+	case Pacer:
+		return "pacer"
+	case DataCollider:
+		return "datacollider"
+	}
+	return "baseline?"
+}
+
+// Options configures a baseline run.
+type Options struct {
+	Kind Kind
+	// Seed drives the machine scheduler and the samplers.
+	Seed int64
+	// PacerRate is Pacer's sampling rate (default 0.03, the paper's
+	// quoted configuration).
+	PacerRate float64
+	// DCSamplePeriod is DataCollider's memory events between watchpoint
+	// arms per thread (default 20000).
+	DCSamplePeriod uint64
+	// DCDelayCycles is DataCollider's delay window (default 20000 cycles
+	// = 5µs at 4 GHz).
+	DCDelayCycles uint64
+	// MeasureOverhead additionally runs an untraced baseline.
+	MeasureOverhead bool
+}
+
+func (o *Options) setDefaults() {
+	if o.PacerRate == 0 {
+		o.PacerRate = 0.03
+	}
+	if o.DCSamplePeriod == 0 {
+		o.DCSamplePeriod = 20000
+	}
+	if o.DCDelayCycles == 0 {
+		o.DCDelayCycles = 20000
+	}
+}
+
+// Result is a baseline run's outcome.
+type Result struct {
+	// Overhead is traced/untraced - 1 (0 when not measured).
+	Overhead float64
+	// SampledAccesses counts accesses the detector actually examined.
+	SampledAccesses int
+	// Reports are the detected races.
+	Reports []race.Report
+}
+
+// tracerWithResult is the contract each baseline tracer satisfies.
+type tracerWithResult interface {
+	machine.Tracer
+	// finish produces the detection result after the run.
+	finish() ([]race.Report, int)
+}
+
+// Run executes a program under the selected baseline detector.
+func Run(p *prog.Program, mcfg machine.Config, opts Options) (*Result, error) {
+	opts.setDefaults()
+	res := &Result{}
+
+	if opts.MeasureOverhead {
+		cfg := mcfg
+		cfg.Seed = opts.Seed
+		cfg.Tracer = nil
+		base := machine.New(p, cfg)
+		bst, err := base.Run()
+		if err != nil {
+			return nil, fmt.Errorf("baselines: baseline run: %w", err)
+		}
+		cfgT := mcfg
+		cfgT.Seed = opts.Seed
+		cfgT.Tracer = nil
+		mac := machine.New(p, cfgT)
+		tracer := newTracer(opts)
+		mac.SetTracer(tracer)
+		tst, err := mac.Run()
+		if err != nil {
+			return nil, fmt.Errorf("baselines: traced run: %w", err)
+		}
+		res.Overhead = float64(tst.Cycles)/float64(bst.Cycles) - 1
+		res.Reports, res.SampledAccesses = tracer.finish()
+		return res, nil
+	}
+
+	cfg := mcfg
+	cfg.Seed = opts.Seed
+	cfg.Tracer = nil
+	mac := machine.New(p, cfg)
+	tracer := newTracer(opts)
+	mac.SetTracer(tracer)
+	if _, err := mac.Run(); err != nil {
+		return nil, fmt.Errorf("baselines: traced run: %w", err)
+	}
+	res.Reports, res.SampledAccesses = tracer.finish()
+	return res, nil
+}
+
+func newTracer(opts Options) tracerWithResult {
+	switch opts.Kind {
+	case Pacer:
+		return newPacer(opts)
+	case DataCollider:
+		return newDataCollider(opts)
+	default:
+		return newLiteRace(opts)
+	}
+}
+
+// hbDetect runs FastTrack over sampled accesses plus the full sync log —
+// what the instrumentation-based samplers (LiteRace, Pacer) do online.
+func hbDetect(sync *synctrace.Collector, accesses map[int32][]replay.Access) []race.Report {
+	det := race.Detect(sync.Records(), accesses, race.Options{TrackAllocations: true})
+	return det.Reports()
+}
+
+// accessFromEvent converts a machine event to a replay.Access for the
+// detector.
+func accessFromEvent(ev *machine.InstEvent) replay.Access {
+	return replay.Access{
+		TID:    int32(ev.TID),
+		PC:     ev.PC,
+		Addr:   ev.MemAddr,
+		Store:  ev.IsStore,
+		TSC:    ev.TSC,
+		Step:   -1,
+		Origin: replay.OriginSampled,
+	}
+}
+
+var _ = tracefmt.SyncRecord{} // tracefmt is used by sibling files

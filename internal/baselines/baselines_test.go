@@ -1,0 +1,212 @@
+package baselines
+
+import (
+	"testing"
+
+	"prorace/internal/asm"
+	"prorace/internal/bugs"
+	"prorace/internal/isa"
+	"prorace/internal/machine"
+	"prorace/internal/prog"
+	"prorace/internal/workload"
+)
+
+func TestKindNames(t *testing.T) {
+	if LiteRace.String() != "literace" || Pacer.String() != "pacer" ||
+		DataCollider.String() != "datacollider" || Kind(9).String() != "baseline?" {
+		t.Error("names wrong")
+	}
+}
+
+func TestLiteRaceOverheadBands(t *testing.T) {
+	// CPU-bound: substantial slowdown from per-access instrumentation
+	// (paper: 1.47x average, up to 2.1x).
+	cpu := workload.PARSEC(1)[0]
+	res, err := Run(cpu.Program, cpu.Machine, Options{Kind: LiteRace, Seed: 3, MeasureOverhead: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overhead < 0.15 || res.Overhead > 3 {
+		t.Errorf("LiteRace CPU-bound overhead = %.1f%%, outside the instrumentation band", res.Overhead*100)
+	}
+	if res.SampledAccesses == 0 {
+		t.Error("cold-region sampler tracked nothing")
+	}
+	// Network-bound apache: a few percent (paper: 2-4%).
+	web := workload.Apache(1)
+	res2, err := Run(web.Program, web.Machine, Options{Kind: LiteRace, Seed: 3, MeasureOverhead: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Overhead > 0.10 {
+		t.Errorf("LiteRace apache overhead = %.1f%%, paper reports 2-4%%", res2.Overhead*100)
+	}
+	t.Logf("LiteRace: cpu %.0f%%, apache %.1f%%", res.Overhead*100, res2.Overhead*100)
+}
+
+func TestLiteRaceColdRegionBias(t *testing.T) {
+	// The sampler must track a *decreasing fraction* of a hot function's
+	// executions: with thousands of calls, sampled accesses stay well
+	// below total accesses.
+	cpu := workload.PARSEC(1)[0]
+	res, err := Run(cpu.Program, cpu.Machine, Options{Kind: LiteRace, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cpu.Machine
+	cfg.Seed = 5
+	total := 0
+	{
+		// Count total memory accesses via an untraced run's stats.
+		m := newCountingRun(t, cpu, 5)
+		total = int(m)
+	}
+	if res.SampledAccesses >= total/2 {
+		t.Errorf("sampled %d of %d accesses: hot code not throttled", res.SampledAccesses, total)
+	}
+}
+
+func newCountingRun(t *testing.T, w workload.Workload, seed int64) uint64 {
+	t.Helper()
+	res, err := Run(w.Program, w.Machine, Options{Kind: Pacer, PacerRate: 1.0, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return uint64(res.SampledAccesses) // rate 1.0 tracks everything
+}
+
+func TestPacerRateProportionality(t *testing.T) {
+	cpu := workload.PARSEC(1)[0]
+	at := func(rate float64) int {
+		res, err := Run(cpu.Program, cpu.Machine, Options{Kind: Pacer, PacerRate: rate, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SampledAccesses
+	}
+	n3, n30 := at(0.03), at(0.30)
+	if n30 < n3*4 {
+		t.Errorf("sampling not roughly proportional to rate: %d at 3%% vs %d at 30%%", n3, n30)
+	}
+}
+
+func TestPacerOverheadNearPaper(t *testing.T) {
+	// Pacer's non-sampling instrumentation taxes every access, so its
+	// overhead tracks access density: use the stream-heavy kernel
+	// (streamcluster), the closest to the Java heap-access density the
+	// paper's 1.86x-at-3% figure was measured on.
+	cpu := workload.PARSEC(1)[9]
+	if cpu.Name != "streamcluster" {
+		t.Fatal("workload order changed")
+	}
+	res, err := Run(cpu.Program, cpu.Machine, Options{Kind: Pacer, Seed: 3, MeasureOverhead: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 1.86x at the 3% rate; accept a broad band around it.
+	if res.Overhead < 0.3 || res.Overhead > 2.5 {
+		t.Errorf("Pacer overhead at 3%% = %.0f%%, paper quotes ~86%%", res.Overhead*100)
+	}
+	t.Logf("Pacer @3%%: %.0f%%", res.Overhead*100)
+}
+
+func TestPacerDetectsWithFullRate(t *testing.T) {
+	bug, err := bugs.ByID("pfscan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := bug.Build(1)
+	res, err := Run(built.Workload.Program, built.Workload.Machine,
+		Options{Kind: Pacer, PacerRate: 1.0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !built.Detected(res.Reports) {
+		t.Error("full-rate Pacer must see the race")
+	}
+}
+
+func TestDataColliderLowOverhead(t *testing.T) {
+	cpu := workload.PARSEC(1)[0]
+	res, err := Run(cpu.Program, cpu.Machine, Options{Kind: DataCollider, Seed: 3, MeasureOverhead: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overhead > 0.25 {
+		t.Errorf("DataCollider overhead = %.1f%%, should be low", res.Overhead*100)
+	}
+	if res.SampledAccesses == 0 {
+		t.Error("no samples taken")
+	}
+}
+
+func TestDataColliderCatchesOverlappingRace(t *testing.T) {
+	// A tight unlocked shared counter hammered by four threads: with a
+	// small sampling period and a long delay, a conflicting access lands
+	// in some window.
+	b := buildHotRace()
+	hits := 0
+	for seed := int64(1); seed <= 5; seed++ {
+		res, err := Run(b, workloadMachine(), Options{
+			Kind: DataCollider, Seed: seed, DCSamplePeriod: 50, DCDelayCycles: 5000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Reports) > 0 {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Error("DataCollider never caught a hot race in 5 runs")
+	}
+	t.Logf("DataCollider: %d/5 runs caught the hot race", hits)
+}
+
+func TestDataColliderWatchpointLimit(t *testing.T) {
+	// With an extreme sampling rate the four debug registers saturate:
+	// samples get wasted rather than queued.
+	b := buildHotRace()
+	res, err := Run(b, workloadMachine(), Options{
+		Kind: DataCollider, Seed: 1, DCSamplePeriod: 2, DCDelayCycles: 100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The run completes (no unbounded watchpoint growth) and sampling far
+	// exceeds the four concurrently armable watchpoints.
+	if res.SampledAccesses <= maxWatchpoints {
+		t.Errorf("sampled %d", res.SampledAccesses)
+	}
+}
+
+// buildHotRace: four threads hammer one unlocked counter.
+func buildHotRace() *prog.Program {
+	b := asm.New("hotrace")
+	b.Global("x", 8)
+	b.Global("tids", 32)
+	m := b.Func("main")
+	for i := int64(0); i < 4; i++ {
+		m.MovI(isa.R4, i)
+		m.SpawnThread("w", isa.R4)
+		m.Store(asm.Global("tids", i*8), isa.R0)
+	}
+	for i := int64(0); i < 4; i++ {
+		m.Load(isa.R0, asm.Global("tids", i*8))
+		m.Syscall(isa.SysThreadJoin)
+	}
+	m.Exit(0)
+	w := b.Func("w")
+	w.MovI(isa.R3, 2000)
+	w.Label("l")
+	w.Load(isa.R1, asm.Global("x", 0))
+	w.AddI(isa.R1, 1)
+	w.Store(asm.Global("x", 0), isa.R1)
+	w.SubI(isa.R3, 1)
+	w.CmpI(isa.R3, 0)
+	w.Jgt("l")
+	w.Exit(0)
+	return b.MustBuild()
+}
+
+func workloadMachine() machine.Config { return machine.Config{Cores: 4} }

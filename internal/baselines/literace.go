@@ -1,0 +1,130 @@
+package baselines
+
+import (
+	"prorace/internal/isa"
+	"prorace/internal/machine"
+	"prorace/internal/race"
+	"prorace/internal/replay"
+	"prorace/internal/synctrace"
+)
+
+// LiteRace cost model (cycles). The instrumented binary pays a check on
+// every memory access; tracked accesses pay full vector-clock analysis.
+// Calibrated so a CPU-bound workload lands near the paper's quoted 1.47x
+// average slowdown while I/O-bound servers stay at a few percent.
+const (
+	lrCheckCost    = 2   // inlined "is this burst sampled?" check, every access
+	lrAnalysisCost = 45  // metadata + vector clock work per tracked access
+	lrSyncCost     = 35  // instrumented synchronization operation
+	lrBurstCap     = 500 // accesses tracked per burst before it is cut off
+)
+
+// literace implements the adaptive cold-region burst sampler: each
+// function starts fully sampled; its sampling rate decays as it proves
+// hot, bottoming out at 0.1% — LiteRace's hypothesis that races in mature
+// code hide in rarely exercised regions.
+type literace struct {
+	sync  *synctrace.Collector
+	rng   uint64            // xorshift state
+	execs map[uint64]uint64 // function entry -> executions
+	// burst state per thread: sampled depth of the current call chain and
+	// accesses tracked in the current burst.
+	inBurst  map[machine.TID]int
+	burstLen map[machine.TID]int
+	depth    map[machine.TID]int
+	accesses map[int32][]replay.Access
+	sampled  int
+}
+
+func newLiteRace(opts Options) *literace {
+	return &literace{
+		sync:     synctrace.New(),
+		rng:      uint64(opts.Seed)*2654435761 + 1,
+		execs:    map[uint64]uint64{},
+		inBurst:  map[machine.TID]int{},
+		burstLen: map[machine.TID]int{},
+		depth:    map[machine.TID]int{},
+		accesses: map[int32][]replay.Access{},
+	}
+}
+
+func (l *literace) rand() uint64 {
+	l.rng ^= l.rng << 13
+	l.rng ^= l.rng >> 7
+	l.rng ^= l.rng << 17
+	return l.rng
+}
+
+// rateFor returns the sampling rate of a function given its execution
+// count: 100% for the first 10 executions, then decaying as 10/n with a
+// 0.1% floor.
+func rateFor(execs uint64) float64 {
+	if execs <= 10 {
+		return 1.0
+	}
+	r := 10.0 / float64(execs)
+	if r < 0.001 {
+		return 0.001
+	}
+	return r
+}
+
+// InstRetired implements machine.Tracer.
+func (l *literace) InstRetired(ev *machine.InstEvent) uint64 {
+	var stall uint64
+	switch ev.Inst.Op {
+	case isa.CALL, isa.CALLR:
+		l.depth[ev.TID]++
+		entry := ev.Target
+		l.execs[entry]++
+		// A burst begins when a function entry draws a sample and no
+		// enclosing burst is active.
+		if l.inBurst[ev.TID] == 0 {
+			rate := rateFor(l.execs[entry])
+			if float64(l.rand()%1_000_000) < rate*1_000_000 {
+				l.inBurst[ev.TID] = l.depth[ev.TID]
+				l.burstLen[ev.TID] = 0
+			}
+		}
+	case isa.RET:
+		if l.inBurst[ev.TID] == l.depth[ev.TID] {
+			l.inBurst[ev.TID] = 0
+		}
+		if l.depth[ev.TID] > 0 {
+			l.depth[ev.TID]--
+		}
+	}
+	if ev.IsMem {
+		stall += lrCheckCost
+		if l.inBurst[ev.TID] != 0 {
+			stall += lrAnalysisCost
+			l.accesses[int32(ev.TID)] = append(l.accesses[int32(ev.TID)], accessFromEvent(ev))
+			l.sampled++
+			// Bound burst length, as LiteRace bounds its sampling unit:
+			// a burst inside a long-running loop is cut off.
+			l.burstLen[ev.TID]++
+			if l.burstLen[ev.TID] >= lrBurstCap {
+				l.inBurst[ev.TID] = 0
+			}
+		}
+	}
+	return stall
+}
+
+// SyscallRetired implements machine.Tracer.
+func (l *literace) SyscallRetired(ev *machine.SyscallEvent) uint64 {
+	if l.sync.OnSyscall(ev) {
+		return lrSyncCost
+	}
+	return 0
+}
+
+// ThreadStarted implements machine.Tracer.
+func (l *literace) ThreadStarted(tid machine.TID, tsc uint64) { l.sync.OnThreadStart(tid, tsc) }
+
+// ThreadExited implements machine.Tracer.
+func (l *literace) ThreadExited(tid machine.TID, tsc uint64) { l.sync.OnThreadExit(tid, tsc) }
+
+func (l *literace) finish() ([]race.Report, int) {
+	return hbDetect(l.sync, l.accesses), l.sampled
+}

@@ -1,0 +1,233 @@
+// Package bugs reproduces the 12 real-world data races the paper evaluates
+// detection on (Table 2, taken from the bug study of [60]). Each bug is
+// planted into the matching application model with the documented
+// characteristics:
+//
+//   - the addressing mode of the racy access — PC-relative (always
+//     reconstructible from the path), register-indirect (reconstructible
+//     while the register is live around a sample), or memory-indirect
+//     (the pointer itself comes from memory: the hardest case);
+//   - a realistic rarity: racy code runs on a gated subset of requests,
+//     as real races sit on rarely exercised paths;
+//   - the manifestation recorded in the paper (double free, corrupted
+//     log, crash, ...), kept as metadata.
+//
+// Every Build records the racy instruction addresses, so the evaluation
+// can check ground truth: a run detects the bug iff some reported race's
+// two PCs are both racy instructions of this bug.
+package bugs
+
+import (
+	"fmt"
+
+	"prorace/internal/asm"
+	"prorace/internal/isa"
+	"prorace/internal/race"
+	"prorace/internal/workload"
+)
+
+// AccessType is the addressing mode of the racy access (Table 2, column
+// "Access Type").
+type AccessType int
+
+const (
+	// MemIndirect: the racy address comes from a pointer loaded from
+	// memory immediately before the access.
+	MemIndirect AccessType = iota
+	// RegIndirect: the racy address is base-register-relative, the base
+	// living in a register with a bounded live range.
+	RegIndirect
+	// PCRel: the racy variable is addressed PC-relatively.
+	PCRel
+)
+
+// String names the access type as the paper's table does.
+func (t AccessType) String() string {
+	switch t {
+	case MemIndirect:
+		return "memory indirect"
+	case RegIndirect:
+		return "register indirect"
+	case PCRel:
+		return "pc relative"
+	}
+	return "?"
+}
+
+// Bug describes one Table 2 entry.
+type Bug struct {
+	// ID is the paper's identifier, e.g. "apache-25520".
+	ID string
+	// App names the host application model.
+	App string
+	// Manifestation is how the bug shows up in production (Table 2).
+	Manifestation string
+	// Type is the racy access's addressing mode.
+	Type AccessType
+
+	spec workload.ServerSpec
+	gate int64 // racy code runs when requests-remaining % gate == 0
+	pad  int64 // live-range padding (memory events) after the racy store
+}
+
+// Built is a constructed bug workload with its ground truth.
+type Built struct {
+	Bug      Bug
+	Workload workload.Workload
+	// RacyPCs are the planted racy instruction addresses.
+	RacyPCs map[uint64]bool
+}
+
+// Detected reports whether any race report matches the planted bug: both
+// endpoints must be racy instructions of this bug.
+func (bb *Built) Detected(reports []race.Report) bool {
+	for _, r := range reports {
+		if bb.RacyPCs[r.First.PC] && bb.RacyPCs[r.Second.PC] {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the 12 bugs of Table 2, in the paper's order.
+func All() []Bug {
+	return []Bug{
+		{ID: "apache-25520", App: "apache", Manifestation: "double free", Type: MemIndirect,
+			spec: workload.ApacheSpec(), gate: 8, pad: 160},
+		{ID: "apache-21287", App: "apache", Manifestation: "corrupted log", Type: RegIndirect,
+			spec: workload.ApacheSpec(), gate: 8, pad: 500},
+		{ID: "apache-45605", App: "apache", Manifestation: "assertion", Type: RegIndirect,
+			spec: workload.ApacheSpec(), gate: 8, pad: 500},
+		{ID: "mysql-3596", App: "mysql", Manifestation: "crash", Type: MemIndirect,
+			spec: workload.MySQLSpec(), gate: 4, pad: 160},
+		{ID: "mysql-644", App: "mysql", Manifestation: "crash", Type: MemIndirect,
+			spec: workload.MySQLSpec(), gate: 4, pad: 160},
+		{ID: "mysql-791", App: "mysql", Manifestation: "missing output", Type: MemIndirect,
+			spec: workload.MySQLSpec(), gate: 4, pad: 160},
+		{ID: "cherokee-0.9.2", App: "cherokee", Manifestation: "corrupted log", Type: RegIndirect,
+			spec: workload.CherokeeSpec(), gate: 2, pad: 500},
+		{ID: "cherokee-bug326", App: "cherokee", Manifestation: "corrupted log", Type: RegIndirect,
+			spec: workload.CherokeeSpec(), gate: 2, pad: 500},
+		{ID: "pbzip2-0.9.4", App: "pbzip2", Manifestation: "crash", Type: MemIndirect,
+			spec: workload.Pbzip2Spec(), gate: 4, pad: 160},
+		{ID: "pbzip2-0.9.1", App: "pbzip2", Manifestation: "benign", Type: PCRel,
+			spec: workload.Pbzip2Spec(), gate: 4},
+		{ID: "pfscan", App: "pfscan", Manifestation: "infinite loop", Type: PCRel,
+			spec: workload.PfscanSpec(), gate: 4},
+		{ID: "aget-bug2", App: "aget", Manifestation: "wrong record in log", Type: PCRel,
+			spec: workload.AgetSpec(), gate: 4},
+	}
+}
+
+// ByID finds a bug.
+func ByID(id string) (Bug, error) {
+	for _, b := range All() {
+		if b.ID == id {
+			return b, nil
+		}
+	}
+	return Bug{}, fmt.Errorf("bugs: unknown bug %q", id)
+}
+
+// Build constructs the bug's workload with the race planted.
+func (b Bug) Build(scale workload.Scale) *Built {
+	built := &Built{Bug: b, RacyPCs: map[uint64]bool{}}
+	var racyIdx []int
+	hooks := &workload.InjectHooks{}
+
+	switch b.Type {
+	case PCRel:
+		// The racy variable is a global addressed PC-relatively; no
+		// register state is needed to reconstruct the access, so the PT
+		// path alone recovers it (the 100% rows of Table 2).
+		hooks.Setup = func(bb *asm.Builder) {
+			bb.Global("racyvar", 8)
+		}
+		hooks.PerRequest = func(w *asm.FuncBuilder) {
+			w.Mov(isa.R5, isa.R11)
+			w.AndI(isa.R5, b.gate-1)
+			w.CmpI(isa.R5, 0)
+			w.Jne("bug_skip")
+			racyIdx = append(racyIdx, w.Load(isa.R1, asm.Global("racyvar", 0)))
+			w.AddI(isa.R1, 1)
+			racyIdx = append(racyIdx, w.Store(asm.Global("racyvar", 0), isa.R1))
+			w.Label("bug_skip")
+		}
+
+	case RegIndirect:
+		// The racy slot's base register is data-dependent (derived from
+		// SysRand, which the offline replay cannot know) and stays live
+		// through a padding window after the access: a PEBS sample inside
+		// the window lets backward propagation restore it (§5.2.1).
+		hooks.Setup = func(bb *asm.Builder) {
+			bb.Global("racyslots", 64)
+			bb.Global("padro", 8)
+			f := bb.Func("bugfn")
+			f.Syscall(isa.SysRand)
+			f.AndI(isa.R0, 7)
+			f.ShlI(isa.R0, 3)
+			f.Lea(isa.R6, asm.Global("racyslots", 0))
+			f.Add(isa.R6, isa.R0) // base register for the racy slot
+			racyIdx = append(racyIdx, f.Load(isa.R1, asm.Base(isa.R6, 0)))
+			f.AddI(isa.R1, 1)
+			racyIdx = append(racyIdx, f.Store(asm.Base(isa.R6, 0), isa.R1))
+			// Live-range padding: r6 is not redefined here.
+			f.MovI(isa.R2, b.pad)
+			f.Label("pad")
+			f.Load(isa.R3, asm.Global("padro", 0))
+			f.SubI(isa.R2, 1)
+			f.CmpI(isa.R2, 0)
+			f.Jgt("pad")
+			f.Ret()
+		}
+		hooks.PerRequest = perRequestCall(b.gate)
+
+	case MemIndirect:
+		// The racy object's pointer is loaded from memory right before
+		// the access — unavailable to forward replay (memory emulation is
+		// invalidated by the workload's syscalls), and with a short live
+		// range after the access: the paper's hardest case.
+		hooks.Setup = func(bb *asm.Builder) {
+			bb.Global("objptr", 8)
+			bb.Global("padro", 8)
+			f := bb.Func("bugfn")
+			f.Load(isa.R6, asm.Global("objptr", 0)) // pointer from memory
+			racyIdx = append(racyIdx, f.Load(isa.R1, asm.Base(isa.R6, 16)))
+			f.AddI(isa.R1, 1)
+			racyIdx = append(racyIdx, f.Store(asm.Base(isa.R6, 16), isa.R1))
+			f.MovI(isa.R2, b.pad)
+			f.Label("pad")
+			f.Load(isa.R3, asm.Global("padro", 0))
+			f.SubI(isa.R2, 1)
+			f.CmpI(isa.R2, 0)
+			f.Jgt("pad")
+			f.Ret()
+		}
+		hooks.MainPrologue = func(m *asm.FuncBuilder) {
+			m.MovI(isa.R0, 64)
+			m.Syscall(isa.SysMalloc)
+			m.Store(asm.Global("objptr", 0), isa.R0)
+		}
+		hooks.PerRequest = perRequestCall(b.gate)
+	}
+
+	spec := b.spec
+	spec.Name = b.ID
+	built.Workload = workload.BuildServer(spec, scale, hooks)
+	for _, idx := range racyIdx {
+		built.RacyPCs[isa.IndexToAddr(idx)] = true
+	}
+	return built
+}
+
+// perRequestCall gates a call to bugfn on the request counter in R11.
+func perRequestCall(gate int64) func(w *asm.FuncBuilder) {
+	return func(w *asm.FuncBuilder) {
+		w.Mov(isa.R5, isa.R11)
+		w.AndI(isa.R5, gate-1)
+		w.CmpI(isa.R5, 0)
+		w.Jne("bug_skip")
+		w.Call("bugfn")
+		w.Label("bug_skip")
+	}
+}

@@ -1,0 +1,215 @@
+// Package core assembles the full ProRace pipeline of the paper's Figure 1:
+//
+//	online:  machine run + PMU driver  →  PEBS + PT + sync traces
+//	offline: decode & synthesis → memory reconstruction → FastTrack
+//
+// It also implements the §5.1 safety feedback: when a race is detected on a
+// location whose reconstruction relied on emulated memory, the trace is
+// regenerated with that location invalidated, so reconstruction never
+// depends on racy emulated state.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"prorace/internal/machine"
+	"prorace/internal/pmu/driver"
+	"prorace/internal/prog"
+	"prorace/internal/race"
+	"prorace/internal/replay"
+	"prorace/internal/synthesis"
+	"prorace/internal/tracefmt"
+)
+
+// TraceOptions configures the online phase.
+type TraceOptions struct {
+	// Kind selects the PEBS driver model (ProRace or Vanilla).
+	Kind driver.Kind
+	// Period is the PEBS sampling period.
+	Period uint64
+	// Seed drives the machine scheduler and the driver's randomised first
+	// period; a given (program, seed) pair reproduces exactly.
+	Seed int64
+	// EnablePT turns on control-flow tracing.
+	EnablePT bool
+	// MeasureOverhead additionally executes an untraced baseline run with
+	// the same seed, so Overhead can be reported.
+	MeasureOverhead bool
+	// Machine overrides simulator parameters (cores, I/O latencies...).
+	// Seed and Tracer fields are managed by TraceProgram.
+	Machine machine.Config
+	// Costs overrides the driver cost model (nil = calibrated defaults).
+	Costs *driver.Costs
+	// DisableRandomFirstPeriod turns off the ProRace driver's sampling
+	// phase randomisation (ablation).
+	DisableRandomFirstPeriod bool
+}
+
+// TraceResult is the outcome of the online phase.
+type TraceResult struct {
+	Trace       *tracefmt.Trace
+	TracedStats machine.Stats
+	// BaseStats is only valid when MeasureOverhead was set.
+	BaseStats machine.Stats
+	// Overhead is traced/base - 1 (0 when not measured).
+	Overhead float64
+	// Dropped and Throttled report the kernel-side sample losses.
+	Dropped   uint64
+	Throttled uint64
+}
+
+// TraceProgram runs the online phase: execute the program on the simulated
+// machine under the selected driver and collect the three traces.
+func TraceProgram(p *prog.Program, opts TraceOptions) (*TraceResult, error) {
+	if opts.Period == 0 {
+		opts.Period = 10000
+	}
+	res := &TraceResult{}
+
+	if opts.MeasureOverhead {
+		mcfg := opts.Machine
+		mcfg.Seed = opts.Seed
+		mcfg.Tracer = nil
+		base := machine.New(p, mcfg)
+		st, err := base.Run()
+		if err != nil {
+			return nil, fmt.Errorf("core: baseline run: %w", err)
+		}
+		res.BaseStats = st
+	}
+
+	mcfg := opts.Machine
+	mcfg.Seed = opts.Seed
+	mcfg.Tracer = nil
+	mac := machine.New(p, mcfg)
+	d := driver.New(mac, driver.Options{
+		Kind:                     opts.Kind,
+		Period:                   opts.Period,
+		Seed:                     opts.Seed,
+		EnablePT:                 opts.EnablePT,
+		Costs:                    opts.Costs,
+		DisableRandomFirstPeriod: opts.DisableRandomFirstPeriod,
+	})
+	mac.SetTracer(d)
+	st, err := mac.Run()
+	if err != nil {
+		return nil, fmt.Errorf("core: traced run: %w", err)
+	}
+	res.TracedStats = st
+	res.Trace = d.Finish()
+	res.Dropped = d.DroppedSamples()
+	res.Throttled = d.ThrottledEvents()
+	if opts.MeasureOverhead && res.BaseStats.Cycles > 0 {
+		res.Overhead = float64(st.Cycles)/float64(res.BaseStats.Cycles) - 1
+	}
+	return res, nil
+}
+
+// AnalysisOptions configures the offline phase.
+type AnalysisOptions struct {
+	// Mode selects the reconstruction algorithm (default ForwardBackward —
+	// full ProRace).
+	Mode replay.Mode
+	// DisableMemoryEmulation turns off the §5.1 program-map memory
+	// emulation (ablation).
+	DisableMemoryEmulation bool
+	// DisableRaceFeedback turns off the §5.1 invalidate-and-regenerate
+	// loop for racy emulated locations (ablation; slightly faster,
+	// slightly less safe).
+	DisableRaceFeedback bool
+	// DisableAllocationTracking turns off malloc/free generation tracking
+	// (ablation; reintroduces the §4.3 address-reuse false positive).
+	DisableAllocationTracking bool
+	// MaxReports bounds the race report list.
+	MaxReports int
+}
+
+// AnalysisResult is the outcome of the offline phase.
+type AnalysisResult struct {
+	Reports     []race.Report
+	ReplayStats replay.Stats
+	// Accesses is the extended memory trace per thread.
+	Accesses map[int32][]replay.Access
+	// Phase timings for the paper's Figure 12 breakdown.
+	DecodeTime      time.Duration
+	ReconstructTime time.Duration
+	DetectTime      time.Duration
+	// Regenerated is true when the §5.1 feedback loop re-ran
+	// reconstruction with racy locations invalidated.
+	Regenerated bool
+}
+
+// TotalTime is the full offline analysis duration.
+func (r *AnalysisResult) TotalTime() time.Duration {
+	return r.DecodeTime + r.ReconstructTime + r.DetectTime
+}
+
+// Analyze runs the offline phase over a collected trace.
+func Analyze(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions) (*AnalysisResult, error) {
+	res := &AnalysisResult{}
+
+	t0 := time.Now()
+	tts, err := synthesis.Synthesize(p, tr)
+	if err != nil {
+		return nil, fmt.Errorf("core: synthesis: %w", err)
+	}
+	res.DecodeTime = time.Since(t0)
+
+	t1 := time.Now()
+	engine := replay.NewEngine(p, replay.Config{Mode: opts.Mode})
+	if opts.DisableMemoryEmulation {
+		engine = engine.DisableMemoryEmulation()
+	}
+	accesses, rstats := engine.ReconstructAll(tts)
+	res.ReconstructTime = time.Since(t1)
+	res.ReplayStats = rstats
+
+	t2 := time.Now()
+	ropts := race.Options{TrackAllocations: !opts.DisableAllocationTracking, MaxReports: opts.MaxReports}
+	det := race.Detect(tr.Sync, accesses, ropts)
+	res.DetectTime = time.Since(t2)
+
+	// §5.1 feedback: if races were found and reconstruction used memory
+	// emulation, regenerate the trace with the racy locations invalidated
+	// so no reconstructed address depended on racy emulated memory, then
+	// detect again.
+	if !opts.DisableRaceFeedback && opts.Mode != replay.ModeBasicBlock &&
+		!opts.DisableMemoryEmulation && len(det.RacyAddrs) > 0 {
+		t1b := time.Now()
+		engine2 := replay.NewEngine(p, replay.Config{Mode: opts.Mode, InvalidAddrs: det.RacyAddrs})
+		accesses2, rstats2 := engine2.ReconstructAll(tts)
+		res.ReconstructTime += time.Since(t1b)
+		if rstats2.InvalidHits > 0 {
+			t2b := time.Now()
+			det = race.Detect(tr.Sync, accesses2, ropts)
+			res.DetectTime += time.Since(t2b)
+			res.ReplayStats = rstats2
+			accesses = accesses2
+			res.Regenerated = true
+		}
+	}
+
+	res.Accesses = accesses
+	res.Reports = det.Reports()
+	return res, nil
+}
+
+// Result bundles a full pipeline run.
+type Result struct {
+	TraceResult    *TraceResult
+	AnalysisResult *AnalysisResult
+}
+
+// Run executes the complete pipeline: trace online, analyze offline.
+func Run(p *prog.Program, topts TraceOptions, aopts AnalysisOptions) (*Result, error) {
+	tr, err := TraceProgram(p, topts)
+	if err != nil {
+		return nil, err
+	}
+	ar, err := Analyze(p, tr.Trace, aopts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{TraceResult: tr, AnalysisResult: ar}, nil
+}

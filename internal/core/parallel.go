@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"prorace/internal/prog"
+	"prorace/internal/race"
+	"prorace/internal/replay"
+	"prorace/internal/synthesis"
+	"prorace/internal/tracefmt"
+)
+
+// AnalyzeParallel is Analyze with the PT decoding and trace reconstruction
+// fanned out across worker goroutines, one thread-trace at a time — the
+// parallelisation §7.6 points out: "PT records are independent of each
+// other, and the forward-and-backward replay can also be performed region
+// by region, making it suitable for using multiple analysis machines."
+// Detection remains sequential (FastTrack consumes one merged stream).
+//
+// workers <= 0 selects GOMAXPROCS. Results are identical to Analyze up to
+// the §5.1 regeneration pass, which AnalyzeParallel also applies.
+func AnalyzeParallel(p *progT, tr *tracefmt.Trace, opts AnalysisOptions, workers int) (*AnalysisResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := &AnalysisResult{}
+
+	// Pre-warm the program's lazily built indexes (basic blocks, function
+	// table) so concurrent readers never race on their initialisation.
+	p.Blocks()
+	p.FuncContaining(p.Entry)
+
+	t0 := time.Now()
+	tts, err := synthesizeParallel(p, tr, workers)
+	if err != nil {
+		return nil, fmt.Errorf("core: parallel synthesis: %w", err)
+	}
+	res.DecodeTime = time.Since(t0)
+
+	t1 := time.Now()
+	engine := replay.NewEngine(p, replay.Config{Mode: opts.Mode})
+	if opts.DisableMemoryEmulation {
+		engine = engine.DisableMemoryEmulation()
+	}
+	accesses, rstats := reconstructParallel(engine, tts, workers)
+	res.ReconstructTime = time.Since(t1)
+	res.ReplayStats = rstats
+
+	t2 := time.Now()
+	ropts := race.Options{TrackAllocations: !opts.DisableAllocationTracking, MaxReports: opts.MaxReports}
+	det := race.Detect(tr.Sync, accesses, ropts)
+	res.DetectTime = time.Since(t2)
+
+	if !opts.DisableRaceFeedback && opts.Mode != replay.ModeBasicBlock &&
+		!opts.DisableMemoryEmulation && len(det.RacyAddrs) > 0 {
+		t1b := time.Now()
+		engine2 := replay.NewEngine(p, replay.Config{Mode: opts.Mode, InvalidAddrs: det.RacyAddrs})
+		accesses2, rstats2 := reconstructParallel(engine2, tts, workers)
+		res.ReconstructTime += time.Since(t1b)
+		if rstats2.InvalidHits > 0 {
+			t2b := time.Now()
+			det = race.Detect(tr.Sync, accesses2, ropts)
+			res.DetectTime += time.Since(t2b)
+			res.ReplayStats = rstats2
+			accesses = accesses2
+			res.Regenerated = true
+		}
+	}
+
+	res.Accesses = accesses
+	res.Reports = det.Reports()
+	return res, nil
+}
+
+// progT keeps the signatures above readable.
+type progT = prog.Program
+
+// synthesizeParallel decodes and pins each thread concurrently.
+func synthesizeParallel(p *progT, tr *tracefmt.Trace, workers int) (map[int32]*synthesis.ThreadTrace, error) {
+	tids := tr.TIDs()
+	type result struct {
+		tid int32
+		tt  *synthesis.ThreadTrace
+		err error
+	}
+	work := make(chan int32, len(tids))
+	results := make(chan result, len(tids))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tid := range work {
+				tt, err := synthesis.SynthesizeThread(p, tr, tid)
+				results <- result{tid: tid, tt: tt, err: err}
+			}
+		}()
+	}
+	for _, tid := range tids {
+		work <- tid
+	}
+	close(work)
+	wg.Wait()
+	close(results)
+
+	out := map[int32]*synthesis.ThreadTrace{}
+	for r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		out[r.tid] = r.tt
+	}
+	return out, nil
+}
+
+// reconstructParallel runs the replay engine over thread traces
+// concurrently and merges stats as ReconstructAll does.
+func reconstructParallel(engine *replay.Engine, tts map[int32]*synthesis.ThreadTrace, workers int) (map[int32][]replay.Access, replay.Stats) {
+	type result struct {
+		tid int32
+		acc []replay.Access
+		st  replay.Stats
+	}
+	work := make(chan int32, len(tts))
+	results := make(chan result, len(tts))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tid := range work {
+				acc, st := engine.ReconstructThread(tts[tid])
+				results <- result{tid: tid, acc: acc, st: st}
+			}
+		}()
+	}
+	for tid := range tts {
+		work <- tid
+	}
+	close(work)
+	wg.Wait()
+	close(results)
+
+	out := map[int32][]replay.Access{}
+	var agg replay.Stats
+	for r := range results {
+		out[r.tid] = r.acc
+		agg.Sampled += r.st.Sampled
+		agg.Forward += r.st.Forward
+		agg.Backward += r.st.Backward
+		agg.BasicBlock += r.st.BasicBlock
+		agg.PathSteps += r.st.PathSteps
+		agg.MemSteps += r.st.MemSteps
+		agg.InvalidHits += r.st.InvalidHits
+		if r.st.Iterations > agg.Iterations {
+			agg.Iterations = r.st.Iterations
+		}
+	}
+	return out, agg
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"prorace/internal/bugs"
+	"prorace/internal/pmu/driver"
+	"prorace/internal/replay"
+	"prorace/internal/workload"
+)
+
+func TestParallelAnalysisMatchesSequential(t *testing.T) {
+	bug, err := bugs.ByID("mysql-3596") // 20 threads: real fan-out
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := bug.Build(1)
+	tr, err := TraceProgram(built.Workload.Program, TraceOptions{
+		Kind: driver.ProRace, Period: 500, Seed: 4, EnablePT: true,
+		Machine: built.Workload.Machine,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := AnalysisOptions{Mode: replay.ModeForwardBackward}
+	seq, err := Analyze(built.Workload.Program, tr.Trace, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := AnalyzeParallel(built.Workload.Program, tr.Trace, opts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reconstruction must be identical: same per-thread access streams.
+	if seq.ReplayStats != par.ReplayStats {
+		t.Fatalf("replay stats differ:\n seq %+v\n par %+v", seq.ReplayStats, par.ReplayStats)
+	}
+	if len(seq.Accesses) != len(par.Accesses) {
+		t.Fatalf("thread counts differ: %d vs %d", len(seq.Accesses), len(par.Accesses))
+	}
+	for tid, sa := range seq.Accesses {
+		pa := par.Accesses[tid]
+		if len(sa) != len(pa) {
+			t.Fatalf("tid %d: %d vs %d accesses", tid, len(sa), len(pa))
+		}
+		for i := range sa {
+			if sa[i] != pa[i] {
+				t.Fatalf("tid %d access %d differs: %+v vs %+v", tid, i, sa[i], pa[i])
+			}
+		}
+	}
+
+	// Reports identical up to order.
+	sk := make([][2]uint64, 0, len(seq.Reports))
+	for _, r := range seq.Reports {
+		sk = append(sk, r.Key())
+	}
+	pk := make([][2]uint64, 0, len(par.Reports))
+	for _, r := range par.Reports {
+		pk = append(pk, r.Key())
+	}
+	sortKeys := func(ks [][2]uint64) {
+		sort.Slice(ks, func(i, j int) bool {
+			if ks[i][0] != ks[j][0] {
+				return ks[i][0] < ks[j][0]
+			}
+			return ks[i][1] < ks[j][1]
+		})
+	}
+	sortKeys(sk)
+	sortKeys(pk)
+	if len(sk) != len(pk) {
+		t.Fatalf("report counts differ: %d vs %d", len(sk), len(pk))
+	}
+	for i := range sk {
+		if sk[i] != pk[i] {
+			t.Fatalf("report %d differs", i)
+		}
+	}
+	if seq.Regenerated != par.Regenerated {
+		t.Error("regeneration behaviour differs")
+	}
+}
+
+func TestParallelAnalysisDefaultWorkers(t *testing.T) {
+	w := workload.Apache(1)
+	tr, err := TraceProgram(w.Program, TraceOptions{
+		Kind: driver.ProRace, Period: 1000, Seed: 3, EnablePT: true, Machine: w.Machine,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := AnalyzeParallel(w.Program, tr.Trace, AnalysisOptions{Mode: replay.ModeForwardBackward}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.ReplayStats.Total() == 0 {
+		t.Error("parallel analysis with default workers produced nothing")
+	}
+}

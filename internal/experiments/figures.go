@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"fmt"
+
+	"prorace/internal/report"
+	"prorace/internal/stats"
+	"prorace/internal/workload"
+)
+
+// OverheadFigure is the result of Figures 6, 7 and 10: per-workload
+// overhead across the sampling-period sweep plus geomeans.
+type OverheadFigure struct {
+	Name string
+	// Periods is the sweep, ascending.
+	Periods []uint64
+	// PerWorkload maps workload -> overhead per period (Periods order).
+	PerWorkload map[string][]float64
+	// Geomean per period (Periods order).
+	Geomean []float64
+	// Points is the raw data.
+	Points []Point
+}
+
+// Render produces the text table.
+func (f *OverheadFigure) Render() string {
+	t := report.NewTable(f.Name, append([]string{"workload"}, periodHeaders(f.Periods)...)...)
+	for _, name := range sortedKeys(f.PerWorkload) {
+		row := []any{name}
+		for _, o := range f.PerWorkload[name] {
+			row = append(row, stats.FormatOverhead(o))
+		}
+		t.AddRow(row...)
+	}
+	row := []any{"geomean"}
+	for _, o := range f.Geomean {
+		row = append(row, stats.FormatOverhead(o))
+	}
+	t.AddRow(row...)
+	return t.String()
+}
+
+func (h *Harness) overheadFigure(name string, pts []Point) *OverheadFigure {
+	fig := &OverheadFigure{
+		Name:        name,
+		Periods:     h.cfg.Periods,
+		PerWorkload: map[string][]float64{},
+		Points:      pts,
+	}
+	idx := map[uint64]int{}
+	for i, p := range h.cfg.Periods {
+		idx[p] = i
+	}
+	for _, p := range pts {
+		row := fig.PerWorkload[p.Workload]
+		if row == nil {
+			row = make([]float64, len(h.cfg.Periods))
+			fig.PerWorkload[p.Workload] = row
+		}
+		row[idx[p.Period]] = p.Overhead
+	}
+	for _, period := range h.cfg.Periods {
+		var os []float64
+		for _, p := range pts {
+			if p.Period == period {
+				os = append(os, p.Overhead)
+			}
+		}
+		fig.Geomean = append(fig.Geomean, stats.GeomeanOverhead(os))
+	}
+	return fig
+}
+
+// Figure6 reproduces "Performance overhead for PARSEC benchmarks": ProRace
+// driver + PT over the 13 CPU-bound kernels across sampling periods.
+// Paper geomeans: 4%, 7%, 13%, 2.85x, 7.52x for 100K..10.
+func (h *Harness) Figure6() (*OverheadFigure, error) {
+	pts, err := h.parsecSweep()
+	if err != nil {
+		return nil, err
+	}
+	return h.overheadFigure("Figure 6: performance overhead, PARSEC", pts), nil
+}
+
+// Figure7 reproduces "Performance overhead for real applications".
+// Paper geomeans: 0.8%, 2.6%, 8%, 34%, 80% for 100K..10; network-bound
+// applications stay under 1% even at period 10.
+func (h *Harness) Figure7() (*OverheadFigure, error) {
+	pts, err := h.realSweep()
+	if err != nil {
+		return nil, err
+	}
+	return h.overheadFigure("Figure 7: performance overhead, real applications", pts), nil
+}
+
+// TraceSizeFigure is the result of Figures 8 and 9: trace MB/s.
+type TraceSizeFigure struct {
+	Name        string
+	Periods     []uint64
+	PerWorkload map[string][]float64 // MB/s
+	Geomean     []float64
+	// PTShare is PT bytes / total bytes per period (geomean-free mean),
+	// checking the paper's "PEBS dominates (~99%)" claim.
+	PTShare []float64
+	Points  []Point
+}
+
+// Render produces the text table.
+func (f *TraceSizeFigure) Render() string {
+	t := report.NewTable(f.Name, append([]string{"workload"}, periodHeaders(f.Periods)...)...)
+	for _, name := range sortedKeys(f.PerWorkload) {
+		row := []any{name}
+		for _, m := range f.PerWorkload[name] {
+			row = append(row, stats.FormatBytesPerSec(m))
+		}
+		t.AddRow(row...)
+	}
+	row := []any{"geomean"}
+	for _, m := range f.Geomean {
+		row = append(row, stats.FormatBytesPerSec(m))
+	}
+	t.AddRow(row...)
+	share := []any{"PT share"}
+	for _, s := range f.PTShare {
+		share = append(share, fmt.Sprintf("%.1f%%", s*100))
+	}
+	t.AddRow(share...)
+	return t.String()
+}
+
+func (h *Harness) traceSizeFigure(name string, pts []Point) *TraceSizeFigure {
+	fig := &TraceSizeFigure{
+		Name:        name,
+		Periods:     h.cfg.Periods,
+		PerWorkload: map[string][]float64{},
+		Points:      pts,
+	}
+	idx := map[uint64]int{}
+	for i, p := range h.cfg.Periods {
+		idx[p] = i
+	}
+	for _, p := range pts {
+		row := fig.PerWorkload[p.Workload]
+		if row == nil {
+			row = make([]float64, len(h.cfg.Periods))
+			fig.PerWorkload[p.Workload] = row
+		}
+		row[idx[p.Period]] = p.MBps
+	}
+	for _, period := range h.cfg.Periods {
+		var ms []float64
+		var pebs, pt uint64
+		for _, p := range pts {
+			if p.Period == period {
+				ms = append(ms, p.MBps)
+				pebs += p.PEBSBytes
+				pt += p.PTBytes
+			}
+		}
+		fig.Geomean = append(fig.Geomean, stats.Geomean(ms))
+		if pebs+pt > 0 {
+			fig.PTShare = append(fig.PTShare, float64(pt)/float64(pebs+pt))
+		} else {
+			fig.PTShare = append(fig.PTShare, 0)
+		}
+	}
+	return fig
+}
+
+// Figure8 reproduces "Space overhead for PARSEC benchmarks": trace MB/s
+// across periods. Paper geomeans: 26, 69, 132, 597, 463 MB/s for 100K..10 —
+// note the inversion at period 10, caused by kernel-side sample drops.
+func (h *Harness) Figure8() (*TraceSizeFigure, error) {
+	pts, err := h.parsecSweep()
+	if err != nil {
+		return nil, err
+	}
+	return h.traceSizeFigure("Figure 8: trace generation rate, PARSEC", pts), nil
+}
+
+// Figure9 reproduces "Space overhead for real applications".
+// Paper geomeans: 0.2, 1.2, 7.9, 40.8, 99.5 MB/s for 100K..10.
+func (h *Harness) Figure9() (*TraceSizeFigure, error) {
+	pts, err := h.realSweep()
+	if err != nil {
+		return nil, err
+	}
+	return h.traceSizeFigure("Figure 9: trace generation rate, real applications", pts), nil
+}
+
+// DriverComparison is Figure 10: vanilla vs ProRace driver overhead
+// geomeans, for PARSEC and the real applications.
+type DriverComparison struct {
+	Periods                      []uint64
+	ParsecVanilla, ParsecProRace []float64
+	RealVanilla, RealProRace     []float64
+}
+
+// Render produces the text table.
+func (f *DriverComparison) Render() string {
+	t := report.NewTable("Figure 10: driver overhead comparison (geomean)",
+		append([]string{"configuration"}, periodHeaders(f.Periods)...)...)
+	add := func(name string, xs []float64) {
+		row := []any{name}
+		for _, x := range xs {
+			row = append(row, stats.FormatOverhead(x))
+		}
+		t.AddRow(row...)
+	}
+	add("PARSEC vanilla", f.ParsecVanilla)
+	add("PARSEC prorace", f.ParsecProRace)
+	add("real vanilla", f.RealVanilla)
+	add("real prorace", f.RealProRace)
+	return t.String()
+}
+
+// Figure10 reproduces the driver comparison. Paper anchors: at period 10
+// the vanilla driver costs ~50x vs ProRace's 7.5x on PARSEC; at 100K, 20%
+// vs 4%.
+func (h *Harness) Figure10() (*DriverComparison, error) {
+	pv, err := h.parsecVanillaSweep()
+	if err != nil {
+		return nil, err
+	}
+	pp, err := h.parsecSweep()
+	if err != nil {
+		return nil, err
+	}
+	rv, err := h.realVanillaSweep()
+	if err != nil {
+		return nil, err
+	}
+	rp, err := h.realSweep()
+	if err != nil {
+		return nil, err
+	}
+	geo := func(pts []Point) []float64 {
+		var out []float64
+		for _, period := range h.cfg.Periods {
+			var os []float64
+			for _, p := range pts {
+				if p.Period == period {
+					os = append(os, p.Overhead)
+				}
+			}
+			out = append(out, stats.GeomeanOverhead(os))
+		}
+		return out
+	}
+	return &DriverComparison{
+		Periods:       h.cfg.Periods,
+		ParsecVanilla: geo(pv),
+		ParsecProRace: geo(pp),
+		RealVanilla:   geo(rv),
+		RealProRace:   geo(rp),
+	}, nil
+}
+
+// Table1 renders the evaluation setup table (the paper's Table 1).
+func Table1(scale workload.Scale) string {
+	t := report.NewTable("Table 1: evaluation setup", "application", "threads", "class", "description")
+	desc := map[string]string{
+		"apache":       "ApacheBench, 128KB responses, 8 clients",
+		"cherokee":     "ApacheBench, 128KB responses, 8 clients",
+		"mysql":        "SysBench OLTP, 32 clients, 10M records",
+		"memcached":    "YCSB, workloads A-E",
+		"transmission": "4.48GB BitTorrent transfer",
+		"pfscan":       "6.8GB parallel file scan",
+		"pbzip2":       "1GB parallel compression",
+		"aget":         "2.1GB parallel download",
+	}
+	for _, w := range workload.RealApps(scale) {
+		t.AddRow(w.Name, w.Threads, w.Class, desc[w.Name])
+	}
+	return t.String()
+}
+
+func periodHeaders(periods []uint64) []string {
+	var out []string
+	for _, p := range periods {
+		out = append(out, fmt.Sprintf("P=%d", p))
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

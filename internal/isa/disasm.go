@@ -1,0 +1,66 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// memOperandString renders the memory operand in a gas-like syntax.
+func (i Inst) memOperandString() string {
+	switch i.Mode {
+	case ModeBase:
+		return fmt.Sprintf("%d(%s)", i.Disp, i.Base)
+	case ModeBaseIndex:
+		return fmt.Sprintf("%d(%s,%s,%d)", i.Disp, i.Base, i.Index, i.Scale)
+	case ModePCRel:
+		return fmt.Sprintf("%d(pc)", i.Disp)
+	case ModeAbs:
+		return fmt.Sprintf("*0x%x", uint64(i.Disp))
+	default:
+		return "?"
+	}
+}
+
+// String disassembles the instruction.
+func (i Inst) String() string {
+	switch i.Op {
+	case NOP, RET, HALT:
+		return i.Op.String()
+	case MOVI:
+		return fmt.Sprintf("movi %s, %d", i.Rd, i.Imm)
+	case MOV:
+		return fmt.Sprintf("mov %s, %s", i.Rd, i.Rs)
+	case LEA:
+		return fmt.Sprintf("lea %s, %s", i.Rd, i.memOperandString())
+	case LOAD:
+		return fmt.Sprintf("load %s, %s", i.Rd, i.memOperandString())
+	case STORE:
+		return fmt.Sprintf("store %s, %s", i.memOperandString(), i.Rs)
+	case ADD, SUB, MUL, AND, OR, XOR, SHL, SHR:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, i.Rs)
+	case ADDI, SUBI, MULI, ANDI, ORI, XORI, SHLI, SHRI:
+		return fmt.Sprintf("%s %s, %d", i.Op, i.Rd, i.Imm)
+	case CMP:
+		return fmt.Sprintf("cmp %s, %s", i.Rd, i.Rs)
+	case CMPI:
+		return fmt.Sprintf("cmpi %s, %d", i.Rd, i.Imm)
+	case JMP, JEQ, JNE, JLT, JLE, JGT, JGE, CALL:
+		return fmt.Sprintf("%s 0x%x", i.Op, uint64(i.Imm))
+	case JMPR, CALLR:
+		return fmt.Sprintf("%s %s", i.Op, i.Rs)
+	case SYSCALL:
+		return fmt.Sprintf("syscall %s", i.Sys)
+	default:
+		return fmt.Sprintf("op?%d", uint8(i.Op))
+	}
+}
+
+// Disassemble renders a full text segment with addresses, one instruction
+// per line, in a format suitable for debugging dumps.
+func Disassemble(insts []Inst) string {
+	var b strings.Builder
+	for k, in := range insts {
+		fmt.Fprintf(&b, "%08x:  %s\n", IndexToAddr(k), in)
+	}
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary instruction encoding. Instructions are a fixed InstSize (32) bytes,
+// little endian:
+//
+//	offset 0  op     (1 byte)
+//	offset 1  rd     (1 byte)
+//	offset 2  rs     (1 byte)
+//	offset 3  base   (1 byte)
+//	offset 4  index  (1 byte)
+//	offset 5  scale  (1 byte)
+//	offset 6  mode   (1 byte)
+//	offset 7  pad    (1 byte, zero)
+//	offset 8  sys    (2 bytes)
+//	offset 10 pad    (6 bytes, zero)
+//	offset 16 disp   (8 bytes, signed)
+//	offset 24 imm    (8 bytes, signed)
+//
+// A fixed width keeps address arithmetic trivial (address = CodeBase +
+// index*InstSize) and lets the PT decoder and the replay engine seek into
+// the text segment without a length-decoding pass.
+
+// Encode writes the instruction into dst, which must be at least InstSize
+// bytes long, and returns InstSize.
+func (i Inst) Encode(dst []byte) int {
+	_ = dst[InstSize-1]
+	dst[0] = byte(i.Op)
+	dst[1] = byte(i.Rd)
+	dst[2] = byte(i.Rs)
+	dst[3] = byte(i.Base)
+	dst[4] = byte(i.Index)
+	dst[5] = i.Scale
+	dst[6] = byte(i.Mode)
+	dst[7] = 0
+	binary.LittleEndian.PutUint16(dst[8:], uint16(i.Sys))
+	for k := 10; k < 16; k++ {
+		dst[k] = 0
+	}
+	binary.LittleEndian.PutUint64(dst[16:], uint64(i.Disp))
+	binary.LittleEndian.PutUint64(dst[24:], uint64(i.Imm))
+	return int(InstSize)
+}
+
+// Decode parses one instruction from src, which must hold at least InstSize
+// bytes. It returns an error for malformed encodings (unknown opcode or
+// addressing mode), mirroring what a disassembler hits on garbage bytes.
+func Decode(src []byte) (Inst, error) {
+	if len(src) < int(InstSize) {
+		return Inst{}, fmt.Errorf("isa: short instruction: %d bytes", len(src))
+	}
+	i := Inst{
+		Op:    Op(src[0]),
+		Rd:    Reg(src[1]),
+		Rs:    Reg(src[2]),
+		Base:  Reg(src[3]),
+		Index: Reg(src[4]),
+		Scale: src[5],
+		Mode:  Mode(src[6]),
+		Sys:   Sys(binary.LittleEndian.Uint16(src[8:])),
+		Disp:  int64(binary.LittleEndian.Uint64(src[16:])),
+		Imm:   int64(binary.LittleEndian.Uint64(src[24:])),
+	}
+	if !i.Op.Valid() {
+		return Inst{}, fmt.Errorf("isa: invalid opcode %d", src[0])
+	}
+	if !i.Mode.Valid() {
+		return Inst{}, fmt.Errorf("isa: invalid addressing mode %d", src[6])
+	}
+	if i.Op == SYSCALL && !i.Sys.Valid() {
+		return Inst{}, fmt.Errorf("isa: invalid syscall %d", uint16(i.Sys))
+	}
+	if i.HasMemOperand() && i.Mode == ModeBaseIndex {
+		switch i.Scale {
+		case 1, 2, 4, 8:
+		default:
+			return Inst{}, fmt.Errorf("isa: invalid scale %d", i.Scale)
+		}
+	}
+	return i, nil
+}
+
+// EncodeProgram concatenates the encodings of insts.
+func EncodeProgram(insts []Inst) []byte {
+	out := make([]byte, len(insts)*int(InstSize))
+	for k, in := range insts {
+		in.Encode(out[k*int(InstSize):])
+	}
+	return out
+}
+
+// DecodeProgram parses a text segment produced by EncodeProgram.
+func DecodeProgram(text []byte) ([]Inst, error) {
+	if len(text)%int(InstSize) != 0 {
+		return nil, fmt.Errorf("isa: text size %d not a multiple of %d", len(text), InstSize)
+	}
+	insts := make([]Inst, len(text)/int(InstSize))
+	for k := range insts {
+		in, err := Decode(text[k*int(InstSize):])
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", k, err)
+		}
+		insts[k] = in
+	}
+	return insts, nil
+}
+
+// AddrToIndex converts an instruction address to its index in the text
+// segment; ok is false if the address is unaligned or below CodeBase.
+func AddrToIndex(addr uint64) (int, bool) {
+	if addr < CodeBase || (addr-CodeBase)%InstSize != 0 {
+		return 0, false
+	}
+	return int((addr - CodeBase) / InstSize), true
+}
+
+// IndexToAddr converts a text-segment index to its instruction address.
+func IndexToAddr(idx int) uint64 { return CodeBase + uint64(idx)*InstSize }

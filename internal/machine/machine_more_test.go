@@ -1,0 +1,220 @@
+package machine
+
+import (
+	"testing"
+
+	"prorace/internal/asm"
+	"prorace/internal/isa"
+)
+
+func TestYieldRotatesRunnableThreads(t *testing.T) {
+	// Two threads on ONE core: without yields the first would run a full
+	// quantum; with per-iteration yields they interleave finely, so both
+	// make progress before either finishes.
+	b := asm.New("yield")
+	b.Global("marks", 16)
+	m := b.Func("main")
+	m.MovI(isa.R4, 0)
+	m.SpawnThread("w", isa.R4)
+	m.Mov(isa.R8, isa.R0)
+	m.MovI(isa.R4, 1)
+	m.SpawnThread("w", isa.R4)
+	m.Mov(isa.R9, isa.R0)
+	m.Join(isa.R8)
+	m.Mov(isa.R0, isa.R9)
+	m.Syscall(isa.SysThreadJoin)
+	m.Exit(0)
+	w := b.Func("w")
+	w.Mov(isa.R7, isa.R0)
+	w.MulI(isa.R7, 8)
+	w.MovI(isa.R3, 50)
+	w.Label("loop")
+	w.Syscall(isa.SysTSC)
+	w.Lea(isa.R2, asm.Global("marks", 0))
+	w.Add(isa.R2, isa.R7)
+	w.Store(asm.Base(isa.R2, 0), isa.R0) // marks[tid] = last tsc seen
+	w.Syscall(isa.SysYield)
+	w.SubI(isa.R3, 1)
+	w.CmpI(isa.R3, 0)
+	w.Jgt("loop")
+	w.Exit(0)
+	p := b.MustBuild()
+	mac := New(p, Config{Seed: 1, Cores: 1})
+	if _, err := mac.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m0 := mac.Mem.Load8(p.MustLookup("marks").Addr)
+	m1 := mac.Mem.Load8(p.MustLookup("marks").Addr + 8)
+	if m0 == 0 || m1 == 0 {
+		t.Fatal("a worker never ran")
+	}
+	// Their last timestamps must be close: they interleaved rather than
+	// running to completion back-to-back.
+	diff := int64(m0) - int64(m1)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 2000 {
+		t.Errorf("workers did not interleave under yield: last marks %d apart", diff)
+	}
+}
+
+func TestSysRandDeterministicPerSeed(t *testing.T) {
+	b := asm.New("rand")
+	b.Global("out", 8)
+	m := b.Func("main")
+	m.Syscall(isa.SysRand)
+	m.Store(asm.Global("out", 0), isa.R0)
+	m.Exit(0)
+	p := b.MustBuild()
+	get := func(seed int64) uint64 {
+		mac := New(p, Config{Seed: seed})
+		if _, err := mac.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return mac.Mem.Load8(p.MustLookup("out").Addr)
+	}
+	if get(5) != get(5) {
+		t.Error("same seed must reproduce SysRand")
+	}
+	if get(5) == get(6) {
+		t.Log("warning: two seeds drew the same value (possible)")
+	}
+}
+
+func TestSysLogAccumulatesBytes(t *testing.T) {
+	b := asm.New("log")
+	b.Global("buf", 64)
+	m := b.Func("main")
+	for i := 0; i < 3; i++ {
+		m.Lea(isa.R0, asm.Global("buf", 0))
+		m.MovI(isa.R1, 100)
+		m.Syscall(isa.SysLog)
+	}
+	m.Exit(0)
+	mac := New(b.MustBuild(), Config{Seed: 1})
+	st, err := mac.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LogBytes != 300 {
+		t.Errorf("log bytes = %d, want 300", st.LogBytes)
+	}
+}
+
+func TestIdleCoreCyclesCounted(t *testing.T) {
+	// Single thread on 4 cores: three cores idle most of the run.
+	b := asm.New("idle")
+	m := b.Func("main")
+	m.MovI(isa.R3, 1000)
+	m.Label("l")
+	m.SubI(isa.R3, 1)
+	m.CmpI(isa.R3, 0)
+	m.Jgt("l")
+	m.Exit(0)
+	mac := New(b.MustBuild(), Config{Seed: 1, Cores: 4})
+	st, err := mac.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IdleCoreCycles < st.Cycles {
+		t.Errorf("idle cycles %d implausibly low for wall %d on 4 cores",
+			st.IdleCoreCycles, st.Cycles)
+	}
+}
+
+func TestHasIdleCoreAndCores(t *testing.T) {
+	b := asm.New("cores")
+	m := b.Func("main")
+	m.Exit(0)
+	mac := New(b.MustBuild(), Config{Seed: 1, Cores: 3})
+	if mac.Cores() != 3 {
+		t.Errorf("Cores() = %d", mac.Cores())
+	}
+	if !mac.HasIdleCore() {
+		t.Error("fresh machine must have idle cores")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.setDefaults()
+	if c.Cores != 4 || c.Quantum != 61 || c.NetLatencyCycles == 0 ||
+		c.FileLatencyCycles == 0 || c.MaxCycles == 0 || c.Tracer == nil {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	b := asm.New("bcast")
+	b.Global("mtx", 8)
+	b.Global("cv", 8)
+	b.Global("go", 8)
+	b.Global("done", 8)
+	b.Global("tids", 24)
+	m := b.Func("main")
+	for i := int64(0); i < 3; i++ {
+		m.MovI(isa.R4, i)
+		m.SpawnThread("waiter", isa.R4)
+		m.Store(asm.Global("tids", i*8), isa.R0)
+	}
+	// Let the waiters reach the wait.
+	m.MovI(isa.R3, 3000)
+	m.Label("spin")
+	m.SubI(isa.R3, 1)
+	m.CmpI(isa.R3, 0)
+	m.Jgt("spin")
+	m.Lock("mtx")
+	m.MovI(isa.R1, 1)
+	m.Store(asm.Global("go", 0), isa.R1)
+	m.Lea(isa.R0, asm.Global("cv", 0))
+	m.Syscall(isa.SysCondBroadcast)
+	m.Unlock("mtx")
+	for i := int64(0); i < 3; i++ {
+		m.Load(isa.R0, asm.Global("tids", i*8))
+		m.Syscall(isa.SysThreadJoin)
+	}
+	m.Exit(0)
+	w := b.Func("waiter")
+	w.Lock("mtx")
+	w.Label("check")
+	w.Load(isa.R1, asm.Global("go", 0))
+	w.CmpI(isa.R1, 1)
+	w.Jeq("woken")
+	w.Lea(isa.R0, asm.Global("cv", 0))
+	w.Lea(isa.R1, asm.Global("mtx", 0))
+	w.Syscall(isa.SysCondWait)
+	w.Jmp("check")
+	w.Label("woken")
+	w.Load(isa.R2, asm.Global("done", 0))
+	w.AddI(isa.R2, 1)
+	w.Store(asm.Global("done", 0), isa.R2)
+	w.Unlock("mtx")
+	w.Exit(0)
+	p := b.MustBuild()
+	for seed := int64(0); seed < 5; seed++ {
+		mac := New(p, Config{Seed: seed})
+		if _, err := mac.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := mac.Mem.Load8(p.MustLookup("done").Addr); got != 3 {
+			t.Errorf("seed %d: %d waiters completed, want 3", seed, got)
+		}
+	}
+}
+
+func TestThreadAccessor(t *testing.T) {
+	b := asm.New("thr")
+	m := b.Func("main")
+	m.Exit(7)
+	mac := New(b.MustBuild(), Config{Seed: 1})
+	if mac.Thread(0) == nil || mac.Thread(99) != nil {
+		t.Error("Thread accessor wrong")
+	}
+	if _, err := mac.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mac.ExitCode(0) != 7 {
+		t.Error("exit code lost")
+	}
+}

@@ -1,0 +1,560 @@
+package machine
+
+import (
+	"testing"
+
+	"prorace/internal/asm"
+	"prorace/internal/isa"
+)
+
+// buildCounter makes a program where each of `workers` threads increments a
+// shared counter n times, with or without a mutex.
+func buildCounter(workers, n int64, locked bool) *asm.Builder {
+	b := asm.New("counter")
+	b.Global("counter", 8)
+	b.Global("lk", 8)
+	m := b.Func("main")
+	// Spawn workers, keeping TIDs in r8+.
+	for i := int64(0); i < workers; i++ {
+		m.MovI(isa.R4, i)
+		m.SpawnThread("worker", isa.R4)
+		m.Mov(isa.Reg(8+i), isa.R0)
+	}
+	for i := int64(0); i < workers; i++ {
+		m.Join(isa.Reg(8 + i))
+	}
+	m.Exit(0)
+
+	w := b.Func("worker")
+	w.MovI(isa.R3, n)
+	w.Label("loop")
+	if locked {
+		w.Lock("lk")
+	}
+	w.Load(isa.R1, asm.Global("counter", 0))
+	w.AddI(isa.R1, 1)
+	w.Store(asm.Global("counter", 0), isa.R1)
+	if locked {
+		w.Unlock("lk")
+	}
+	w.SubI(isa.R3, 1)
+	w.CmpI(isa.R3, 0)
+	w.Jgt("loop")
+	w.Exit(0)
+	return b
+}
+
+func TestLockedCounterIsExact(t *testing.T) {
+	p := buildCounter(3, 200, true).MustBuild()
+	for seed := int64(0); seed < 5; seed++ {
+		m := New(p, Config{Seed: seed})
+		st, err := m.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got := m.Mem.Load8(p.MustLookup("counter").Addr)
+		if got != 600 {
+			t.Errorf("seed %d: counter = %d, want 600", seed, got)
+		}
+		if st.Threads != 4 {
+			t.Errorf("threads = %d", st.Threads)
+		}
+		if st.SyncOps == 0 {
+			t.Error("sync ops not counted")
+		}
+	}
+}
+
+func TestRacyCounterLosesUpdates(t *testing.T) {
+	p := buildCounter(4, 500, false).MustBuild()
+	lost := false
+	for seed := int64(0); seed < 10; seed++ {
+		m := New(p, Config{Seed: seed, Quantum: 7})
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got := m.Mem.Load8(p.MustLookup("counter").Addr)
+		if got > 2000 {
+			t.Fatalf("seed %d: counter = %d > 2000, impossible", seed, got)
+		}
+		if got < 2000 {
+			lost = true
+		}
+	}
+	if !lost {
+		t.Error("no seed lost an update; racy interleavings not occurring")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := buildCounter(4, 300, false).MustBuild()
+	run := func() (uint64, uint64) {
+		m := New(p, Config{Seed: 42, Quantum: 13})
+		st, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Cycles, m.Mem.Load8(p.MustLookup("counter").Addr)
+	}
+	c1, v1 := run()
+	c2, v2 := run()
+	if c1 != c2 || v1 != v2 {
+		t.Errorf("same seed diverged: cycles %d vs %d, value %d vs %d", c1, c2, v1, v2)
+	}
+	// A different seed should (virtually always) interleave differently.
+	m := New(p, Config{Seed: 43, Quantum: 13})
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles == c1 && m.Mem.Load8(p.MustLookup("counter").Addr) == v1 {
+		t.Log("warning: different seed produced identical run (unlikely but possible)")
+	}
+}
+
+func TestThreadJoinExitCode(t *testing.T) {
+	b := asm.New("join")
+	m := b.Func("main")
+	m.MovI(isa.R4, 0)
+	m.SpawnThread("worker", isa.R4)
+	m.Join(isa.R0) // join returns worker's exit code in r0
+	m.Mov(isa.R9, isa.R0)
+	m.Syscall(isa.SysExit) // exit with r0 = worker's code... r0 already set
+	w := b.Func("worker")
+	w.Exit(77)
+	p := b.MustBuild()
+	mac := New(p, Config{Seed: 1})
+	if _, err := mac.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mac.ExitCode(1) != 77 {
+		t.Errorf("worker exit code = %d", mac.ExitCode(1))
+	}
+	if mac.ExitCode(0) != 77 {
+		t.Errorf("main exit code = %d (join result not propagated)", mac.ExitCode(0))
+	}
+}
+
+func TestMallocFreeReuse(t *testing.T) {
+	b := asm.New("heap")
+	b.Global("addr1", 8)
+	b.Global("addr2", 8)
+	m := b.Func("main")
+	m.MovI(isa.R0, 64)
+	m.Syscall(isa.SysMalloc)
+	m.Store(asm.Global("addr1", 0), isa.R0)
+	m.Syscall(isa.SysFree) // free the same address (still in r0)
+	m.MovI(isa.R0, 64)
+	m.Syscall(isa.SysMalloc)
+	m.Store(asm.Global("addr2", 0), isa.R0)
+	m.Exit(0)
+	p := b.MustBuild()
+	mac := New(p, Config{Seed: 1})
+	if _, err := mac.Run(); err != nil {
+		t.Fatal(err)
+	}
+	a1 := mac.Mem.Load8(p.MustLookup("addr1").Addr)
+	a2 := mac.Mem.Load8(p.MustLookup("addr2").Addr)
+	if a1 == 0 || a1 < isa.HeapBase {
+		t.Fatalf("malloc returned %#x", a1)
+	}
+	if a1 != a2 {
+		t.Errorf("freed address %#x not reused (got %#x); reuse is required for the §4.3 scenario", a1, a2)
+	}
+}
+
+func TestMallocDistinctWhileLive(t *testing.T) {
+	b := asm.New("heap2")
+	b.Global("a1", 8)
+	b.Global("a2", 8)
+	m := b.Func("main")
+	m.MovI(isa.R0, 32)
+	m.Syscall(isa.SysMalloc)
+	m.Store(asm.Global("a1", 0), isa.R0)
+	m.MovI(isa.R0, 32)
+	m.Syscall(isa.SysMalloc)
+	m.Store(asm.Global("a2", 0), isa.R0)
+	m.Exit(0)
+	p := b.MustBuild()
+	mac := New(p, Config{Seed: 1})
+	if _, err := mac.Run(); err != nil {
+		t.Fatal(err)
+	}
+	a1 := mac.Mem.Load8(p.MustLookup("a1").Addr)
+	a2 := mac.Mem.Load8(p.MustLookup("a2").Addr)
+	if a1 == a2 {
+		t.Errorf("two live allocations share address %#x", a1)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	// Three workers spin for different lengths, meet at a barrier, then
+	// each stamps its slot with the TSC; main joins and all slots must be
+	// written — a lost barrier waiter would deadlock or leave a zero.
+	b2 := asm.New("barrier")
+	b2.Global("bar", 8)
+	b2.Global("slots", 32)
+	m2 := b2.Func("main")
+	for i := int64(0); i < 3; i++ {
+		m2.MovI(isa.R4, i)
+		m2.SpawnThread("worker", isa.R4)
+		m2.Mov(isa.Reg(8+i), isa.R0)
+	}
+	for i := int64(0); i < 3; i++ {
+		m2.Join(isa.Reg(8 + i))
+	}
+	m2.Exit(0)
+	w2 := b2.Func("worker")
+	w2.Mov(isa.R7, isa.R0)
+	w2.Mov(isa.R3, isa.R7)
+	w2.MulI(isa.R3, 300)
+	w2.Label("spin")
+	w2.CmpI(isa.R3, 0)
+	w2.Jle("spun")
+	w2.SubI(isa.R3, 1)
+	w2.Jmp("spin")
+	w2.Label("spun")
+	w2.Lea(isa.R0, asm.Global("bar", 0))
+	w2.MovI(isa.R1, 3)
+	w2.Syscall(isa.SysBarrier)
+	w2.Syscall(isa.SysTSC)
+	w2.Mov(isa.R2, isa.R0)
+	w2.Lea(isa.R5, asm.Global("slots", 0))
+	w2.Store(asm.BaseIndex(isa.R5, isa.R7, 8, 0), isa.R2)
+	w2.Exit(0)
+	prog2 := b2.MustBuild()
+	mac := New(prog2, Config{Seed: 3})
+	if _, err := mac.Run(); err != nil {
+		t.Fatal(err)
+	}
+	slots := prog2.MustLookup("slots").Addr
+	for i := uint64(0); i < 3; i++ {
+		if v := mac.Mem.Load8(slots + i*8); v == 0 {
+			t.Errorf("slot %d never written: barrier lost a thread", i)
+		}
+	}
+}
+
+func TestCondVarHandoff(t *testing.T) {
+	// Producer sets a flag under a lock and signals; consumer waits for it.
+	b := asm.New("cond")
+	b.Global("mtx", 8)
+	b.Global("cv", 8)
+	b.Global("flag", 8)
+	b.Global("seen", 8)
+	m := b.Func("main")
+	m.MovI(isa.R4, 0)
+	m.SpawnThread("consumer", isa.R4)
+	m.Mov(isa.R8, isa.R0)
+	// Give the consumer a head start so it actually waits sometimes.
+	m.MovI(isa.R3, 200)
+	m.Label("spin")
+	m.SubI(isa.R3, 1)
+	m.CmpI(isa.R3, 0)
+	m.Jgt("spin")
+	m.Lock("mtx")
+	m.MovI(isa.R1, 1)
+	m.Store(asm.Global("flag", 0), isa.R1)
+	m.Lea(isa.R0, asm.Global("cv", 0))
+	m.Syscall(isa.SysCondSignal)
+	m.Unlock("mtx")
+	m.Join(isa.R8)
+	m.Exit(0)
+	c := b.Func("consumer")
+	c.Lock("mtx")
+	c.Label("check")
+	c.Load(isa.R1, asm.Global("flag", 0))
+	c.CmpI(isa.R1, 1)
+	c.Jeq("done")
+	c.Lea(isa.R0, asm.Global("cv", 0))
+	c.Lea(isa.R1, asm.Global("mtx", 0))
+	c.Syscall(isa.SysCondWait)
+	c.Jmp("check")
+	c.Label("done")
+	c.Load(isa.R2, asm.Global("flag", 0))
+	c.Store(asm.Global("seen", 0), isa.R2)
+	c.Unlock("mtx")
+	c.Exit(0)
+	p := b.MustBuild()
+	for seed := int64(0); seed < 8; seed++ {
+		mac := New(p, Config{Seed: seed})
+		if _, err := mac.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if v := mac.Mem.Load8(p.MustLookup("seen").Addr); v != 1 {
+			t.Errorf("seed %d: consumer saw flag = %d", seed, v)
+		}
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	// Two threads acquire two mutexes in opposite order (AB-BA), with spin
+	// delays to force the deadlock window.
+	b2 := asm.New("dead2")
+	b2.Global("a", 8)
+	b2.Global("b", 8)
+	m2 := b2.Func("main")
+	m2.MovI(isa.R4, 0)
+	m2.SpawnThread("w", isa.R4)
+	m2.Mov(isa.R8, isa.R0)
+	m2.Lock("a")
+	// spin to let the worker take b
+	m2.MovI(isa.R3, 500)
+	m2.Label("s")
+	m2.SubI(isa.R3, 1)
+	m2.CmpI(isa.R3, 0)
+	m2.Jgt("s")
+	m2.Lock("b")
+	m2.Exit(0)
+	w2 := b2.Func("w")
+	w2.Lock("b")
+	w2.MovI(isa.R3, 500)
+	w2.Label("s")
+	w2.SubI(isa.R3, 1)
+	w2.CmpI(isa.R3, 0)
+	w2.Jgt("s")
+	w2.Lock("a")
+	w2.Exit(0)
+	p2 := b2.MustBuild()
+	mac := New(p2, Config{Seed: 1})
+	if _, err := mac.Run(); err == nil {
+		t.Fatal("AB-BA deadlock not detected")
+	}
+}
+
+func TestCycleLimit(t *testing.T) {
+	b := asm.New("loop")
+	m := b.Func("main")
+	m.Label("forever")
+	m.Jmp("forever")
+	p := b.MustBuild()
+	mac := New(p, Config{Seed: 1, MaxCycles: 10_000})
+	if _, err := mac.Run(); err == nil {
+		t.Fatal("cycle limit not enforced")
+	}
+}
+
+// countingTracer counts events and charges a fixed stall per memory op.
+type countingTracer struct {
+	insts, mems, syscalls int
+	stallPerMem           uint64
+	started, exited       int
+}
+
+func (c *countingTracer) InstRetired(ev *InstEvent) uint64 {
+	c.insts++
+	if ev.IsMem {
+		c.mems++
+		return c.stallPerMem
+	}
+	return 0
+}
+func (c *countingTracer) SyscallRetired(*SyscallEvent) uint64 { c.syscalls++; return 0 }
+func (c *countingTracer) ThreadStarted(TID, uint64)           { c.started++ }
+func (c *countingTracer) ThreadExited(TID, uint64)            { c.exited++ }
+
+func TestTracerStallsSlowTheRun(t *testing.T) {
+	p := buildCounter(2, 400, true).MustBuild()
+	base := New(p, Config{Seed: 9})
+	bst, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &countingTracer{stallPerMem: 50}
+	traced := New(p, Config{Seed: 9, Tracer: tr})
+	tst, err := traced.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tst.Cycles <= bst.Cycles {
+		t.Errorf("traced run (%d cycles) not slower than base (%d)", tst.Cycles, bst.Cycles)
+	}
+	if tr.mems == 0 || tr.insts <= tr.mems || tr.syscalls == 0 {
+		t.Errorf("event counts implausible: %+v", tr)
+	}
+	if tr.started != 3 || tr.exited != 3 {
+		t.Errorf("thread lifecycle events: started %d exited %d", tr.started, tr.exited)
+	}
+	if bst.MemOps == 0 || bst.Retired < bst.MemOps {
+		t.Errorf("stats implausible: %+v", bst)
+	}
+}
+
+func TestNetIOHidesTracerOverhead(t *testing.T) {
+	// A single-threaded workload dominated by network I/O: tracer stalls
+	// should vanish into the idle time, keeping overhead tiny.
+	build := func() *asm.Builder {
+		b := asm.New("net")
+		m := b.Func("main")
+		m.MovI(isa.R3, 50)
+		m.Label("loop")
+		m.NetIO(4096)
+		m.Load(isa.R1, asm.Global("g", 0))
+		m.AddI(isa.R1, 1)
+		m.Store(asm.Global("g", 0), isa.R1)
+		m.SubI(isa.R3, 1)
+		m.CmpI(isa.R3, 0)
+		m.Jgt("loop")
+		m.Exit(0)
+		b.Global("g", 8)
+		return b
+	}
+	p := build().MustBuild()
+	base := New(p, Config{Seed: 5})
+	bst, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &countingTracer{stallPerMem: 100}
+	traced := New(p, Config{Seed: 5, Tracer: tr})
+	tst, err := traced.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	overhead := float64(tst.Cycles)/float64(bst.Cycles) - 1
+	if overhead > 0.02 {
+		t.Errorf("network-bound overhead = %.1f%%, want < 2%%", overhead*100)
+	}
+}
+
+func TestFileBusContention(t *testing.T) {
+	// App file I/O must slow down when the tracer occupies the file bus.
+	b := asm.New("file")
+	m := b.Func("main")
+	m.MovI(isa.R3, 30)
+	m.Label("loop")
+	m.FileIO(8192)
+	m.SubI(isa.R3, 1)
+	m.CmpI(isa.R3, 0)
+	m.Jgt("loop")
+	m.Exit(0)
+	p := b.MustBuild()
+
+	base := New(p, Config{Seed: 1})
+	bst, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tracer that dumps 64KB to the file bus on every syscall.
+	busy := New(p, Config{Seed: 1})
+	busyTracer := &busTracer{m: busy}
+	busy.cfg.Tracer = busyTracer
+	tst, err := busy.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tst.Cycles <= bst.Cycles {
+		t.Errorf("file-bus contention did not slow the run: %d vs %d", tst.Cycles, bst.Cycles)
+	}
+}
+
+type busTracer struct{ m *Machine }
+
+func (b *busTracer) InstRetired(*InstEvent) uint64 { return 0 }
+func (b *busTracer) SyscallRetired(ev *SyscallEvent) uint64 {
+	if ev.Sys == isa.SysFileIO {
+		b.m.OccupyFileBus(65536)
+	}
+	return 0
+}
+func (b *busTracer) ThreadStarted(TID, uint64) {}
+func (b *busTracer) ThreadExited(TID, uint64)  {}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	mem := NewMemory()
+	mem.Store8(0x1000, 0xDEADBEEFCAFE)
+	if got := mem.Load8(0x1000); got != 0xDEADBEEFCAFE {
+		t.Errorf("Load8 = %#x", got)
+	}
+	if got := mem.Load8(0x99999); got != 0 {
+		t.Errorf("unmapped load = %#x, want 0", got)
+	}
+	// Page-straddling access.
+	addr := uint64(pageSize - 3)
+	mem.Store8(addr, 0x0102030405060708)
+	if got := mem.Load8(addr); got != 0x0102030405060708 {
+		t.Errorf("straddling load = %#x", got)
+	}
+	buf := make([]byte, 100)
+	mem.ReadBytes(addr-10, buf)
+	mem.WriteBytes(3*pageSize-50, buf)
+	if mem.MappedBytes() == 0 {
+		t.Error("no pages mapped")
+	}
+}
+
+func TestStatsSeconds(t *testing.T) {
+	s := Stats{Cycles: 4_000_000_000}
+	if sec := s.Seconds(); sec != 1.0 {
+		t.Errorf("4e9 cycles = %v s, want 1", sec)
+	}
+}
+
+func TestWildJumpKillsThread(t *testing.T) {
+	b := asm.New("wild")
+	m := b.Func("main")
+	m.MovI(isa.R1, 0x12345)
+	m.JmpR(isa.R1)
+	p := b.MustBuild()
+	mac := New(p, Config{Seed: 1})
+	if _, err := mac.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mac.ExitCode(0) != ^uint64(0) {
+		t.Errorf("wild jump exit code = %#x", mac.ExitCode(0))
+	}
+}
+
+func TestReturnFromOutermostFrameExits(t *testing.T) {
+	b := asm.New("ret")
+	m := b.Func("main")
+	m.MovI(isa.R0, 5)
+	m.Ret()
+	p := b.MustBuild()
+	mac := New(p, Config{Seed: 1})
+	if _, err := mac.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mac.ExitCode(0) != 5 {
+		t.Errorf("exit code = %d", mac.ExitCode(0))
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	b := asm.New("call")
+	b.Global("out", 8)
+	m := b.Func("main")
+	m.MovI(isa.R1, 20)
+	m.Call("double")
+	m.Store(asm.Global("out", 0), isa.R1)
+	m.Exit(0)
+	d := b.Func("double")
+	d.Add(isa.R1, isa.R1)
+	d.Ret()
+	p := b.MustBuild()
+	mac := New(p, Config{Seed: 1})
+	if _, err := mac.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v := mac.Mem.Load8(p.MustLookup("out").Addr); v != 40 {
+		t.Errorf("out = %d, want 40", v)
+	}
+}
+
+func TestUnlockWithoutOwnershipFails(t *testing.T) {
+	b := asm.New("badunlock")
+	b.Global("lk", 8)
+	b.Global("r", 8)
+	m := b.Func("main")
+	m.Unlock("lk")
+	m.Store(asm.Global("r", 0), isa.R0)
+	m.Exit(0)
+	p := b.MustBuild()
+	mac := New(p, Config{Seed: 1})
+	if _, err := mac.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v := mac.Mem.Load8(p.MustLookup("r").Addr); v != ^uint64(0) {
+		t.Errorf("bad unlock returned %#x", v)
+	}
+}

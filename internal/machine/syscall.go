@@ -1,0 +1,321 @@
+package machine
+
+import (
+	"prorace/internal/isa"
+)
+
+// Baseline syscall costs in cycles, charged to the calling core. These are
+// of the order of real glibc/kernel fast paths at 4 GHz.
+var sysCost = map[isa.Sys]uint64{
+	isa.SysExit:          20,
+	isa.SysThreadCreate:  2000,
+	isa.SysThreadJoin:    60,
+	isa.SysLock:          40,
+	isa.SysUnlock:        30,
+	isa.SysCondWait:      80,
+	isa.SysCondSignal:    60,
+	isa.SysCondBroadcast: 80,
+	isa.SysBarrier:       60,
+	isa.SysMalloc:        120,
+	isa.SysFree:          100,
+	isa.SysLog:           60,
+	isa.SysYield:         30,
+	isa.SysTSC:           8,
+	isa.SysRand:          15,
+}
+
+// isSyncOp reports whether the syscall is one the synchronization tracer
+// must record for happens-before analysis (paper §4.3: sync operations plus
+// malloc/free to avoid address-reuse false positives).
+func isSyncOp(s isa.Sys) bool {
+	switch s {
+	case isa.SysThreadCreate, isa.SysThreadJoin,
+		isa.SysLock, isa.SysUnlock,
+		isa.SysCondWait, isa.SysCondSignal, isa.SysCondBroadcast,
+		isa.SysBarrier, isa.SysMalloc, isa.SysFree:
+		return true
+	}
+	return false
+}
+
+// doSyscall executes the service for the thread on core ci. The PC has not
+// yet been advanced; each path advances it (or not, for blocking retries).
+func (m *Machine) doSyscall(ci int, sys isa.Sys) {
+	c := &m.cores[ci]
+	t := m.threads[c.tid]
+	pc := t.PC
+	arg0, arg1, arg2 := t.Regs[isa.R0], t.Regs[isa.R1], t.Regs[isa.R2]
+	advance := func() { t.PC = pc + isa.InstSize }
+	finish := func(ret uint64) {
+		t.Regs[isa.R0] = ret
+		advance()
+		if cost := sysCost[sys]; cost > 0 {
+			m.stallCore(ci, cost)
+		}
+		sev := SyscallEvent{
+			TID: t.ID, Core: ci, PC: pc, TSC: m.cycle, Sys: sys,
+			Arg0: arg0, Arg1: arg1, Arg2: arg2, Ret: ret,
+		}
+		if isSyncOp(sys) {
+			m.stats.SyncOps++
+		}
+		if stall := m.cfg.Tracer.SyscallRetired(&sev); stall > 0 {
+			m.stallCore(ci, stall)
+		}
+	}
+
+	switch sys {
+	case isa.SysExit:
+		sev := SyscallEvent{TID: t.ID, Core: ci, PC: pc, TSC: m.cycle, Sys: sys, Arg0: arg0}
+		m.cfg.Tracer.SyscallRetired(&sev)
+		m.exitThread(ci, arg0)
+
+	case isa.SysThreadCreate:
+		tid := m.spawn(arg0, arg1)
+		finish(uint64(tid))
+
+	case isa.SysThreadJoin:
+		target := TID(arg0)
+		if int(target) >= len(m.threads) || target == t.ID {
+			finish(^uint64(0))
+			return
+		}
+		tt := m.threads[target]
+		if tt.state == stExited {
+			finish(tt.exitCode)
+			return
+		}
+		tt.joiners = append(tt.joiners, t.ID)
+		m.blockCurrent(ci)
+		// Re-execute the join on wake to pick up the exit code.
+
+	case isa.SysLock:
+		l := m.locks[arg0]
+		if l == nil {
+			l = &lockState{owner: -1}
+			m.locks[arg0] = l
+		}
+		if l.owner < 0 || l.owner == t.ID {
+			// Free, or ownership was transferred to us by the unlocker and
+			// we are re-executing the SysLock after waking.
+			l.owner = t.ID
+			finish(0)
+			return
+		}
+		l.waiters = append(l.waiters, lockWaiter{tid: t.ID})
+		m.blockCurrent(ci)
+		// The unlocker transfers ownership; on wake the thread re-executes
+		// SysLock, finds itself the owner, and proceeds.
+
+	case isa.SysUnlock:
+		l := m.locks[arg0]
+		if l == nil || l.owner != t.ID {
+			finish(^uint64(0)) // unlock of unowned mutex
+			return
+		}
+		m.handoff(ci, arg0, l)
+		finish(0)
+
+	case isa.SysCondWait:
+		cv := m.conds[arg0]
+		if cv == nil {
+			cv = &condState{}
+			m.conds[arg0] = cv
+		}
+		// Release the mutex in arg1.
+		if l := m.locks[arg1]; l != nil && l.owner == t.ID {
+			m.handoff(ci, arg1, l)
+		}
+		cv.waiters = append(cv.waiters, condWaiter{tid: t.ID, mutex: arg1})
+		// Record the wait as completed *now* (the release edge); the wake
+		// side re-acquires via the lock path below.
+		t.Regs[isa.R0] = 0
+		advance()
+		sev := SyscallEvent{TID: t.ID, Core: ci, PC: pc, TSC: m.cycle, Sys: sys,
+			Arg0: arg0, Arg1: arg1, Arg2: arg2}
+		m.stats.SyncOps++
+		if stall := m.cfg.Tracer.SyscallRetired(&sev); stall > 0 {
+			m.stallCore(ci, stall)
+		}
+		m.blockCurrent(ci)
+
+	case isa.SysCondSignal, isa.SysCondBroadcast:
+		cv := m.conds[arg0]
+		n := 0
+		if cv != nil {
+			n = len(cv.waiters)
+			if sys == isa.SysCondSignal && n > 1 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				w := cv.waiters[i]
+				m.acquireOnWake(ci, w.tid, arg0, w.mutex)
+			}
+			cv.waiters = cv.waiters[n:]
+		}
+		finish(uint64(n))
+
+	case isa.SysBarrier:
+		b := m.barriers[arg0]
+		if b == nil {
+			b = &barrierState{}
+			m.barriers[arg0] = b
+		}
+		b.arrived = append(b.arrived, t.ID)
+		if uint64(len(b.arrived)) >= arg1 {
+			for _, w := range b.arrived {
+				if w != t.ID {
+					m.wake(w)
+					tw := m.threads[w]
+					tw.Regs[isa.R0] = 0
+					tw.PC += isa.InstSize
+					m.notify(ci, w, isa.SysBarrierWake, arg0, 0)
+				}
+			}
+			b.arrived = nil
+			finish(0)
+			return
+		}
+		// Block without advancing; the releaser advances us.
+		sev := SyscallEvent{TID: t.ID, Core: ci, PC: pc, TSC: m.cycle, Sys: sys,
+			Arg0: arg0, Arg1: arg1}
+		m.stats.SyncOps++
+		if stall := m.cfg.Tracer.SyscallRetired(&sev); stall > 0 {
+			m.stallCore(ci, stall)
+		}
+		m.blockCurrent(ci)
+
+	case isa.SysMalloc:
+		finish(m.malloc(arg0))
+
+	case isa.SysFree:
+		m.free(arg0)
+		finish(0)
+
+	case isa.SysNetIO:
+		bytes := arg0
+		dur := m.cfg.NetLatencyCycles + uint64(float64(bytes)*m.cfg.NetCyclesPerByte)
+		finishAt := m.cycle + dur
+		t.Regs[isa.R0] = 0
+		advance()
+		sev := SyscallEvent{TID: t.ID, Core: ci, PC: pc, TSC: m.cycle, Sys: sys, Arg0: arg0}
+		if stall := m.cfg.Tracer.SyscallRetired(&sev); stall > 0 {
+			m.stallCore(ci, stall)
+		}
+		m.sleepCurrent(ci, finishAt)
+
+	case isa.SysFileIO:
+		bytes := arg0
+		start := m.fileBusFree
+		if start < m.cycle {
+			start = m.cycle
+		}
+		dur := m.cfg.FileLatencyCycles + uint64(float64(bytes)*m.cfg.FileCyclesPerByte)
+		m.fileBusFree = start + dur
+		t.Regs[isa.R0] = 0
+		advance()
+		sev := SyscallEvent{TID: t.ID, Core: ci, PC: pc, TSC: m.cycle, Sys: sys, Arg0: arg0}
+		if stall := m.cfg.Tracer.SyscallRetired(&sev); stall > 0 {
+			m.stallCore(ci, stall)
+		}
+		m.sleepCurrent(ci, start+dur)
+
+	case isa.SysLog:
+		m.logBytes += arg1
+		finish(0)
+
+	case isa.SysYield:
+		finish(0)
+		m.preempt(ci)
+
+	case isa.SysTSC:
+		finish(m.cycle)
+
+	case isa.SysRand:
+		finish(m.rng.Uint64())
+
+	default:
+		finish(^uint64(0))
+	}
+}
+
+// handoff releases a mutex held by the current thread, transferring
+// ownership to the first waiter if any, and emitting the cond-wake
+// notification when the new owner is a resuming condition waiter.
+func (m *Machine) handoff(ci int, lockAddr uint64, l *lockState) {
+	if len(l.waiters) == 0 {
+		l.owner = -1
+		return
+	}
+	next := l.waiters[0]
+	l.waiters = l.waiters[1:]
+	l.owner = next.tid
+	m.wake(next.tid)
+	if next.cond != 0 {
+		m.notify(ci, next.tid, isa.SysCondWake, next.cond, lockAddr)
+	}
+}
+
+// acquireOnWake resumes a cond waiter: it must reacquire its mutex before
+// becoming runnable. The waiter's PC has already been advanced past the
+// SysCondWait instruction.
+func (m *Machine) acquireOnWake(ci int, tid TID, cond, mutex uint64) {
+	l := m.locks[mutex]
+	if l == nil {
+		l = &lockState{owner: -1}
+		m.locks[mutex] = l
+	}
+	if l.owner < 0 {
+		l.owner = tid
+		m.wake(tid)
+		m.notify(ci, tid, isa.SysCondWake, cond, mutex)
+		return
+	}
+	l.waiters = append(l.waiters, lockWaiter{tid: tid, cond: cond})
+}
+
+// notify delivers a machine-internal wake event (SysCondWake or
+// SysBarrierWake) for a resuming waiter to the tracer. It is the moment the
+// user-level blocking call returns in thread tid.
+func (m *Machine) notify(ci int, tid TID, sys isa.Sys, arg0, arg1 uint64) {
+	t := m.threads[tid]
+	sev := SyscallEvent{
+		TID: tid, Core: ci, PC: t.PC, TSC: m.cycle, Sys: sys,
+		Arg0: arg0, Arg1: arg1,
+	}
+	if stall := m.cfg.Tracer.SyscallRetired(&sev); stall > 0 {
+		m.stallCore(ci, stall)
+	}
+}
+
+// malloc implements a bump allocator with size-class free lists. Freed
+// blocks are reused first, so the address-reuse scenario of §4.3 (an old
+// object's address handed to a new object) occurs naturally and exercises
+// the detector's malloc/free generation tracking.
+func (m *Machine) malloc(size uint64) uint64 {
+	if size == 0 {
+		size = 1
+	}
+	cls := (size + 15) &^ 15
+	if fl := m.freeLists[cls]; len(fl) > 0 {
+		addr := fl[len(fl)-1]
+		m.freeLists[cls] = fl[:len(fl)-1]
+		m.allocSize[addr] = cls
+		// Zeroing on reuse would mask stale-value bugs; real malloc does
+		// not zero, and neither do we.
+		return addr
+	}
+	addr := m.heapNext
+	m.heapNext += cls
+	m.allocSize[addr] = cls
+	return addr
+}
+
+func (m *Machine) free(addr uint64) {
+	cls, ok := m.allocSize[addr]
+	if !ok {
+		return // double free or wild free: ignored, as glibc may
+	}
+	delete(m.allocSize, addr)
+	m.freeLists[cls] = append(m.freeLists[cls], addr)
+}

@@ -1,0 +1,216 @@
+package driver
+
+import (
+	"testing"
+
+	"prorace/internal/asm"
+	"prorace/internal/isa"
+	"prorace/internal/machine"
+	"prorace/internal/prog"
+	"prorace/internal/tracefmt"
+)
+
+// cpuBoundProgram: four threads hammer per-thread arrays with loads/stores
+// and branches — a miniature PARSEC-like kernel.
+func cpuBoundProgram(iters int64) *prog.Program {
+	b := asm.New("cpu")
+	b.Global("arrays", 4*1024)
+	m := b.Func("main")
+	for i := int64(0); i < 4; i++ {
+		m.MovI(isa.R4, i)
+		m.SpawnThread("worker", isa.R4)
+		m.Mov(isa.Reg(8+i), isa.R0)
+	}
+	for i := int64(0); i < 4; i++ {
+		m.Join(isa.Reg(8 + i))
+	}
+	m.Exit(0)
+	w := b.Func("worker")
+	w.Mov(isa.R7, isa.R0) // index
+	w.MulI(isa.R7, 1024)  // my array offset
+	w.Lea(isa.R6, asm.Global("arrays", 0))
+	w.Add(isa.R6, isa.R7) // base pointer
+	w.MovI(isa.R3, iters)
+	w.MovI(isa.R2, 0) // element index
+	w.Label("loop")
+	w.Load(isa.R1, asm.BaseIndex(isa.R6, isa.R2, 8, 0))
+	w.AddI(isa.R1, 3)
+	w.Store(asm.BaseIndex(isa.R6, isa.R2, 8, 0), isa.R1)
+	w.AddI(isa.R2, 1)
+	w.AndI(isa.R2, 127)
+	w.SubI(isa.R3, 1)
+	w.CmpI(isa.R3, 0)
+	w.Jgt("loop")
+	w.Exit(0)
+	return b.MustBuild()
+}
+
+// runTraced executes the program with the given driver options and returns
+// overhead relative to an untraced run plus the trace.
+func runTraced(t *testing.T, p *prog.Program, opts Options) (float64, *tracefmt.Trace) {
+	t.Helper()
+	base := machine.New(p, machine.Config{Seed: 11})
+	bst, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mac := machine.New(p, machine.Config{Seed: 11})
+	d := New(mac, opts)
+	mac.SetTracer(d)
+	tst, err := mac.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := d.Finish()
+	return float64(tst.Cycles)/float64(bst.Cycles) - 1, tr
+}
+
+func TestProRaceDriverEndToEnd(t *testing.T) {
+	p := cpuBoundProgram(20000)
+	overhead, tr := runTraced(t, p, Options{Kind: ProRace, Period: 1000, Seed: 3, EnablePT: true})
+	if tr.SampleCount() == 0 {
+		t.Fatal("no PEBS samples")
+	}
+	if len(tr.PT) == 0 {
+		t.Fatal("no PT streams")
+	}
+	if len(tr.Sync) == 0 {
+		t.Fatal("no sync records")
+	}
+	// Sample IPs must be loads/stores of the program; registers captured.
+	for tid, recs := range tr.PEBS {
+		for _, r := range recs {
+			in, ok := p.InstAt(r.IP)
+			if !ok || !in.IsMemAccess() {
+				t.Fatalf("tid %d: sample IP %#x is not a memory access", tid, r.IP)
+			}
+			if r.TSC == 0 && r.IP == 0 {
+				t.Fatal("empty record")
+			}
+		}
+	}
+	// CPU-bound at period 1000 should land in single-digit-percent
+	// overhead with the ProRace driver (paper: 13% geomean).
+	if overhead <= 0 || overhead > 0.6 {
+		t.Errorf("ProRace overhead at period 1K = %.1f%%, expected a few percent", overhead*100)
+	}
+	if tr.WallCycles == 0 || tr.Period != 1000 {
+		t.Errorf("trace metadata: %+v", tr)
+	}
+}
+
+func TestVanillaCostlierThanProRace(t *testing.T) {
+	p := cpuBoundProgram(20000)
+	for _, period := range []uint64{100, 1000, 10000} {
+		ovhV, _ := runTraced(t, p, Options{Kind: Vanilla, Period: period, Seed: 3})
+		ovhP, _ := runTraced(t, p, Options{Kind: ProRace, Period: period, Seed: 3, EnablePT: true})
+		if ovhV <= ovhP {
+			t.Errorf("period %d: vanilla %.1f%% <= prorace %.1f%%", period, ovhV*100, ovhP*100)
+		}
+		t.Logf("period %d: vanilla %.1f%% prorace %.1f%%", period, ovhV*100, ovhP*100)
+	}
+}
+
+func TestOverheadGrowsAsPeriodShrinks(t *testing.T) {
+	p := cpuBoundProgram(20000)
+	var last float64 = -1
+	for _, period := range []uint64{10000, 1000, 100} {
+		ovh, _ := runTraced(t, p, Options{Kind: ProRace, Period: period, Seed: 3, EnablePT: true})
+		if ovh < last {
+			t.Errorf("overhead shrank from %.2f to %.2f as period dropped to %d", last, ovh, period)
+		}
+		last = ovh
+	}
+}
+
+func TestThrottleBoundsWorstCase(t *testing.T) {
+	p := cpuBoundProgram(30000)
+	ovh, _ := runTraced(t, p, Options{Kind: ProRace, Period: 10, Seed: 3, EnablePT: true})
+	// MaxBusyFrac 0.875 bounds slowdown near 1/(1-0.875) = 8x.
+	if ovh > 9.5 {
+		t.Errorf("period-10 overhead = %.1fx, throttle did not bound it", ovh)
+	}
+	if ovh < 2 {
+		t.Errorf("period-10 overhead = %.1fx, implausibly low", ovh)
+	}
+}
+
+func TestSampleDropsAtTinyPeriod(t *testing.T) {
+	p := cpuBoundProgram(20000)
+	_, tr10 := runTraced(t, p, Options{Kind: ProRace, Period: 10, Seed: 3, EnablePT: true})
+	if tr10.DroppedSamples == 0 {
+		t.Error("period 10 produced no drops; the Figure 8 inversion cannot occur")
+	}
+}
+
+func TestTraceSizeScalesWithPeriod(t *testing.T) {
+	p := cpuBoundProgram(20000)
+	_, trBig := runTraced(t, p, Options{Kind: ProRace, Period: 10000, Seed: 3, EnablePT: true})
+	_, trSmall := runTraced(t, p, Options{Kind: ProRace, Period: 1000, Seed: 3, EnablePT: true})
+	if trSmall.SampleCount() <= trBig.SampleCount() {
+		t.Errorf("period 1K samples (%d) not more than period 10K (%d)",
+			trSmall.SampleCount(), trBig.SampleCount())
+	}
+	// PEBS must dominate PT in volume (paper §7.3: ~99%).
+	pebsB, ptB, _ := trSmall.Sizes()
+	if pebsB < ptB {
+		t.Errorf("PT (%d B) larger than PEBS (%d B); compression model broken", ptB, pebsB)
+	}
+}
+
+func TestVanillaHasNoRandomFirstPeriod(t *testing.T) {
+	// With the vanilla driver, two threads doing identical work sample at
+	// identical event offsets. We verify via the driver's construction:
+	// ProRace sets RandomFirstPeriod, vanilla does not — observable as
+	// different first-sample IPs across seeds for ProRace.
+	p := cpuBoundProgram(5000)
+	_, tr1 := runTraced(t, p, Options{Kind: ProRace, Period: 997, Seed: 1, EnablePT: true})
+	_, tr2 := runTraced(t, p, Options{Kind: ProRace, Period: 997, Seed: 2, EnablePT: true})
+	firstIP := func(tr *tracefmt.Trace) []uint64 {
+		var out []uint64
+		for _, tid := range tr.TIDs() {
+			if recs := tr.PEBS[int32(tid)]; len(recs) > 0 {
+				out = append(out, recs[0].IP)
+			}
+		}
+		return out
+	}
+	a, b := firstIP(tr1), firstIP(tr2)
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Log("warning: two seeds produced identical first samples (possible but unlikely)")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Vanilla.String() != "vanilla" || ProRace.String() != "prorace" {
+		t.Error("kind names wrong")
+	}
+}
+
+func TestCustomCosts(t *testing.T) {
+	p := cpuBoundProgram(3000)
+	free := DefaultCosts(ProRace)
+	free.PEBSAssist = 0
+	free.PollCost = 0
+	free.SyncShim = 0
+	free.PTPerByte = 0
+	free.InterruptEntry = 0
+	free.SegmentSwap = 0
+	free.PerfCPUPerByte = 0
+	ovh, tr := runTraced(t, p, Options{Kind: ProRace, Period: 1000, Seed: 3, Costs: &free})
+	if ovh > 0.001 {
+		t.Errorf("zero-cost model still shows %.2f%% overhead", ovh*100)
+	}
+	if tr.SampleCount() == 0 {
+		t.Error("zero-cost model must still sample")
+	}
+}

@@ -1,0 +1,156 @@
+package pebs
+
+import (
+	"testing"
+
+	"prorace/internal/isa"
+	"prorace/internal/machine"
+)
+
+func memEvent(tid int32, tsc uint64, addr uint64) *machine.InstEvent {
+	regs := &[isa.NumRegs]uint64{1, 2, 3}
+	return &machine.InstEvent{
+		TID: machine.TID(tid), TSC: tsc, PC: isa.CodeBase, MemAddr: addr,
+		IsMem: true, Regs: regs,
+	}
+}
+
+func TestSamplingPeriodExact(t *testing.T) {
+	u := New(Config{Period: 10, MinStoreSpacingCycles: 1})
+	samples := 0
+	for i := 0; i < 100; i++ {
+		res := u.OnMemEvent(memEvent(0, uint64(i*100), uint64(i)))
+		if res.Sampled {
+			samples++
+			if (i+1)%10 != 0 {
+				t.Fatalf("sampled at event %d with period 10", i)
+			}
+		}
+	}
+	if samples != 10 {
+		t.Errorf("samples = %d, want 10", samples)
+	}
+	recs := u.Drain(0)
+	if len(recs) != 10 {
+		t.Fatalf("drained %d records", len(recs))
+	}
+	// Records must carry the register snapshot and data address.
+	if recs[0].Regs[0] != 1 || recs[0].Regs[2] != 3 {
+		t.Error("register snapshot missing")
+	}
+	if recs[3].Addr != 39 {
+		t.Errorf("4th sample addr = %d, want 39", recs[3].Addr)
+	}
+}
+
+func TestRandomFirstPeriodDiversity(t *testing.T) {
+	u := New(Config{Period: 1000, RandomFirstPeriod: true, Seed: 7, MinStoreSpacingCycles: 1})
+	// Drive 64 threads one event each; their first-sample positions should
+	// differ. Count how many sample on event k for k in 1..1000.
+	firsts := map[int32]int{}
+	for tid := int32(0); tid < 16; tid++ {
+		for i := 0; i < 1000; i++ {
+			if u.OnMemEvent(memEvent(tid, uint64(i*10), 0)).Sampled {
+				firsts[tid] = i
+				break
+			}
+		}
+	}
+	distinct := map[int]bool{}
+	for _, v := range firsts {
+		distinct[v] = true
+	}
+	if len(distinct) < 8 {
+		t.Errorf("first-sample positions not diverse: %v", firsts)
+	}
+	// Without randomisation, every thread samples at event Period-1.
+	u2 := New(Config{Period: 100, MinStoreSpacingCycles: 1})
+	for tid := int32(0); tid < 4; tid++ {
+		for i := 0; i < 100; i++ {
+			s := u2.OnMemEvent(memEvent(tid, uint64(i*10), 0)).Sampled
+			if s != (i == 99) {
+				t.Fatalf("tid %d sampled at %d", tid, i)
+			}
+		}
+	}
+}
+
+func TestStoreSpacingDrops(t *testing.T) {
+	u := New(Config{Period: 1, MinStoreSpacingCycles: 100})
+	stored := 0
+	for i := 0; i < 50; i++ {
+		res := u.OnMemEvent(memEvent(0, uint64(i*10), 0)) // 10 cycles apart
+		if !res.Sampled {
+			t.Fatalf("period 1 must sample every event")
+		}
+		if res.Stored {
+			stored++
+		}
+	}
+	if u.Dropped == 0 {
+		t.Fatal("no drops despite 10-cycle spacing with 100-cycle minimum")
+	}
+	if stored+int(u.Dropped) != 50 {
+		t.Errorf("stored %d + dropped %d != 50", stored, u.Dropped)
+	}
+	if stored > 6 {
+		t.Errorf("stored %d, want ~5 (one per 100 cycles)", stored)
+	}
+}
+
+func TestThrottleSuspendsCounting(t *testing.T) {
+	u := New(Config{Period: 1, MinStoreSpacingCycles: 1,
+		ThrottleWindowCycles: 10_000, MaxBusyFrac: 0.5})
+	// Report enormous busy time: the next events must be skipped.
+	u.OnMemEvent(memEvent(0, 100, 0))
+	u.AddBusyCycles(0, 100, 9_000) // 90% of window
+	res := u.OnMemEvent(memEvent(0, 200, 0))
+	if res.Sampled {
+		t.Fatal("event sampled while throttled")
+	}
+	if u.Throttled == 0 {
+		t.Fatal("throttled counter not incremented")
+	}
+	// After the window passes, sampling resumes.
+	res = u.OnMemEvent(memEvent(0, 20_001, 0))
+	if !res.Sampled {
+		t.Fatal("sampling did not resume after throttle window")
+	}
+}
+
+func TestInterruptAtBufferFull(t *testing.T) {
+	u := New(Config{Period: 1, DSBufferRecords: 5, MinStoreSpacingCycles: 1})
+	interrupts := 0
+	for i := 0; i < 23; i++ {
+		res := u.OnMemEvent(memEvent(0, uint64(i*1000), 0))
+		if res.Interrupt {
+			interrupts++
+			got := u.Drain(0)
+			if len(got) != 5 {
+				t.Fatalf("drain returned %d records", len(got))
+			}
+		}
+	}
+	if interrupts != 4 {
+		t.Errorf("interrupts = %d, want 4", interrupts)
+	}
+	rest := u.DrainAll()
+	if len(rest[0]) != 3 {
+		t.Errorf("leftover records = %d, want 3", len(rest[0]))
+	}
+	// DrainAll empties.
+	if len(u.DrainAll()) != 0 {
+		t.Error("second DrainAll must be empty")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	u := New(Config{})
+	if u.Period() != 10000 {
+		t.Errorf("default period = %d", u.Period())
+	}
+	if u.cfg.DSBufferRecords <= 0 || u.cfg.MinStoreSpacingCycles == 0 ||
+		u.cfg.ThrottleWindowCycles == 0 || u.cfg.MaxBusyFrac == 0 {
+		t.Errorf("defaults not applied: %+v", u.cfg)
+	}
+}

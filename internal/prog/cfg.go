@@ -1,0 +1,127 @@
+package prog
+
+import (
+	"prorace/internal/isa"
+)
+
+// Block is a basic block: a maximal straight-line sequence of instructions
+// with one entry (the first instruction) and one exit (the last).
+type Block struct {
+	// ID is the block's index in Program.Blocks().
+	ID int
+	// Start and End delimit the block as instruction indices [Start, End).
+	Start, End int
+	// Succs lists the IDs of possible successor blocks. Indirect branches
+	// (JMPR, CALLR, RET) have no statically known successors here; the PT
+	// trace resolves them at decode time.
+	Succs []int
+}
+
+// StartAddr returns the address of the block's first instruction.
+func (b Block) StartAddr() uint64 { return isa.IndexToAddr(b.Start) }
+
+// EndAddr returns the first address past the block.
+func (b Block) EndAddr() uint64 { return isa.IndexToAddr(b.End) }
+
+// Len returns the number of instructions in the block.
+func (b Block) Len() int { return b.End - b.Start }
+
+// Contains reports whether the instruction address falls inside the block.
+func (b Block) Contains(addr uint64) bool {
+	idx, ok := isa.AddrToIndex(addr)
+	return ok && idx >= b.Start && idx < b.End
+}
+
+// Blocks computes (and caches) the program's basic blocks.
+//
+// Leaders are: instruction 0, every direct branch/call target, and every
+// instruction following a block-ending instruction. This is the classic
+// leader algorithm; it needs no path information, matching what a static
+// disassembler of the binary can do — which is all RaceZ's single-basic-
+// block reconstruction has to work with.
+func (p *Program) Blocks() []Block {
+	if p.blocks != nil {
+		return p.blocks
+	}
+	n := len(p.Insts)
+	leader := make([]bool, n+1)
+	if n > 0 {
+		leader[0] = true
+	}
+	for k, in := range p.Insts {
+		switch in.Op {
+		case isa.JMP, isa.JEQ, isa.JNE, isa.JLT, isa.JLE, isa.JGT, isa.JGE, isa.CALL:
+			if idx, ok := isa.AddrToIndex(uint64(in.Imm)); ok && idx < n {
+				leader[idx] = true
+			}
+		}
+		if in.EndsBlock() && k+1 < n {
+			leader[k+1] = true
+		}
+	}
+	// Function entry points are leaders too (indirect call targets).
+	for _, s := range p.Symbols {
+		if s.Kind == SymFunc {
+			if idx, ok := isa.AddrToIndex(s.Addr); ok && idx < n {
+				leader[idx] = true
+			}
+		}
+	}
+
+	p.blockIdx = make([]int32, n)
+	var blocks []Block
+	start := 0
+	for k := 1; k <= n; k++ {
+		if k == n || leader[k] {
+			b := Block{ID: len(blocks), Start: start, End: k}
+			blocks = append(blocks, b)
+			for j := start; j < k; j++ {
+				p.blockIdx[j] = int32(b.ID)
+			}
+			start = k
+		}
+	}
+
+	// Successors.
+	addrToBlock := func(addr uint64) (int, bool) {
+		idx, ok := isa.AddrToIndex(addr)
+		if !ok || idx >= n {
+			return 0, false
+		}
+		return int(p.blockIdx[idx]), true
+	}
+	for bi := range blocks {
+		b := &blocks[bi]
+		last := p.Insts[b.End-1]
+		addSucc := func(addr uint64) {
+			if id, ok := addrToBlock(addr); ok {
+				b.Succs = append(b.Succs, id)
+			}
+		}
+		switch {
+		case last.Op == isa.JMP:
+			addSucc(uint64(last.Imm))
+		case last.IsCondBranch():
+			addSucc(uint64(last.Imm))
+			addSucc(isa.IndexToAddr(b.End)) // fall through
+		case last.Op == isa.CALL:
+			addSucc(uint64(last.Imm))
+		case last.IsIndirectBranch():
+			// unknown statically
+		case last.FallThrough() && b.End < n:
+			addSucc(isa.IndexToAddr(b.End))
+		}
+	}
+	p.blocks = blocks
+	return blocks
+}
+
+// BlockContaining returns the basic block covering the instruction address.
+func (p *Program) BlockContaining(addr uint64) (Block, bool) {
+	idx, ok := isa.AddrToIndex(addr)
+	if !ok || idx >= len(p.Insts) {
+		return Block{}, false
+	}
+	blocks := p.Blocks()
+	return blocks[p.blockIdx[idx]], true
+}

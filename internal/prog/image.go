@@ -1,0 +1,125 @@
+package prog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"prorace/internal/isa"
+)
+
+// Binary image format ("ELF-lite"). ProRace operates on program binaries —
+// the offline replay engine re-executes the very image that ran — so the
+// reproduction keeps a real serialised form rather than passing Go objects
+// around. Layout, little endian:
+//
+//	magic    "PRIM" (4 bytes)
+//	version  uint16
+//	nameLen  uint16, name bytes
+//	entry    uint64
+//	textLen  uint32, text bytes (isa-encoded instructions)
+//	dataLen  uint32, data bytes
+//	nsyms    uint32, then per symbol:
+//	    kind uint8, nameLen uint16, name bytes, addr uint64, size uint64
+
+const (
+	imageMagic   = "PRIM"
+	imageVersion = 1
+)
+
+// EncodeImage serialises the program to its binary image form.
+func EncodeImage(p *Program) []byte {
+	var b bytes.Buffer
+	b.WriteString(imageMagic)
+	writeU16(&b, imageVersion)
+	writeU16(&b, uint16(len(p.Name)))
+	b.WriteString(p.Name)
+	writeU64(&b, p.Entry)
+	text := isa.EncodeProgram(p.Insts)
+	writeU32(&b, uint32(len(text)))
+	b.Write(text)
+	writeU32(&b, uint32(len(p.Data)))
+	b.Write(p.Data)
+	writeU32(&b, uint32(len(p.Symbols)))
+	for _, s := range p.Symbols {
+		b.WriteByte(byte(s.Kind))
+		writeU16(&b, uint16(len(s.Name)))
+		b.WriteString(s.Name)
+		writeU64(&b, s.Addr)
+		writeU64(&b, s.Size)
+	}
+	return b.Bytes()
+}
+
+// DecodeImage parses a binary image produced by EncodeImage.
+func DecodeImage(img []byte) (*Program, error) {
+	r := &imgReader{buf: img}
+	if string(r.bytes(4)) != imageMagic {
+		return nil, fmt.Errorf("prog: bad image magic")
+	}
+	if v := r.u16(); v != imageVersion {
+		return nil, fmt.Errorf("prog: unsupported image version %d", v)
+	}
+	p := &Program{}
+	p.Name = string(r.bytes(int(r.u16())))
+	p.Entry = r.u64()
+	text := r.bytes(int(r.u32()))
+	p.Data = append([]byte(nil), r.bytes(int(r.u32()))...)
+	nsyms := int(r.u32())
+	for k := 0; k < nsyms; k++ {
+		var s Symbol
+		s.Kind = SymKind(r.byte())
+		s.Name = string(r.bytes(int(r.u16())))
+		s.Addr = r.u64()
+		s.Size = r.u64()
+		p.Symbols = append(p.Symbols, s)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("prog: truncated image: %w", r.err)
+	}
+	insts, err := isa.DecodeProgram(text)
+	if err != nil {
+		return nil, err
+	}
+	p.Insts = insts
+	return p, nil
+}
+
+func writeU16(b *bytes.Buffer, v uint16) {
+	var t [2]byte
+	binary.LittleEndian.PutUint16(t[:], v)
+	b.Write(t[:])
+}
+func writeU32(b *bytes.Buffer, v uint32) {
+	var t [4]byte
+	binary.LittleEndian.PutUint32(t[:], v)
+	b.Write(t[:])
+}
+func writeU64(b *bytes.Buffer, v uint64) {
+	var t [8]byte
+	binary.LittleEndian.PutUint64(t[:], v)
+	b.Write(t[:])
+}
+
+type imgReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *imgReader) bytes(n int) []byte {
+	if r.err != nil || r.off+n > len(r.buf) {
+		if r.err == nil {
+			r.err = fmt.Errorf("need %d bytes at offset %d, have %d", n, r.off, len(r.buf)-r.off)
+		}
+		return make([]byte, n)
+	}
+	out := r.buf[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *imgReader) byte() byte  { return r.bytes(1)[0] }
+func (r *imgReader) u16() uint16 { return binary.LittleEndian.Uint16(r.bytes(2)) }
+func (r *imgReader) u32() uint32 { return binary.LittleEndian.Uint32(r.bytes(4)) }
+func (r *imgReader) u64() uint64 { return binary.LittleEndian.Uint64(r.bytes(8)) }

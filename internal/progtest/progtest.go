@@ -1,0 +1,141 @@
+// Package progtest provides shared test infrastructure: a structured
+// random-program generator whose outputs always terminate, and a golden
+// tracer capturing the exact executed instruction stream with memory
+// addresses. The PT-decoder and replay-engine fuzz tests both check their
+// output against these ground truths.
+package progtest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prorace/internal/asm"
+	"prorace/internal/isa"
+	"prorace/internal/machine"
+	"prorace/internal/prog"
+)
+
+// RandomProgram generates a structured, always-terminating program: a
+// sequence of segments, each either straight-line arithmetic/memory code,
+// a bounded counted loop, an if/else split on pseudo-random data, or a
+// call to one of a few helper functions. It exercises every control-flow
+// construct with data-dependent branch outcomes.
+func RandomProgram(rng *rand.Rand) *prog.Program {
+	b := asm.New("fuzz")
+	b.Global("data", 1024)
+	nHelpers := 1 + rng.Intn(3)
+	for h := 0; h < nHelpers; h++ {
+		f := b.Func(fmt.Sprintf("helper%d", h))
+		emitStraight(rng, f, 2+rng.Intn(5))
+		if rng.Intn(2) == 0 {
+			emitLoop(rng, f, "hl", 1+rng.Intn(6))
+		}
+		f.Ret()
+	}
+
+	m := b.Func("main")
+	nSegs := 3 + rng.Intn(6)
+	for s := 0; s < nSegs; s++ {
+		switch rng.Intn(4) {
+		case 0:
+			emitStraight(rng, m, 1+rng.Intn(8))
+		case 1:
+			emitLoop(rng, m, fmt.Sprintf("l%d", s), 1+rng.Intn(10))
+		case 2:
+			emitIfElse(rng, m, fmt.Sprintf("c%d", s))
+		case 3:
+			m.Call(fmt.Sprintf("helper%d", rng.Intn(nHelpers)))
+		}
+	}
+	m.Exit(0)
+	return b.MustBuild()
+}
+
+// emitStraight emits n random non-branching instructions.
+func emitStraight(rng *rand.Rand, f *asm.FuncBuilder, n int) {
+	for i := 0; i < n; i++ {
+		rd := isa.Reg(rng.Intn(8)) // r0..r7: avoid loop counters in r8+
+		switch rng.Intn(6) {
+		case 0:
+			f.MovI(rd, rng.Int63n(1000))
+		case 1:
+			f.AddI(rd, rng.Int63n(100)-50)
+		case 2:
+			f.XorI(rd, rng.Int63())
+		case 3:
+			f.Load(rd, asm.Global("data", int64(rng.Intn(120))*8))
+		case 4:
+			f.Store(asm.Global("data", int64(rng.Intn(120))*8), rd)
+		case 5:
+			f.Mov(rd, isa.Reg(rng.Intn(8)))
+		}
+	}
+}
+
+// emitLoop emits a bounded counted loop with a random body.
+func emitLoop(rng *rand.Rand, f *asm.FuncBuilder, label string, iters int) {
+	ctr := isa.Reg(8 + rng.Intn(4)) // r8..r11
+	f.MovI(ctr, int64(iters))
+	f.Label(label)
+	emitStraight(rng, f, 1+rng.Intn(4))
+	f.SubI(ctr, 1)
+	f.CmpI(ctr, 0)
+	f.Jgt(label)
+}
+
+// emitIfElse emits a data-dependent two-way split.
+func emitIfElse(rng *rand.Rand, f *asm.FuncBuilder, label string) {
+	cond := isa.Reg(rng.Intn(8))
+	f.Load(cond, asm.Global("data", int64(rng.Intn(120))*8))
+	f.AndI(cond, 1)
+	f.CmpI(cond, 0)
+	f.Jeq(label + "_else")
+	emitStraight(rng, f, 1+rng.Intn(4))
+	f.Jmp(label + "_end")
+	f.Label(label + "_else")
+	emitStraight(rng, f, 1+rng.Intn(4))
+	f.Label(label + "_end")
+}
+
+// Step is one executed instruction in a golden trace.
+type Step struct {
+	PC    uint64
+	Addr  uint64
+	IsMem bool
+}
+
+// Golden wraps another tracer and records every executed instruction per
+// thread (deduplicating blocked-syscall retries, which re-deliver the same
+// architectural instruction).
+type Golden struct {
+	Inner machine.Tracer
+	Steps map[int32][]Step
+}
+
+// NewGolden wraps inner.
+func NewGolden(inner machine.Tracer) *Golden {
+	return &Golden{Inner: inner, Steps: map[int32][]Step{}}
+}
+
+// InstRetired implements machine.Tracer.
+func (g *Golden) InstRetired(ev *machine.InstEvent) uint64 {
+	tid := int32(ev.TID)
+	if ev.Inst.Op == isa.SYSCALL {
+		if l := g.Steps[tid]; len(l) > 0 && l[len(l)-1].PC == ev.PC {
+			return g.Inner.InstRetired(ev)
+		}
+	}
+	g.Steps[tid] = append(g.Steps[tid], Step{PC: ev.PC, Addr: ev.MemAddr, IsMem: ev.IsMem})
+	return g.Inner.InstRetired(ev)
+}
+
+// SyscallRetired implements machine.Tracer.
+func (g *Golden) SyscallRetired(ev *machine.SyscallEvent) uint64 {
+	return g.Inner.SyscallRetired(ev)
+}
+
+// ThreadStarted implements machine.Tracer.
+func (g *Golden) ThreadStarted(tid machine.TID, tsc uint64) { g.Inner.ThreadStarted(tid, tsc) }
+
+// ThreadExited implements machine.Tracer.
+func (g *Golden) ThreadExited(tid machine.TID, tsc uint64) { g.Inner.ThreadExited(tid, tsc) }

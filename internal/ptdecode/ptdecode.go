@@ -1,0 +1,259 @@
+// Package ptdecode reconstructs each thread's executed instruction path
+// from its PT packet stream and the program binary — the offline "Decode &
+// Synthesis" stage of the paper's Figure 1.
+//
+// The decoder walks the text segment from the stream's anchor TIP,
+// consuming TNT bits at conditional branches and TIP targets at indirect
+// branches, exactly as a hardware PT decoder does. TSC packets do not
+// affect control flow; each becomes a Marker recording the decode position
+// at which it was observed. Because the online driver injects a TSC packet
+// at every stored PEBS sample (PMI-synchronised), these markers let the
+// synthesis stage pin every sample onto the path.
+package ptdecode
+
+import (
+	"fmt"
+
+	"prorace/internal/isa"
+	"prorace/internal/prog"
+	"prorace/internal/tracefmt"
+)
+
+// Marker is a TSC packet observed at a decode position: every branch
+// outcome retired before the packet is consumed by steps at indices
+// < StepIndex, so the instruction the packet timestamps lies in the
+// straight-line run ending at StepIndex.
+type Marker struct {
+	TSC       uint64
+	StepIndex int
+}
+
+// Path is one thread's decoded execution.
+type Path struct {
+	TID int32
+	// PCs is the sequence of executed instruction addresses.
+	PCs []uint64
+	// Markers are the TSC packets in decode order (ascending StepIndex).
+	Markers []Marker
+	// Truncated is true when decoding stopped because the stream ended
+	// before the program did (normal: tracing stops at run end).
+	Truncated bool
+}
+
+// Len returns the number of decoded steps.
+func (p *Path) Len() int { return len(p.PCs) }
+
+// decoder state over one stream.
+type decoder struct {
+	prog    *prog.Program
+	rdr     *tracefmt.PTReader
+	path    *Path
+	bits    []bool   // pending TNT outcomes
+	tips    []uint64 // pending TIP targets
+	stack   []uint64 // call stack for RET compression
+	done    bool
+	lastErr error
+}
+
+// refill pulls packets until at least one TNT bit or TIP is pending (or the
+// stream ends). TSC packets become markers at the current position.
+func (d *decoder) refill() {
+	for len(d.bits) == 0 && len(d.tips) == 0 && !d.done {
+		pkt, done, err := d.rdr.Next()
+		if err != nil {
+			d.lastErr = err
+			d.done = true
+			return
+		}
+		if done {
+			d.done = true
+			return
+		}
+		switch pkt.Kind {
+		case tracefmt.PktTNT, tracefmt.PktTNT6:
+			for i := uint8(0); i < pkt.NBits; i++ {
+				d.bits = append(d.bits, pkt.Bits&(1<<i) != 0)
+			}
+		case tracefmt.PktTNTRep:
+			for rep := uint32(0); rep < pkt.Count; rep++ {
+				for i := uint8(0); i < pkt.NBits; i++ {
+					d.bits = append(d.bits, pkt.Bits&(1<<i) != 0)
+				}
+			}
+		case tracefmt.PktTNTRepEx:
+			ei := 0
+			for rep := uint32(0); rep < pkt.Count; rep++ {
+				group := pkt.Bits
+				if ei < len(pkt.Exceptions) && pkt.Exceptions[ei].Index == rep {
+					group = pkt.Exceptions[ei].Bits
+					ei++
+				}
+				for i := uint8(0); i < tracefmt.TNTBitsPerPacket; i++ {
+					d.bits = append(d.bits, group&(1<<i) != 0)
+				}
+			}
+		case tracefmt.PktTIP:
+			d.tips = append(d.tips, pkt.Target)
+		case tracefmt.PktTSC:
+			d.path.Markers = append(d.path.Markers, Marker{TSC: pkt.TSC, StepIndex: len(d.path.PCs)})
+		}
+	}
+}
+
+// nextBit consumes one conditional outcome; ok is false at stream end.
+func (d *decoder) nextBit() (bool, bool) {
+	if len(d.bits) == 0 {
+		d.refill()
+	}
+	if len(d.bits) == 0 {
+		return false, false
+	}
+	b := d.bits[0]
+	d.bits = d.bits[1:]
+	return b, true
+}
+
+// nextTIP consumes one indirect target; ok is false at stream end.
+func (d *decoder) nextTIP() (uint64, bool) {
+	if len(d.tips) == 0 {
+		d.refill()
+	}
+	if len(d.tips) == 0 {
+		return 0, false
+	}
+	t := d.tips[0]
+	d.tips = d.tips[1:]
+	return t, true
+}
+
+// Decode reconstructs the path of one thread from its packet stream.
+// maxSteps bounds runaway decodes (0 means a large default).
+func Decode(p *prog.Program, tid int32, stream []byte, maxSteps int) (*Path, error) {
+	if maxSteps <= 0 {
+		maxSteps = 100_000_000
+	}
+	d := &decoder{
+		prog: p,
+		rdr:  tracefmt.NewPTReader(stream),
+		path: &Path{TID: tid},
+	}
+	// Anchor: the stream must start with (TSC,) TIP carrying the entry.
+	pc, ok := d.nextTIP()
+	if !ok {
+		if d.lastErr != nil {
+			return nil, fmt.Errorf("ptdecode: tid %d: %w", tid, d.lastErr)
+		}
+		return d.path, nil // empty stream: thread traced nothing
+	}
+
+	for len(d.path.PCs) < maxSteps {
+		in, okInst := p.InstAt(pc)
+		if !okInst {
+			// Ran off the text segment (wild jump in the workload);
+			// tracing of this thread ends here, like a real decoder losing
+			// sync at an unmapped address.
+			d.path.Truncated = true
+			break
+		}
+		d.path.PCs = append(d.path.PCs, pc)
+
+		switch {
+		case in.IsCondBranch():
+			taken, okBit := d.nextBit()
+			if !okBit {
+				d.finishTailMarkers()
+				d.path.Truncated = true
+				return d.path, d.lastErr
+			}
+			if taken {
+				pc = uint64(in.Imm)
+			} else {
+				pc += isa.InstSize
+			}
+		case in.Op == isa.JMP:
+			pc = uint64(in.Imm)
+		case in.Op == isa.CALL:
+			d.stack = append(d.stack, pc+isa.InstSize)
+			pc = uint64(in.Imm)
+		case in.Op == isa.CALLR:
+			d.stack = append(d.stack, pc+isa.InstSize)
+			target, okTip := d.nextTIP()
+			if !okTip {
+				d.finishTailMarkers()
+				d.path.Truncated = true
+				return d.path, d.lastErr
+			}
+			pc = target
+		case in.Op == isa.RET:
+			// RET compression: the stream carries either a taken bit
+			// (target = tracked call stack top) or a TIP. Stream order
+			// disambiguates: whichever the next pending item is belongs
+			// to this return.
+			if len(d.bits) == 0 && len(d.tips) == 0 {
+				d.refill()
+			}
+			switch {
+			case len(d.bits) > 0:
+				taken, _ := d.nextBit()
+				n := len(d.stack)
+				if !taken || n == 0 {
+					// Desync: a compressed return must be a taken bit with
+					// a tracked frame.
+					d.finishTailMarkers()
+					d.path.Truncated = true
+					return d.path, d.lastErr
+				}
+				pc = d.stack[n-1]
+				d.stack = d.stack[:n-1]
+			case len(d.tips) > 0:
+				target, _ := d.nextTIP()
+				pc = target
+				d.stack = d.stack[:0] // encoder reset its stack too
+			default:
+				d.finishTailMarkers()
+				d.path.Truncated = true
+				return d.path, d.lastErr
+			}
+		case in.IsIndirectBranch():
+			target, okTip := d.nextTIP()
+			if !okTip {
+				d.finishTailMarkers()
+				d.path.Truncated = true
+				return d.path, d.lastErr
+			}
+			pc = target
+		case in.Op == isa.HALT, in.Op == isa.SYSCALL && in.Sys == isa.SysExit:
+			d.finishTailMarkers()
+			return d.path, d.lastErr
+		default:
+			pc += isa.InstSize
+		}
+	}
+	d.finishTailMarkers()
+	return d.path, d.lastErr
+}
+
+// finishTailMarkers drains any packets left after the walk stops so trailing
+// TSC markers are recorded at the final position.
+func (d *decoder) finishTailMarkers() {
+	for !d.done {
+		d.bits = d.bits[:0]
+		d.tips = d.tips[:0]
+		d.refill()
+	}
+	d.bits = nil
+	d.tips = nil
+}
+
+// DecodeAll decodes every thread stream of a trace.
+func DecodeAll(p *prog.Program, streams map[int32][]byte, maxSteps int) (map[int32]*Path, error) {
+	out := map[int32]*Path{}
+	for tid, stream := range streams {
+		path, err := Decode(p, tid, stream, maxSteps)
+		if err != nil {
+			return nil, err
+		}
+		out[tid] = path
+	}
+	return out, nil
+}

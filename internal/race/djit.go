@@ -1,0 +1,216 @@
+package race
+
+import (
+	"prorace/internal/replay"
+	"prorace/internal/tracefmt"
+	"prorace/internal/vc"
+)
+
+// DjitDetector implements DJIT+ (Pozniansky & Schuster), the full
+// vector-clock race detector FastTrack was designed to improve upon: every
+// variable keeps a complete read vector clock and write vector clock, so
+// each access costs O(threads) where FastTrack's adaptive epochs cost O(1)
+// in the common case. It detects exactly the same races; the benchmark
+// suite uses it to show FastTrack's speedup on the same extended traces.
+type DjitDetector struct {
+	opts Options
+
+	threads map[int32]*vc.VC
+	locks   map[uint64]*vc.VC
+	conds   map[uint64]*vc.VC
+	bars    map[uint64]*vc.VC
+	exited  map[int32]*vc.VC
+	created map[int32]*vc.VC
+
+	vars     map[varKey]*djitVar
+	allocGen map[uint64]uint32
+
+	reports []Report
+	seen    map[[2]uint64]bool
+	// RacyAddrs mirrors Detector's feedback output.
+	RacyAddrs map[uint64]bool
+}
+
+// djitVar is DJIT+'s per-variable state: full vector clocks for reads and
+// writes, plus the last PC per thread for reporting.
+type djitVar struct {
+	r, w       *vc.VC
+	rPCs, wPCs map[int32]uint64
+}
+
+// NewDjitDetector creates a DJIT+ detector.
+func NewDjitDetector(opts Options) *DjitDetector {
+	if opts.MaxReports == 0 {
+		opts.MaxReports = 10000
+	}
+	return &DjitDetector{
+		opts:      opts,
+		threads:   map[int32]*vc.VC{},
+		locks:     map[uint64]*vc.VC{},
+		conds:     map[uint64]*vc.VC{},
+		bars:      map[uint64]*vc.VC{},
+		exited:    map[int32]*vc.VC{},
+		created:   map[int32]*vc.VC{},
+		vars:      map[varKey]*djitVar{},
+		allocGen:  map[uint64]uint32{},
+		seen:      map[[2]uint64]bool{},
+		RacyAddrs: map[uint64]bool{},
+	}
+}
+
+// DetectDjit runs DJIT+ over a trace, through the same event merge as
+// Detect.
+func DetectDjit(sync []tracefmt.SyncRecord, accesses map[int32][]replay.Access, opts Options) *DjitDetector {
+	d := NewDjitDetector(opts)
+	Feed(d, sync, accesses)
+	return d
+}
+
+// Reports returns the deduplicated race reports.
+func (d *DjitDetector) Reports() []Report { return d.reports }
+
+func (d *DjitDetector) clock(tid int32) *vc.VC {
+	c := d.threads[tid]
+	if c == nil {
+		c = vc.New()
+		c.Set(tid, 1)
+		d.threads[tid] = c
+	}
+	return c
+}
+
+func (d *DjitDetector) genOf(addr uint64) uint32 {
+	if !d.opts.TrackAllocations {
+		return 0
+	}
+	return d.allocGen[addr&^uint64(granule-1)]
+}
+
+// HandleSync processes one synchronization record with the same
+// happens-before semantics as the FastTrack detector.
+func (d *DjitDetector) HandleSync(rec *tracefmt.SyncRecord) {
+	tid := rec.TID
+	c := d.clock(tid)
+	switch rec.Kind {
+	case tracefmt.SyncLock:
+		if l := d.locks[rec.Addr]; l != nil {
+			c.Join(l)
+		}
+	case tracefmt.SyncUnlock:
+		l := d.locks[rec.Addr]
+		if l == nil {
+			l = vc.New()
+			d.locks[rec.Addr] = l
+		}
+		l.Assign(c)
+		c.Tick(tid)
+	case tracefmt.SyncCondWait:
+		l := d.locks[rec.Aux]
+		if l == nil {
+			l = vc.New()
+			d.locks[rec.Aux] = l
+		}
+		l.Assign(c)
+		c.Tick(tid)
+	case tracefmt.SyncCondSignal, tracefmt.SyncCondBroadcast:
+		s := d.conds[rec.Addr]
+		if s == nil {
+			s = vc.New()
+			d.conds[rec.Addr] = s
+		}
+		s.Join(c)
+		c.Tick(tid)
+	case tracefmt.SyncCondWake:
+		if s := d.conds[rec.Addr]; s != nil {
+			c.Join(s)
+		}
+		if l := d.locks[rec.Aux]; l != nil {
+			c.Join(l)
+		}
+	case tracefmt.SyncBarrier:
+		b := d.bars[rec.Addr]
+		if b == nil {
+			b = vc.New()
+			d.bars[rec.Addr] = b
+		}
+		b.Join(c)
+		c.Tick(tid)
+	case tracefmt.SyncBarrierWake:
+		if b := d.bars[rec.Addr]; b != nil {
+			c.Join(b)
+		}
+	case tracefmt.SyncThreadCreate:
+		d.created[int32(rec.Addr)] = c.Copy()
+		c.Tick(tid)
+	case tracefmt.SyncThreadBegin:
+		if parent := d.created[tid]; parent != nil {
+			c.Join(parent)
+		}
+	case tracefmt.SyncThreadExit:
+		d.exited[tid] = c.Copy()
+	case tracefmt.SyncThreadJoin:
+		if ev := d.exited[int32(rec.Addr)]; ev != nil {
+			c.Join(ev)
+		}
+	case tracefmt.SyncMalloc:
+		if d.opts.TrackAllocations {
+			end := rec.Addr + rec.Aux
+			for a := rec.Addr &^ uint64(granule-1); a < end; a += granule {
+				d.allocGen[a]++
+			}
+		}
+	}
+}
+
+// HandleAccess processes one memory access: full vector-clock comparison
+// on every access, DJIT+ style.
+func (d *DjitDetector) HandleAccess(a *replay.Access) {
+	tid := a.TID
+	c := d.clock(tid)
+	key := varKey{addr: a.Addr, gen: d.genOf(a.Addr)}
+	v := d.vars[key]
+	if v == nil {
+		v = &djitVar{r: vc.New(), w: vc.New(), rPCs: map[int32]uint64{}, wPCs: map[int32]uint64{}}
+		d.vars[key] = v
+	}
+	me := c.Get(tid)
+
+	// Conflicts with prior writes (any access) and prior reads (writes).
+	d.checkAgainst(a, v.w, v.wPCs, true, c)
+	if a.Store {
+		d.checkAgainst(a, v.r, v.rPCs, false, c)
+		v.w.Set(tid, me)
+		v.wPCs[tid] = a.PC
+	} else {
+		v.r.Set(tid, me)
+		v.rPCs[tid] = a.PC
+	}
+}
+
+// checkAgainst reports a race for every thread whose entry in the
+// variable's clock is not covered by the current thread's clock.
+func (d *DjitDetector) checkAgainst(a *replay.Access, varVC *vc.VC, pcs map[int32]uint64, priorIsWrite bool, c *vc.VC) {
+	for t := int32(0); t < 64; t++ {
+		cl := varVC.Get(t)
+		if cl == 0 || t == a.TID {
+			continue
+		}
+		if cl > c.Get(t) {
+			d.report(a, AccessInfo{TID: t, PC: pcs[t], Write: priorIsWrite})
+		}
+	}
+}
+
+func (d *DjitDetector) report(a *replay.Access, prior AccessInfo) {
+	d.RacyAddrs[a.Addr] = true
+	r := Report{
+		Addr:   a.Addr,
+		First:  prior,
+		Second: AccessInfo{TID: a.TID, PC: a.PC, Write: a.Store, TSC: a.TSC},
+	}
+	if d.seen[r.Key()] || len(d.reports) >= d.opts.MaxReports {
+		return
+	}
+	d.seen[r.Key()] = true
+	d.reports = append(d.reports, r)
+}

@@ -1,0 +1,145 @@
+package race
+
+import (
+	"sort"
+	"testing"
+
+	"prorace/internal/replay"
+	"prorace/internal/tracefmt"
+)
+
+func reportKeys(rs []Report) [][2]uint64 {
+	out := make([][2]uint64, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, r.Key())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// TestDjitMatchesFastTrackOnScenarios replays every unit scenario of the
+// FastTrack tests through DJIT+ and requires identical race sets — the
+// equivalence FastTrack's paper proves.
+func TestDjitMatchesFastTrackOnScenarios(t *testing.T) {
+	type scenario struct {
+		name     string
+		sync     []tracefmt.SyncRecord
+		accesses map[int32][]replay.Access
+	}
+	lock := uint64(0x700000)
+	cv := uint64(0x700200)
+	scenarios := []scenario{
+		{"ww-race", nil, map[int32][]replay.Access{
+			1: {acc(1, 0x400100, 0x600000, true, 100)},
+			2: {acc(2, 0x400200, 0x600000, true, 200)},
+		}},
+		{"lock-ordered", []tracefmt.SyncRecord{
+			syncRec(1, tracefmt.SyncLock, 90, lock, 0),
+			syncRec(1, tracefmt.SyncUnlock, 110, lock, 0),
+			syncRec(2, tracefmt.SyncLock, 190, lock, 0),
+			syncRec(2, tracefmt.SyncUnlock, 210, lock, 0),
+		}, map[int32][]replay.Access{
+			1: {acc(1, 0x400100, 0x600000, true, 100)},
+			2: {acc(2, 0x400200, 0x600000, true, 200)},
+		}},
+		{"read-shared-then-write", nil, map[int32][]replay.Access{
+			1: {acc(1, 0x400101, 0x600000, false, 10)},
+			2: {acc(2, 0x400102, 0x600000, false, 20)},
+			3: {acc(3, 0x400103, 0x600000, true, 30)},
+		}},
+		{"fork-join", []tracefmt.SyncRecord{
+			syncRec(1, tracefmt.SyncThreadCreate, 50, 2, 0),
+			syncRec(2, tracefmt.SyncThreadBegin, 60, 0, 0),
+			syncRec(2, tracefmt.SyncThreadExit, 210, 0, 0),
+			syncRec(1, tracefmt.SyncThreadJoin, 250, 2, 0),
+		}, map[int32][]replay.Access{
+			1: {acc(1, 0x400100, 0x600000, true, 40), acc(1, 0x400110, 0x600000, true, 300)},
+			2: {acc(2, 0x400200, 0x600000, true, 200)},
+		}},
+		{"cond-wake", []tracefmt.SyncRecord{
+			syncRec(2, tracefmt.SyncLock, 50, lock, 0),
+			syncRec(2, tracefmt.SyncCondWait, 60, cv, lock),
+			syncRec(1, tracefmt.SyncLock, 80, lock, 0),
+			syncRec(1, tracefmt.SyncCondSignal, 110, cv, 0),
+			syncRec(1, tracefmt.SyncUnlock, 120, lock, 0),
+			syncRec(2, tracefmt.SyncCondWake, 130, cv, lock),
+			syncRec(2, tracefmt.SyncUnlock, 160, lock, 0),
+		}, map[int32][]replay.Access{
+			1: {acc(1, 0x400100, 0x600000, true, 100)},
+			2: {acc(2, 0x400200, 0x600000, false, 150)},
+		}},
+		{"malloc-generations", []tracefmt.SyncRecord{
+			syncRec(1, tracefmt.SyncMalloc, 10, 0x10000000, 64),
+			syncRec(1, tracefmt.SyncFree, 120, 0x10000000, 0),
+			syncRec(2, tracefmt.SyncMalloc, 150, 0x10000000, 64),
+		}, map[int32][]replay.Access{
+			1: {acc(1, 0x400100, 0x10000000, true, 100)},
+			2: {acc(2, 0x400200, 0x10000000, true, 200)},
+		}},
+	}
+	for _, sc := range scenarios {
+		ft := Detect(sc.sync, sc.accesses, Options{TrackAllocations: true})
+		dj := DetectDjit(sc.sync, sc.accesses, Options{TrackAllocations: true})
+		fk, dk := reportKeys(ft.Reports()), reportKeys(dj.Reports())
+		if len(fk) != len(dk) {
+			t.Errorf("%s: FastTrack %d races, DJIT+ %d", sc.name, len(fk), len(dk))
+			continue
+		}
+		for i := range fk {
+			if fk[i] != dk[i] {
+				t.Errorf("%s: race %d differs: %v vs %v", sc.name, i, fk[i], dk[i])
+			}
+		}
+	}
+}
+
+// TestDjitMatchesFastTrackOnManyAccesses stresses the adaptive read
+// representation against DJIT+'s full clocks.
+func TestDjitMatchesFastTrackOnManyAccesses(t *testing.T) {
+	accesses := map[int32][]replay.Access{}
+	// 8 threads interleaving reads and occasional writes over 32 addrs.
+	for tid := int32(1); tid <= 8; tid++ {
+		for i := 0; i < 200; i++ {
+			addr := 0x600000 + uint64((int(tid)*7+i*13)%32)*8
+			store := (i+int(tid))%17 == 0
+			accesses[tid] = append(accesses[tid],
+				acc(tid, 0x400000+uint64(tid)*0x100+uint64(i%5)*32, addr, store, uint64(i*10+int(tid))))
+		}
+	}
+	ft := Detect(nil, accesses, Options{TrackAllocations: true, MaxReports: 100000})
+	dj := DetectDjit(nil, accesses, Options{TrackAllocations: true, MaxReports: 100000})
+	if len(ft.Reports()) == 0 {
+		t.Fatal("stress scenario produced no races")
+	}
+	// FastTrack guarantees detecting *a* race on every racy variable (its
+	// adaptive state forgets older writers, so it reports fewer distinct
+	// pairs than DJIT+'s full per-thread history); the equivalence is on
+	// the racy-variable sets.
+	if len(ft.RacyAddrs) != len(dj.RacyAddrs) {
+		t.Fatalf("racy variables: FastTrack %d vs DJIT+ %d", len(ft.RacyAddrs), len(dj.RacyAddrs))
+	}
+	for addr := range ft.RacyAddrs {
+		if !dj.RacyAddrs[addr] {
+			t.Fatalf("address %#x racy under FastTrack but not DJIT+", addr)
+		}
+	}
+	// Every FastTrack pair must also be a DJIT+ pair (DJIT+ sees more).
+	djSet := map[[2]uint64]bool{}
+	for _, k := range reportKeys(dj.Reports()) {
+		djSet[k] = true
+	}
+	for _, k := range reportKeys(ft.Reports()) {
+		if !djSet[k] {
+			t.Fatalf("FastTrack pair %v missing from DJIT+", k)
+		}
+	}
+	if len(dj.Reports()) < len(ft.Reports()) {
+		t.Fatalf("DJIT+ reported fewer pairs (%d) than FastTrack (%d)",
+			len(dj.Reports()), len(ft.Reports()))
+	}
+}

@@ -1,0 +1,476 @@
+// Package race implements the FastTrack happens-before data race detector
+// (Flanagan & Freund, PLDI 2009) that ProRace runs offline over the
+// synchronization trace plus the extended (sampled + reconstructed) memory
+// trace (paper §3, §4.3).
+//
+// Happens-before edges come from the synchronization log: lock release →
+// acquire, condition signal → wake, barrier all-to-all, thread create →
+// begin, and exit → join. malloc/free are tracked so two objects that
+// happen to reuse one address are never confused — the §4.3 false-positive
+// scenario.
+package race
+
+import (
+	"fmt"
+	"sort"
+
+	"prorace/internal/replay"
+	"prorace/internal/tracefmt"
+	"prorace/internal/vc"
+)
+
+// Report is one detected data race: two accesses to the same address, at
+// least one a write, unordered by happens-before.
+type Report struct {
+	Addr uint64
+	// First and Second describe the two conflicting accesses; Second is
+	// the one at which the race was detected.
+	First, Second AccessInfo
+}
+
+// AccessInfo locates one side of a race.
+type AccessInfo struct {
+	TID   int32
+	PC    uint64
+	Write bool
+	TSC   uint64
+}
+
+// Key canonicalises the race for deduplication: the unordered pair of PCs.
+func (r Report) Key() [2]uint64 {
+	a, b := r.First.PC, r.Second.PC
+	if a > b {
+		a, b = b, a
+	}
+	return [2]uint64{a, b}
+}
+
+// String renders the race for logs.
+func (r Report) String() string {
+	return fmt.Sprintf("race on %#x: T%d %s@%#x vs T%d %s@%#x",
+		r.Addr, r.First.TID, rw(r.First.Write), r.First.PC,
+		r.Second.TID, rw(r.Second.Write), r.Second.PC)
+}
+
+func rw(w bool) string {
+	if w {
+		return "write"
+	}
+	return "read"
+}
+
+// Options configures detection.
+type Options struct {
+	// MaxReports bounds the report list (default 10000).
+	MaxReports int
+	// TrackAllocations enables malloc/free generation tracking (default
+	// on via Detect; disable for the ablation that shows the §4.3
+	// address-reuse false positive).
+	TrackAllocations bool
+}
+
+// Detector runs FastTrack over a merged event stream.
+type Detector struct {
+	opts Options
+
+	threads map[int32]*vc.VC
+	locks   map[uint64]*vc.VC
+	conds   map[uint64]*vc.VC
+	bars    map[uint64]*vc.VC
+	exited  map[int32]*vc.VC
+	created map[int32]*vc.VC // child tid -> parent clock at create
+
+	vars map[varKey]*varState
+
+	// allocation generation per 16-byte granule
+	allocGen map[uint64]uint32
+
+	reports []Report
+	seen    map[[2]uint64]bool
+	// RacyAddrs collects distinct addresses with detected races, for the
+	// §5.1 invalidation/regeneration feedback into the replay engine.
+	RacyAddrs map[uint64]bool
+}
+
+type varKey struct {
+	addr uint64
+	gen  uint32
+}
+
+// varState is FastTrack's per-variable state: a write epoch and an adaptive
+// read representation (epoch or full vector clock).
+type varState struct {
+	w        vc.Epoch
+	wPC      uint64
+	wTSC     uint64
+	r        vc.Epoch
+	rPC      uint64
+	rTSC     uint64
+	rShared  *vc.VC
+	rPCs     map[int32]uint64 // per-thread read PCs when shared
+	rTSCs    map[int32]uint64
+	hasWrite bool
+	hasRead  bool
+}
+
+// NewDetector creates a detector.
+func NewDetector(opts Options) *Detector {
+	if opts.MaxReports == 0 {
+		opts.MaxReports = 10000
+	}
+	return &Detector{
+		opts:      opts,
+		threads:   map[int32]*vc.VC{},
+		locks:     map[uint64]*vc.VC{},
+		conds:     map[uint64]*vc.VC{},
+		bars:      map[uint64]*vc.VC{},
+		exited:    map[int32]*vc.VC{},
+		created:   map[int32]*vc.VC{},
+		vars:      map[varKey]*varState{},
+		allocGen:  map[uint64]uint32{},
+		reports:   nil,
+		seen:      map[[2]uint64]bool{},
+		RacyAddrs: map[uint64]bool{},
+	}
+}
+
+const granule = 16
+
+func (d *Detector) clock(tid int32) *vc.VC {
+	c := d.threads[tid]
+	if c == nil {
+		c = vc.New()
+		c.Set(tid, 1)
+		d.threads[tid] = c
+	}
+	return c
+}
+
+// genOf returns the allocation generation covering addr.
+func (d *Detector) genOf(addr uint64) uint32 {
+	if !d.opts.TrackAllocations {
+		return 0
+	}
+	return d.allocGen[addr&^uint64(granule-1)]
+}
+
+// HandleSync processes one synchronization record.
+func (d *Detector) HandleSync(rec *tracefmt.SyncRecord) {
+	tid := rec.TID
+	c := d.clock(tid)
+	switch rec.Kind {
+	case tracefmt.SyncLock:
+		if l := d.locks[rec.Addr]; l != nil {
+			c.Join(l)
+		}
+	case tracefmt.SyncUnlock:
+		l := d.locks[rec.Addr]
+		if l == nil {
+			l = vc.New()
+			d.locks[rec.Addr] = l
+		}
+		l.Assign(c)
+		c.Tick(tid)
+	case tracefmt.SyncCondWait:
+		// The waiter releases its mutex at the wait (the paired wake edge
+		// arrives as SyncCondWake).
+		l := d.locks[rec.Aux]
+		if l == nil {
+			l = vc.New()
+			d.locks[rec.Aux] = l
+		}
+		l.Assign(c)
+		c.Tick(tid)
+	case tracefmt.SyncCondSignal, tracefmt.SyncCondBroadcast:
+		s := d.conds[rec.Addr]
+		if s == nil {
+			s = vc.New()
+			d.conds[rec.Addr] = s
+		}
+		s.Join(c)
+		c.Tick(tid)
+	case tracefmt.SyncCondWake:
+		if s := d.conds[rec.Addr]; s != nil {
+			c.Join(s)
+		}
+		if l := d.locks[rec.Aux]; l != nil {
+			c.Join(l) // mutex reacquired on wake
+		}
+	case tracefmt.SyncBarrier:
+		b := d.bars[rec.Addr]
+		if b == nil {
+			b = vc.New()
+			d.bars[rec.Addr] = b
+		}
+		b.Join(c)
+		c.Tick(tid)
+	case tracefmt.SyncBarrierWake:
+		if b := d.bars[rec.Addr]; b != nil {
+			c.Join(b)
+		}
+	case tracefmt.SyncThreadCreate:
+		child := int32(rec.Addr)
+		d.created[child] = c.Copy()
+		c.Tick(tid)
+	case tracefmt.SyncThreadBegin:
+		if parent := d.created[tid]; parent != nil {
+			c.Join(parent)
+		}
+	case tracefmt.SyncThreadExit:
+		d.exited[tid] = c.Copy()
+	case tracefmt.SyncThreadJoin:
+		if ev := d.exited[int32(rec.Addr)]; ev != nil {
+			c.Join(ev)
+		}
+	case tracefmt.SyncMalloc:
+		if d.opts.TrackAllocations {
+			end := rec.Addr + rec.Aux
+			for a := rec.Addr &^ uint64(granule-1); a < end; a += granule {
+				d.allocGen[a]++
+			}
+		}
+	case tracefmt.SyncFree:
+		// Generation bumps on malloc; free needs no action.
+	}
+}
+
+// HandleAccess processes one memory access of the extended trace.
+func (d *Detector) HandleAccess(a *replay.Access) {
+	tid := a.TID
+	c := d.clock(tid)
+	key := varKey{addr: a.Addr, gen: d.genOf(a.Addr)}
+	v := d.vars[key]
+	if v == nil {
+		v = &varState{}
+		d.vars[key] = v
+	}
+	me := c.EpochOf(tid)
+
+	if a.Store {
+		// Write-write race?
+		if v.hasWrite && v.w.TID() != tid && !v.w.LEQ(c) {
+			d.report(a, AccessInfo{TID: v.w.TID(), PC: v.wPC, Write: true, TSC: v.wTSC})
+		}
+		// Read-write races?
+		if v.hasRead {
+			if v.rShared != nil {
+				for t := int32(0); ; t++ {
+					cl := v.rShared.Get(t)
+					if t >= 64 { // clamp scan; threads beyond are absent
+						break
+					}
+					if cl == 0 || t == tid {
+						continue
+					}
+					if cl > c.Get(t) {
+						d.report(a, AccessInfo{TID: t, PC: v.rPCs[t], Write: false, TSC: v.rTSCs[t]})
+					}
+				}
+			} else if v.r.TID() != tid && !v.r.LEQ(c) {
+				d.report(a, AccessInfo{TID: v.r.TID(), PC: v.rPC, Write: false, TSC: v.rTSC})
+			}
+		}
+		v.hasWrite = true
+		v.w = me
+		v.wPC, v.wTSC = a.PC, a.TSC
+		return
+	}
+
+	// Read: write-read race?
+	if v.hasWrite && v.w.TID() != tid && !v.w.LEQ(c) {
+		d.report(a, AccessInfo{TID: v.w.TID(), PC: v.wPC, Write: true, TSC: v.wTSC})
+	}
+	// Update read state (FastTrack's adaptive representation).
+	if v.rShared != nil {
+		v.rShared.Set(tid, me.Clock())
+		v.rPCs[tid], v.rTSCs[tid] = a.PC, a.TSC
+		return
+	}
+	if !v.hasRead || v.r.TID() == tid || v.r.LEQ(c) {
+		v.hasRead = true
+		v.r = me
+		v.rPC, v.rTSC = a.PC, a.TSC
+		return
+	}
+	// Inflate to read-shared.
+	v.rShared = vc.New()
+	v.rShared.Set(v.r.TID(), v.r.Clock())
+	v.rShared.Set(tid, me.Clock())
+	v.rPCs = map[int32]uint64{v.r.TID(): v.rPC, tid: a.PC}
+	v.rTSCs = map[int32]uint64{v.r.TID(): v.rTSC, tid: a.TSC}
+}
+
+func (d *Detector) report(a *replay.Access, prior AccessInfo) {
+	d.RacyAddrs[a.Addr] = true
+	r := Report{
+		Addr:   a.Addr,
+		First:  prior,
+		Second: AccessInfo{TID: a.TID, PC: a.PC, Write: a.Store, TSC: a.TSC},
+	}
+	if d.seen[r.Key()] || len(d.reports) >= d.opts.MaxReports {
+		return
+	}
+	d.seen[r.Key()] = true
+	d.reports = append(d.reports, r)
+}
+
+// Reports returns the deduplicated race reports.
+func (d *Detector) Reports() []Report { return d.reports }
+
+// event is one entry of the merged stream.
+type event struct {
+	tsc  uint64
+	sync *tracefmt.SyncRecord
+	acc  *replay.Access
+}
+
+// isRelease reports whether a sync record publishes the thread's clock
+// (release side of an HB edge). At equal timestamps, release-side records
+// must be processed before the acquire-side records they enable — e.g. a
+// barrier arrival before the barrier wakes it causes.
+func isRelease(k tracefmt.SyncKind) bool {
+	switch k {
+	case tracefmt.SyncUnlock, tracefmt.SyncCondWait, tracefmt.SyncCondSignal,
+		tracefmt.SyncCondBroadcast, tracefmt.SyncBarrier,
+		tracefmt.SyncThreadCreate, tracefmt.SyncThreadExit:
+		return true
+	}
+	return false
+}
+
+// isAcquire reports whether a sync record absorbs another clock.
+func isAcquire(k tracefmt.SyncKind) bool {
+	switch k {
+	case tracefmt.SyncLock, tracefmt.SyncCondWake, tracefmt.SyncBarrierWake,
+		tracefmt.SyncThreadBegin, tracefmt.SyncThreadJoin:
+		return true
+	}
+	return false
+}
+
+// mergePriority orders events at equal TSC across threads: releases first,
+// then neutral events (accesses, malloc/free), then acquires, so an HB edge
+// whose two sides collapsed onto one timestamp still flows the right way.
+func (e *event) mergePriority() int {
+	if e.sync != nil {
+		if isRelease(e.sync.Kind) {
+			return 0
+		}
+		if isAcquire(e.sync.Kind) {
+			return 2
+		}
+	}
+	return 1
+}
+
+// threadStream builds one thread's events in program order: sync records
+// arrive in machine order; accesses are ordered by path step (or TSC when
+// unpinned). At equal TSC within a thread, acquires precede accesses and
+// accesses precede releases, keeping accesses inside their critical
+// sections.
+func threadStream(sync []tracefmt.SyncRecord, accs []replay.Access) []event {
+	sort.SliceStable(accs, func(i, j int) bool {
+		if accs[i].TSC != accs[j].TSC {
+			return accs[i].TSC < accs[j].TSC
+		}
+		return accs[i].Step < accs[j].Step
+	})
+	out := make([]event, 0, len(sync)+len(accs))
+	si, ai := 0, 0
+	for si < len(sync) || ai < len(accs) {
+		takeSync := false
+		switch {
+		case si == len(sync):
+			takeSync = false
+		case ai == len(accs):
+			takeSync = true
+		case sync[si].TSC < accs[ai].TSC:
+			takeSync = true
+		case sync[si].TSC > accs[ai].TSC:
+			takeSync = false
+		default: // tie: acquires first, releases last
+			takeSync = isAcquire(sync[si].Kind)
+		}
+		if takeSync {
+			out = append(out, event{tsc: sync[si].TSC, sync: &sync[si]})
+			si++
+		} else {
+			out = append(out, event{tsc: accs[ai].TSC, acc: &accs[ai]})
+			ai++
+		}
+	}
+	return out
+}
+
+// Checker consumes the merged happens-before-consistent event stream.
+// Detector (FastTrack) and DjitDetector (DJIT+) both implement it.
+type Checker interface {
+	HandleSync(rec *tracefmt.SyncRecord)
+	HandleAccess(a *replay.Access)
+}
+
+// Detect runs FastTrack over a whole trace: sync records plus the extended
+// memory trace, merged into a happens-before-consistent order (per-thread
+// program order preserved, cross-thread interleaving by TSC with releases
+// winning ties).
+func Detect(sync []tracefmt.SyncRecord, accesses map[int32][]replay.Access, opts Options) *Detector {
+	d := NewDetector(opts)
+	Feed(d, sync, accesses)
+	return d
+}
+
+// Feed merges the trace into happens-before-consistent order and drives
+// the checker with it.
+func Feed(d Checker, sync []tracefmt.SyncRecord, accesses map[int32][]replay.Access) {
+	// Partition sync records per thread, preserving order.
+	syncByTID := map[int32][]tracefmt.SyncRecord{}
+	for _, rec := range sync {
+		syncByTID[rec.TID] = append(syncByTID[rec.TID], rec)
+	}
+	tidSet := map[int32]bool{}
+	for tid := range syncByTID {
+		tidSet[tid] = true
+	}
+	for tid := range accesses {
+		tidSet[tid] = true
+	}
+	tids := make([]int32, 0, len(tidSet))
+	for tid := range tidSet {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+
+	streams := make([][]event, len(tids))
+	heads := make([]int, len(tids))
+	for i, tid := range tids {
+		streams[i] = threadStream(syncByTID[tid], accesses[tid])
+	}
+
+	// K-way merge.
+	for {
+		best := -1
+		for i := range streams {
+			if heads[i] >= len(streams[i]) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			a, b := &streams[i][heads[i]], &streams[best][heads[best]]
+			if a.tsc < b.tsc || (a.tsc == b.tsc && a.mergePriority() < b.mergePriority()) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		ev := &streams[best][heads[best]]
+		heads[best]++
+		if ev.sync != nil {
+			d.HandleSync(ev.sync)
+		} else {
+			d.HandleAccess(ev.acc)
+		}
+	}
+}

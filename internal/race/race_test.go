@@ -1,0 +1,279 @@
+package race
+
+import (
+	"testing"
+
+	"prorace/internal/replay"
+	"prorace/internal/tracefmt"
+)
+
+func acc(tid int32, pc, addr uint64, store bool, tsc uint64) replay.Access {
+	return replay.Access{TID: tid, PC: pc, Addr: addr, Store: store, TSC: tsc, Step: -1}
+}
+
+func syncRec(tid int32, kind tracefmt.SyncKind, tsc, addr, aux uint64) tracefmt.SyncRecord {
+	return tracefmt.SyncRecord{TID: tid, Kind: kind, TSC: tsc, Addr: addr, Aux: aux}
+}
+
+func TestUnsynchronizedWriteWriteRace(t *testing.T) {
+	accesses := map[int32][]replay.Access{
+		1: {acc(1, 0x400100, 0x600000, true, 100)},
+		2: {acc(2, 0x400200, 0x600000, true, 200)},
+	}
+	d := Detect(nil, accesses, Options{TrackAllocations: true})
+	if len(d.Reports()) != 1 {
+		t.Fatalf("reports = %v", d.Reports())
+	}
+	r := d.Reports()[0]
+	if r.Addr != 0x600000 || !r.First.Write || !r.Second.Write {
+		t.Errorf("report = %+v", r)
+	}
+	if !d.RacyAddrs[0x600000] {
+		t.Error("racy address not collected")
+	}
+}
+
+func TestWriteReadAndReadWriteRaces(t *testing.T) {
+	// T1 writes, T2 reads (unordered) — then T3 writes after T2's read.
+	accesses := map[int32][]replay.Access{
+		1: {acc(1, 0x400100, 0x600000, true, 100)},
+		2: {acc(2, 0x400200, 0x600000, false, 200)},
+		3: {acc(3, 0x400300, 0x600000, true, 300)},
+	}
+	d := Detect(nil, accesses, Options{TrackAllocations: true})
+	if len(d.Reports()) < 2 {
+		t.Fatalf("expected write-read and read-write races, got %v", d.Reports())
+	}
+}
+
+func TestLockOrderingSuppressesRace(t *testing.T) {
+	lock := uint64(0x700000)
+	sync := []tracefmt.SyncRecord{
+		syncRec(1, tracefmt.SyncLock, 90, lock, 0),
+		syncRec(1, tracefmt.SyncUnlock, 110, lock, 0),
+		syncRec(2, tracefmt.SyncLock, 190, lock, 0),
+		syncRec(2, tracefmt.SyncUnlock, 210, lock, 0),
+	}
+	accesses := map[int32][]replay.Access{
+		1: {acc(1, 0x400100, 0x600000, true, 100)},
+		2: {acc(2, 0x400200, 0x600000, true, 200)},
+	}
+	d := Detect(sync, accesses, Options{TrackAllocations: true})
+	if len(d.Reports()) != 0 {
+		t.Fatalf("lock-ordered accesses reported as race: %v", d.Reports())
+	}
+}
+
+func TestDistinctLocksDoNotOrder(t *testing.T) {
+	sync := []tracefmt.SyncRecord{
+		syncRec(1, tracefmt.SyncLock, 90, 0x700000, 0),
+		syncRec(1, tracefmt.SyncUnlock, 110, 0x700000, 0),
+		syncRec(2, tracefmt.SyncLock, 190, 0x700100, 0), // different lock
+		syncRec(2, tracefmt.SyncUnlock, 210, 0x700100, 0),
+	}
+	accesses := map[int32][]replay.Access{
+		1: {acc(1, 0x400100, 0x600000, true, 100)},
+		2: {acc(2, 0x400200, 0x600000, true, 200)},
+	}
+	d := Detect(sync, accesses, Options{TrackAllocations: true})
+	if len(d.Reports()) != 1 {
+		t.Fatalf("different locks must not order accesses: %v", d.Reports())
+	}
+}
+
+func TestForkJoinOrdering(t *testing.T) {
+	sync := []tracefmt.SyncRecord{
+		syncRec(1, tracefmt.SyncThreadCreate, 50, 2, 0), // T1 creates T2
+		syncRec(2, tracefmt.SyncThreadBegin, 60, 0, 0),
+		syncRec(2, tracefmt.SyncThreadExit, 210, 0, 0),
+		syncRec(1, tracefmt.SyncThreadJoin, 250, 2, 0),
+	}
+	accesses := map[int32][]replay.Access{
+		1: {acc(1, 0x400100, 0x600000, true, 40), // before create
+			acc(1, 0x400110, 0x600000, true, 300)}, // after join
+		2: {acc(2, 0x400200, 0x600000, true, 200)},
+	}
+	d := Detect(sync, accesses, Options{TrackAllocations: true})
+	if len(d.Reports()) != 0 {
+		t.Fatalf("fork/join ordered accesses reported: %v", d.Reports())
+	}
+	// Without the join, the post-"join" write races with the child's.
+	d2 := Detect(sync[:3], accesses, Options{TrackAllocations: true})
+	if len(d2.Reports()) != 1 {
+		t.Fatalf("missing join must yield a race: %v", d2.Reports())
+	}
+}
+
+func TestCondSignalWakeOrdering(t *testing.T) {
+	cv, mtx := uint64(0x700200), uint64(0x700000)
+	sync := []tracefmt.SyncRecord{
+		// T2 takes the lock, waits (releasing it).
+		syncRec(2, tracefmt.SyncLock, 50, mtx, 0),
+		syncRec(2, tracefmt.SyncCondWait, 60, cv, mtx),
+		// T1 writes under the lock, signals, unlocks.
+		syncRec(1, tracefmt.SyncLock, 80, mtx, 0),
+		syncRec(1, tracefmt.SyncCondSignal, 110, cv, 0),
+		syncRec(1, tracefmt.SyncUnlock, 120, mtx, 0),
+		// T2 wakes with the mutex and reads.
+		syncRec(2, tracefmt.SyncCondWake, 130, cv, mtx),
+		syncRec(2, tracefmt.SyncUnlock, 160, mtx, 0),
+	}
+	accesses := map[int32][]replay.Access{
+		1: {acc(1, 0x400100, 0x600000, true, 100)},  // write before signal
+		2: {acc(2, 0x400200, 0x600000, false, 150)}, // read after wake
+	}
+	d := Detect(sync, accesses, Options{TrackAllocations: true})
+	if len(d.Reports()) != 0 {
+		t.Fatalf("signal→wake ordered accesses reported: %v", d.Reports())
+	}
+	// Remove the wake edge: the pair becomes a race.
+	var noWake []tracefmt.SyncRecord
+	for _, r := range sync {
+		if r.Kind != tracefmt.SyncCondWake {
+			noWake = append(noWake, r)
+		}
+	}
+	d2 := Detect(noWake, accesses, Options{TrackAllocations: true})
+	if len(d2.Reports()) != 1 {
+		t.Fatalf("without the wake edge a race must appear: %v", d2.Reports())
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	bar := uint64(0x700300)
+	sync := []tracefmt.SyncRecord{
+		syncRec(1, tracefmt.SyncBarrier, 100, bar, 2),
+		syncRec(2, tracefmt.SyncBarrier, 200, bar, 2), // releaser
+		syncRec(1, tracefmt.SyncBarrierWake, 200, bar, 0),
+	}
+	accesses := map[int32][]replay.Access{
+		1: {acc(1, 0x400100, 0x600000, false, 250)}, // read after barrier
+		2: {acc(2, 0x400200, 0x600000, true, 90)},   // write before barrier
+	}
+	d := Detect(sync, accesses, Options{TrackAllocations: true})
+	if len(d.Reports()) != 0 {
+		t.Fatalf("barrier-ordered accesses reported: %v", d.Reports())
+	}
+}
+
+func TestAddressReuseFalsePositiveAvoided(t *testing.T) {
+	// T1 writes object A at 0x10000000 and frees it; T2 mallocs an object
+	// at the same address and writes — no race between different objects.
+	addr := uint64(0x10000000)
+	sync := []tracefmt.SyncRecord{
+		syncRec(1, tracefmt.SyncMalloc, 10, addr, 64),
+		syncRec(1, tracefmt.SyncFree, 120, addr, 0),
+		syncRec(2, tracefmt.SyncMalloc, 150, addr, 64),
+	}
+	accesses := map[int32][]replay.Access{
+		1: {acc(1, 0x400100, addr, true, 100)},
+		2: {acc(2, 0x400200, addr, true, 200)},
+	}
+	d := Detect(sync, accesses, Options{TrackAllocations: true})
+	if len(d.Reports()) != 0 {
+		t.Fatalf("address reuse across malloc generations reported: %v", d.Reports())
+	}
+	// Ablation: without allocation tracking the same trace is a false
+	// positive — the §4.3 scenario.
+	d2 := Detect(sync, accesses, Options{TrackAllocations: false})
+	if len(d2.Reports()) != 1 {
+		t.Fatalf("without tracking, the reuse must look like a race: %v", d2.Reports())
+	}
+}
+
+func TestSameGenerationHeapRaceStillDetected(t *testing.T) {
+	addr := uint64(0x10000000)
+	sync := []tracefmt.SyncRecord{
+		syncRec(1, tracefmt.SyncMalloc, 10, addr, 64),
+	}
+	accesses := map[int32][]replay.Access{
+		1: {acc(1, 0x400100, addr+8, true, 100)},
+		2: {acc(2, 0x400200, addr+8, true, 200)},
+	}
+	d := Detect(sync, accesses, Options{TrackAllocations: true})
+	if len(d.Reports()) != 1 {
+		t.Fatalf("same-object race missed: %v", d.Reports())
+	}
+}
+
+func TestReadSharedNoFalseRaces(t *testing.T) {
+	// Many readers, no writer: no race regardless of ordering.
+	accesses := map[int32][]replay.Access{}
+	for tid := int32(1); tid <= 6; tid++ {
+		accesses[tid] = []replay.Access{acc(tid, 0x400100+uint64(tid), 0x600000, false, uint64(tid*10))}
+	}
+	d := Detect(nil, accesses, Options{TrackAllocations: true})
+	if len(d.Reports()) != 0 {
+		t.Fatalf("read-only sharing reported: %v", d.Reports())
+	}
+}
+
+func TestReadSharedThenUnorderedWriteRaces(t *testing.T) {
+	accesses := map[int32][]replay.Access{
+		1: {acc(1, 0x400101, 0x600000, false, 10)},
+		2: {acc(2, 0x400102, 0x600000, false, 20)},
+		3: {acc(3, 0x400103, 0x600000, true, 30)},
+	}
+	d := Detect(nil, accesses, Options{TrackAllocations: true})
+	// The write races with both reads.
+	if len(d.Reports()) != 2 {
+		t.Fatalf("expected 2 read-write races, got %v", d.Reports())
+	}
+}
+
+func TestSameThreadNeverRaces(t *testing.T) {
+	accesses := map[int32][]replay.Access{
+		1: {
+			acc(1, 0x400100, 0x600000, true, 10),
+			acc(1, 0x400108, 0x600000, false, 20),
+			acc(1, 0x400110, 0x600000, true, 30),
+		},
+	}
+	d := Detect(nil, accesses, Options{TrackAllocations: true})
+	if len(d.Reports()) != 0 {
+		t.Fatalf("single-thread accesses reported: %v", d.Reports())
+	}
+}
+
+func TestDeduplicationByPCPair(t *testing.T) {
+	// The same racy PC pair occurring many times yields one report.
+	var a1, a2 []replay.Access
+	for i := 0; i < 50; i++ {
+		a1 = append(a1, acc(1, 0x400100, 0x600000+uint64(i)*8, true, uint64(100+i)))
+		a2 = append(a2, acc(2, 0x400200, 0x600000+uint64(i)*8, true, uint64(200+i)))
+	}
+	d := Detect(nil, map[int32][]replay.Access{1: a1, 2: a2}, Options{TrackAllocations: true})
+	if len(d.Reports()) != 1 {
+		t.Fatalf("dedup failed: %d reports", len(d.Reports()))
+	}
+	if len(d.RacyAddrs) != 50 {
+		t.Errorf("racy addresses = %d, want 50", len(d.RacyAddrs))
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Addr: 0x600000,
+		First:  AccessInfo{TID: 1, PC: 0x400100, Write: true},
+		Second: AccessInfo{TID: 2, PC: 0x400200, Write: false}}
+	s := r.String()
+	if s == "" || r.Key() != [2]uint64{0x400100, 0x400200} {
+		t.Errorf("report render: %q key %v", s, r.Key())
+	}
+	r2 := Report{First: AccessInfo{PC: 9}, Second: AccessInfo{PC: 3}}
+	if r2.Key() != [2]uint64{3, 9} {
+		t.Error("key must be order-independent")
+	}
+}
+
+func TestMaxReportsBound(t *testing.T) {
+	var a1, a2 []replay.Access
+	for i := 0; i < 30; i++ {
+		// distinct PC pairs
+		a1 = append(a1, acc(1, 0x400100+uint64(i)*32, 0x600000+uint64(i)*8, true, uint64(100+i)))
+		a2 = append(a2, acc(2, 0x410000+uint64(i)*32, 0x600000+uint64(i)*8, true, uint64(200+i)))
+	}
+	d := Detect(nil, map[int32][]replay.Access{1: a1, 2: a2}, Options{TrackAllocations: true, MaxReports: 5})
+	if len(d.Reports()) != 5 {
+		t.Fatalf("max reports not enforced: %d", len(d.Reports()))
+	}
+}

@@ -1,0 +1,179 @@
+package replay
+
+import (
+	"prorace/internal/isa"
+)
+
+// backwardPass implements §5.2: for each segment ending at a PEBS sample,
+// walk the path backwards from the sample, propagating the sample's
+// register file towards each register's last definition (backward
+// propagation) and un-executing invertible instructions (reverse
+// execution). Memory operands whose address registers become known are
+// recovered; register facts that the forward pass lacked are recorded as
+// learned facts for the next forward iteration (the paper's "yet another
+// forward replay starting from the youngest instruction").
+//
+// It returns the number of newly recovered accesses.
+func (e *Engine) backwardPass(ps *pathState) int {
+	newly := 0
+	samples := ps.tt.Samples
+	for k := range samples {
+		hi := samples[k].StepIndex
+		lo := 0
+		if k > 0 {
+			lo = samples[k-1].StepIndex + 1
+		}
+		if hi-lo > e.cfg.MaxBackwardSteps {
+			lo = hi - e.cfg.MaxBackwardSteps
+		}
+		newly += e.backwardSegment(ps, lo, hi, regFileFromSample(&samples[k].Rec))
+	}
+	return newly
+}
+
+// backwardSegment walks [lo, hi] in reverse. cur enters as the post-state
+// of step hi (the sample's register file) and is transformed into earlier
+// pre-states step by step.
+func (e *Engine) backwardSegment(ps *pathState, lo, hi int, cur regFile) int {
+	newly := 0
+	pcs := ps.tt.Path.PCs
+	recordFact := func(step int, r isa.Reg, v uint64) {
+		if step > hi || ps.fwdAvail[step]&(1<<r) != 0 {
+			return
+		}
+		facts := ps.learned[step]
+		if facts == nil {
+			facts = map[isa.Reg]uint64{}
+			ps.learned[step] = facts
+		}
+		facts[r] = v
+	}
+	for i := hi; i >= lo; i-- {
+		in, okInst := e.p.InstAt(pcs[i])
+		if !okInst {
+			break
+		}
+
+		// Derive the pre-state of step i from its post-state in cur —
+		// but first record, for each register this step defines and whose
+		// post-value we know, a learned fact at step i+1 (the pre-state of
+		// the following step). The next forward pass restores the value
+		// right where backward propagation reached its definition — the
+		// paper's "yet another forward replay starting from the youngest
+		// instruction", iterated to a fixed point.
+		post := cur
+		e.unexecute(in, &cur)
+		for _, d := range in.Defs() {
+			if post.has(d) && (!cur.has(d) || cur.get(d) != post.get(d)) {
+				recordFact(i+1, d, post.get(d))
+			}
+		}
+
+		// cur is now the pre-state of step i: evaluate the memory operand.
+		// Step hi itself is the sample — already known.
+		if i < hi && in.IsMemAccess() && !ps.known[i] {
+			if addr, ok := addrOf(in, &cur, pcs[i]); ok {
+				ps.known[i] = true
+				ps.origin[i] = OriginBackward
+				ps.addrs[i] = addr
+				newly++
+			}
+		}
+
+		// Record facts the forward pass lacked, but only where they can
+		// pay off: at memory operands forward could not resolve.
+		if i < hi && in.HasMemOperand() {
+			for _, r := range in.AddrRegs() {
+				if cur.has(r) && ps.fwdAvail[i]&(1<<r) == 0 {
+					facts := ps.learned[i]
+					if facts == nil {
+						facts = map[isa.Reg]uint64{}
+						ps.learned[i] = facts
+					}
+					facts[r] = cur.get(r)
+				}
+			}
+		}
+	}
+	return newly
+}
+
+// unexecute transforms cur from the post-state of in to its pre-state.
+// Registers the instruction does not define are unchanged. Defined
+// registers are recovered where the paper's reverse execution can
+// (§5.2.2): immediate add/sub/xor are bijections; MOV establishes an
+// equality; two-register add/sub recover one operand from the other; LEA
+// with a base-only operand is an addition by a constant.
+func (e *Engine) unexecute(in isa.Inst, cur *regFile) {
+	switch in.Op {
+	case isa.MOV:
+		// post[rd] == pre[rs]; pre[rd] is lost.
+		if cur.has(in.Rd) {
+			v := cur.get(in.Rd)
+			cur.clear(in.Rd)
+			cur.set(in.Rs, v)
+		} else {
+			cur.clear(in.Rd)
+		}
+		if in.Rd == in.Rs {
+			// mov r, r: value unchanged; restore availability.
+			return
+		}
+
+	case isa.ADDI, isa.SUBI, isa.XORI:
+		if cur.has(in.Rd) {
+			if pre, ok := in.Invert(cur.get(in.Rd)); ok {
+				cur.set(in.Rd, pre)
+			}
+		}
+
+	case isa.ADD, isa.SUB, isa.XOR:
+		// post = pre OP src. src (Rs) is not modified, so cur[Rs] is its
+		// value throughout — unless Rd == Rs.
+		if in.Rd == in.Rs {
+			// post = pre OP pre: the pre-state is not recoverable (ADD
+			// loses a parity bit, SUB and XOR collapse to 0).
+			cur.clear(in.Rd)
+			return
+		}
+		if cur.has(in.Rd) && cur.has(in.Rs) {
+			post, src := cur.get(in.Rd), cur.get(in.Rs)
+			if in.Op == isa.XOR {
+				cur.set(in.Rd, post^src)
+				return
+			}
+			if pre, ok := in.InvertRegPair(post, src, true); ok {
+				cur.set(in.Rd, pre)
+				return
+			}
+		}
+		cur.clear(in.Rd)
+
+	case isa.LEA:
+		// rd = base + disp (ModeBase): pre[base] = post[rd] - disp.
+		if in.Mode == isa.ModeBase && cur.has(in.Rd) {
+			base := cur.get(in.Rd) - uint64(in.Disp)
+			if in.Rd != in.Base {
+				cur.clear(in.Rd)
+			}
+			cur.set(in.Base, base)
+			return
+		}
+		cur.clear(in.Rd)
+
+	case isa.MOVI:
+		// pre[rd] lost, but going backwards we could even *check* the
+		// constant; availability of rd before the write is unknown.
+		cur.clear(in.Rd)
+
+	case isa.LOAD:
+		cur.clear(in.Rd)
+
+	case isa.MUL, isa.AND, isa.OR, isa.SHL, isa.SHR,
+		isa.MULI, isa.ANDI, isa.ORI, isa.SHLI, isa.SHRI:
+		cur.clear(in.Rd)
+
+	case isa.SYSCALL:
+		cur.clear(isa.R0)
+	}
+}

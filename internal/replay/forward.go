@@ -1,0 +1,255 @@
+package replay
+
+import (
+	"prorace/internal/isa"
+	"prorace/internal/synthesis"
+	"prorace/internal/tracefmt"
+)
+
+// pathState carries the per-path working arrays shared by the forward and
+// backward passes across fixed-point iterations.
+type pathState struct {
+	tt     *synthesis.ThreadTrace
+	origin []Origin // per step; originNone when unrecovered
+	known  []bool   // per step; true once the address is recovered
+	addrs  []uint64 // recovered address per step
+	// fwdAvail records each step's pre-state register availability from
+	// the latest forward pass, so the backward pass can tell which of its
+	// facts are new.
+	fwdAvail []uint16
+	// learned holds backward-derived pre-state register values, applied at
+	// the given step by the next forward pass.
+	learned map[int]map[isa.Reg]uint64
+	// sampleAt maps a step index to its PEBS record.
+	sampleAt map[int]*tracefmt.PEBSRecord
+	// syncAt maps a step index to its pinned synchronization record.
+	syncAt map[int]*tracefmt.SyncRecord
+}
+
+func newPathState(tt *synthesis.ThreadTrace) *pathState {
+	n := tt.Path.Len()
+	ps := &pathState{
+		tt:       tt,
+		origin:   make([]Origin, n),
+		known:    make([]bool, n),
+		addrs:    make([]uint64, n),
+		fwdAvail: make([]uint16, n),
+		learned:  map[int]map[isa.Reg]uint64{},
+		sampleAt: map[int]*tracefmt.PEBSRecord{},
+		syncAt:   map[int]*tracefmt.SyncRecord{},
+	}
+	for i := range tt.Samples {
+		s := &tt.Samples[i]
+		ps.sampleAt[s.StepIndex] = &s.Rec
+	}
+	for i := range tt.Sync {
+		s := &tt.Sync[i]
+		if s.StepIndex >= 0 {
+			ps.syncAt[s.StepIndex] = &s.Rec
+		}
+	}
+	return ps
+}
+
+// reconstructPath runs the path-guided modes (Forward, ForwardBackward).
+func (e *Engine) reconstructPath(tt *synthesis.ThreadTrace) ([]Access, Stats) {
+	ps := newPathState(tt)
+	var st Stats
+	st.PathSteps = tt.Path.Len()
+	for _, pc := range tt.Path.PCs {
+		if in, ok := e.p.InstAt(pc); ok && in.IsMemAccess() {
+			st.MemSteps++
+		}
+	}
+
+	for iter := 0; iter < e.cfg.MaxIterations; iter++ {
+		st.Iterations = iter + 1
+		newly := e.forwardPass(ps, &st)
+		if e.cfg.Mode == ModeForward {
+			break
+		}
+		newly += e.backwardPass(ps)
+		if newly == 0 && iter > 0 {
+			break
+		}
+	}
+
+	accesses := e.collect(ps, &st)
+
+	// Samples that could not be pinned to the path still contribute via
+	// static basic-block reconstruction.
+	for i := range tt.UnpinnedSamples {
+		accesses = append(accesses, e.bbForRecord(&tt.UnpinnedSamples[i], &st)...)
+	}
+	return accesses, st
+}
+
+// forwardPass is the §5.1 forward replay over the whole path: registers are
+// restored at every sample, availability is tracked in the program map, and
+// every memory operand whose address becomes computable is recovered.
+// It returns the number of newly recovered accesses.
+func (e *Engine) forwardPass(ps *pathState, st *Stats) int {
+	var rf regFile // all-unavailable before the first sample
+	mem := map[uint64]uint64{}
+	memDrop := func() {
+		if len(mem) > 0 {
+			mem = map[uint64]uint64{}
+		}
+	}
+	newly := 0
+
+	for i, pc := range ps.tt.Path.PCs {
+		// Apply backward-derived facts for this step's pre-state.
+		if facts, ok := ps.learned[i]; ok {
+			for r, v := range facts {
+				if !rf.has(r) {
+					rf.set(r, v)
+				}
+			}
+		}
+		ps.fwdAvail[i] = rf.avail
+
+		in, okInst := e.p.InstAt(pc)
+		if !okInst {
+			break
+		}
+
+		// A sampled step: the record supplies the exact address and the
+		// full post-retirement register file.
+		if rec := ps.sampleAt[i]; rec != nil {
+			if !ps.known[i] {
+				ps.known[i] = true
+				ps.origin[i] = OriginSampled
+				ps.addrs[i] = rec.Addr
+			}
+			rf = regFileFromSample(rec)
+			if e.cfg.EmulateMemory && !e.cfg.InvalidAddrs[rec.Addr] {
+				if in.Op == isa.LOAD {
+					// The loaded value is the post-state of rd.
+					mem[rec.Addr] = rf.get(in.Rd)
+				} else if in.Op == isa.STORE {
+					mem[rec.Addr] = rf.get(in.Rs)
+				}
+			}
+			continue
+		}
+
+		switch in.Op {
+		case isa.LOAD, isa.STORE, isa.LEA:
+			addr, okAddr := addrOf(in, &rf, pc)
+			if okAddr && in.IsMemAccess() && !ps.known[i] {
+				ps.known[i] = true
+				ps.origin[i] = OriginForward
+				ps.addrs[i] = addr
+				newly++
+			}
+			switch in.Op {
+			case isa.LOAD:
+				if v, hit := mem[addr]; okAddr && hit && e.cfg.EmulateMemory && !e.cfg.InvalidAddrs[addr] {
+					rf.set(in.Rd, v)
+				} else {
+					if okAddr && e.cfg.InvalidAddrs[addr] {
+						st.InvalidHits++
+					}
+					rf.clear(in.Rd)
+				}
+			case isa.STORE:
+				if !okAddr {
+					// A store to an unknown location may clobber anything:
+					// conservatively invalidate the emulated memory (§5.1).
+					memDrop()
+				} else if e.cfg.EmulateMemory && rf.has(in.Rs) && !e.cfg.InvalidAddrs[addr] {
+					mem[addr] = rf.get(in.Rs)
+				} else {
+					delete(mem, addr)
+				}
+			case isa.LEA:
+				if okAddr {
+					rf.set(in.Rd, addr)
+				} else {
+					rf.clear(in.Rd)
+				}
+			}
+
+		case isa.MOVI:
+			rf.set(in.Rd, uint64(in.Imm))
+		case isa.MOV:
+			if rf.has(in.Rs) {
+				rf.set(in.Rd, rf.get(in.Rs))
+			} else {
+				rf.clear(in.Rd)
+			}
+		case isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR:
+			if rf.has(in.Rd) && rf.has(in.Rs) {
+				v, _ := in.ALU(rf.get(in.Rd), rf.get(in.Rs))
+				rf.set(in.Rd, v)
+			} else {
+				rf.clear(in.Rd)
+			}
+		case isa.ADDI, isa.SUBI, isa.MULI, isa.ANDI, isa.ORI, isa.XORI, isa.SHLI, isa.SHRI:
+			if rf.has(in.Rd) {
+				v, _ := in.ALU(rf.get(in.Rd), 0)
+				rf.set(in.Rd, v)
+			} else {
+				rf.clear(in.Rd)
+			}
+		case isa.SYSCALL:
+			// Emulated memory cannot be trusted across a syscall (§5.1).
+			memDrop()
+			if rec := ps.syncAt[i]; rec != nil {
+				switch rec.Kind {
+				case tracefmt.SyncMalloc, tracefmt.SyncThreadCreate:
+					// The sync log records the result, so the replay can
+					// restore it — this is how heap pointers obtained from
+					// malloc become available offline.
+					rf.set(isa.R0, rec.Addr)
+				case tracefmt.SyncThreadJoin:
+					rf.clear(isa.R0) // exit code not logged
+				default:
+					rf.set(isa.R0, 0)
+				}
+			} else {
+				rf.clear(isa.R0)
+			}
+		default:
+			// CMP/CMPI set flags only; branches are path-driven.
+		}
+	}
+	return newly
+}
+
+// collect turns the per-step recovery state into the access list.
+func (e *Engine) collect(ps *pathState, st *Stats) []Access {
+	var out []Access
+	for i, known := range ps.known {
+		if !known {
+			continue
+		}
+		pc := ps.tt.Path.PCs[i]
+		in := e.p.MustInstAt(pc)
+		if !in.IsMemAccess() {
+			continue
+		}
+		a := Access{
+			TID:    ps.tt.TID,
+			PC:     pc,
+			Addr:   ps.addrs[i],
+			Store:  in.IsStore(),
+			Step:   i,
+			Origin: ps.origin[i],
+		}
+		switch ps.origin[i] {
+		case OriginSampled:
+			a.TSC = ps.sampleAt[i].TSC
+			st.Sampled++
+		case OriginForward:
+			a.TSC = ps.tt.EstimateTSC(i)
+			st.Forward++
+		case OriginBackward:
+			a.TSC = ps.tt.EstimateTSC(i)
+			st.Backward++
+		}
+		out = append(out, a)
+	}
+	return out
+}

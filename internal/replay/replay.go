@@ -1,0 +1,224 @@
+// Package replay implements ProRace's offline memory-access reconstruction
+// (paper §5): re-executing the program binary around each PEBS sample along
+// the PT-decoded path to recover the addresses of unsampled loads and
+// stores.
+//
+// Three reconstruction modes are provided, matching the paper's Figure 11
+// comparison:
+//
+//   - ModeBasicBlock — RaceZ's approach: reconstruction confined to the
+//     static basic block containing each sample, with only trivial
+//     backward propagation inside that block. Needs no PT.
+//   - ModeForward — ProRace's forward replay (§5.1): from each sample,
+//     restore the PEBS register file and execute forward along the decoded
+//     path, tracking register/memory availability in a program map,
+//     until the next sample.
+//   - ModeForwardBackward — full ProRace (§5.2): forward replay plus
+//     backward replay (backward propagation of the next sample's register
+//     file to each register's last definition, and reverse execution of
+//     invertible instructions), iterated to a fixed point.
+//
+// PC-relative and absolute addresses are recoverable wherever the path is
+// known, even with no live register — the reason the paper's Table 2 shows
+// 100% detection for the PC-relative bugs.
+package replay
+
+import (
+	"prorace/internal/isa"
+	"prorace/internal/prog"
+	"prorace/internal/synthesis"
+	"prorace/internal/tracefmt"
+)
+
+// Mode selects the reconstruction algorithm.
+type Mode int
+
+const (
+	// ModeBasicBlock confines reconstruction to each sample's static basic
+	// block (the RaceZ baseline).
+	ModeBasicBlock Mode = iota
+	// ModeForward runs path-guided forward replay only.
+	ModeForward
+	// ModeForwardBackward runs forward and backward replay to a fixed
+	// point (full ProRace).
+	ModeForwardBackward
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeBasicBlock:
+		return "basicblock"
+	case ModeForward:
+		return "forward"
+	case ModeForwardBackward:
+		return "forward+backward"
+	}
+	return "mode?"
+}
+
+// Config parameterises the engine.
+type Config struct {
+	Mode Mode
+	// EmulateMemory enables the program-map memory emulation of §5.1
+	// (on by default in NewEngine; disable for the ablation).
+	EmulateMemory bool
+	// MaxBackwardSteps bounds one backward walk (default 200k).
+	MaxBackwardSteps int
+	// MaxIterations bounds forward/backward fixed-point rounds (default 3).
+	MaxIterations int
+	// InvalidAddrs are addresses whose emulated-memory contents must not
+	// be trusted — the detector feeds back racy locations here and
+	// reconstruction is re-run, implementing §5.1's trace regeneration.
+	InvalidAddrs map[uint64]bool
+}
+
+// How an access was obtained, for the Figure 11 breakdown.
+type Origin uint8
+
+const (
+	// OriginSampled: directly from a PEBS record.
+	OriginSampled Origin = iota
+	// OriginForward: recovered by forward replay (includes PC-relative).
+	OriginForward
+	// OriginBackward: recovered only by backward replay.
+	OriginBackward
+	// OriginBB: recovered by static basic-block reconstruction.
+	OriginBB
+)
+
+// Access is one memory access of the extended trace (paper Figure 1:
+// "Extended Memory Trace").
+type Access struct {
+	TID    int32
+	PC     uint64
+	Addr   uint64
+	Store  bool
+	TSC    uint64 // exact for sampled, estimated otherwise
+	Step   int    // path index; -1 when reconstructed without a path
+	Origin Origin
+}
+
+// Stats summarises one thread's reconstruction.
+type Stats struct {
+	Sampled     int
+	Forward     int
+	Backward    int
+	BasicBlock  int
+	PathSteps   int
+	MemSteps    int // memory-access instructions on the path
+	Iterations  int
+	InvalidHits int // accesses suppressed by InvalidAddrs feedback
+}
+
+// Total returns the number of accesses in the extended trace.
+func (s Stats) Total() int { return s.Sampled + s.Forward + s.Backward + s.BasicBlock }
+
+// RecoveryRatio is the paper's Figure 11 metric: recovered+sampled accesses
+// normalised to sampled accesses.
+func (s Stats) RecoveryRatio() float64 {
+	if s.Sampled == 0 {
+		return 0
+	}
+	return float64(s.Total()) / float64(s.Sampled)
+}
+
+// Engine reconstructs extended memory traces for one program.
+type Engine struct {
+	p   *prog.Program
+	cfg Config
+}
+
+// NewEngine returns an engine with defaults applied.
+func NewEngine(p *prog.Program, cfg Config) *Engine {
+	if cfg.MaxBackwardSteps == 0 {
+		cfg.MaxBackwardSteps = 200_000
+	}
+	if cfg.MaxIterations == 0 {
+		cfg.MaxIterations = 3
+	}
+	if cfg.Mode != ModeBasicBlock && !cfg.EmulateMemory {
+		// EmulateMemory defaults to on; Config{} from callers who did not
+		// opt out gets the paper's behaviour. The ablation sets
+		// EmulateMemoryOff explicitly via DisableMemoryEmulation.
+		cfg.EmulateMemory = true
+	}
+	return &Engine{p: p, cfg: cfg}
+}
+
+// DisableMemoryEmulation returns a copy of the engine without the §5.1
+// program-map memory emulation, for the ablation benchmark.
+func (e *Engine) DisableMemoryEmulation() *Engine {
+	cfg := e.cfg
+	cfg.EmulateMemory = false
+	cp := *e
+	cp.cfg = cfg
+	return &cp
+}
+
+// ReconstructThread produces the extended memory trace of one thread.
+func (e *Engine) ReconstructThread(tt *synthesis.ThreadTrace) ([]Access, Stats) {
+	switch e.cfg.Mode {
+	case ModeBasicBlock:
+		return e.reconstructBB(tt)
+	default:
+		return e.reconstructPath(tt)
+	}
+}
+
+// ReconstructAll runs reconstruction over every thread, returning accesses
+// keyed by thread and aggregate stats.
+func (e *Engine) ReconstructAll(tts map[int32]*synthesis.ThreadTrace) (map[int32][]Access, Stats) {
+	out := map[int32][]Access{}
+	var agg Stats
+	for tid, tt := range tts {
+		acc, st := e.ReconstructThread(tt)
+		out[tid] = acc
+		agg.Sampled += st.Sampled
+		agg.Forward += st.Forward
+		agg.Backward += st.Backward
+		agg.BasicBlock += st.BasicBlock
+		agg.PathSteps += st.PathSteps
+		agg.MemSteps += st.MemSteps
+		agg.InvalidHits += st.InvalidHits
+		if st.Iterations > agg.Iterations {
+			agg.Iterations = st.Iterations
+		}
+	}
+	return out, agg
+}
+
+// regFile is the replay register state: value plus availability per
+// register — the register half of the paper's "program map".
+type regFile struct {
+	val   [isa.NumRegs]uint64
+	avail uint16 // bit i set = register i available
+}
+
+func (r *regFile) has(reg isa.Reg) bool { return r.avail&(1<<reg) != 0 }
+func (r *regFile) get(reg isa.Reg) uint64 {
+	return r.val[reg]
+}
+func (r *regFile) set(reg isa.Reg, v uint64) {
+	r.val[reg] = v
+	r.avail |= 1 << reg
+}
+func (r *regFile) clear(reg isa.Reg) { r.avail &^= 1 << reg }
+
+func regFileFromSample(rec *tracefmt.PEBSRecord) regFile {
+	var rf regFile
+	rf.val = rec.Regs
+	rf.avail = 0xFFFF
+	return rf
+}
+
+// addrOf computes a memory operand's effective address under availability
+// tracking; ok is false when a required register is unavailable.
+func addrOf(in isa.Inst, rf *regFile, pc uint64) (uint64, bool) {
+	for _, r := range in.AddrRegs() {
+		if !rf.has(r) {
+			return 0, false
+		}
+	}
+	return in.EffectiveAddress(func(r isa.Reg) uint64 { return rf.get(r) }, pc), true
+}

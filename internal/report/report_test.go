@@ -1,0 +1,75 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"prorace/internal/asm"
+	"prorace/internal/isa"
+	"prorace/internal/race"
+)
+
+func TestFormatRace(t *testing.T) {
+	b := asm.New("rpt")
+	b.Global("shared", 8)
+	m := b.Func("main")
+	m.Load(isa.R0, asm.Global("shared", 0))
+	m.Exit(0)
+	w := b.Func("writer")
+	w.Store(asm.Global("shared", 0), isa.R1)
+	w.Ret()
+	p := b.MustBuild()
+
+	r := race.Report{
+		Addr:   p.MustLookup("shared").Addr,
+		First:  race.AccessInfo{TID: 1, PC: p.MustLookup("writer").Addr, Write: true, TSC: 100},
+		Second: race.AccessInfo{TID: 2, PC: p.MustLookup("main").Addr, Write: false, TSC: 200},
+	}
+	out := FormatRace(p, r)
+	for _, want := range []string{"shared", "writer", "main", "write", "read", "T1", "T2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatRace missing %q in:\n%s", want, out)
+		}
+	}
+
+	all := FormatRaces(p, []race.Report{r, r})
+	if !strings.Contains(all, "2 data race(s)") {
+		t.Errorf("FormatRaces header wrong:\n%s", all)
+	}
+	if FormatRaces(p, nil) != "no data races detected\n" {
+		t.Error("empty report list must say so")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.AddRow("short", 1)
+	tab.AddRow("much-longer-name", 123456)
+	tab.AddNote("a footnote with %d", 42)
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "== demo ==") {
+		t.Errorf("title line: %q", lines[0])
+	}
+	// All data rows share the header's column start for column 2.
+	idx := strings.Index(lines[1], "value")
+	for _, ln := range lines[3:5] {
+		cell := strings.TrimLeft(ln[idx:], " ")
+		if cell == "" {
+			t.Errorf("misaligned row %q", ln)
+		}
+	}
+	if !strings.Contains(out, "note: a footnote with 42") {
+		t.Error("note missing")
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("only-one")
+	tab.AddRow("x", "y", "z") // extra column beyond header
+	out := tab.String()
+	if !strings.Contains(out, "only-one") || !strings.Contains(out, "z") {
+		t.Errorf("ragged rows mishandled:\n%s", out)
+	}
+}

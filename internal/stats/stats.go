@@ -1,0 +1,95 @@
+// Package stats provides the small numeric helpers the evaluation uses:
+// means, geometric means (the paper reports overhead geomeans), and
+// human-readable formatting.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Geomean returns the geometric mean of xs (0 for empty input). Values
+// must be positive; non-positive values are clamped to a small epsilon,
+// matching how overhead factors (1+overhead) are aggregated.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x < 1e-12 {
+			x = 1e-12
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// GeomeanOverhead aggregates overhead fractions the way the paper does:
+// geomean of slowdown factors (1+x), returned as an overhead fraction.
+func GeomeanOverhead(overheads []float64) float64 {
+	factors := make([]float64, len(overheads))
+	for i, x := range overheads {
+		factors[i] = 1 + x
+	}
+	return Geomean(factors) - 1
+}
+
+// FormatOverhead renders an overhead fraction the way the paper writes
+// them: percentages below 100%, slowdown factors above ("7.52x").
+func FormatOverhead(x float64) string {
+	if x < 1.0 {
+		return fmt.Sprintf("%.1f%%", x*100)
+	}
+	return fmt.Sprintf("%.2fx", 1+x)
+}
+
+// FormatBytesPerSec renders a trace rate in MB/s.
+func FormatBytesPerSec(mbps float64) string {
+	switch {
+	case mbps >= 100:
+		return fmt.Sprintf("%.0f MB/s", mbps)
+	case mbps >= 1:
+		return fmt.Sprintf("%.1f MB/s", mbps)
+	default:
+		return fmt.Sprintf("%.2f MB/s", mbps)
+	}
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using nearest-rank
+// on a copied, sorted slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	// insertion sort: inputs are small
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(cp))))
+	if rank < 1 {
+		rank = 1
+	}
+	return cp[rank-1]
+}

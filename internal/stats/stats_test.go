@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean must be 0")
+	}
+	if !approx(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("mean wrong")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if Geomean(nil) != 0 {
+		t.Error("empty geomean must be 0")
+	}
+	if !approx(Geomean([]float64{2, 8}), 4) {
+		t.Errorf("geomean(2,8) = %v", Geomean([]float64{2, 8}))
+	}
+	// Non-positive values are clamped, not NaN.
+	if g := Geomean([]float64{0, 4}); math.IsNaN(g) || math.IsInf(g, 0) {
+		t.Errorf("geomean with zero = %v", g)
+	}
+}
+
+func TestGeomeanOverhead(t *testing.T) {
+	// Two runs at +100% and +0%: slowdown factors 2 and 1, geomean sqrt2.
+	got := GeomeanOverhead([]float64{1.0, 0.0})
+	want := math.Sqrt2 - 1
+	if !approx(got, want) {
+		t.Errorf("GeomeanOverhead = %v, want %v", got, want)
+	}
+}
+
+func TestFormatOverhead(t *testing.T) {
+	if FormatOverhead(0.042) != "4.2%" {
+		t.Errorf("got %q", FormatOverhead(0.042))
+	}
+	if FormatOverhead(6.52) != "7.52x" {
+		t.Errorf("got %q", FormatOverhead(6.52))
+	}
+}
+
+func TestFormatBytesPerSec(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{597, "597 MB/s"}, {26.4, "26.4 MB/s"}, {0.2, "0.20 MB/s"},
+	}
+	for _, c := range cases {
+		if got := FormatBytesPerSec(c.in); got != c.want {
+			t.Errorf("FormatBytesPerSec(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Error("extremes wrong")
+	}
+	if Percentile(xs, 50) != 3 {
+		t.Errorf("median = %v", Percentile(xs, 50))
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile must be 0")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("percentile mutated its input")
+	}
+}
+
+// Property: geomean of positive values lies between min and max.
+func TestQuickGeomeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := Geomean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+// Package synctrace implements ProRace's synchronization tracing (paper
+// §4.3): the simulation's equivalent of interposing on pthread and malloc
+// through LD_PRELOAD. It converts the machine's syscall events into
+// TSC-stamped synchronization records for the offline happens-before
+// analysis, including malloc/free so the detector can distinguish objects
+// that reuse an address (§4.3's false-positive scenario).
+package synctrace
+
+import (
+	"prorace/internal/isa"
+	"prorace/internal/machine"
+	"prorace/internal/tracefmt"
+)
+
+// Collector accumulates the synchronization log of one run.
+type Collector struct {
+	records []tracefmt.SyncRecord
+}
+
+// New returns an empty collector.
+func New() *Collector { return &Collector{} }
+
+// OnSyscall records the event if it is a synchronization or allocation
+// operation, returning whether it was recorded.
+func (c *Collector) OnSyscall(ev *machine.SyscallEvent) bool {
+	var kind tracefmt.SyncKind
+	var addr, aux uint64
+	switch ev.Sys {
+	case isa.SysLock:
+		kind, addr = tracefmt.SyncLock, ev.Arg0
+	case isa.SysUnlock:
+		kind, addr = tracefmt.SyncUnlock, ev.Arg0
+	case isa.SysCondWait:
+		kind, addr, aux = tracefmt.SyncCondWait, ev.Arg0, ev.Arg1
+	case isa.SysCondSignal:
+		kind, addr = tracefmt.SyncCondSignal, ev.Arg0
+	case isa.SysCondBroadcast:
+		kind, addr = tracefmt.SyncCondBroadcast, ev.Arg0
+	case isa.SysBarrier:
+		kind, addr, aux = tracefmt.SyncBarrier, ev.Arg0, ev.Arg1
+	case isa.SysThreadCreate:
+		kind, addr = tracefmt.SyncThreadCreate, ev.Ret
+	case isa.SysThreadJoin:
+		kind, addr = tracefmt.SyncThreadJoin, ev.Arg0
+	case isa.SysMalloc:
+		kind, addr, aux = tracefmt.SyncMalloc, ev.Ret, ev.Arg0
+	case isa.SysFree:
+		kind, addr = tracefmt.SyncFree, ev.Arg0
+	case isa.SysCondWake:
+		kind, addr, aux = tracefmt.SyncCondWake, ev.Arg0, ev.Arg1
+	case isa.SysBarrierWake:
+		kind, addr = tracefmt.SyncBarrierWake, ev.Arg0
+	default:
+		return false
+	}
+	c.records = append(c.records, tracefmt.SyncRecord{
+		TID:  int32(ev.TID),
+		Kind: kind,
+		TSC:  ev.TSC,
+		PC:   ev.PC,
+		Addr: addr,
+		Aux:  aux,
+	})
+	return true
+}
+
+// OnThreadStart records a thread's first event; the happens-before
+// analysis pairs it with the parent's SyncThreadCreate.
+func (c *Collector) OnThreadStart(tid machine.TID, tsc uint64) {
+	c.records = append(c.records, tracefmt.SyncRecord{
+		TID: int32(tid), Kind: tracefmt.SyncThreadBegin, TSC: tsc,
+	})
+}
+
+// OnThreadExit records a thread's last event; the happens-before analysis
+// pairs it with a later SyncThreadJoin.
+func (c *Collector) OnThreadExit(tid machine.TID, tsc uint64) {
+	c.records = append(c.records, tracefmt.SyncRecord{
+		TID: int32(tid), Kind: tracefmt.SyncThreadExit, TSC: tsc,
+	})
+}
+
+// Records returns the accumulated log.
+func (c *Collector) Records() []tracefmt.SyncRecord { return c.records }
+
+// Len returns the number of records.
+func (c *Collector) Len() int { return len(c.records) }

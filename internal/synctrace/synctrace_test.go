@@ -1,0 +1,67 @@
+package synctrace
+
+import (
+	"testing"
+
+	"prorace/internal/isa"
+	"prorace/internal/machine"
+	"prorace/internal/tracefmt"
+)
+
+func TestSyscallMapping(t *testing.T) {
+	c := New()
+	cases := []struct {
+		ev       machine.SyscallEvent
+		kind     tracefmt.SyncKind
+		addr     uint64
+		aux      uint64
+		recorded bool
+	}{
+		{machine.SyscallEvent{Sys: isa.SysLock, Arg0: 0x100}, tracefmt.SyncLock, 0x100, 0, true},
+		{machine.SyscallEvent{Sys: isa.SysUnlock, Arg0: 0x100}, tracefmt.SyncUnlock, 0x100, 0, true},
+		{machine.SyscallEvent{Sys: isa.SysCondWait, Arg0: 0x200, Arg1: 0x100}, tracefmt.SyncCondWait, 0x200, 0x100, true},
+		{machine.SyscallEvent{Sys: isa.SysCondSignal, Arg0: 0x200}, tracefmt.SyncCondSignal, 0x200, 0, true},
+		{machine.SyscallEvent{Sys: isa.SysCondBroadcast, Arg0: 0x200}, tracefmt.SyncCondBroadcast, 0x200, 0, true},
+		{machine.SyscallEvent{Sys: isa.SysBarrier, Arg0: 0x300, Arg1: 4}, tracefmt.SyncBarrier, 0x300, 4, true},
+		{machine.SyscallEvent{Sys: isa.SysThreadCreate, Ret: 3}, tracefmt.SyncThreadCreate, 3, 0, true},
+		{machine.SyscallEvent{Sys: isa.SysThreadJoin, Arg0: 3}, tracefmt.SyncThreadJoin, 3, 0, true},
+		{machine.SyscallEvent{Sys: isa.SysMalloc, Arg0: 64, Ret: 0x10000000}, tracefmt.SyncMalloc, 0x10000000, 64, true},
+		{machine.SyscallEvent{Sys: isa.SysFree, Arg0: 0x10000000}, tracefmt.SyncFree, 0x10000000, 0, true},
+		{machine.SyscallEvent{Sys: isa.SysNetIO, Arg0: 100}, 0, 0, 0, false},
+		{machine.SyscallEvent{Sys: isa.SysTSC}, 0, 0, 0, false},
+	}
+	want := 0
+	for _, cse := range cases {
+		got := c.OnSyscall(&cse.ev)
+		if got != cse.recorded {
+			t.Errorf("%v: recorded = %v, want %v", cse.ev.Sys, got, cse.recorded)
+		}
+		if !cse.recorded {
+			continue
+		}
+		r := c.Records()[want]
+		want++
+		if r.Kind != cse.kind || r.Addr != cse.addr || r.Aux != cse.aux {
+			t.Errorf("%v: record = %+v", cse.ev.Sys, r)
+		}
+	}
+	if c.Len() != want {
+		t.Errorf("len = %d, want %d", c.Len(), want)
+	}
+}
+
+func TestThreadLifecycleRecords(t *testing.T) {
+	c := New()
+	c.OnThreadStart(2, 100)
+	c.OnThreadExit(2, 900)
+	recs := c.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Kind != tracefmt.SyncThreadBegin || recs[0].TID != 2 || recs[0].TSC != 100 {
+		t.Errorf("begin record = %+v", recs[0])
+	}
+	if recs[1].Kind != tracefmt.SyncThreadExit || recs[1].TSC != 900 {
+		t.Errorf("exit record = %+v", recs[1])
+	}
+}

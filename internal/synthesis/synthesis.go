@@ -1,0 +1,262 @@
+// Package synthesis implements the offline "Decode & Synthesis" stage of
+// the paper's Figure 1: it combines the PEBS sample stream, the decoded PT
+// path, and the synchronization log of each thread into one
+// time-synchronised view, using the shared invariant TSC (paper §4.2-4.3).
+//
+// Concretely it:
+//
+//   - pins every PEBS sample to its exact step index on the decoded path,
+//     using the PMI-synchronised TSC markers the driver injected;
+//   - pins every synchronization record to its SYSCALL step on the path
+//     (both are in program order, so they zip);
+//   - builds a per-thread piecewise-linear TSC estimate over step indices,
+//     anchored at samples, markers and sync records, so reconstructed
+//     accesses can be given approximate timestamps for reporting.
+package synthesis
+
+import (
+	"fmt"
+	"sort"
+
+	"prorace/internal/isa"
+	"prorace/internal/prog"
+	"prorace/internal/ptdecode"
+	"prorace/internal/tracefmt"
+)
+
+// Sample is a PEBS record pinned onto the decoded path.
+type Sample struct {
+	Rec tracefmt.PEBSRecord
+	// StepIndex is the position of the sampled instruction on the path.
+	StepIndex int
+}
+
+// SyncStep is a synchronization record pinned onto the decoded path.
+type SyncStep struct {
+	Rec tracefmt.SyncRecord
+	// StepIndex is the position of the SYSCALL instruction on the path;
+	// -1 for records with no path step (thread begin/exit).
+	StepIndex int
+}
+
+// ThreadTrace is one thread's synthesised view.
+type ThreadTrace struct {
+	TID  int32
+	Path *ptdecode.Path
+	// Samples are the pinned PEBS records, ascending by StepIndex.
+	Samples []Sample
+	// Sync are the thread's synchronization records, pinned where
+	// possible, in TSC order.
+	Sync []SyncStep
+	// UnpinnedSamples counts PEBS records that could not be located on the
+	// path (decoder truncation, marker loss); they are still usable as
+	// bare samples.
+	UnpinnedSamples []tracefmt.PEBSRecord
+
+	anchors []anchor // for TSC estimation, ascending StepIndex
+}
+
+type anchor struct {
+	step int
+	tsc  uint64
+}
+
+// syncKindOf maps a syscall on the path to the sync-record kind it logs,
+// mirroring internal/synctrace. ok is false for untraced syscalls.
+func syncKindOf(s isa.Sys) (tracefmt.SyncKind, bool) {
+	switch s {
+	case isa.SysLock:
+		return tracefmt.SyncLock, true
+	case isa.SysUnlock:
+		return tracefmt.SyncUnlock, true
+	case isa.SysCondWait:
+		return tracefmt.SyncCondWait, true
+	case isa.SysCondSignal:
+		return tracefmt.SyncCondSignal, true
+	case isa.SysCondBroadcast:
+		return tracefmt.SyncCondBroadcast, true
+	case isa.SysBarrier:
+		return tracefmt.SyncBarrier, true
+	case isa.SysThreadCreate:
+		return tracefmt.SyncThreadCreate, true
+	case isa.SysThreadJoin:
+		return tracefmt.SyncThreadJoin, true
+	case isa.SysMalloc:
+		return tracefmt.SyncMalloc, true
+	case isa.SysFree:
+		return tracefmt.SyncFree, true
+	}
+	return 0, false
+}
+
+// Synthesize combines a trace's components per thread.
+func Synthesize(p *prog.Program, tr *tracefmt.Trace) (map[int32]*ThreadTrace, error) {
+	out := map[int32]*ThreadTrace{}
+	for _, tid := range tr.TIDs() {
+		tt, err := SynthesizeThread(p, tr, tid)
+		if err != nil {
+			return nil, err
+		}
+		out[tid] = tt
+	}
+	return out, nil
+}
+
+// SynthesizeThread synthesises one thread's view: decode its PT stream,
+// pin its samples and sync records, build TSC anchors. Threads are
+// independent, so callers may run this concurrently per thread — the
+// parallelisation opportunity §7.6 describes.
+func SynthesizeThread(p *prog.Program, tr *tracefmt.Trace, tid int32) (*ThreadTrace, error) {
+	tt := &ThreadTrace{TID: tid}
+	if stream, ok := tr.PT[tid]; ok {
+		path, err := ptdecode.Decode(p, tid, stream, 0)
+		if err != nil {
+			return nil, fmt.Errorf("synthesis: tid %d: %w", tid, err)
+		}
+		tt.Path = path
+	} else {
+		tt.Path = &ptdecode.Path{TID: tid}
+	}
+	var syncRecs []tracefmt.SyncRecord
+	for _, rec := range tr.Sync {
+		if rec.TID == tid {
+			syncRecs = append(syncRecs, rec)
+		}
+	}
+	pinSamples(p, tt, tr.PEBS[tid])
+	pinSync(p, tt, syncRecs)
+	buildAnchors(tt)
+	return tt, nil
+}
+
+// pinSamples locates each PEBS record on the path via its marker.
+func pinSamples(p *prog.Program, tt *ThreadTrace, recs []tracefmt.PEBSRecord) {
+	markers := tt.Path.Markers
+	mi := 0
+	for _, rec := range recs {
+		// Markers and samples are both in TSC order; advance to the first
+		// marker at this TSC.
+		for mi < len(markers) && markers[mi].TSC < rec.TSC {
+			mi++
+		}
+		pinned := false
+		for j := mi; j < len(markers) && markers[j].TSC == rec.TSC; j++ {
+			if idx, ok := scanBack(p, tt.Path, markers[j].StepIndex, rec.IP); ok {
+				tt.Samples = append(tt.Samples, Sample{Rec: rec, StepIndex: idx})
+				pinned = true
+				break
+			}
+		}
+		if !pinned {
+			tt.UnpinnedSamples = append(tt.UnpinnedSamples, rec)
+		}
+	}
+	sort.SliceStable(tt.Samples, func(i, j int) bool {
+		return tt.Samples[i].StepIndex < tt.Samples[j].StepIndex
+	})
+}
+
+// scanBack searches the straight-line run ending at stepIndex for the
+// sampled IP. Within a run each PC occurs at most once, so the result is
+// exact.
+func scanBack(p *prog.Program, path *ptdecode.Path, stepIndex int, ip uint64) (int, bool) {
+	hi := stepIndex - 1
+	if hi >= len(path.PCs) {
+		hi = len(path.PCs) - 1
+	}
+	for i := hi; i >= 0; i-- {
+		if path.PCs[i] == ip {
+			return i, true
+		}
+		if i < hi {
+			in, ok := p.InstAt(path.PCs[i])
+			if !ok || in.IsBranch() {
+				break
+			}
+		}
+	}
+	return 0, false
+}
+
+// pinSync zips the thread's sync records with the path's traced syscall
+// steps (both are in program order).
+func pinSync(p *prog.Program, tt *ThreadTrace, recs []tracefmt.SyncRecord) {
+	// Collect path indices of sync syscalls with their kinds.
+	type pathSys struct {
+		idx  int
+		kind tracefmt.SyncKind
+	}
+	var steps []pathSys
+	for i, pc := range tt.Path.PCs {
+		in, ok := p.InstAt(pc)
+		if !ok || in.Op != isa.SYSCALL {
+			continue
+		}
+		if k, traced := syncKindOf(in.Sys); traced {
+			steps = append(steps, pathSys{idx: i, kind: k})
+		}
+	}
+	si := 0
+	for _, rec := range recs {
+		ss := SyncStep{Rec: rec, StepIndex: -1}
+		switch rec.Kind {
+		case tracefmt.SyncThreadBegin, tracefmt.SyncThreadExit:
+			// No syscall step.
+		default:
+			if si < len(steps) && steps[si].kind == rec.Kind {
+				ss.StepIndex = steps[si].idx
+				si++
+			}
+		}
+		tt.Sync = append(tt.Sync, ss)
+	}
+}
+
+// buildAnchors collects (step, tsc) anchor points for TSC interpolation.
+func buildAnchors(tt *ThreadTrace) {
+	for _, m := range tt.Path.Markers {
+		tt.anchors = append(tt.anchors, anchor{step: m.StepIndex, tsc: m.TSC})
+	}
+	for _, s := range tt.Samples {
+		tt.anchors = append(tt.anchors, anchor{step: s.StepIndex, tsc: s.Rec.TSC})
+	}
+	for _, s := range tt.Sync {
+		if s.StepIndex >= 0 {
+			tt.anchors = append(tt.anchors, anchor{step: s.StepIndex, tsc: s.Rec.TSC})
+		}
+	}
+	sort.Slice(tt.anchors, func(i, j int) bool {
+		if tt.anchors[i].step != tt.anchors[j].step {
+			return tt.anchors[i].step < tt.anchors[j].step
+		}
+		return tt.anchors[i].tsc < tt.anchors[j].tsc
+	})
+}
+
+// EstimateTSC returns an approximate TSC for a path step, interpolating
+// between the nearest anchors. Reconstructed (unsampled) accesses get their
+// report timestamps from this.
+func (tt *ThreadTrace) EstimateTSC(step int) uint64 {
+	a := tt.anchors
+	if len(a) == 0 {
+		return 0
+	}
+	i := sort.Search(len(a), func(k int) bool { return a[k].step >= step })
+	switch {
+	case i == 0:
+		d := a[0].step - step
+		if uint64(d) > a[0].tsc {
+			return 0
+		}
+		return a[0].tsc - uint64(d)
+	case i == len(a):
+		return a[len(a)-1].tsc + uint64(step-a[len(a)-1].step)
+	default:
+		lo, hi := a[i-1], a[i]
+		if hi.step == lo.step || hi.tsc <= lo.tsc {
+			return lo.tsc
+		}
+		frac := float64(step-lo.step) / float64(hi.step-lo.step)
+		return lo.tsc + uint64(frac*float64(hi.tsc-lo.tsc))
+	}
+}

@@ -1,0 +1,52 @@
+package tracefmt
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// Compressed trace container. The paper's deployment model (§3) writes
+// traces over a dedicated network to analysis machines; shipping them
+// compressed trades a little producer-side CPU for bandwidth. PEBS records
+// compress well — the register-file snapshots of nearby samples share most
+// bytes.
+//
+// Layout: the 4-byte magic "PRTZ" followed by a DEFLATE stream of the
+// uncompressed container (Encode's output).
+
+const compressedMagic = "PRTZ"
+
+// EncodeCompressed serialises the trace with DEFLATE compression.
+func (t *Trace) EncodeCompressed() ([]byte, error) {
+	raw := t.Encode()
+	var buf bytes.Buffer
+	buf.WriteString(compressedMagic)
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, fmt.Errorf("tracefmt: %w", err)
+	}
+	if _, err := w.Write(raw); err != nil {
+		return nil, fmt.Errorf("tracefmt: compress: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("tracefmt: compress: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeTraceAuto parses either container format, detecting compression by
+// magic.
+func DecodeTraceAuto(src []byte) (*Trace, error) {
+	if len(src) >= 4 && string(src[:4]) == compressedMagic {
+		r := flate.NewReader(bytes.NewReader(src[4:]))
+		defer r.Close()
+		raw, err := io.ReadAll(r)
+		if err != nil {
+			return nil, fmt.Errorf("tracefmt: decompress: %w", err)
+		}
+		return DecodeTrace(raw)
+	}
+	return DecodeTrace(src)
+}

@@ -1,0 +1,214 @@
+package tracefmt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Trace bundles everything the online phase of ProRace produced for one
+// run: per-thread PEBS sample streams, per-thread PT packet streams, and
+// the synchronization log. It is the hand-off artifact between the
+// production machine and the offline analysis machine (paper §3).
+type Trace struct {
+	// Program names the traced workload.
+	Program string
+	// Period is the PEBS sampling period used.
+	Period uint64
+	// Seed identifies the run.
+	Seed int64
+	// WallCycles is the traced run's duration in TSC cycles.
+	WallCycles uint64
+	// PEBS holds each thread's sample stream in TSC order.
+	PEBS map[int32][]PEBSRecord
+	// PT holds each thread's encoded PT packet stream.
+	PT map[int32][]byte
+	// Sync is the synchronization log (TSC-ordered within each thread).
+	Sync []SyncRecord
+	// DroppedSamples counts PEBS records the kernel discarded under
+	// interrupt-handler overload — the effect behind the paper's
+	// observation that period 10 can yield a *smaller* trace than 100.
+	DroppedSamples uint64
+}
+
+// NewTrace returns an empty trace for a program.
+func NewTrace(program string, period uint64, seed int64) *Trace {
+	return &Trace{
+		Program: program,
+		Period:  period,
+		Seed:    seed,
+		PEBS:    map[int32][]PEBSRecord{},
+		PT:      map[int32][]byte{},
+	}
+}
+
+// TIDs returns the thread IDs present in the trace, ascending.
+func (t *Trace) TIDs() []int32 {
+	seen := map[int32]bool{}
+	for tid := range t.PEBS {
+		seen[tid] = true
+	}
+	for tid := range t.PT {
+		seen[tid] = true
+	}
+	for i := range t.Sync {
+		seen[t.Sync[i].TID] = true
+	}
+	out := make([]int32, 0, len(seen))
+	for tid := range seen {
+		out = append(out, tid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SampleCount returns the total number of PEBS samples.
+func (t *Trace) SampleCount() int {
+	n := 0
+	for _, recs := range t.PEBS {
+		n += len(recs)
+	}
+	return n
+}
+
+// Sizes reports the serialised size in bytes of each trace component.
+// These are the numbers behind Figures 8 and 9.
+func (t *Trace) Sizes() (pebsBytes, ptBytes, syncBytes uint64) {
+	for _, recs := range t.PEBS {
+		pebsBytes += uint64(len(recs)) * PEBSRecordSize
+	}
+	for _, stream := range t.PT {
+		ptBytes += uint64(len(stream))
+	}
+	syncBytes = uint64(len(t.Sync)) * SyncRecordSize
+	return
+}
+
+// TotalBytes is the full serialised payload size.
+func (t *Trace) TotalBytes() uint64 {
+	p, q, s := t.Sizes()
+	return p + q + s
+}
+
+// MBPerSecond converts the trace volume to the paper's MB/s metric, at the
+// machine's 4 GHz clock.
+func (t *Trace) MBPerSecond() float64 {
+	if t.WallCycles == 0 {
+		return 0
+	}
+	seconds := float64(t.WallCycles) / 4e9
+	return float64(t.TotalBytes()) / 1e6 / seconds
+}
+
+const traceMagic = "PRTR"
+
+// Encode serialises the trace to its container format.
+func (t *Trace) Encode() []byte {
+	var b bytes.Buffer
+	b.WriteString(traceMagic)
+	wu16 := func(v uint16) { var x [2]byte; binary.LittleEndian.PutUint16(x[:], v); b.Write(x[:]) }
+	wu32 := func(v uint32) { var x [4]byte; binary.LittleEndian.PutUint32(x[:], v); b.Write(x[:]) }
+	wu64 := func(v uint64) { var x [8]byte; binary.LittleEndian.PutUint64(x[:], v); b.Write(x[:]) }
+	wu16(uint16(len(t.Program)))
+	b.WriteString(t.Program)
+	wu64(t.Period)
+	wu64(uint64(t.Seed))
+	wu64(t.WallCycles)
+	wu64(t.DroppedSamples)
+
+	tids := t.TIDs()
+	wu32(uint32(len(tids)))
+	for _, tid := range tids {
+		wu32(uint32(tid))
+		recs := t.PEBS[tid]
+		wu32(uint32(len(recs)))
+		for i := range recs {
+			b.Write(recs[i].Encode(nil))
+		}
+		stream := t.PT[tid]
+		wu32(uint32(len(stream)))
+		b.Write(stream)
+	}
+	wu32(uint32(len(t.Sync)))
+	for i := range t.Sync {
+		b.Write(t.Sync[i].Encode(nil))
+	}
+	return b.Bytes()
+}
+
+// DecodeTrace parses a container produced by Encode.
+func DecodeTrace(src []byte) (*Trace, error) {
+	r := &sliceReader{buf: src}
+	if string(r.take(4)) != traceMagic {
+		return nil, fmt.Errorf("tracefmt: bad trace magic")
+	}
+	t := &Trace{PEBS: map[int32][]PEBSRecord{}, PT: map[int32][]byte{}}
+	t.Program = string(r.take(int(r.u16())))
+	t.Period = r.u64()
+	t.Seed = int64(r.u64())
+	t.WallCycles = r.u64()
+	t.DroppedSamples = r.u64()
+	ntids := int(r.u32())
+	for k := 0; k < ntids && r.err == nil; k++ {
+		tid := int32(r.u32())
+		nrec := int(r.u32())
+		if nrec > 0 {
+			recs := make([]PEBSRecord, 0, nrec)
+			for i := 0; i < nrec; i++ {
+				raw := r.take(PEBSRecordSize)
+				if r.err != nil {
+					break
+				}
+				rec, _, err := DecodePEBSRecord(raw)
+				if err != nil {
+					return nil, err
+				}
+				recs = append(recs, rec)
+			}
+			t.PEBS[tid] = recs
+		}
+		nstream := int(r.u32())
+		if nstream > 0 {
+			t.PT[tid] = append([]byte(nil), r.take(nstream)...)
+		}
+	}
+	nsync := int(r.u32())
+	for i := 0; i < nsync && r.err == nil; i++ {
+		raw := r.take(SyncRecordSize)
+		if r.err != nil {
+			break
+		}
+		rec, _, err := DecodeSyncRecord(raw)
+		if err != nil {
+			return nil, err
+		}
+		t.Sync = append(t.Sync, rec)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("tracefmt: truncated trace: %w", r.err)
+	}
+	return t, nil
+}
+
+type sliceReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *sliceReader) take(n int) []byte {
+	if r.err != nil || r.off+n > len(r.buf) {
+		if r.err == nil {
+			r.err = fmt.Errorf("need %d bytes at %d of %d", n, r.off, len(r.buf))
+		}
+		return make([]byte, n)
+	}
+	out := r.buf[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *sliceReader) u16() uint16 { return binary.LittleEndian.Uint16(r.take(2)) }
+func (r *sliceReader) u32() uint32 { return binary.LittleEndian.Uint32(r.take(4)) }
+func (r *sliceReader) u64() uint64 { return binary.LittleEndian.Uint64(r.take(8)) }

@@ -1,0 +1,170 @@
+// Package tracefmt defines the on-disk trace records ProRace's online phase
+// produces and its offline phase consumes: PEBS memory-access samples, PT
+// control-flow packets, and synchronization logs. All three record the
+// invariant TSC, which is what lets the offline stage time-synchronise them
+// (paper §4.2, §4.3).
+//
+// Binary encodings are defined here so trace sizes (Figures 8 and 9) are
+// measured on real serialised bytes, not Go object sizes.
+package tracefmt
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"prorace/internal/isa"
+)
+
+// PEBSRecord is one memory-access sample: the precise instruction address,
+// the data address, and the full architectural register file at retirement.
+// Register values are the *post-retirement* state, as PEBS hardware
+// captures them; forward replay therefore resumes at the instruction
+// following IP.
+type PEBSRecord struct {
+	TID   int32
+	Core  int32
+	TSC   uint64
+	IP    uint64
+	Addr  uint64
+	Store bool
+	Regs  [isa.NumRegs]uint64
+}
+
+// PEBSRecordSize is the serialised size of one raw PEBS record: 40 bytes of
+// header plus the 128-byte register file. This is what the ProRace driver
+// writes; it is in the same ballpark as a hardware PEBS v3 record.
+const PEBSRecordSize = 40 + 8*isa.NumRegs
+
+// VanillaMetadataSize is the extra per-sample metadata the stock Linux perf
+// driver synthesises and copies (perf_event header, wall-clock time, sample
+// period, size fields — step 2 in the paper's Figure 2). ProRace's driver
+// skips it entirely.
+const VanillaMetadataSize = 48
+
+// Encode appends the record's binary form to dst and returns the result.
+func (r *PEBSRecord) Encode(dst []byte) []byte {
+	var b [PEBSRecordSize]byte
+	binary.LittleEndian.PutUint32(b[0:], uint32(r.TID))
+	binary.LittleEndian.PutUint32(b[4:], uint32(r.Core))
+	binary.LittleEndian.PutUint64(b[8:], r.TSC)
+	binary.LittleEndian.PutUint64(b[16:], r.IP)
+	binary.LittleEndian.PutUint64(b[24:], r.Addr)
+	if r.Store {
+		b[32] = 1
+	}
+	for i := 0; i < isa.NumRegs; i++ {
+		binary.LittleEndian.PutUint64(b[40+8*i:], r.Regs[i])
+	}
+	return append(dst, b[:]...)
+}
+
+// DecodePEBSRecord parses one record from src, returning the remaining
+// bytes.
+func DecodePEBSRecord(src []byte) (PEBSRecord, []byte, error) {
+	if len(src) < PEBSRecordSize {
+		return PEBSRecord{}, src, fmt.Errorf("tracefmt: short PEBS record: %d bytes", len(src))
+	}
+	var r PEBSRecord
+	r.TID = int32(binary.LittleEndian.Uint32(src[0:]))
+	r.Core = int32(binary.LittleEndian.Uint32(src[4:]))
+	r.TSC = binary.LittleEndian.Uint64(src[8:])
+	r.IP = binary.LittleEndian.Uint64(src[16:])
+	r.Addr = binary.LittleEndian.Uint64(src[24:])
+	r.Store = src[32] != 0
+	for i := 0; i < isa.NumRegs; i++ {
+		r.Regs[i] = binary.LittleEndian.Uint64(src[40+8*i:])
+	}
+	return r, src[PEBSRecordSize:], nil
+}
+
+// SyncKind classifies synchronization-trace records.
+type SyncKind uint8
+
+const (
+	SyncLock SyncKind = iota
+	SyncUnlock
+	SyncCondWait // records the release edge; the reacquire is a SyncLock-like edge at wake
+	SyncCondSignal
+	SyncCondBroadcast
+	SyncBarrier
+	SyncThreadCreate // Addr = child TID
+	SyncThreadBegin  // first event of a thread
+	SyncThreadExit   // last event of a thread
+	SyncThreadJoin   // Addr = joined TID
+	SyncMalloc       // Addr = returned address, Aux = size
+	SyncFree         // Addr = freed address
+	// SyncCondWake marks the waiter's return from a condition wait, with
+	// the mutex reacquired: Addr = condition variable, Aux = mutex. The
+	// shim logs it when pthread_cond_wait returns; it carries the
+	// signaller → waiter happens-before edge.
+	SyncCondWake
+	// SyncBarrierWake marks a blocked barrier waiter's release: Addr =
+	// barrier. It carries the all-to-all happens-before edge to waiters
+	// that arrived before the last thread.
+	SyncBarrierWake
+
+	numSyncKinds
+)
+
+var syncKindNames = [...]string{
+	SyncLock: "lock", SyncUnlock: "unlock", SyncCondWait: "cond_wait",
+	SyncCondSignal: "cond_signal", SyncCondBroadcast: "cond_broadcast",
+	SyncBarrier: "barrier", SyncThreadCreate: "thread_create",
+	SyncThreadBegin: "thread_begin", SyncThreadExit: "thread_exit",
+	SyncThreadJoin: "thread_join", SyncMalloc: "malloc", SyncFree: "free",
+	SyncCondWake: "cond_wake", SyncBarrierWake: "barrier_wake",
+}
+
+// String names the kind.
+func (k SyncKind) String() string {
+	if int(k) < len(syncKindNames) {
+		return syncKindNames[k]
+	}
+	return fmt.Sprintf("sync?%d", uint8(k))
+}
+
+// SyncRecord is one synchronization-log entry, produced by the simulated
+// LD_PRELOAD shim (paper §4.3). Addr identifies the synchronization object
+// (lock variable address, condition variable, barrier, allocation address,
+// or peer TID for thread edges).
+type SyncRecord struct {
+	TID  int32
+	Kind SyncKind
+	TSC  uint64
+	PC   uint64
+	Addr uint64
+	Aux  uint64
+}
+
+// SyncRecordSize is the serialised size of one sync record.
+const SyncRecordSize = 40
+
+// Encode appends the record's binary form to dst.
+func (r *SyncRecord) Encode(dst []byte) []byte {
+	var b [SyncRecordSize]byte
+	binary.LittleEndian.PutUint32(b[0:], uint32(r.TID))
+	b[4] = byte(r.Kind)
+	binary.LittleEndian.PutUint64(b[8:], r.TSC)
+	binary.LittleEndian.PutUint64(b[16:], r.PC)
+	binary.LittleEndian.PutUint64(b[24:], r.Addr)
+	binary.LittleEndian.PutUint64(b[32:], r.Aux)
+	return append(dst, b[:]...)
+}
+
+// DecodeSyncRecord parses one record from src, returning the rest.
+func DecodeSyncRecord(src []byte) (SyncRecord, []byte, error) {
+	if len(src) < SyncRecordSize {
+		return SyncRecord{}, src, fmt.Errorf("tracefmt: short sync record: %d bytes", len(src))
+	}
+	var r SyncRecord
+	r.TID = int32(binary.LittleEndian.Uint32(src[0:]))
+	r.Kind = SyncKind(src[4])
+	if r.Kind >= numSyncKinds {
+		return SyncRecord{}, src, fmt.Errorf("tracefmt: bad sync kind %d", src[4])
+	}
+	r.TSC = binary.LittleEndian.Uint64(src[8:])
+	r.PC = binary.LittleEndian.Uint64(src[16:])
+	r.Addr = binary.LittleEndian.Uint64(src[24:])
+	r.Aux = binary.LittleEndian.Uint64(src[32:])
+	return r, src[SyncRecordSize:], nil
+}

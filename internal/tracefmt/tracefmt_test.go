@@ -1,0 +1,295 @@
+package tracefmt
+
+import (
+	"math/rand"
+	"testing"
+
+	"prorace/internal/isa"
+)
+
+func randPEBS(rng *rand.Rand) PEBSRecord {
+	r := PEBSRecord{
+		TID:   rng.Int31n(64),
+		Core:  rng.Int31n(4),
+		TSC:   rng.Uint64(),
+		IP:    isa.CodeBase + uint64(rng.Intn(10000))*isa.InstSize,
+		Addr:  rng.Uint64(),
+		Store: rng.Intn(2) == 0,
+	}
+	for i := range r.Regs {
+		r.Regs[i] = rng.Uint64()
+	}
+	return r
+}
+
+func TestPEBSRecordRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for k := 0; k < 500; k++ {
+		r := randPEBS(rng)
+		buf := r.Encode(nil)
+		if len(buf) != PEBSRecordSize {
+			t.Fatalf("encoded size %d, want %d", len(buf), PEBSRecordSize)
+		}
+		got, rest, err := DecodePEBSRecord(buf)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("decode: %v rest=%d", err, len(rest))
+		}
+		if got != r {
+			t.Fatalf("round trip mismatch:\n %+v\n %+v", r, got)
+		}
+	}
+	if _, _, err := DecodePEBSRecord(make([]byte, 10)); err == nil {
+		t.Error("short record must fail")
+	}
+}
+
+func TestSyncRecordRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for k := 0; k < 500; k++ {
+		r := SyncRecord{
+			TID:  rng.Int31n(64),
+			Kind: SyncKind(rng.Intn(int(numSyncKinds))),
+			TSC:  rng.Uint64(),
+			PC:   rng.Uint64(),
+			Addr: rng.Uint64(),
+			Aux:  rng.Uint64(),
+		}
+		buf := r.Encode(nil)
+		if len(buf) != SyncRecordSize {
+			t.Fatalf("encoded size %d", len(buf))
+		}
+		got, rest, err := DecodeSyncRecord(buf)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != r {
+			t.Fatalf("round trip mismatch: %+v vs %+v", r, got)
+		}
+	}
+	bad := make([]byte, SyncRecordSize)
+	bad[4] = byte(numSyncKinds) + 1
+	if _, _, err := DecodeSyncRecord(bad); err == nil {
+		t.Error("bad kind must fail")
+	}
+	if _, _, err := DecodeSyncRecord(bad[:5]); err == nil {
+		t.Error("short record must fail")
+	}
+}
+
+func TestSyncKindNames(t *testing.T) {
+	for k := SyncKind(0); k < numSyncKinds; k++ {
+		if k.String() == "" || k.String()[0] == 's' && k.String() == "sync?0" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+	if SyncKind(200).String() != "sync?200" {
+		t.Error("unknown kind must render as sync?N")
+	}
+}
+
+func TestPTPacketRoundTrip(t *testing.T) {
+	var stream []byte
+	stream = AppendTNT(stream, 0b101, 3)
+	stream = AppendTNTRep(stream, 0b110110, 1000)
+	stream = AppendTIP(stream, 0x400120)
+	stream = AppendTSC(stream, 987654321)
+	stream = AppendTNT(stream, 0b1, 1)
+	stream = AppendEnd(stream)
+
+	r := NewPTReader(stream)
+	want := []PTPacket{
+		{Kind: PktTNT, Bits: 0b101, NBits: 3},
+		{Kind: PktTNTRep, Bits: 0b110110, NBits: 6, Count: 1000},
+		{Kind: PktTIP, Target: 0x400120},
+		{Kind: PktTSC, TSC: 987654321},
+		{Kind: PktTNT, Bits: 0b1, NBits: 1},
+	}
+	for i, w := range want {
+		pkt, done, err := r.Next()
+		if err != nil || done {
+			t.Fatalf("packet %d: done=%v err=%v", i, done, err)
+		}
+		if pkt.Kind != w.Kind || pkt.Bits != w.Bits || pkt.NBits != w.NBits ||
+			pkt.Count != w.Count || pkt.Target != w.Target || pkt.TSC != w.TSC {
+			t.Fatalf("packet %d: %+v, want %+v", i, pkt, w)
+		}
+	}
+	pkt, done, err := r.Next()
+	if err != nil || !done || pkt.Kind != PktEnd {
+		t.Fatalf("end: %+v done=%v err=%v", pkt, done, err)
+	}
+	// Reading past the end stays done.
+	if _, done, _ := r.Next(); !done {
+		t.Error("reader must stay done")
+	}
+}
+
+func TestPTReaderErrors(t *testing.T) {
+	// Truncated TIP.
+	r := NewPTReader([]byte{byte(PktTIP), 1, 2})
+	if _, _, err := r.Next(); err == nil {
+		t.Error("truncated TIP must fail")
+	}
+	// Unknown kind.
+	r = NewPTReader([]byte{99})
+	if _, _, err := r.Next(); err == nil {
+		t.Error("unknown kind must fail")
+	}
+	// Bad TNT count.
+	r = NewPTReader([]byte{byte(PktTNT), 9, 0})
+	if _, _, err := r.Next(); err == nil {
+		t.Error("bad TNT count must fail")
+	}
+	// AppendTNT panics on bad count.
+	defer func() {
+		if recover() == nil {
+			t.Error("AppendTNT with 0 bits must panic")
+		}
+	}()
+	AppendTNT(nil, 0, 0)
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := NewTrace("apache", 10000, 7)
+	tr.WallCycles = 4_000_000
+	tr.DroppedSamples = 5
+	for tid := int32(0); tid < 3; tid++ {
+		for k := 0; k < 20; k++ {
+			rec := randPEBS(rng)
+			rec.TID = tid
+			tr.PEBS[tid] = append(tr.PEBS[tid], rec)
+		}
+		var stream []byte
+		stream = AppendTSC(stream, 100)
+		stream = AppendTNT(stream, 0b11, 2)
+		stream = AppendEnd(stream)
+		tr.PT[tid] = stream
+	}
+	for k := 0; k < 10; k++ {
+		tr.Sync = append(tr.Sync, SyncRecord{TID: int32(k % 3), Kind: SyncLock, TSC: uint64(k), Addr: 0x600000})
+	}
+
+	enc := tr.Encode()
+	back, err := DecodeTrace(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Program != "apache" || back.Period != 10000 || back.Seed != 7 ||
+		back.WallCycles != 4_000_000 || back.DroppedSamples != 5 {
+		t.Fatalf("header mismatch: %+v", back)
+	}
+	if back.SampleCount() != tr.SampleCount() {
+		t.Fatalf("sample count %d vs %d", back.SampleCount(), tr.SampleCount())
+	}
+	for tid := int32(0); tid < 3; tid++ {
+		if len(back.PEBS[tid]) != 20 {
+			t.Fatalf("tid %d: %d records", tid, len(back.PEBS[tid]))
+		}
+		for i := range back.PEBS[tid] {
+			if back.PEBS[tid][i] != tr.PEBS[tid][i] {
+				t.Fatalf("tid %d record %d mismatch", tid, i)
+			}
+		}
+		if string(back.PT[tid]) != string(tr.PT[tid]) {
+			t.Fatalf("tid %d PT stream mismatch", tid)
+		}
+	}
+	if len(back.Sync) != len(tr.Sync) {
+		t.Fatalf("sync count %d", len(back.Sync))
+	}
+	// Sizes must match component arithmetic.
+	p, q, s := tr.Sizes()
+	if p != uint64(tr.SampleCount())*PEBSRecordSize {
+		t.Errorf("pebs bytes = %d", p)
+	}
+	if q == 0 || s != uint64(len(tr.Sync))*SyncRecordSize {
+		t.Errorf("pt=%d sync=%d", q, s)
+	}
+	if tr.TotalBytes() != p+q+s {
+		t.Error("TotalBytes mismatch")
+	}
+}
+
+func TestTraceDecodeErrors(t *testing.T) {
+	tr := NewTrace("x", 100, 1)
+	tr.PEBS[0] = []PEBSRecord{{TID: 0}}
+	enc := tr.Encode()
+	if _, err := DecodeTrace(enc[:8]); err == nil {
+		t.Error("truncated trace must fail")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = 'X'
+	if _, err := DecodeTrace(bad); err == nil {
+		t.Error("bad magic must fail")
+	}
+}
+
+func TestTraceTIDsAndRates(t *testing.T) {
+	tr := NewTrace("x", 100, 1)
+	tr.PEBS[3] = []PEBSRecord{{TID: 3}}
+	tr.PT[1] = []byte{byte(PktEnd)}
+	tr.Sync = []SyncRecord{{TID: 2}}
+	tids := tr.TIDs()
+	if len(tids) != 3 || tids[0] != 1 || tids[1] != 2 || tids[2] != 3 {
+		t.Errorf("TIDs = %v", tids)
+	}
+	if tr.MBPerSecond() != 0 {
+		t.Error("zero wall cycles must yield 0 MB/s")
+	}
+	tr.WallCycles = 4_000_000_000 // 1 second
+	mb := tr.MBPerSecond()
+	want := float64(tr.TotalBytes()) / 1e6
+	if mb < want*0.999 || mb > want*1.001 {
+		t.Errorf("MBPerSecond = %v, want %v", mb, want)
+	}
+}
+
+func TestCompressedTraceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := NewTrace("mysql", 1000, 3)
+	tr.WallCycles = 1_000_000
+	base := randPEBS(rng)
+	for tid := int32(0); tid < 4; tid++ {
+		for k := 0; k < 200; k++ {
+			rec := base // nearby samples share most register bytes
+			rec.TID = tid
+			rec.TSC = uint64(k * 997)
+			rec.Addr = 0x600000 + uint64(k%64)*8
+			tr.PEBS[tid] = append(tr.PEBS[tid], rec)
+		}
+	}
+	tr.Sync = append(tr.Sync, SyncRecord{TID: 1, Kind: SyncLock, TSC: 5, Addr: 0x700000})
+
+	comp, err := tr.EncodeCompressed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := tr.Encode()
+	if len(comp) >= len(raw) {
+		t.Errorf("compression gained nothing: %d vs %d bytes", len(comp), len(raw))
+	}
+	back, err := DecodeTraceAuto(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SampleCount() != tr.SampleCount() || back.Program != tr.Program ||
+		len(back.Sync) != len(tr.Sync) {
+		t.Error("compressed round trip lost data")
+	}
+	// Auto-detection also accepts the raw form.
+	back2, err := DecodeTraceAuto(raw)
+	if err != nil || back2.SampleCount() != tr.SampleCount() {
+		t.Errorf("raw auto-decode failed: %v", err)
+	}
+	t.Logf("compression: %d -> %d bytes (%.1fx)", len(raw), len(comp), float64(len(raw))/float64(len(comp)))
+}
+
+func TestCompressedTraceErrors(t *testing.T) {
+	if _, err := DecodeTraceAuto([]byte("PRTZgarbage-that-is-not-deflate")); err == nil {
+		t.Error("garbage deflate must fail")
+	}
+	if _, err := DecodeTraceAuto([]byte("XX")); err == nil {
+		t.Error("short input must fail")
+	}
+}

@@ -1,0 +1,121 @@
+// Package vc provides the vector clocks and epochs used by the FastTrack
+// happens-before race detector (Flanagan & Freund, PLDI 2009), which
+// ProRace runs over its extended memory trace (paper §4.3, §3).
+//
+// An Epoch c@t is a scalar clock value paired with the thread that owns it;
+// FastTrack's insight is that most variables' access histories are totally
+// ordered and representable by a single epoch instead of a full vector.
+package vc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TID indexes threads in clocks. Kept as int32 to match the trace format.
+type TID = int32
+
+// Epoch packs a thread ID and a clock value: the high 16 bits hold the
+// thread, the low 48 bits the clock.
+type Epoch uint64
+
+// NoEpoch is the zero epoch: clock 0 of thread 0, FastTrack's ⊥e.
+const NoEpoch Epoch = 0
+
+const clockBits = 48
+const clockMask = (1 << clockBits) - 1
+
+// MakeEpoch builds c@t.
+func MakeEpoch(t TID, c uint64) Epoch {
+	return Epoch(uint64(uint16(t))<<clockBits | (c & clockMask))
+}
+
+// TID returns the owning thread.
+func (e Epoch) TID() TID { return TID(uint64(e) >> clockBits) }
+
+// Clock returns the scalar clock.
+func (e Epoch) Clock() uint64 { return uint64(e) & clockMask }
+
+// LEQ reports e ≤ v: the epoch's clock does not exceed the vector's entry
+// for the epoch's thread. This is FastTrack's O(1) happens-before test.
+func (e Epoch) LEQ(v *VC) bool { return e.Clock() <= v.Get(e.TID()) }
+
+// String renders c@t.
+func (e Epoch) String() string { return fmt.Sprintf("%d@%d", e.Clock(), e.TID()) }
+
+// VC is a grow-on-demand vector clock.
+type VC struct {
+	clocks []uint64
+}
+
+// New returns an empty vector clock (all zeros).
+func New() *VC { return &VC{} }
+
+// Get returns the clock of thread t.
+func (v *VC) Get(t TID) uint64 {
+	if int(t) < len(v.clocks) {
+		return v.clocks[t]
+	}
+	return 0
+}
+
+// Set assigns the clock of thread t.
+func (v *VC) Set(t TID, c uint64) {
+	v.grow(int(t) + 1)
+	v.clocks[t] = c
+}
+
+// Tick increments thread t's own entry and returns the new value.
+func (v *VC) Tick(t TID) uint64 {
+	v.grow(int(t) + 1)
+	v.clocks[t]++
+	return v.clocks[t]
+}
+
+func (v *VC) grow(n int) {
+	for len(v.clocks) < n {
+		v.clocks = append(v.clocks, 0)
+	}
+}
+
+// Join merges other into v (pointwise max) — the release/acquire edge.
+func (v *VC) Join(other *VC) {
+	v.grow(len(other.clocks))
+	for i, c := range other.clocks {
+		if c > v.clocks[i] {
+			v.clocks[i] = c
+		}
+	}
+}
+
+// Copy returns an independent copy.
+func (v *VC) Copy() *VC {
+	return &VC{clocks: append([]uint64(nil), v.clocks...)}
+}
+
+// Assign overwrites v with other's contents.
+func (v *VC) Assign(other *VC) {
+	v.clocks = append(v.clocks[:0], other.clocks...)
+}
+
+// LEQ reports whether v happens-before-or-equals other pointwise.
+func (v *VC) LEQ(other *VC) bool {
+	for i, c := range v.clocks {
+		if c > other.Get(TID(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// EpochOf returns thread t's current epoch in v.
+func (v *VC) EpochOf(t TID) Epoch { return MakeEpoch(t, v.Get(t)) }
+
+// String renders the vector, e.g. "[3 0 7]".
+func (v *VC) String() string {
+	parts := make([]string, len(v.clocks))
+	for i, c := range v.clocks {
+		parts[i] = fmt.Sprintf("%d", c)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

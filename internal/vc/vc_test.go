@@ -1,0 +1,140 @@
+package vc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEpochPacking(t *testing.T) {
+	e := MakeEpoch(5, 1234567)
+	if e.TID() != 5 || e.Clock() != 1234567 {
+		t.Errorf("epoch round trip: tid %d clock %d", e.TID(), e.Clock())
+	}
+	if NoEpoch.TID() != 0 || NoEpoch.Clock() != 0 {
+		t.Error("NoEpoch must be 0@0")
+	}
+	if e.String() != "1234567@5" {
+		t.Errorf("epoch string = %q", e.String())
+	}
+}
+
+func TestEpochLEQ(t *testing.T) {
+	v := New()
+	v.Set(3, 10)
+	if !MakeEpoch(3, 10).LEQ(v) || !MakeEpoch(3, 5).LEQ(v) {
+		t.Error("epoch within clock must be LEQ")
+	}
+	if MakeEpoch(3, 11).LEQ(v) {
+		t.Error("epoch beyond clock must not be LEQ")
+	}
+	if MakeEpoch(7, 1).LEQ(v) {
+		t.Error("epoch of unseen thread with nonzero clock must not be LEQ")
+	}
+}
+
+func TestTickSetGet(t *testing.T) {
+	v := New()
+	if v.Get(9) != 0 {
+		t.Error("unset clock must be 0")
+	}
+	if v.Tick(2) != 1 || v.Tick(2) != 2 {
+		t.Error("tick must increment")
+	}
+	v.Set(0, 7)
+	if v.Get(0) != 7 || v.Get(2) != 2 {
+		t.Error("set/get wrong")
+	}
+}
+
+func TestJoinIsPointwiseMax(t *testing.T) {
+	a, b := New(), New()
+	a.Set(0, 5)
+	a.Set(1, 1)
+	b.Set(1, 9)
+	b.Set(2, 3)
+	a.Join(b)
+	for i, want := range []uint64{5, 9, 3} {
+		if a.Get(TID(i)) != want {
+			t.Errorf("joined[%d] = %d, want %d", i, a.Get(TID(i)), want)
+		}
+	}
+	// b unchanged.
+	if b.Get(0) != 0 || b.Get(1) != 9 {
+		t.Error("join mutated its argument")
+	}
+}
+
+func TestCopyAssignIndependence(t *testing.T) {
+	a := New()
+	a.Set(1, 4)
+	c := a.Copy()
+	a.Tick(1)
+	if c.Get(1) != 4 {
+		t.Error("copy not independent")
+	}
+	d := New()
+	d.Set(0, 99)
+	d.Assign(c)
+	if d.Get(0) != 0 || d.Get(1) != 4 {
+		t.Errorf("assign wrong: %v", d)
+	}
+}
+
+func TestVCLEQ(t *testing.T) {
+	a, b := New(), New()
+	a.Set(0, 1)
+	b.Set(0, 2)
+	b.Set(1, 1)
+	if !a.LEQ(b) {
+		t.Error("a must be LEQ b")
+	}
+	if b.LEQ(a) {
+		t.Error("b must not be LEQ a")
+	}
+	if !New().LEQ(a) {
+		t.Error("bottom must be LEQ everything")
+	}
+}
+
+func TestEpochOfAndString(t *testing.T) {
+	v := New()
+	v.Set(2, 8)
+	if e := v.EpochOf(2); e.TID() != 2 || e.Clock() != 8 {
+		t.Error("EpochOf wrong")
+	}
+	if v.String() != "[0 0 8]" {
+		t.Errorf("String = %q", v.String())
+	}
+}
+
+// Property: join is commutative and idempotent in effect.
+func TestQuickJoinProperties(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a1, b1 := New(), New()
+		for i, x := range xs {
+			a1.Set(TID(i), uint64(x))
+		}
+		for i, y := range ys {
+			b1.Set(TID(i), uint64(y))
+		}
+		a2, b2 := b1.Copy(), a1.Copy()
+		a1.Join(b1) // a ⊔ b
+		a2.Join(b2) // b ⊔ a
+		n := len(xs)
+		if len(ys) > n {
+			n = len(ys)
+		}
+		for i := 0; i < n; i++ {
+			if a1.Get(TID(i)) != a2.Get(TID(i)) {
+				return false
+			}
+		}
+		// Idempotent: joining again changes nothing.
+		before := a1.String()
+		a1.Join(b1)
+		return a1.String() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"prorace/internal/asm"
+	"prorace/internal/isa"
+)
+
+// Kernel emitters. Each emits a callable function into the builder. The
+// calling convention is R0 = iteration count, R1 = thread index; kernels
+// may use R1..R7 as scratch; R8+ are preserved by convention (kernels do
+// not touch them), so workers can keep loop state there across calls.
+//
+// Two properties of real compiled code are deliberately reproduced because
+// the paper's reconstruction results depend on them:
+//
+//   - kernels reload their working-set base pointers from a per-thread
+//     control block in memory at every call (as real code reloads from the
+//     stack or heap objects). Offline, those loads are unavailable unless
+//     recently emulated, so forward replay's reach past a sample is
+//     bounded — recovery ratios stay finite (Figure 11);
+//   - inner loops make periodic data-dependent address hops, ending
+//     straight-line recoverable runs the way input-dependent access
+//     patterns do.
+//
+// Workloads built from these kernels are race-free by construction: shared
+// state is either read-only, partitioned per thread, or lock-protected.
+// The bug reproducers in internal/bugs are where races are planted.
+
+// ctrlBlockSym is the per-thread kernel control block: 32 bytes per thread
+// holding {array offset, spill offset, hash offset, chase start index}.
+const ctrlBlockSym = "kctrl"
+
+// AddCtrlBlock reserves the control block for `threads` threads.
+func AddCtrlBlock(b *asm.Builder, threads int) {
+	b.Global(ctrlBlockSym, uint64(threads)*32)
+}
+
+// EmitCtrlInit writes the worker prologue that fills the calling thread's
+// control block. R8 must hold the thread index; R5..R7 are clobbered.
+func EmitCtrlInit(w *asm.FuncBuilder) {
+	w.Mov(isa.R7, isa.R8)
+	w.MulI(isa.R7, 32)
+	w.Lea(isa.R6, asm.Global(ctrlBlockSym, 0))
+	w.Add(isa.R6, isa.R7) // r6 = &kctrl[tid]
+	w.Mov(isa.R5, isa.R8)
+	w.MulI(isa.R5, 4096)
+	w.Store(asm.Base(isa.R6, 0), isa.R5) // array region offset
+	w.Mov(isa.R5, isa.R8)
+	w.MulI(isa.R5, 8)
+	w.Store(asm.Base(isa.R6, 8), isa.R5) // spill slot offset
+	w.Mov(isa.R5, isa.R8)
+	w.MulI(isa.R5, 2048)
+	w.Store(asm.Base(isa.R6, 16), isa.R5) // hash region offset
+	w.Store(asm.Base(isa.R6, 24), isa.R8) // chase start index
+}
+
+// emitCtrlLoad emits the kernel prologue loading one control-block field
+// into rd, using R7 as scratch. R1 must hold the thread index.
+func emitCtrlLoad(f *asm.FuncBuilder, rd isa.Reg, field int64) {
+	f.Mov(isa.R7, isa.R1)
+	f.MulI(isa.R7, 32)
+	f.Lea(rd, asm.Global(ctrlBlockSym, 0))
+	f.Add(rd, isa.R7)
+	f.Load(rd, asm.Base(rd, field))
+}
+
+// EmitMainSpawnJoin writes the standard main: spawn `threads` workers of
+// `workerFn` with the worker index as argument, join them all, exit.
+func EmitMainSpawnJoin(b *asm.Builder, threads int, workerFn string) {
+	m := b.Func("main")
+	for i := 0; i < threads; i++ {
+		m.MovI(isa.R4, int64(i))
+		m.SpawnThread(workerFn, isa.R4)
+		m.Store(asm.Global("tids", int64(i)*8), isa.R0)
+	}
+	for i := 0; i < threads; i++ {
+		m.Load(isa.R0, asm.Global("tids", int64(i)*8))
+		m.Syscall(isa.SysThreadJoin)
+	}
+	m.Exit(0)
+	b.Global("tids", uint64(threads)*8)
+}
+
+// EmitStreamKernel emits a streaming read-modify-write walk over a
+// per-thread slice of `arraySym`: high load/store density, register-
+// indirect (base+index) addressing, with a data-dependent index hop every
+// 16 iterations.
+func EmitStreamKernel(b *asm.Builder, fname, arraySym string, elemMask int64) {
+	f := b.Func(fname)
+	// R0 = iterations, R1 = thread index.
+	emitCtrlLoad(f, isa.R2, 0) // region offset, from memory
+	f.Lea(isa.R7, asm.Global(arraySym, 0))
+	f.Add(isa.R2, isa.R7) // region base
+	f.MovI(isa.R3, 0)     // element index
+	f.Label("loop")
+	f.Load(isa.R4, asm.BaseIndex(isa.R2, isa.R3, 8, 0))
+	f.AddI(isa.R4, 0x9E3779B9)
+	f.Store(asm.BaseIndex(isa.R2, isa.R3, 8, 0), isa.R4)
+	// Data-dependent hop every 16 iterations.
+	f.Mov(isa.R5, isa.R0)
+	f.AndI(isa.R5, 15)
+	f.CmpI(isa.R5, 0)
+	f.Jne("linear")
+	f.Mov(isa.R5, isa.R4)
+	f.AndI(isa.R5, 7)
+	f.Add(isa.R3, isa.R5)
+	f.Label("linear")
+	f.AddI(isa.R3, 1)
+	// Compare-based wraparound (a masking AND would destroy backward
+	// replay's ability to invert the index chain; real loop bounds are
+	// compares too). The hop adds at most 8, so the index never exceeds
+	// elemMask+8 before the reset catches it.
+	f.CmpI(isa.R3, elemMask)
+	f.Jle("inbounds")
+	f.MovI(isa.R3, 0)
+	f.Label("inbounds")
+	f.SubI(isa.R0, 1)
+	f.CmpI(isa.R0, 0)
+	f.Jgt("loop")
+	f.Ret()
+}
+
+// EmitComputeKernel emits an arithmetic-heavy loop with a rare spill to a
+// per-thread slot whose address comes from the control block: low memory
+// density, the blackscholes/swaptions profile.
+func EmitComputeKernel(b *asm.Builder, fname, spillSym string) {
+	f := b.Func(fname)
+	// R0 = iterations, R1 = thread index.
+	emitCtrlLoad(f, isa.R6, 8) // spill offset, from memory
+	f.Lea(isa.R7, asm.Global(spillSym, 0))
+	f.Add(isa.R6, isa.R7) // spill address
+	f.MovI(isa.R2, 0x243F6A88)
+	f.MovI(isa.R3, 0x85A308D3)
+	f.Label("loop")
+	f.Mov(isa.R4, isa.R2)
+	f.Mul(isa.R4, isa.R3)
+	f.XorI(isa.R4, 0x13198A2E)
+	f.ShrI(isa.R4, 7)
+	f.Add(isa.R2, isa.R4)
+	f.Mov(isa.R5, isa.R2)
+	f.AndI(isa.R5, 15)
+	f.CmpI(isa.R5, 0)
+	f.Jne("nospill")
+	f.Store(asm.Base(isa.R6, 0), isa.R2) // one store per ~16 iterations
+	f.Label("nospill")
+	f.SubI(isa.R0, 1)
+	f.CmpI(isa.R0, 0)
+	f.Jgt("loop")
+	f.Ret()
+}
+
+// EmitPointerChaseKernel emits a memory-indirect walk: each step loads the
+// next node pointer from memory and dereferences it — the canneal/ferret
+// profile and the access pattern that defeats forward-only replay. The
+// node table must be a statically initialised ring (see AddPointerRing).
+func EmitPointerChaseKernel(b *asm.Builder, fname, tableSym string, nodes int64) {
+	f := b.Func(fname)
+	// R0 = iterations, R1 = thread index.
+	emitCtrlLoad(f, isa.R3, 24) // start index, from memory
+	f.AndI(isa.R3, nodes-1)
+	f.Lea(isa.R2, asm.Global(tableSym, 0))
+	f.Label("loop")
+	f.Mov(isa.R6, isa.R3)
+	f.ShlI(isa.R6, 4)                                   // 16-byte nodes
+	f.Load(isa.R4, asm.BaseIndex(isa.R2, isa.R6, 1, 0)) // node.next (pointer from memory)
+	f.Load(isa.R5, asm.Base(isa.R4, 8))                 // node.next.value (memory-indirect)
+	f.AddI(isa.R5, 1)
+	f.Store(asm.Base(isa.R4, 8), isa.R5) // racy only if threads share nodes; indices partition it
+	// Stride 64 partitions the ring into 64 residue classes: threads (all
+	// workloads use < 64) start at their own index, so reads stay in class
+	// tid and writes in class tid+1 — disjoint across threads.
+	f.AddI(isa.R3, 64)
+	f.AndI(isa.R3, nodes-1)
+	f.SubI(isa.R0, 1)
+	f.CmpI(isa.R0, 0)
+	f.Jgt("loop")
+	f.Ret()
+}
+
+// AddPointerRing places a statically initialised node table for
+// EmitPointerChaseKernel: nodes of 16 bytes {next *node, value uint64},
+// where node[i].next = &node[i+1 mod n]. Being data-segment constants, the
+// pointers are invisible to offline replay — like any pointer structure
+// built before tracing began.
+func AddPointerRing(b *asm.Builder, tableSym string, nodes int64) {
+	base := b.NextDataAddr()
+	words := make([]uint64, nodes*2)
+	for i := int64(0); i < nodes; i++ {
+		next := (i + 1) & (nodes - 1)
+		words[i*2] = base + uint64(next*16)
+		words[i*2+1] = uint64(i)
+	}
+	b.GlobalWords(tableSym, words)
+}
+
+// EmitLockedCounterKernel emits a lock-protected shared counter update —
+// the synchronization heartbeat that exercises the sync tracer.
+func EmitLockedCounterKernel(b *asm.Builder, fname, lockSym, counterSym string) {
+	f := b.Func(fname)
+	// R0 = iterations.
+	f.Mov(isa.R7, isa.R0)
+	f.Label("loop")
+	f.Lock(lockSym)
+	f.Load(isa.R1, asm.Global(counterSym, 0))
+	f.AddI(isa.R1, 1)
+	f.Store(asm.Global(counterSym, 0), isa.R1)
+	f.Unlock(lockSym)
+	f.SubI(isa.R7, 1)
+	f.CmpI(isa.R7, 0)
+	f.Jgt("loop")
+	f.Ret()
+}
+
+// EmitHashTableKernel emits memcached-style operations: hash a key, probe
+// a table slot (register-indirect), update it. The hash state absorbs a
+// loaded value every 8th operation, so probe addresses are data-dependent.
+func EmitHashTableKernel(b *asm.Builder, fname, tableSym string, slotMask int64) {
+	f := b.Func(fname)
+	// R0 = iterations, R1 = thread index.
+	emitCtrlLoad(f, isa.R2, 16) // region offset, from memory
+	f.Lea(isa.R7, asm.Global(tableSym, 0))
+	f.Add(isa.R2, isa.R7)
+	f.MovI(isa.R3, 0xCBF29CE484222325>>32)
+	f.Label("loop")
+	f.Mov(isa.R4, isa.R0)
+	f.MulI(isa.R4, 0x100000001B3)
+	f.Xor(isa.R4, isa.R3)
+	f.Mov(isa.R5, isa.R4)
+	f.ShrI(isa.R5, 4)
+	f.AndI(isa.R5, slotMask)
+	f.Load(isa.R6, asm.BaseIndex(isa.R2, isa.R5, 8, 0))
+	f.Add(isa.R6, isa.R4)
+	f.Store(asm.BaseIndex(isa.R2, isa.R5, 8, 0), isa.R6)
+	f.Mov(isa.R5, isa.R0)
+	f.AndI(isa.R5, 7)
+	f.CmpI(isa.R5, 0)
+	f.Jne("nomix")
+	f.Xor(isa.R3, isa.R6)
+	f.Label("nomix")
+	f.SubI(isa.R0, 1)
+	f.CmpI(isa.R0, 0)
+	f.Jgt("loop")
+	f.Ret()
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"prorace/internal/asm"
+	"prorace/internal/isa"
+	"prorace/internal/machine"
+)
+
+// mix selects a PARSEC kernel composition. The per-mix iteration weights
+// reproduce each benchmark family's load/store density, which is what
+// determines its PEBS event rate and hence the overhead/trace-size curves
+// of Figures 6 and 8.
+type mix int
+
+const (
+	mixStream   mix = iota // fluidanimate/streamcluster/x264: dense streaming access
+	mixCompute             // blackscholes/swaptions/raytrace: arithmetic heavy
+	mixPointer             // canneal/ferret: pointer chasing
+	mixBalanced            // bodytrack/dedup/freqmine/vips: a bit of everything
+)
+
+type parsecSpec struct {
+	name  string
+	m     mix
+	iters int64 // outer iterations per worker (thousands of instructions)
+}
+
+const parsecThreads = 4 // paper: thread count equals the four cores
+
+// buildParsec assembles one PARSEC-like workload: four workers run the
+// mix's kernels over partitioned data with a lock-protected progress
+// counter, joining at the end — race-free by construction.
+func buildParsec(s parsecSpec, scale Scale) Workload {
+	b := asm.New(s.name)
+	AddPointerRing(b, "ring", 256)
+	AddCtrlBlock(b, parsecThreads)
+	b.Global("array", 4*4096) // 4 KB per thread
+	b.Global("spill", uint64(parsecThreads)*8)
+	b.Global("lk", 8)
+	b.Global("progress", 8)
+
+	EmitMainSpawnJoin(b, parsecThreads, "worker")
+	EmitStreamKernel(b, "stream", "array", 511)
+	EmitComputeKernel(b, "compute", "spill")
+	EmitPointerChaseKernel(b, "chase", "ring", 256)
+	EmitLockedCounterKernel(b, "tick", "lk", "progress")
+
+	// Worker: R0 = thread index. Loop `iters` times over the mix.
+	w := b.Func("worker")
+	w.Mov(isa.R8, isa.R0) // thread index
+	EmitCtrlInit(w)
+	w.MovI(isa.R11, s.iters*int64(scale))
+	w.Label("frame")
+
+	emitCall := func(fn string, iters int64) {
+		w.MovI(isa.R0, iters)
+		w.Mov(isa.R1, isa.R8)
+		w.Call(fn)
+	}
+	switch s.m {
+	case mixStream:
+		emitCall("stream", 1760)
+		emitCall("compute", 240)
+	case mixCompute:
+		emitCall("compute", 1600)
+		emitCall("stream", 200)
+	case mixPointer:
+		emitCall("chase", 960)
+		emitCall("compute", 480)
+	case mixBalanced:
+		emitCall("stream", 720)
+		emitCall("compute", 640)
+		emitCall("chase", 320)
+	}
+	// Heartbeat: one locked progress tick every fourth frame — roughly the
+	// synchronization density (one sync op per tens of thousands of
+	// instructions) of a real PARSEC run.
+	w.Mov(isa.R5, isa.R11)
+	w.AndI(isa.R5, 3)
+	w.CmpI(isa.R5, 0)
+	w.Jne("notick")
+	w.MovI(isa.R0, 1)
+	w.Call("tick")
+	w.Label("notick")
+
+	w.SubI(isa.R11, 1)
+	w.CmpI(isa.R11, 0)
+	w.Jgt("frame")
+	w.Exit(0)
+
+	return Workload{
+		Name:    s.name,
+		Threads: parsecThreads,
+		Class:   CPUBound,
+		Program: b.MustBuild(),
+		Machine: machine.Config{Cores: 4},
+	}
+}

@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"prorace/internal/asm"
+	"prorace/internal/isa"
+	"prorace/internal/machine"
+)
+
+// ServerSpec describes a real-application model as a per-request recipe:
+// network receive → CPU kernels over per-thread state → synchronized
+// bookkeeping → log/file traffic → network send. The profiles reproduce
+// Table 1's setups and the I/O balance that gives Figure 7 its two
+// regimes (network-bound apps hide tracing; CPU/file-bound ones do not).
+type ServerSpec struct {
+	Name    string
+	Threads int
+	Class   Class
+	// Requests per worker at scale 1.
+	Requests int64
+	// Network bytes per request (0 disables the call).
+	RecvBytes, SendBytes int64
+	// Kernel iterations per request.
+	Stream, Compute, Chase, Hash int64
+	// Locked shared-counter updates per request.
+	Ticks int64
+	// Application log bytes per request.
+	LogBytes int64
+	// File I/O bytes per request.
+	FileBytes int64
+}
+
+// InjectHooks lets the bug reproducers (internal/bugs) plant code into an
+// application model: globals and helper functions via Setup, main-thread
+// initialisation via MainPrologue, and per-request code via PerRequest.
+// The worker's thread index is in R8 and its remaining-request counter in
+// R11 when PerRequest runs; R8..R12 must be preserved.
+type InjectHooks struct {
+	Setup        func(b *asm.Builder)
+	MainPrologue func(m *asm.FuncBuilder)
+	PerRequest   func(w *asm.FuncBuilder)
+}
+
+// Apache models the apache web server: 4 threads serving 128 KB files to
+// 8 clients (Table 1) — network-send dominated, light CPU, access logging.
+func Apache(scale Scale) Workload { return BuildServer(ApacheSpec(), scale, nil) }
+
+// ApacheSpec returns apache's model parameters.
+func ApacheSpec() ServerSpec {
+	return ServerSpec{
+		Name: "apache", Threads: 4, Class: NetBound, Requests: 30,
+		RecvBytes: 512, SendBytes: 131072,
+		Stream: 160, Compute: 80, Ticks: 1, LogBytes: 96,
+	}
+}
+
+// Cherokee models the cherokee web server: 38 threads (Table 1), the same
+// serving profile as apache at higher concurrency.
+func Cherokee(scale Scale) Workload { return BuildServer(CherokeeSpec(), scale, nil) }
+
+// CherokeeSpec returns cherokee's model parameters.
+func CherokeeSpec() ServerSpec {
+	return ServerSpec{
+		Name: "cherokee", Threads: 38, Class: NetBound, Requests: 6,
+		RecvBytes: 512, SendBytes: 131072,
+		Stream: 128, Compute: 64, Ticks: 1, LogBytes: 96,
+	}
+}
+
+// MySQL models the mysql database server: 20 threads, SysBench OLTP over
+// 10 M records (Table 1) — index walks (pointer chasing), record streaming,
+// lock-contended bookkeeping, binlog file writes. CPU-heavy: 20 workers on
+// 4 cores cannot hide tracing.
+func MySQL(scale Scale) Workload { return BuildServer(MySQLSpec(), scale, nil) }
+
+// MySQLSpec returns mysql's model parameters.
+func MySQLSpec() ServerSpec {
+	return ServerSpec{
+		Name: "mysql", Threads: 20, Class: Mixed, Requests: 12,
+		RecvBytes: 128, SendBytes: 1024,
+		Stream: 360, Compute: 160, Chase: 480, Hash: 160, Ticks: 1,
+		FileBytes: 256,
+	}
+}
+
+// Memcached models memcached under YCSB (Table 1): 5 threads, hash-table
+// gets/puts, small packets — network-bound.
+func Memcached(scale Scale) Workload {
+	return BuildServer(ServerSpec{
+		Name: "memcached", Threads: 5, Class: NetBound, Requests: 60,
+		RecvBytes: 128, SendBytes: 512,
+		Hash: 120, Compute: 32, Ticks: 1,
+	}, scale, nil)
+}
+
+// Transmission models the BitTorrent client on a 4.48 GB transfer
+// (Table 1): piece download, checksum, piece write — file-bus heavy.
+func Transmission(scale Scale) Workload {
+	return BuildServer(ServerSpec{
+		Name: "transmission", Threads: 4, Class: FileBound, Requests: 24,
+		RecvBytes: 16384,
+		Stream:    640, Compute: 160, Ticks: 1,
+		FileBytes: 16384,
+	}, scale, nil)
+}
+
+// Pfscan models the parallel file scanner over a 6.8 GB tree (Table 1):
+// large reads and a dense scan loop — file plus CPU bound, the workload
+// with the paper's worst trace-volume-to-runtime ratio.
+func Pfscan(scale Scale) Workload { return BuildServer(PfscanSpec(), scale, nil) }
+
+// PfscanSpec returns pfscan's model parameters.
+func PfscanSpec() ServerSpec {
+	return ServerSpec{
+		Name: "pfscan", Threads: 4, Class: FileBound, Requests: 25,
+		Stream: 2400, Compute: 120,
+		FileBytes: 65536, Ticks: 1,
+	}
+}
+
+// Pbzip2 models the parallel compressor on a 1 GB file (Table 1):
+// block read, heavy compute, block write — CPU bound.
+func Pbzip2(scale Scale) Workload { return BuildServer(Pbzip2Spec(), scale, nil) }
+
+// Pbzip2Spec returns pbzip2's model parameters.
+func Pbzip2Spec() ServerSpec {
+	return ServerSpec{
+		Name: "pbzip2", Threads: 4, Class: CPUBound, Requests: 15,
+		Stream: 1600, Compute: 3200, Hash: 320, Ticks: 1,
+		FileBytes: 8192,
+	}
+}
+
+// Aget models the parallel downloader on a 2.1 GB file (Table 1): network
+// chunks written straight to disk with a shared progress record.
+func Aget(scale Scale) Workload { return BuildServer(AgetSpec(), scale, nil) }
+
+// AgetSpec returns aget's model parameters.
+func AgetSpec() ServerSpec {
+	return ServerSpec{
+		Name: "aget", Threads: 4, Class: NetBound, Requests: 25,
+		RecvBytes: 32768,
+		Compute:   64, Ticks: 2,
+		FileBytes: 32768,
+	}
+}
+
+// BuildServer assembles a server-model workload, optionally with injected
+// bug code.
+func BuildServer(s ServerSpec, scale Scale, hooks *InjectHooks) Workload {
+	if scale <= 0 {
+		scale = 1
+	}
+	b := asm.New(s.Name)
+	if hooks != nil && hooks.Setup != nil {
+		hooks.Setup(b)
+	}
+	AddPointerRing(b, "ring", 256)
+	AddCtrlBlock(b, s.Threads)
+	b.Global("array", uint64(s.Threads)*4096)
+	b.Global("table", uint64(s.Threads)*2048)
+	b.Global("spill", uint64(s.Threads)*8)
+	b.Global("lk", 8)
+	b.Global("stats", 8)
+	b.Global("logbuf", 128)
+
+	emitMain(b, s.Threads, "worker", hooks)
+	if s.Stream > 0 {
+		EmitStreamKernel(b, "stream", "array", 511)
+	}
+	if s.Compute > 0 {
+		EmitComputeKernel(b, "compute", "spill")
+	}
+	if s.Chase > 0 {
+		EmitPointerChaseKernel(b, "chase", "ring", 256)
+	}
+	if s.Hash > 0 {
+		EmitHashTableKernel(b, "hash", "table", 255)
+	}
+	if s.Ticks > 0 {
+		EmitLockedCounterKernel(b, "tick", "lk", "stats")
+	}
+
+	w := b.Func("worker")
+	w.Mov(isa.R8, isa.R0) // thread index
+	EmitCtrlInit(w)
+	w.MovI(isa.R11, s.Requests*int64(scale))
+	w.Label("request")
+
+	if s.RecvBytes > 0 {
+		w.NetIO(s.RecvBytes)
+	}
+	call := func(fn string, iters int64) {
+		if iters <= 0 {
+			return
+		}
+		w.MovI(isa.R0, iters)
+		w.Mov(isa.R1, isa.R8)
+		w.Call(fn)
+	}
+	call("chase", s.Chase)
+	call("stream", s.Stream)
+	if hooks != nil && hooks.PerRequest != nil {
+		hooks.PerRequest(w)
+	}
+	call("hash", s.Hash)
+	call("compute", s.Compute)
+	if s.Ticks > 0 {
+		w.MovI(isa.R0, s.Ticks)
+		w.Call("tick")
+	}
+	if s.LogBytes > 0 {
+		w.Lea(isa.R0, asm.Global("logbuf", 0))
+		w.MovI(isa.R1, s.LogBytes)
+		w.Syscall(isa.SysLog)
+	}
+	if s.FileBytes > 0 {
+		w.FileIO(s.FileBytes)
+	}
+	if s.SendBytes > 0 {
+		w.NetIO(s.SendBytes)
+	}
+
+	w.SubI(isa.R11, 1)
+	w.CmpI(isa.R11, 0)
+	w.Jgt("request")
+	w.Exit(0)
+
+	return Workload{
+		Name:    s.Name,
+		Threads: s.Threads,
+		Class:   s.Class,
+		Program: b.MustBuild(),
+		Machine: machine.Config{Cores: 4},
+	}
+}
+
+// emitMain is EmitMainSpawnJoin with an optional prologue (run by the main
+// thread before any worker starts — bug reproducers use it to allocate and
+// publish shared objects).
+func emitMain(b *asm.Builder, threads int, workerFn string, hooks *InjectHooks) {
+	m := b.Func("main")
+	if hooks != nil && hooks.MainPrologue != nil {
+		hooks.MainPrologue(m)
+	}
+	for i := 0; i < threads; i++ {
+		m.MovI(isa.R4, int64(i))
+		m.SpawnThread(workerFn, isa.R4)
+		m.Store(asm.Global("tids", int64(i)*8), isa.R0)
+	}
+	for i := 0; i < threads; i++ {
+		m.Load(isa.R0, asm.Global("tids", int64(i)*8))
+		m.Syscall(isa.SysThreadJoin)
+	}
+	m.Exit(0)
+	b.Global("tids", uint64(threads)*8)
+}

@@ -1,0 +1,139 @@
+// Package workload provides the programs the evaluation runs: 13
+// PARSEC-like CPU-bound kernels and models of the paper's eight real
+// applications (Table 1), each built from a library of compute and I/O
+// kernels with the instruction mix, thread count and I/O profile that
+// drives its overhead and trace-size behaviour.
+//
+// These are synthetic stand-ins (see DESIGN.md §2): what matters for the
+// paper's experiments is each workload's rate of retired loads/stores
+// (PEBS events), branchiness (PT volume), synchronization rate, and
+// CPU-vs-network-vs-file balance (overhead hiding). The workloads
+// reproduce those properties; they do not parse HTTP.
+package workload
+
+import (
+	"fmt"
+
+	"prorace/internal/machine"
+	"prorace/internal/prog"
+)
+
+// Class captures what bounds a workload's wall-clock time.
+type Class int
+
+const (
+	// CPUBound workloads saturate the cores (PARSEC, pbzip2).
+	CPUBound Class = iota
+	// NetBound workloads mostly wait on network I/O (apache, cherokee,
+	// memcached, aget); tracing overhead hides under the waiting.
+	NetBound
+	// FileBound workloads contend on the file bus (transmission, pfscan),
+	// which trace writes also use.
+	FileBound
+	// Mixed workloads have substantial CPU and I/O phases (mysql).
+	Mixed
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case CPUBound:
+		return "cpu"
+	case NetBound:
+		return "net"
+	case FileBound:
+		return "file"
+	case Mixed:
+		return "mixed"
+	}
+	return "class?"
+}
+
+// Workload is one runnable benchmark.
+type Workload struct {
+	// Name identifies the workload ("apache", "blackscholes", ...).
+	Name string
+	// Threads is the worker thread count (Table 1 for real applications).
+	Threads int
+	// Class describes its bound.
+	Class Class
+	// Program is the built binary.
+	Program *prog.Program
+	// Machine holds simulator parameters appropriate for the workload.
+	Machine machine.Config
+}
+
+// Scale multiplies workload iteration counts. Scale 1 builds runs of
+// roughly 0.5-2 million instructions — large enough that every sampling
+// period of the paper's sweep takes samples, small enough to run hundreds
+// of traces in a test suite.
+type Scale int
+
+// PARSEC returns the 13 CPU-bound kernels, 4 threads each, mirroring the
+// paper's PARSEC suite with simlarge inputs on a quad-core machine.
+func PARSEC(scale Scale) []Workload {
+	if scale <= 0 {
+		scale = 1
+	}
+	specs := []parsecSpec{
+		{"blackscholes", mixCompute, 16},
+		{"bodytrack", mixBalanced, 13},
+		{"canneal", mixPointer, 12},
+		{"dedup", mixBalanced, 15},
+		{"facesim", mixStream, 13},
+		{"ferret", mixPointer, 13},
+		{"fluidanimate", mixStream, 16},
+		{"freqmine", mixBalanced, 15},
+		{"raytrace", mixCompute, 13},
+		{"streamcluster", mixStream, 17},
+		{"swaptions", mixCompute, 15},
+		{"vips", mixBalanced, 13},
+		{"x264", mixStream, 16},
+	}
+	out := make([]Workload, 0, len(specs))
+	for _, s := range specs {
+		out = append(out, buildParsec(s, scale))
+	}
+	return out
+}
+
+// RealApps returns the eight real-application models of Table 1.
+func RealApps(scale Scale) []Workload {
+	if scale <= 0 {
+		scale = 1
+	}
+	return []Workload{
+		Apache(scale),
+		Cherokee(scale),
+		MySQL(scale),
+		Memcached(scale),
+		Transmission(scale),
+		Pfscan(scale),
+		Pbzip2(scale),
+		Aget(scale),
+	}
+}
+
+// All returns every workload.
+func All(scale Scale) []Workload {
+	return append(PARSEC(scale), RealApps(scale)...)
+}
+
+// ByName finds a workload in All(scale).
+func ByName(name string, scale Scale) (Workload, error) {
+	for _, w := range All(scale) {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// Names lists all workload names.
+func Names() []string {
+	var out []string
+	for _, w := range All(1) {
+		out = append(out, w.Name)
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"testing"
+
+	"prorace/internal/core"
+	"prorace/internal/machine"
+	"prorace/internal/pmu/driver"
+)
+
+func TestAllWorkloadsBuildAndValidate(t *testing.T) {
+	ws := All(1)
+	if len(ws) != 13+8 {
+		t.Fatalf("workloads = %d, want 21", len(ws))
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+		if err := w.Program.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		if w.Threads <= 0 {
+			t.Errorf("%s: threads = %d", w.Name, w.Threads)
+		}
+	}
+}
+
+func TestAllWorkloadsRunToCompletion(t *testing.T) {
+	for _, w := range All(1) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := w.Machine
+			cfg.Seed = 42
+			m := machine.New(w.Program, cfg)
+			st, err := m.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			if st.Threads != w.Threads+1 {
+				t.Errorf("%s: %d threads ran, want %d workers + main", w.Name, st.Threads, w.Threads)
+			}
+			if st.Retired == 0 || st.MemOps == 0 || st.SyncOps == 0 {
+				t.Errorf("%s: implausible stats %+v", w.Name, st)
+			}
+		})
+	}
+}
+
+func TestTable1ThreadCounts(t *testing.T) {
+	// Table 1 of the paper.
+	want := map[string]int{
+		"apache": 4, "cherokee": 38, "mysql": 20, "memcached": 5,
+		"transmission": 4, "pfscan": 4, "pbzip2": 4, "aget": 4,
+	}
+	for _, w := range RealApps(1) {
+		if want[w.Name] != w.Threads {
+			t.Errorf("%s: %d threads, want %d", w.Name, w.Threads, want[w.Name])
+		}
+	}
+}
+
+func TestWorkloadsAreRaceFree(t *testing.T) {
+	// The base workloads must contain no data races: the bug reproducers
+	// in internal/bugs are the only place races are planted. Detection
+	// over a densely sampled trace must come back clean.
+	for _, w := range []Workload{PARSEC(1)[0], PARSEC(1)[2], MySQL(1), Pbzip2(1)} {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := core.Run(w.Program,
+				core.TraceOptions{Kind: driver.ProRace, Period: 200, Seed: 7, EnablePT: true, Machine: w.Machine},
+				core.AnalysisOptions{Mode: 2 /* forward+backward */})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := len(res.AnalysisResult.Reports); n != 0 {
+				for _, r := range res.AnalysisResult.Reports[:min(n, 5)] {
+					t.Logf("  %s (%s / %s)", r.String(),
+						w.Program.SymbolizeAddr(r.First.PC), w.Program.SymbolizeAddr(r.Second.PC))
+				}
+				t.Errorf("%s: %d races reported in a race-free workload", w.Name, n)
+			}
+		})
+	}
+}
+
+func TestClassesAndNames(t *testing.T) {
+	if CPUBound.String() != "cpu" || NetBound.String() != "net" ||
+		FileBound.String() != "file" || Mixed.String() != "mixed" || Class(9).String() != "class?" {
+		t.Error("class names wrong")
+	}
+	if _, err := ByName("mysql", 1); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nosuch", 1); err == nil {
+		t.Error("unknown workload must fail")
+	}
+	if len(Names()) != 21 {
+		t.Errorf("names = %d", len(Names()))
+	}
+}
+
+func TestScaleGrowsWork(t *testing.T) {
+	w1 := Apache(1)
+	w2 := Apache(3)
+	run := func(w Workload) uint64 {
+		cfg := w.Machine
+		cfg.Seed = 1
+		m := machine.New(w.Program, cfg)
+		st, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Retired
+	}
+	r1, r2 := run(w1), run(w2)
+	if r2 < 2*r1 {
+		t.Errorf("scale 3 retired %d vs scale 1 %d; scaling broken", r2, r1)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

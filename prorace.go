@@ -1,0 +1,237 @@
+// Package prorace is a from-scratch reproduction of "ProRace: Practical
+// Data Race Detection for Production Use" (Zhang, Jung, Lee — ASPLOS 2017):
+// a sampling-based dynamic data race detector whose online phase traces a
+// program with near-zero overhead using the hardware PMU (PEBS memory-access
+// samples plus a PT control-flow trace and a synchronization log), and whose
+// offline phase reconstructs unsampled memory accesses by replaying the
+// binary forwards and backwards around each sample before running FastTrack
+// happens-before detection on the extended trace.
+//
+// Because raw PEBS/PT hardware is not accessible (or portable) from Go, the
+// reproduction runs on a deterministic simulated multicore machine executing
+// a small RISC-style ISA with x86-like addressing modes; every layer the
+// paper depends on — the PMU, the two kernel driver designs it compares,
+// the perf tool, the LD_PRELOAD synchronization shim, the PT decoder, the
+// replay engine, and the detector — is implemented in this module. See
+// DESIGN.md for the substitution table and EXPERIMENTS.md for
+// paper-vs-measured results of every table and figure.
+//
+// # Quick start
+//
+//	w := prorace.MustWorkload("apache", 1)
+//	res, err := prorace.Run(w.Program, prorace.ProRaceTraceOptions(10000, 1, w.Machine), prorace.DefaultAnalysisOptions())
+//	if err != nil { ... }
+//	fmt.Print(prorace.FormatRaces(w.Program, res.AnalysisResult.Reports))
+//
+// Custom programs are assembled with NewProgram (see the builder aliases
+// below) and run through the same pipeline; examples/ contains three
+// complete programs.
+package prorace
+
+import (
+	"prorace/internal/asm"
+	"prorace/internal/bugs"
+	"prorace/internal/core"
+	"prorace/internal/experiments"
+	"prorace/internal/isa"
+	"prorace/internal/machine"
+	"prorace/internal/pmu/driver"
+	"prorace/internal/prog"
+	"prorace/internal/race"
+	"prorace/internal/racez"
+	"prorace/internal/replay"
+	"prorace/internal/report"
+	"prorace/internal/workload"
+)
+
+// Core pipeline types.
+type (
+	// Program is an executable image for the simulated machine.
+	Program = prog.Program
+	// MachineConfig parameterises the simulated machine.
+	MachineConfig = machine.Config
+	// TraceOptions configures the online tracing phase.
+	TraceOptions = core.TraceOptions
+	// TraceResult is the online phase's outcome.
+	TraceResult = core.TraceResult
+	// AnalysisOptions configures the offline phase.
+	AnalysisOptions = core.AnalysisOptions
+	// AnalysisResult is the offline phase's outcome.
+	AnalysisResult = core.AnalysisResult
+	// Result bundles a full pipeline run.
+	Result = core.Result
+	// Report is one detected data race.
+	Report = race.Report
+	// DriverKind selects the vanilla or ProRace PEBS driver model.
+	DriverKind = driver.Kind
+	// DriverCosts is a driver stack's cycle-cost model.
+	DriverCosts = driver.Costs
+	// ReplayMode selects the reconstruction algorithm.
+	ReplayMode = replay.Mode
+	// Workload is a runnable benchmark program.
+	Workload = workload.Workload
+	// Bug describes one of Table 2's planted races.
+	Bug = bugs.Bug
+	// BuiltBug is a constructed bug workload with ground truth.
+	BuiltBug = bugs.Built
+	// ExperimentConfig sizes the evaluation harness.
+	ExperimentConfig = experiments.Config
+	// Experiments regenerates the paper's tables and figures.
+	Experiments = experiments.Harness
+)
+
+// Driver kinds.
+const (
+	// VanillaDriver is the stock Linux PEBS driver model.
+	VanillaDriver = driver.Vanilla
+	// ProRaceDriver is the paper's redesigned driver.
+	ProRaceDriver = driver.ProRace
+)
+
+// Replay modes.
+const (
+	// ReplayBasicBlock confines reconstruction to each sample's basic
+	// block (the RaceZ baseline).
+	ReplayBasicBlock = replay.ModeBasicBlock
+	// ReplayForward runs forward replay only (§5.1).
+	ReplayForward = replay.ModeForward
+	// ReplayForwardBackward runs full ProRace reconstruction (§5.2).
+	ReplayForwardBackward = replay.ModeForwardBackward
+)
+
+// Trace runs the online phase: execute the program on the simulated
+// machine under the configured driver, collecting PEBS, PT and sync traces.
+func Trace(p *Program, opts TraceOptions) (*TraceResult, error) {
+	return core.TraceProgram(p, opts)
+}
+
+// Analyze runs the offline phase over a collected trace: PT decode and
+// synthesis, memory-access reconstruction, and FastTrack detection.
+func Analyze(p *Program, tr *TraceResult, opts AnalysisOptions) (*AnalysisResult, error) {
+	return core.Analyze(p, tr.Trace, opts)
+}
+
+// Run executes the complete pipeline.
+func Run(p *Program, topts TraceOptions, aopts AnalysisOptions) (*Result, error) {
+	return core.Run(p, topts, aopts)
+}
+
+// ProRaceTraceOptions returns the standard ProRace online configuration:
+// the redesigned driver with PT enabled.
+func ProRaceTraceOptions(period uint64, seed int64, mcfg MachineConfig) TraceOptions {
+	return TraceOptions{Kind: ProRaceDriver, Period: period, Seed: seed, EnablePT: true, Machine: mcfg}
+}
+
+// DefaultAnalysisOptions returns the standard ProRace offline
+// configuration: full forward+backward reconstruction with memory
+// emulation, race feedback, and allocation tracking.
+func DefaultAnalysisOptions() AnalysisOptions {
+	return AnalysisOptions{Mode: ReplayForwardBackward}
+}
+
+// RaceZTraceOptions returns the RaceZ baseline's online configuration.
+func RaceZTraceOptions(period uint64, seed int64, mcfg MachineConfig) TraceOptions {
+	return racez.TraceOptions(period, seed, mcfg)
+}
+
+// RaceZAnalysisOptions returns the RaceZ baseline's offline configuration.
+func RaceZAnalysisOptions() AnalysisOptions {
+	return racez.AnalysisOptions()
+}
+
+// PARSEC returns the 13 CPU-bound benchmark workloads.
+func PARSEC(scale int) []Workload { return workload.PARSEC(workload.Scale(scale)) }
+
+// RealApps returns the eight real-application models of Table 1.
+func RealApps(scale int) []Workload { return workload.RealApps(workload.Scale(scale)) }
+
+// Workloads returns every built-in workload.
+func Workloads(scale int) []Workload { return workload.All(workload.Scale(scale)) }
+
+// WorkloadByName finds a built-in workload.
+func WorkloadByName(name string, scale int) (Workload, error) {
+	return workload.ByName(name, workload.Scale(scale))
+}
+
+// MustWorkload is WorkloadByName for known names; it panics otherwise.
+func MustWorkload(name string, scale int) Workload {
+	w, err := workload.ByName(name, workload.Scale(scale))
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// WorkloadNames lists the built-in workload names.
+func WorkloadNames() []string { return workload.Names() }
+
+// Bugs returns the 12 planted races of the paper's Table 2.
+func Bugs() []Bug { return bugs.All() }
+
+// BugByID finds a Table 2 bug by its identifier (e.g. "apache-25520").
+func BugByID(id string) (Bug, error) { return bugs.ByID(id) }
+
+// FormatRaces renders race reports with symbol names.
+func FormatRaces(p *Program, rs []Report) string { return report.FormatRaces(p, rs) }
+
+// FormatRace renders one race report with symbol names.
+func FormatRace(p *Program, r Report) string { return report.FormatRace(p, r) }
+
+// NewExperiments creates the evaluation harness that regenerates the
+// paper's tables and figures.
+func NewExperiments(cfg ExperimentConfig) *Experiments { return experiments.NewHarness(cfg) }
+
+// QuickExperiments returns a configuration small enough for tests.
+func QuickExperiments() ExperimentConfig { return experiments.Quick() }
+
+// FullExperiments returns the paper-scale configuration.
+func FullExperiments() ExperimentConfig { return experiments.Full() }
+
+// Program construction. NewProgram returns an assembler for building
+// custom programs; see examples/quickstart for a complete racy program
+// built this way.
+type (
+	// Builder assembles a program.
+	Builder = asm.Builder
+	// FuncBuilder emits instructions for one function.
+	FuncBuilder = asm.FuncBuilder
+	// Mem describes a memory operand.
+	Mem = asm.Mem
+	// Reg names a machine register (R0..R15).
+	Reg = isa.Reg
+)
+
+// NewProgram returns a Builder for a custom program.
+func NewProgram(name string) *Builder { return asm.New(name) }
+
+// Memory operand constructors.
+var (
+	// MemBase addresses [reg + disp].
+	MemBase = asm.Base
+	// MemBaseIndex addresses [base + index*scale + disp].
+	MemBaseIndex = asm.BaseIndex
+	// MemGlobal addresses a named global PC-relatively.
+	MemGlobal = asm.Global
+	// MemAbs addresses an absolute location.
+	MemAbs = asm.Abs
+)
+
+// General-purpose registers.
+const (
+	R0  = isa.R0
+	R1  = isa.R1
+	R2  = isa.R2
+	R3  = isa.R3
+	R4  = isa.R4
+	R5  = isa.R5
+	R6  = isa.R6
+	R7  = isa.R7
+	R8  = isa.R8
+	R9  = isa.R9
+	R10 = isa.R10
+	R11 = isa.R11
+	R12 = isa.R12
+	R13 = isa.R13
+	R14 = isa.R14
+	R15 = isa.R15
+)

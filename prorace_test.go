@@ -1,0 +1,141 @@
+package prorace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIQuickstart exercises the facade the way the README's
+// quickstart does: built-in workload, trace, analyze, format.
+func TestPublicAPIQuickstart(t *testing.T) {
+	w := MustWorkload("apache", 1)
+	topts := ProRaceTraceOptions(1000, 42, w.Machine)
+	topts.MeasureOverhead = true
+	tr, err := Trace(w.Program, topts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Trace.SampleCount() == 0 {
+		t.Fatal("no samples")
+	}
+	ar, err := Analyze(w.Program, tr, DefaultAnalysisOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.ReplayStats.RecoveryRatio() <= 1 {
+		t.Errorf("recovery ratio %v", ar.ReplayStats.RecoveryRatio())
+	}
+	if out := FormatRaces(w.Program, ar.Reports); out == "" {
+		t.Error("empty format")
+	}
+}
+
+func TestPublicAPICustomProgram(t *testing.T) {
+	// Build a custom racy program purely through the facade.
+	b := NewProgram("custom")
+	b.Global("x", 8)
+	b.Global("tids", 16)
+	m := b.Func("main")
+	for i := int64(0); i < 2; i++ {
+		m.MovI(R4, i)
+		m.SpawnThread("w", R4)
+		m.Store(MemGlobal("tids", i*8), R0)
+	}
+	for i := int64(0); i < 2; i++ {
+		m.Load(R0, MemGlobal("tids", i*8))
+		m.Join(R0)
+	}
+	m.Exit(0)
+	f := b.Func("w")
+	f.MovI(R3, 150)
+	f.Label("l")
+	f.Load(R1, MemGlobal("x", 0))
+	f.AddI(R1, 1)
+	f.Store(MemGlobal("x", 0), R1)
+	f.SubI(R3, 1)
+	f.CmpI(R3, 0)
+	f.Jgt("l")
+	f.Exit(0)
+	p := b.MustBuild()
+
+	res, err := Run(p, ProRaceTraceOptions(500, 3, MachineConfig{Cores: 4}), DefaultAnalysisOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AnalysisResult.Reports) == 0 {
+		t.Fatal("unlocked shared counter must race")
+	}
+	out := FormatRace(p, res.AnalysisResult.Reports[0])
+	if !strings.Contains(out, "x") {
+		t.Errorf("report not symbolised: %s", out)
+	}
+}
+
+func TestPublicAPIWorkloadCatalog(t *testing.T) {
+	if len(Workloads(1)) != 21 || len(PARSEC(1)) != 13 || len(RealApps(1)) != 8 {
+		t.Error("catalog sizes wrong")
+	}
+	if len(WorkloadNames()) != 21 {
+		t.Error("names wrong")
+	}
+	if _, err := WorkloadByName("nosuch", 1); err == nil {
+		t.Error("unknown workload must fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustWorkload must panic on unknown name")
+		}
+	}()
+	MustWorkload("nosuch", 1)
+}
+
+func TestPublicAPIBugCatalog(t *testing.T) {
+	if len(Bugs()) != 12 {
+		t.Error("bug catalog wrong")
+	}
+	bug, err := BugByID("aget-bug2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := bug.Build(1)
+	if len(built.RacyPCs) != 2 {
+		t.Error("ground truth missing")
+	}
+	res, err := Run(built.Workload.Program,
+		ProRaceTraceOptions(1000, 5, built.Workload.Machine),
+		DefaultAnalysisOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !built.Detected(res.AnalysisResult.Reports) {
+		t.Error("pc-relative bug not detected")
+	}
+}
+
+func TestPublicAPIRaceZPreset(t *testing.T) {
+	w := MustWorkload("apache", 1)
+	res, err := Run(w.Program, RaceZTraceOptions(500, 3, w.Machine), RaceZAnalysisOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AnalysisResult.ReplayStats.Forward != 0 {
+		t.Error("RaceZ preset ran path-guided replay")
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	cfg := QuickExperiments()
+	cfg.Workloads = []string{"apache"}
+	cfg.Periods = []uint64{10000}
+	h := NewExperiments(cfg)
+	fig, err := h.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.PerWorkload) != 1 {
+		t.Error("experiment subset failed")
+	}
+	if FullExperiments().Table2Trials != 100 {
+		t.Error("full config wrong")
+	}
+}
