@@ -537,21 +537,58 @@ func BenchmarkParallelAnalysis(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	opts := core.AnalysisOptions{Mode: replay.ModeForwardBackward}
+	run := func(opts core.AnalysisOptions) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Analyze(w.Program, tr.Trace, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("sequential", run(core.AnalysisOptions{Mode: replay.ModeForwardBackward}))
+	b.Run("workers", run(core.AnalysisOptions{Mode: replay.ModeForwardBackward, Workers: -1}))
+	b.Run("workers+shards", run(core.AnalysisOptions{
+		Mode: replay.ModeForwardBackward, Workers: -1, DetectShards: -1}))
+}
+
+// BenchmarkShardedDetection measures address-sharded parallel FastTrack
+// against the sequential detector over the same prepared extended trace.
+// The reported race list is identical at every shard count (the
+// equivalence suite enforces it), so the series isolates the detect
+// phase's scaling.
+func BenchmarkShardedDetection(b *testing.B) {
+	w := workload.MySQL(1)
+	res, err := core.TraceProgram(w.Program, core.TraceOptions{
+		Kind: driver.ProRace, Period: 500, Seed: 3, EnablePT: true, Machine: w.Machine})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tts, err := synthesis.Synthesize(w.Program, res.Trace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := replay.NewEngine(w.Program, replay.Config{Mode: replay.ModeForwardBackward})
+	accesses, _ := engine.ReconstructAll(tts)
+	n := 0
+	for _, a := range accesses {
+		n += len(a)
+	}
 	b.Run("sequential", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.Analyze(w.Program, tr.Trace, opts); err != nil {
-				b.Fatal(err)
-			}
+			race.Detect(res.Trace.Sync, accesses, race.Options{TrackAllocations: true})
 		}
+		b.ReportMetric(float64(n), "accesses/op")
 	})
-	b.Run("parallel", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := core.AnalyzeParallel(w.Program, tr.Trace, opts, 0); err != nil {
-				b.Fatal(err)
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				race.DetectSharded(res.Trace.Sync, accesses, shards, race.Options{TrackAllocations: true})
 			}
-		}
-	})
+			b.ReportMetric(float64(n), "accesses/op")
+		})
+	}
 }
 
 // BenchmarkDetectorFastTrackVsDjit compares FastTrack's adaptive-epoch

@@ -3,8 +3,9 @@
 //	prorace list                           # workloads and bugs
 //	prorace run -workload mysql -period 1000
 //	prorace run -bug apache-21287 -period 100 -trials 20
+//	prorace run -workload mysql -workers -1 -detect-shards 8
 //	prorace trace -workload apache -period 1000 -o apache.trace
-//	prorace analyze -workload apache -in apache.trace
+//	prorace analyze -workload apache -in apache.trace -detect-shards 4
 //	prorace disasm -workload pfscan | head
 package main
 
@@ -13,11 +14,9 @@ import (
 	"fmt"
 	"os"
 
+	"prorace"
 	"prorace/internal/bugs"
-	"prorace/internal/core"
 	"prorace/internal/isa"
-	"prorace/internal/pmu/driver"
-	"prorace/internal/replay"
 	"prorace/internal/report"
 	"prorace/internal/tracefmt"
 	"prorace/internal/workload"
@@ -87,6 +86,8 @@ type commonFlags struct {
 	scale        int
 	driverName   string
 	modeName     string
+	workers      int
+	detectShards int
 }
 
 func addCommon(fs *flag.FlagSet) *commonFlags {
@@ -98,6 +99,8 @@ func addCommon(fs *flag.FlagSet) *commonFlags {
 	fs.IntVar(&c.scale, "scale", 1, "workload scale factor")
 	fs.StringVar(&c.driverName, "driver", "prorace", "driver model: prorace or vanilla")
 	fs.StringVar(&c.modeName, "mode", "fb", "reconstruction: bb, fwd or fb")
+	fs.IntVar(&c.workers, "workers", 0, "offline analysis workers (0 sequential, -1 GOMAXPROCS)")
+	fs.IntVar(&c.detectShards, "detect-shards", 0, "detection shards (0/1 sequential, -1 GOMAXPROCS)")
 	return c
 }
 
@@ -117,30 +120,35 @@ func (c *commonFlags) resolve() (workload.Workload, *bugs.Built, error) {
 	return w, nil, err
 }
 
-func (c *commonFlags) traceOptions(w workload.Workload) (core.TraceOptions, error) {
-	opts := core.TraceOptions{Period: c.period, Seed: c.seed, Machine: w.Machine}
+// options translates the flags into the functional-options configuration
+// of the prorace package.
+func (c *commonFlags) options(w workload.Workload) ([]prorace.Option, error) {
+	opts := []prorace.Option{
+		prorace.WithMachine(w.Machine),
+		prorace.WithPeriod(c.period),
+		prorace.WithSeed(c.seed),
+		prorace.WithWorkers(c.workers),
+		prorace.WithDetectShards(c.detectShards),
+	}
 	switch c.driverName {
 	case "prorace":
-		opts.Kind = driver.ProRace
-		opts.EnablePT = true
+		// The default: redesigned driver with PT enabled.
 	case "vanilla":
-		opts.Kind = driver.Vanilla
+		opts = append(opts, prorace.WithDriver(prorace.VanillaDriver), prorace.WithoutPT())
 	default:
-		return opts, fmt.Errorf("unknown driver %q", c.driverName)
+		return nil, fmt.Errorf("unknown driver %q", c.driverName)
 	}
-	return opts, nil
-}
-
-func (c *commonFlags) analysisOptions() (core.AnalysisOptions, error) {
 	switch c.modeName {
 	case "bb":
-		return core.AnalysisOptions{Mode: replay.ModeBasicBlock}, nil
+		opts = append(opts, prorace.WithReplayMode(prorace.ReplayBasicBlock))
 	case "fwd":
-		return core.AnalysisOptions{Mode: replay.ModeForward}, nil
+		opts = append(opts, prorace.WithReplayMode(prorace.ReplayForward))
 	case "fb":
-		return core.AnalysisOptions{Mode: replay.ModeForwardBackward}, nil
+		// The default: full forward+backward reconstruction.
+	default:
+		return nil, fmt.Errorf("unknown mode %q", c.modeName)
 	}
-	return core.AnalysisOptions{}, fmt.Errorf("unknown mode %q", c.modeName)
+	return opts, nil
 }
 
 func cmdRun(args []string) error {
@@ -154,30 +162,29 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	topts, err := c.traceOptions(w)
+	opts, err := c.options(w)
 	if err != nil {
 		return err
 	}
-	topts.MeasureOverhead = *overhead
-	aopts, err := c.analysisOptions()
-	if err != nil {
-		return err
+	if *overhead {
+		opts = append(opts, prorace.WithOverheadMeasurement())
 	}
 
 	detected := 0
 	for trial := 0; trial < *trials; trial++ {
-		topts.Seed = c.seed + int64(trial)*7919
-		res, err := core.Run(w.Program, topts, aopts)
+		seed := c.seed + int64(trial)*7919
+		res, err := prorace.RunWith(w.Program, append(opts, prorace.WithSeed(seed))...)
 		if err != nil {
 			return err
 		}
 		tr, ar := res.TraceResult, res.AnalysisResult
 		fmt.Printf("trial %d (seed %d): %.3f ms execution, overhead %.2f%%, %d samples (%d dropped), trace %d bytes\n",
-			trial+1, topts.Seed, tr.TracedStats.Seconds()*1e3, tr.Overhead*100,
+			trial+1, seed, tr.TracedStats.Seconds()*1e3, tr.Overhead*100,
 			tr.Trace.SampleCount(), tr.Dropped, tr.Trace.TotalBytes())
-		fmt.Printf("  reconstruction: %d sampled + %d forward + %d backward + %d bb (%.1fx); offline %v\n",
+		fmt.Printf("  reconstruction: %d sampled + %d forward + %d backward + %d bb (%.1fx); offline %v (%d workers, %d shards)\n",
 			ar.ReplayStats.Sampled, ar.ReplayStats.Forward, ar.ReplayStats.Backward,
-			ar.ReplayStats.BasicBlock, ar.ReplayStats.RecoveryRatio(), ar.TotalTime().Round(1000))
+			ar.ReplayStats.BasicBlock, ar.ReplayStats.RecoveryRatio(), ar.TotalTime().Round(1000),
+			ar.Workers, ar.DetectShards)
 		if built != nil {
 			if built.Detected(ar.Reports) {
 				detected++
@@ -186,7 +193,7 @@ func cmdRun(args []string) error {
 				fmt.Printf("  planted bug %s not detected in this trace\n", built.Bug.ID)
 			}
 		}
-		fmt.Print(report.FormatRaces(w.Program, ar.Reports))
+		fmt.Print(prorace.FormatRaces(w.Program, ar.Reports))
 	}
 	if built != nil && *trials > 1 {
 		fmt.Printf("\ndetection probability: %d/%d\n", detected, *trials)
@@ -205,12 +212,12 @@ func cmdTrace(args []string) error {
 	if err != nil {
 		return err
 	}
-	topts, err := c.traceOptions(w)
+	opts, err := c.options(w)
 	if err != nil {
 		return err
 	}
-	topts.MeasureOverhead = true
-	res, err := core.TraceProgram(w.Program, topts)
+	opts = append(opts, prorace.WithOverheadMeasurement())
+	res, err := prorace.TraceWith(w.Program, opts...)
 	if err != nil {
 		return err
 	}
@@ -250,21 +257,21 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	aopts, err := c.analysisOptions()
+	opts, err := c.options(w)
 	if err != nil {
 		return err
 	}
-	ar, err := core.Analyze(w.Program, tr, aopts)
+	ar, err := prorace.AnalyzeWith(w.Program, &prorace.TraceResult{Trace: tr}, opts...)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("analysis of %s (%d samples): %d accesses (%.1fx recovery) in %v\n",
+	fmt.Printf("analysis of %s (%d samples): %d accesses (%.1fx recovery) in %v (%d workers, %d shards)\n",
 		*in, tr.SampleCount(), ar.ReplayStats.Total(), ar.ReplayStats.RecoveryRatio(),
-		ar.TotalTime().Round(1000))
+		ar.TotalTime().Round(1000), ar.Workers, ar.DetectShards)
 	if built != nil && built.Detected(ar.Reports) {
 		fmt.Printf("planted bug %s DETECTED\n", built.Bug.ID)
 	}
-	fmt.Print(report.FormatRaces(w.Program, ar.Reports))
+	fmt.Print(prorace.FormatRaces(w.Program, ar.Reports))
 	return nil
 }
 

@@ -23,9 +23,12 @@ func main() {
 	fmt.Println("period    overhead   samples   trace MB/s   within 10% budget?")
 	var chosen uint64
 	for _, period := range []uint64{100000, 10000, 1000, 100, 10} {
-		topts := prorace.ProRaceTraceOptions(period, 7, w.Machine)
-		topts.MeasureOverhead = true
-		tr, err := prorace.Trace(w.Program, topts)
+		tr, err := prorace.TraceWith(w.Program,
+			prorace.WithMachine(w.Machine),
+			prorace.WithPeriod(period),
+			prorace.WithSeed(7),
+			prorace.WithOverheadMeasurement(),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -40,15 +43,18 @@ func main() {
 
 	// Offline: one full analysis at the chosen period, with the three
 	// reconstruction modes compared (the paper's Figure 11 view).
-	topts := prorace.ProRaceTraceOptions(chosen, 7, w.Machine)
-	tr, err := prorace.Trace(w.Program, topts)
+	tr, err := prorace.TraceWith(w.Program,
+		prorace.WithMachine(w.Machine),
+		prorace.WithPeriod(chosen),
+		prorace.WithSeed(7),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	for _, mode := range []prorace.ReplayMode{
 		prorace.ReplayBasicBlock, prorace.ReplayForward, prorace.ReplayForwardBackward,
 	} {
-		ar, err := prorace.Analyze(w.Program, tr, prorace.AnalysisOptions{Mode: mode})
+		ar, err := prorace.AnalyzeWith(w.Program, tr, prorace.WithReplayMode(mode))
 		if err != nil {
 			log.Fatal(err)
 		}

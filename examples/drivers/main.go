@@ -20,19 +20,21 @@ func main() {
 	fmt.Println("period    vanilla driver    prorace driver    samples(prorace)")
 
 	for _, period := range []uint64{100000, 10000, 1000, 100, 10} {
-		overhead := func(kind prorace.DriverKind, pt bool) (float64, int) {
-			opts := prorace.TraceOptions{
-				Kind: kind, Period: period, Seed: 11, EnablePT: pt,
-				MeasureOverhead: true, Machine: w.Machine,
-			}
-			tr, err := prorace.Trace(w.Program, opts)
+		overhead := func(extra ...prorace.Option) (float64, int) {
+			opts := append([]prorace.Option{
+				prorace.WithMachine(w.Machine),
+				prorace.WithPeriod(period),
+				prorace.WithSeed(11),
+				prorace.WithOverheadMeasurement(),
+			}, extra...)
+			tr, err := prorace.TraceWith(w.Program, opts...)
 			if err != nil {
 				log.Fatal(err)
 			}
 			return tr.Overhead, tr.Trace.SampleCount()
 		}
-		vo, _ := overhead(prorace.VanillaDriver, false)
-		po, samples := overhead(prorace.ProRaceDriver, true)
+		vo, _ := overhead(prorace.WithDriver(prorace.VanillaDriver), prorace.WithoutPT())
+		po, samples := overhead()
 		fmt.Printf("%-9d %12.1f%%    %12.1f%%    %8d\n", period, vo*100, po*100, samples)
 	}
 

@@ -67,9 +67,12 @@ func main() {
 
 	// Online: trace a production-like run at sampling period 1000 with the
 	// ProRace driver, measuring the overhead against an untraced run.
-	topts := prorace.ProRaceTraceOptions(1000, 42, prorace.MachineConfig{Cores: 4})
-	topts.MeasureOverhead = true
-	tr, err := prorace.Trace(p, topts)
+	tr, err := prorace.TraceWith(p,
+		prorace.WithMachine(prorace.MachineConfig{Cores: 4}),
+		prorace.WithPeriod(1000),
+		prorace.WithSeed(42),
+		prorace.WithOverheadMeasurement(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,7 +82,7 @@ func main() {
 		tr.Trace.SampleCount(), tr.Trace.TotalBytes(), len(tr.Trace.Sync))
 
 	// Offline: decode PT, reconstruct unsampled accesses, run FastTrack.
-	ar, err := prorace.Analyze(p, tr, prorace.DefaultAnalysisOptions())
+	ar, err := prorace.AnalyzeWith(p, tr)
 	if err != nil {
 		log.Fatal(err)
 	}

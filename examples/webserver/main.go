@@ -34,14 +34,17 @@ func main() {
 
 	for seed := int64(1); seed <= traces; seed++ {
 		// ProRace: redesigned driver + PT, forward/backward reconstruction.
-		topts := prorace.ProRaceTraceOptions(period, seed, built.Workload.Machine)
-		topts.MeasureOverhead = true
-		tr, err := prorace.Trace(p, topts)
+		tr, err := prorace.TraceWith(p,
+			prorace.WithMachine(built.Workload.Machine),
+			prorace.WithPeriod(period),
+			prorace.WithSeed(seed),
+			prorace.WithOverheadMeasurement(),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
 		overheadSum += tr.Overhead
-		ar, err := prorace.Analyze(p, tr, prorace.DefaultAnalysisOptions())
+		ar, err := prorace.AnalyzeWith(p, tr)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"prorace/internal/machine"
@@ -111,6 +112,17 @@ type AnalysisOptions struct {
 	// Mode selects the reconstruction algorithm (default ForwardBackward —
 	// full ProRace).
 	Mode replay.Mode
+	// Workers fans PT decoding/synthesis and replay reconstruction out
+	// across a worker pool, streaming each thread's reconstructed accesses
+	// into detection as the thread completes (§7.6): 0 = fully sequential,
+	// <0 = GOMAXPROCS, n > 0 = n workers. Results are identical to the
+	// sequential analysis.
+	Workers int
+	// DetectShards partitions the detector's per-variable state across
+	// shard workers by address hash, parallelising the detect phase:
+	// 0 or 1 = sequential FastTrack, <0 = GOMAXPROCS, n > 1 = n shards.
+	// The reported race set is identical at any shard count.
+	DetectShards int
 	// DisableMemoryEmulation turns off the §5.1 program-map memory
 	// emulation (ablation).
 	DisableMemoryEmulation bool
@@ -131,10 +143,17 @@ type AnalysisResult struct {
 	ReplayStats replay.Stats
 	// Accesses is the extended memory trace per thread.
 	Accesses map[int32][]replay.Access
-	// Phase timings for the paper's Figure 12 breakdown.
+	// Phase timings for the paper's Figure 12 breakdown. With Workers > 1
+	// reconstruction and detection overlap: ReconstructTime is the
+	// reconstruction stage's wall clock and DetectTime the detection tail
+	// beyond it, so the sum still tracks elapsed analysis time.
 	DecodeTime      time.Duration
 	ReconstructTime time.Duration
 	DetectTime      time.Duration
+	// Workers and DetectShards record the resolved parallelism the
+	// analysis actually ran with (after GOMAXPROCS expansion).
+	Workers      int
+	DetectShards int
 	// Regenerated is true when the §5.1 feedback loop re-ran
 	// reconstruction with racy locations invalidated.
 	Regenerated bool
@@ -145,48 +164,132 @@ func (r *AnalysisResult) TotalTime() time.Duration {
 	return r.DecodeTime + r.ReconstructTime + r.DetectTime
 }
 
-// Analyze runs the offline phase over a collected trace.
+// workerCount resolves the Workers knob: 0 means sequential (one worker),
+// negative means GOMAXPROCS.
+func workerCount(n int) int {
+	if n == 0 {
+		return 1
+	}
+	if n < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// shardCount resolves the DetectShards knob with the same convention
+// (0 and 1 both mean the sequential detector).
+func shardCount(n int) int {
+	if n < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// newReportSink picks the detector for the resolved shard count: the
+// address-sharded parallel detector above 1, sequential FastTrack at 1.
+func newReportSink(shards int, ropts race.Options) race.ReportSink {
+	if shards > 1 {
+		return race.NewShardedDetector(shards, ropts)
+	}
+	return race.NewDetector(ropts)
+}
+
+// Analyze runs the offline phase over a collected trace. It is the single
+// entry point for both sequential and parallel analysis: Workers fans out
+// synthesis and reconstruction, DetectShards fans out detection.
 func Analyze(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions) (*AnalysisResult, error) {
-	res := &AnalysisResult{}
+	workers := workerCount(opts.Workers)
+	shards := shardCount(opts.DetectShards)
+	res := &AnalysisResult{Workers: workers, DetectShards: shards}
+
+	if workers > 1 {
+		// Pre-warm the program's lazily built indexes (basic blocks,
+		// function table) so concurrent readers never race on their
+		// initialisation.
+		p.Blocks()
+		p.FuncContaining(p.Entry)
+	}
 
 	t0 := time.Now()
-	tts, err := synthesis.Synthesize(p, tr)
+	var tts map[int32]*synthesis.ThreadTrace
+	var err error
+	if workers > 1 {
+		tts, err = synthesizeParallel(p, tr, workers)
+	} else {
+		tts, err = synthesis.Synthesize(p, tr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: synthesis: %w", err)
 	}
 	res.DecodeTime = time.Since(t0)
 
-	t1 := time.Now()
+	ropts := race.Options{TrackAllocations: !opts.DisableAllocationTracking, MaxReports: opts.MaxReports}
 	engine := replay.NewEngine(p, replay.Config{Mode: opts.Mode})
 	if opts.DisableMemoryEmulation {
 		engine = engine.DisableMemoryEmulation()
 	}
-	accesses, rstats := engine.ReconstructAll(tts)
-	res.ReconstructTime = time.Since(t1)
-	res.ReplayStats = rstats
 
-	t2 := time.Now()
-	ropts := race.Options{TrackAllocations: !opts.DisableAllocationTracking, MaxReports: opts.MaxReports}
-	det := race.Detect(tr.Sync, accesses, ropts)
-	res.DetectTime = time.Since(t2)
+	var (
+		accesses map[int32][]replay.Access
+		det      race.ReportSink
+	)
+	if workers > 1 {
+		var rstats replay.Stats
+		var reconT, detT time.Duration
+		accesses, rstats, det, reconT, detT = streamPass(engine, tts, tr.Sync, workers, shards, ropts)
+		res.ReplayStats = rstats
+		res.ReconstructTime, res.DetectTime = reconT, detT
+	} else {
+		t1 := time.Now()
+		var rstats replay.Stats
+		accesses, rstats = engine.ReconstructAll(tts)
+		res.ReconstructTime = time.Since(t1)
+		res.ReplayStats = rstats
+
+		t2 := time.Now()
+		det = newReportSink(shards, ropts)
+		race.Feed(det, tr.Sync, accesses)
+		det.Finish()
+		res.DetectTime = time.Since(t2)
+	}
 
 	// §5.1 feedback: if races were found and reconstruction used memory
 	// emulation, regenerate the trace with the racy locations invalidated
 	// so no reconstructed address depended on racy emulated memory, then
 	// detect again.
 	if !opts.DisableRaceFeedback && opts.Mode != replay.ModeBasicBlock &&
-		!opts.DisableMemoryEmulation && len(det.RacyAddrs) > 0 {
-		t1b := time.Now()
-		engine2 := replay.NewEngine(p, replay.Config{Mode: opts.Mode, InvalidAddrs: det.RacyAddrs})
-		accesses2, rstats2 := engine2.ReconstructAll(tts)
-		res.ReconstructTime += time.Since(t1b)
-		if rstats2.InvalidHits > 0 {
-			t2b := time.Now()
-			det = race.Detect(tr.Sync, accesses2, ropts)
-			res.DetectTime += time.Since(t2b)
-			res.ReplayStats = rstats2
-			accesses = accesses2
-			res.Regenerated = true
+		!opts.DisableMemoryEmulation && len(det.RacyAddrSet()) > 0 {
+		engine2 := replay.NewEngine(p, replay.Config{Mode: opts.Mode, InvalidAddrs: det.RacyAddrSet()})
+		if workers > 1 {
+			// The streamed pass detects while it reconstructs; adopt its
+			// output only when the invalidation actually changed the trace.
+			accesses2, rstats2, det2, reconT2, detT2 := streamPass(engine2, tts, tr.Sync, workers, shards, ropts)
+			res.ReconstructTime += reconT2
+			if rstats2.InvalidHits > 0 {
+				res.DetectTime += detT2
+				det = det2
+				res.ReplayStats = rstats2
+				accesses = accesses2
+				res.Regenerated = true
+			}
+		} else {
+			t1b := time.Now()
+			accesses2, rstats2 := engine2.ReconstructAll(tts)
+			res.ReconstructTime += time.Since(t1b)
+			if rstats2.InvalidHits > 0 {
+				t2b := time.Now()
+				det2 := newReportSink(shards, ropts)
+				race.Feed(det2, tr.Sync, accesses2)
+				det2.Finish()
+				res.DetectTime += time.Since(t2b)
+				det = det2
+				res.ReplayStats = rstats2
+				accesses = accesses2
+				res.Regenerated = true
+			}
 		}
 	}
 

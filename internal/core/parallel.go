@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
@@ -13,73 +11,24 @@ import (
 	"prorace/internal/tracefmt"
 )
 
-// AnalyzeParallel is Analyze with the PT decoding and trace reconstruction
-// fanned out across worker goroutines, one thread-trace at a time — the
-// parallelisation §7.6 points out: "PT records are independent of each
-// other, and the forward-and-backward replay can also be performed region
-// by region, making it suitable for using multiple analysis machines."
-// Detection remains sequential (FastTrack consumes one merged stream).
+// AnalyzeParallel is Analyze with worker-pool fan-out — the parallelisation
+// §7.6 points out: "PT records are independent of each other, and the
+// forward-and-backward replay can also be performed region by region,
+// making it suitable for using multiple analysis machines."
 //
-// workers <= 0 selects GOMAXPROCS. Results are identical to Analyze up to
-// the §5.1 regeneration pass, which AnalyzeParallel also applies.
-func AnalyzeParallel(p *progT, tr *tracefmt.Trace, opts AnalysisOptions, workers int) (*AnalysisResult, error) {
+// Deprecated: set AnalysisOptions.Workers (and DetectShards) and call
+// Analyze instead; this wrapper only translates its workers argument
+// (<= 0 selects GOMAXPROCS, matching its historical behaviour).
+func AnalyzeParallel(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions, workers int) (*AnalysisResult, error) {
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = -1
 	}
-	res := &AnalysisResult{}
-
-	// Pre-warm the program's lazily built indexes (basic blocks, function
-	// table) so concurrent readers never race on their initialisation.
-	p.Blocks()
-	p.FuncContaining(p.Entry)
-
-	t0 := time.Now()
-	tts, err := synthesizeParallel(p, tr, workers)
-	if err != nil {
-		return nil, fmt.Errorf("core: parallel synthesis: %w", err)
-	}
-	res.DecodeTime = time.Since(t0)
-
-	t1 := time.Now()
-	engine := replay.NewEngine(p, replay.Config{Mode: opts.Mode})
-	if opts.DisableMemoryEmulation {
-		engine = engine.DisableMemoryEmulation()
-	}
-	accesses, rstats := reconstructParallel(engine, tts, workers)
-	res.ReconstructTime = time.Since(t1)
-	res.ReplayStats = rstats
-
-	t2 := time.Now()
-	ropts := race.Options{TrackAllocations: !opts.DisableAllocationTracking, MaxReports: opts.MaxReports}
-	det := race.Detect(tr.Sync, accesses, ropts)
-	res.DetectTime = time.Since(t2)
-
-	if !opts.DisableRaceFeedback && opts.Mode != replay.ModeBasicBlock &&
-		!opts.DisableMemoryEmulation && len(det.RacyAddrs) > 0 {
-		t1b := time.Now()
-		engine2 := replay.NewEngine(p, replay.Config{Mode: opts.Mode, InvalidAddrs: det.RacyAddrs})
-		accesses2, rstats2 := reconstructParallel(engine2, tts, workers)
-		res.ReconstructTime += time.Since(t1b)
-		if rstats2.InvalidHits > 0 {
-			t2b := time.Now()
-			det = race.Detect(tr.Sync, accesses2, ropts)
-			res.DetectTime += time.Since(t2b)
-			res.ReplayStats = rstats2
-			accesses = accesses2
-			res.Regenerated = true
-		}
-	}
-
-	res.Accesses = accesses
-	res.Reports = det.Reports()
-	return res, nil
+	opts.Workers = workers
+	return Analyze(p, tr, opts)
 }
 
-// progT keeps the signatures above readable.
-type progT = prog.Program
-
 // synthesizeParallel decodes and pins each thread concurrently.
-func synthesizeParallel(p *progT, tr *tracefmt.Trace, workers int) (map[int32]*synthesis.ThreadTrace, error) {
+func synthesizeParallel(p *prog.Program, tr *tracefmt.Trace, workers int) (map[int32]*synthesis.ThreadTrace, error) {
 	tids := tr.TIDs()
 	type result struct {
 		tid int32
@@ -116,16 +65,81 @@ func synthesizeParallel(p *progT, tr *tracefmt.Trace, workers int) (map[int32]*s
 	return out, nil
 }
 
-// reconstructParallel runs the replay engine over thread traces
-// concurrently and merges stats as ReconstructAll does.
-func reconstructParallel(engine *replay.Engine, tts map[int32]*synthesis.ThreadTrace, workers int) (map[int32][]replay.Access, replay.Stats) {
-	type result struct {
-		tid int32
-		acc []replay.Access
-		st  replay.Stats
+// streamChunkSize batches a thread's events on their way to the merger.
+const streamChunkSize = 512
+
+// streamPass runs one reconstruct-and-detect pass with the replay work
+// fanned out across a worker pool and each thread's events streamed into
+// the detector as the thread completes, instead of materialising the full
+// access map before detection starts. The merged event order — and
+// therefore the race report list — is identical to the sequential pass.
+//
+// Returned timings: the reconstruction stage's wall clock, and the
+// detection tail that ran on after the last thread was reconstructed (the
+// two stages overlap; their sum is the pass's elapsed time).
+func streamPass(engine *replay.Engine, tts map[int32]*synthesis.ThreadTrace, syncRecs []tracefmt.SyncRecord, workers, shards int, ropts race.Options) (map[int32][]replay.Access, replay.Stats, race.ReportSink, time.Duration, time.Duration) {
+	start := time.Now()
+	syncByTID := race.SyncByTID(syncRecs)
+
+	// One stream per thread seen in either the sync log or the PT/PEBS
+	// synthesis — threads with sync records but no samples still carry
+	// happens-before edges.
+	tidSet := map[int32]bool{}
+	for tid := range tts {
+		tidSet[tid] = true
 	}
+	for tid := range syncByTID {
+		tidSet[tid] = true
+	}
+	send := map[int32]chan []race.Event{}
+	streams := map[int32]<-chan []race.Event{}
+	for tid := range tidSet {
+		ch := make(chan []race.Event, 4)
+		send[tid] = ch
+		streams[tid] = ch
+	}
+
+	// emit hands one thread's events to the merger in chunks. It runs on a
+	// dedicated goroutine per thread so a full channel never stalls a
+	// reconstruction worker (the merger consumes nothing until every live
+	// stream has produced its head).
+	emit := func(tid int32, evs []race.Event) {
+		ch := send[tid]
+		for len(evs) > 0 {
+			n := streamChunkSize
+			if n > len(evs) {
+				n = len(evs)
+			}
+			ch <- evs[:n]
+			evs = evs[n:]
+		}
+		close(ch)
+	}
+
+	// Detection: the merger pulls the k-way-merged event order from the
+	// per-thread streams and drives the (possibly sharded) detector.
+	sink := newReportSink(shards, ropts)
+	detDone := make(chan struct{})
+	go func() {
+		defer close(detDone)
+		race.FeedStreams(sink, streams)
+		sink.Finish()
+	}()
+
+	// Sync-only threads stream straight away.
+	for tid := range tidSet {
+		if _, ok := tts[tid]; !ok {
+			go emit(tid, race.ThreadStream(syncByTID[tid], nil))
+		}
+	}
+
+	// Reconstruction worker pool.
 	work := make(chan int32, len(tts))
-	results := make(chan result, len(tts))
+	var (
+		mu  sync.Mutex
+		out = map[int32][]replay.Access{}
+		agg replay.Stats
+	)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -133,7 +147,11 @@ func reconstructParallel(engine *replay.Engine, tts map[int32]*synthesis.ThreadT
 			defer wg.Done()
 			for tid := range work {
 				acc, st := engine.ReconstructThread(tts[tid])
-				results <- result{tid: tid, acc: acc, st: st}
+				mu.Lock()
+				out[tid] = acc
+				agg.Merge(st)
+				mu.Unlock()
+				go emit(tid, race.ThreadStream(syncByTID[tid], acc))
 			}
 		}()
 	}
@@ -141,23 +159,10 @@ func reconstructParallel(engine *replay.Engine, tts map[int32]*synthesis.ThreadT
 		work <- tid
 	}
 	close(work)
-	wg.Wait()
-	close(results)
 
-	out := map[int32][]replay.Access{}
-	var agg replay.Stats
-	for r := range results {
-		out[r.tid] = r.acc
-		agg.Sampled += r.st.Sampled
-		agg.Forward += r.st.Forward
-		agg.Backward += r.st.Backward
-		agg.BasicBlock += r.st.BasicBlock
-		agg.PathSteps += r.st.PathSteps
-		agg.MemSteps += r.st.MemSteps
-		agg.InvalidHits += r.st.InvalidHits
-		if r.st.Iterations > agg.Iterations {
-			agg.Iterations = r.st.Iterations
-		}
-	}
-	return out, agg
+	wg.Wait()
+	reconTime := time.Since(start)
+	<-detDone
+	detectTail := time.Since(start) - reconTime
+	return out, agg, sink, reconTime, detectTail
 }

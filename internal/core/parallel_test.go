@@ -85,6 +85,65 @@ func TestParallelAnalysisMatchesSequential(t *testing.T) {
 	}
 }
 
+func TestAnalyzeWorkersAndShardsMatchSequential(t *testing.T) {
+	bug, err := bugs.ByID("apache-21287")
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := bug.Build(1)
+	tr, err := TraceProgram(built.Workload.Program, TraceOptions{
+		Kind: driver.ProRace, Period: 500, Seed: 9, EnablePT: true,
+		Machine: built.Workload.Machine,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Analyze(built.Workload.Program, tr.Trace, AnalysisOptions{Mode: replay.ModeForwardBackward})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []AnalysisOptions{
+		{Mode: replay.ModeForwardBackward, Workers: 4},
+		{Mode: replay.ModeForwardBackward, DetectShards: 4},
+		{Mode: replay.ModeForwardBackward, Workers: 4, DetectShards: 4},
+		{Mode: replay.ModeForwardBackward, Workers: -1, DetectShards: -1},
+	} {
+		got, err := Analyze(built.Workload.Program, tr.Trace, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ReplayStats != seq.ReplayStats {
+			t.Fatalf("workers=%d shards=%d: replay stats differ:\n got %+v\nwant %+v",
+				cfg.Workers, cfg.DetectShards, got.ReplayStats, seq.ReplayStats)
+		}
+		if len(got.Reports) != len(seq.Reports) {
+			t.Fatalf("workers=%d shards=%d: %d reports, want %d",
+				cfg.Workers, cfg.DetectShards, len(got.Reports), len(seq.Reports))
+		}
+		for i := range got.Reports {
+			if got.Reports[i].Key() != seq.Reports[i].Key() {
+				t.Fatalf("workers=%d shards=%d: report %d differs",
+					cfg.Workers, cfg.DetectShards, i)
+			}
+		}
+		if got.Regenerated != seq.Regenerated {
+			t.Errorf("workers=%d shards=%d: regeneration behaviour differs", cfg.Workers, cfg.DetectShards)
+		}
+	}
+}
+
+func TestWorkerAndShardCountResolution(t *testing.T) {
+	if workerCount(0) != 1 || shardCount(0) != 1 || shardCount(1) != 1 {
+		t.Error("0 must mean sequential")
+	}
+	if workerCount(-1) < 1 || shardCount(-3) < 1 {
+		t.Error("negative must resolve to GOMAXPROCS")
+	}
+	if workerCount(6) != 6 || shardCount(6) != 6 {
+		t.Error("positive counts must pass through")
+	}
+}
+
 func TestParallelAnalysisDefaultWorkers(t *testing.T) {
 	w := workload.Apache(1)
 	tr, err := TraceProgram(w.Program, TraceOptions{

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"prorace/internal/core"
+	"prorace/internal/pmu/driver"
+	"prorace/internal/race"
+	"prorace/internal/replay"
+	"prorace/internal/report"
+	"prorace/internal/synthesis"
+	"prorace/internal/workload"
+)
+
+// ScalingRow is one detector configuration's timing over a fixed
+// extended trace.
+type ScalingRow struct {
+	// Shards is the detection shard count; 0 is the sequential detector.
+	Shards  int
+	Detect  time.Duration
+	Speedup float64
+	Reports int
+}
+
+// DetectScalingResult measures the address-sharded parallel detector
+// (§7.6's parallelisation observation applied to the detection phase):
+// the same reconstructed trace pushed through sequential FastTrack and
+// through 1..8 shard workers. The report list is identical in every row;
+// only the wall clock may differ.
+type DetectScalingResult struct {
+	App      string
+	Accesses int
+	GoMaxPro int
+	Rows     []ScalingRow
+}
+
+// Render produces the text table.
+func (f *DetectScalingResult) Render() string {
+	t := report.NewTable(
+		fmt.Sprintf("Detection scaling: %s, %d accesses (GOMAXPROCS %d)", f.App, f.Accesses, f.GoMaxPro),
+		"configuration", "detect time", "speedup", "reports")
+	for _, r := range f.Rows {
+		name := "sequential"
+		if r.Shards > 0 {
+			name = fmt.Sprintf("%d shards", r.Shards)
+		}
+		t.AddRow(name, r.Detect.Round(time.Microsecond),
+			fmt.Sprintf("%.2fx", r.Speedup), r.Reports)
+	}
+	t.AddNote("identical race reports in every configuration; speedup is bounded by GOMAXPROCS")
+	return t.String()
+}
+
+// DetectScaling prepares one extended trace from the 20-thread mysql
+// model and times detection at each shard count. Each configuration is
+// run detectTrials times and the minimum is kept, since individual
+// detect passes are short.
+func (h *Harness) DetectScaling() (*DetectScalingResult, error) {
+	const detectTrials = 3
+	w := workload.MySQL(h.cfg.Scale)
+	tr, err := core.TraceProgram(w.Program, core.TraceOptions{
+		Kind: driver.ProRace, Period: 500, Seed: h.cfg.Seed,
+		EnablePT: true, Machine: w.Machine,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scaling: %w", err)
+	}
+	tts, err := synthesis.Synthesize(w.Program, tr.Trace)
+	if err != nil {
+		return nil, fmt.Errorf("scaling: %w", err)
+	}
+	engine := replay.NewEngine(w.Program, replay.Config{Mode: replay.ModeForwardBackward})
+	accesses, _ := engine.ReconstructAll(tts)
+
+	res := &DetectScalingResult{App: w.Name, GoMaxPro: runtime.GOMAXPROCS(0)}
+	for _, a := range accesses {
+		res.Accesses += len(a)
+	}
+	opts := race.Options{TrackAllocations: true}
+
+	time1 := func(detect func() int) (time.Duration, int) {
+		best := time.Duration(-1)
+		reports := 0
+		for i := 0; i < detectTrials; i++ {
+			t0 := time.Now()
+			reports = detect()
+			if d := time.Since(t0); best < 0 || d < best {
+				best = d
+			}
+		}
+		return best, reports
+	}
+
+	seqTime, seqReports := time1(func() int {
+		return len(race.Detect(tr.Trace.Sync, accesses, opts).Reports())
+	})
+	res.Rows = append(res.Rows, ScalingRow{Shards: 0, Detect: seqTime, Speedup: 1, Reports: seqReports})
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		d, n := time1(func() int {
+			return len(race.DetectSharded(tr.Trace.Sync, accesses, shards, opts).Reports())
+		})
+		if n != seqReports {
+			return nil, fmt.Errorf("scaling: %d shards reported %d races, sequential %d", shards, n, seqReports)
+		}
+		row := ScalingRow{Shards: shards, Detect: d, Reports: n}
+		if d > 0 {
+			row.Speedup = float64(seqTime) / float64(d)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -69,6 +69,12 @@ func DetectDjit(sync []tracefmt.SyncRecord, accesses map[int32][]replay.Access, 
 // Reports returns the deduplicated race reports.
 func (d *DjitDetector) Reports() []Report { return d.reports }
 
+// Finish is a no-op, satisfying ReportSink.
+func (d *DjitDetector) Finish() {}
+
+// RacyAddrSet returns the distinct racy addresses, for the §5.1 feedback.
+func (d *DjitDetector) RacyAddrSet() map[uint64]bool { return d.RacyAddrs }
+
 func (d *DjitDetector) clock(tid int32) *vc.VC {
 	c := d.threads[tid]
 	if c == nil {

@@ -317,11 +317,19 @@ func (d *Detector) report(a *replay.Access, prior AccessInfo) {
 // Reports returns the deduplicated race reports.
 func (d *Detector) Reports() []Report { return d.reports }
 
-// event is one entry of the merged stream.
-type event struct {
-	tsc  uint64
-	sync *tracefmt.SyncRecord
-	acc  *replay.Access
+// Finish is a no-op: the sequential detector is complete after the last
+// event. It exists so Detector satisfies ReportSink.
+func (d *Detector) Finish() {}
+
+// RacyAddrSet returns the distinct racy addresses, for the §5.1 feedback.
+func (d *Detector) RacyAddrSet() map[uint64]bool { return d.RacyAddrs }
+
+// Event is one entry of a thread's happens-before-consistent event stream:
+// exactly one of Sync or Acc is set.
+type Event struct {
+	TSC  uint64
+	Sync *tracefmt.SyncRecord
+	Acc  *replay.Access
 }
 
 // isRelease reports whether a sync record publishes the thread's clock
@@ -351,31 +359,31 @@ func isAcquire(k tracefmt.SyncKind) bool {
 // mergePriority orders events at equal TSC across threads: releases first,
 // then neutral events (accesses, malloc/free), then acquires, so an HB edge
 // whose two sides collapsed onto one timestamp still flows the right way.
-func (e *event) mergePriority() int {
-	if e.sync != nil {
-		if isRelease(e.sync.Kind) {
+func (e *Event) mergePriority() int {
+	if e.Sync != nil {
+		if isRelease(e.Sync.Kind) {
 			return 0
 		}
-		if isAcquire(e.sync.Kind) {
+		if isAcquire(e.Sync.Kind) {
 			return 2
 		}
 	}
 	return 1
 }
 
-// threadStream builds one thread's events in program order: sync records
+// ThreadStream builds one thread's events in program order: sync records
 // arrive in machine order; accesses are ordered by path step (or TSC when
 // unpinned). At equal TSC within a thread, acquires precede accesses and
 // accesses precede releases, keeping accesses inside their critical
-// sections.
-func threadStream(sync []tracefmt.SyncRecord, accs []replay.Access) []event {
+// sections. The access slice is sorted in place.
+func ThreadStream(sync []tracefmt.SyncRecord, accs []replay.Access) []Event {
 	sort.SliceStable(accs, func(i, j int) bool {
 		if accs[i].TSC != accs[j].TSC {
 			return accs[i].TSC < accs[j].TSC
 		}
 		return accs[i].Step < accs[j].Step
 	})
-	out := make([]event, 0, len(sync)+len(accs))
+	out := make([]Event, 0, len(sync)+len(accs))
 	si, ai := 0, 0
 	for si < len(sync) || ai < len(accs) {
 		takeSync := false
@@ -392,21 +400,47 @@ func threadStream(sync []tracefmt.SyncRecord, accs []replay.Access) []event {
 			takeSync = isAcquire(sync[si].Kind)
 		}
 		if takeSync {
-			out = append(out, event{tsc: sync[si].TSC, sync: &sync[si]})
+			out = append(out, Event{TSC: sync[si].TSC, Sync: &sync[si]})
 			si++
 		} else {
-			out = append(out, event{tsc: accs[ai].TSC, acc: &accs[ai]})
+			out = append(out, Event{TSC: accs[ai].TSC, Acc: &accs[ai]})
 			ai++
 		}
 	}
 	return out
 }
 
-// Checker consumes the merged happens-before-consistent event stream.
-// Detector (FastTrack) and DjitDetector (DJIT+) both implement it.
-type Checker interface {
+// SyncByTID partitions sync records per thread, preserving machine order.
+func SyncByTID(sync []tracefmt.SyncRecord) map[int32][]tracefmt.SyncRecord {
+	out := map[int32][]tracefmt.SyncRecord{}
+	for _, rec := range sync {
+		out[rec.TID] = append(out[rec.TID], rec)
+	}
+	return out
+}
+
+// EventSink consumes the merged happens-before-consistent event stream.
+// Detector (FastTrack), DjitDetector (DJIT+) and ShardedDetector all
+// implement it, so one feed path drives every detector.
+type EventSink interface {
 	HandleSync(rec *tracefmt.SyncRecord)
 	HandleAccess(a *replay.Access)
+}
+
+// Checker is the EventSink interface under its former name.
+//
+// Deprecated: use EventSink.
+type Checker = EventSink
+
+// ReportSink is an EventSink that accumulates race reports. Finish must be
+// called after the last event and before Reports/RacyAddrSet; for the
+// sequential detectors it is a no-op, for ShardedDetector it drains the
+// shard workers and merges their findings deterministically.
+type ReportSink interface {
+	EventSink
+	Finish()
+	Reports() []Report
+	RacyAddrSet() map[uint64]bool
 }
 
 // Detect runs FastTrack over a whole trace: sync records plus the extended
@@ -419,14 +453,63 @@ func Detect(sync []tracefmt.SyncRecord, accesses map[int32][]replay.Access, opts
 	return d
 }
 
-// Feed merges the trace into happens-before-consistent order and drives
-// the checker with it.
-func Feed(d Checker, sync []tracefmt.SyncRecord, accesses map[int32][]replay.Access) {
-	// Partition sync records per thread, preserving order.
-	syncByTID := map[int32][]tracefmt.SyncRecord{}
-	for _, rec := range sync {
-		syncByTID[rec.TID] = append(syncByTID[rec.TID], rec)
+// streamCursor walks one thread's event stream, either fully materialised
+// (buf only) or delivered incrementally as chunks on ch.
+type streamCursor struct {
+	buf []Event
+	pos int
+	ch  <-chan []Event
+}
+
+// head returns the next event, blocking on the channel for the next chunk
+// when the buffer is exhausted; nil means the stream ended.
+func (c *streamCursor) head() *Event {
+	for c.pos >= len(c.buf) {
+		if c.ch == nil {
+			return nil
+		}
+		chunk, ok := <-c.ch
+		if !ok {
+			c.ch = nil
+			return nil
+		}
+		c.buf, c.pos = chunk, 0
 	}
+	return &c.buf[c.pos]
+}
+
+// mergeCursors k-way merges the cursors into the sink: events are emitted
+// in (TSC, mergePriority, thread index) order, so the interleaving is
+// deterministic for a given cursor order.
+func mergeCursors(sink EventSink, cursors []*streamCursor) {
+	for {
+		best := -1
+		var bh *Event
+		for i, c := range cursors {
+			h := c.head()
+			if h == nil {
+				continue
+			}
+			if best < 0 || h.TSC < bh.TSC || (h.TSC == bh.TSC && h.mergePriority() < bh.mergePriority()) {
+				best, bh = i, h
+			}
+		}
+		if best < 0 {
+			return
+		}
+		if bh.Sync != nil {
+			sink.HandleSync(bh.Sync)
+		} else {
+			sink.HandleAccess(bh.Acc)
+		}
+		cursors[best].pos++
+	}
+}
+
+// Feed merges the trace into happens-before-consistent order and drives
+// the sink with it.
+func Feed(sink EventSink, sync []tracefmt.SyncRecord, accesses map[int32][]replay.Access) {
+	syncByTID := SyncByTID(sync)
 	tidSet := map[int32]bool{}
 	for tid := range syncByTID {
 		tidSet[tid] = true
@@ -440,37 +523,28 @@ func Feed(d Checker, sync []tracefmt.SyncRecord, accesses map[int32][]replay.Acc
 	}
 	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
 
-	streams := make([][]event, len(tids))
-	heads := make([]int, len(tids))
+	cursors := make([]*streamCursor, len(tids))
 	for i, tid := range tids {
-		streams[i] = threadStream(syncByTID[tid], accesses[tid])
+		cursors[i] = &streamCursor{buf: ThreadStream(syncByTID[tid], accesses[tid])}
 	}
+	mergeCursors(sink, cursors)
+}
 
-	// K-way merge.
-	for {
-		best := -1
-		for i := range streams {
-			if heads[i] >= len(streams[i]) {
-				continue
-			}
-			if best < 0 {
-				best = i
-				continue
-			}
-			a, b := &streams[i][heads[i]], &streams[best][heads[best]]
-			if a.tsc < b.tsc || (a.tsc == b.tsc && a.mergePriority() < b.mergePriority()) {
-				best = i
-			}
-		}
-		if best < 0 {
-			break
-		}
-		ev := &streams[best][heads[best]]
-		heads[best]++
-		if ev.sync != nil {
-			d.HandleSync(ev.sync)
-		} else {
-			d.HandleAccess(ev.acc)
-		}
+// FeedStreams merges per-thread event streams arriving as ordered chunks
+// on channels and drives the sink with the global interleaving. The merge
+// blocks until every live stream has a buffered head, so producers should
+// emit chunks promptly; the resulting event order is identical to Feed over
+// the fully materialised streams. Cursor order follows ascending thread id,
+// keeping tie-breaks deterministic.
+func FeedStreams(sink EventSink, streams map[int32]<-chan []Event) {
+	tids := make([]int32, 0, len(streams))
+	for tid := range streams {
+		tids = append(tids, tid)
 	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	cursors := make([]*streamCursor, len(tids))
+	for i, tid := range tids {
+		cursors[i] = &streamCursor{ch: streams[tid]}
+	}
+	mergeCursors(sink, cursors)
 }

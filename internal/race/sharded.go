@@ -1,0 +1,203 @@
+package race
+
+import (
+	"sort"
+
+	"prorace/internal/replay"
+	"prorace/internal/tracefmt"
+)
+
+// ShardedDetector runs FastTrack detection in parallel by partitioning the
+// per-variable state across N shards keyed by address hash. Each shard is a
+// complete FastTrack detector running on its own goroutine:
+//
+//   - synchronization records are broadcast to every shard, so each shard
+//     holds the same view of every thread's vector clock (and of the
+//     malloc/free generation map) that the sequential detector would —
+//     sync volume is tiny relative to accesses, so the duplication is
+//     cheap;
+//   - memory accesses are routed to exactly one shard by address hash.
+//     FastTrack only ever compares accesses to the same address, and
+//     accesses never modify thread clocks, so routing is lossless: every
+//     shard makes exactly the decisions the sequential detector makes for
+//     its subset of addresses.
+//
+// Reports stay deterministic: the feeder stamps every event with a global
+// sequence number, shards tag each finding with the sequence of the access
+// that produced it, and Finish merges all shards' findings in sequence
+// order before deduplicating and applying MaxReports — byte-for-byte the
+// report set sequential FastTrack emits.
+//
+// A ShardedDetector is one-shot: feed events, call Finish once, then read
+// Reports/RacyAddrSet. The feeding goroutine must be single; only the
+// internal shard workers run concurrently.
+type ShardedDetector struct {
+	opts     Options
+	shards   []*shardWorker
+	pending  [][]shardEvent
+	seq      uint64
+	finished bool
+
+	reports []Report
+	racy    map[uint64]bool
+}
+
+// shardChunkSize amortises channel traffic: events are handed to shard
+// workers in batches.
+const shardChunkSize = 256
+
+// shardEvent is one event stamped with its global stream sequence.
+type shardEvent struct {
+	seq  uint64
+	sync *tracefmt.SyncRecord
+	acc  *replay.Access
+}
+
+// taggedReport is a shard finding positioned in the global stream.
+type taggedReport struct {
+	seq uint64
+	r   Report
+}
+
+type shardWorker struct {
+	inner  *Detector
+	ch     chan []shardEvent
+	done   chan struct{}
+	tagged []taggedReport
+}
+
+func (w *shardWorker) run() {
+	defer close(w.done)
+	for chunk := range w.ch {
+		for i := range chunk {
+			ev := &chunk[i]
+			if ev.sync != nil {
+				w.inner.HandleSync(ev.sync)
+				continue
+			}
+			before := len(w.inner.reports)
+			w.inner.HandleAccess(ev.acc)
+			for _, r := range w.inner.reports[before:] {
+				w.tagged = append(w.tagged, taggedReport{seq: ev.seq, r: r})
+			}
+		}
+	}
+}
+
+// NewShardedDetector creates a detector with n shard workers (n < 1 is
+// clamped to 1). Each shard enforces the same MaxReports bound as the
+// merged output, which is sufficient: any report surviving the global
+// first-MaxReports cut is also among the first MaxReports distinct keys of
+// its own shard.
+func NewShardedDetector(n int, opts Options) *ShardedDetector {
+	if n < 1 {
+		n = 1
+	}
+	if opts.MaxReports == 0 {
+		opts.MaxReports = 10000
+	}
+	d := &ShardedDetector{
+		opts:    opts,
+		shards:  make([]*shardWorker, n),
+		pending: make([][]shardEvent, n),
+		racy:    map[uint64]bool{},
+	}
+	for i := range d.shards {
+		w := &shardWorker{
+			inner: NewDetector(opts),
+			ch:    make(chan []shardEvent, 4),
+			done:  make(chan struct{}),
+		}
+		d.shards[i] = w
+		go w.run()
+	}
+	return d
+}
+
+// NumShards reports the shard count.
+func (d *ShardedDetector) NumShards() int { return len(d.shards) }
+
+// shardOf routes an address to its shard. Fibonacci hashing spreads the
+// regular strides of array workloads evenly.
+func (d *ShardedDetector) shardOf(addr uint64) int {
+	h := addr * 0x9E3779B97F4A7C15
+	return int((h >> 32) % uint64(len(d.shards)))
+}
+
+func (d *ShardedDetector) push(i int, ev shardEvent) {
+	d.pending[i] = append(d.pending[i], ev)
+	if len(d.pending[i]) >= shardChunkSize {
+		d.flush(i)
+	}
+}
+
+func (d *ShardedDetector) flush(i int) {
+	if len(d.pending[i]) == 0 {
+		return
+	}
+	d.shards[i].ch <- d.pending[i]
+	d.pending[i] = make([]shardEvent, 0, shardChunkSize)
+}
+
+// HandleSync broadcasts one synchronization record to every shard.
+func (d *ShardedDetector) HandleSync(rec *tracefmt.SyncRecord) {
+	d.seq++
+	for i := range d.shards {
+		d.push(i, shardEvent{seq: d.seq, sync: rec})
+	}
+}
+
+// HandleAccess routes one memory access to its address's shard.
+func (d *ShardedDetector) HandleAccess(a *replay.Access) {
+	d.seq++
+	d.push(d.shardOf(a.Addr), shardEvent{seq: d.seq, acc: a})
+}
+
+// Finish flushes the remaining chunks, waits for every shard worker, and
+// merges their findings into the deterministic report list.
+func (d *ShardedDetector) Finish() {
+	if d.finished {
+		return
+	}
+	d.finished = true
+	for i := range d.shards {
+		d.flush(i)
+		close(d.shards[i].ch)
+	}
+	var tagged []taggedReport
+	for _, w := range d.shards {
+		<-w.done
+		tagged = append(tagged, w.tagged...)
+		for addr := range w.inner.RacyAddrs {
+			d.racy[addr] = true
+		}
+	}
+	// Sequence order reproduces the order the sequential detector would
+	// have reported in; SliceStable keeps multiple findings of one access
+	// (same seq, same shard) in their within-event order.
+	sort.SliceStable(tagged, func(i, j int) bool { return tagged[i].seq < tagged[j].seq })
+	seen := map[[2]uint64]bool{}
+	for _, t := range tagged {
+		if seen[t.r.Key()] || len(d.reports) >= d.opts.MaxReports {
+			continue
+		}
+		seen[t.r.Key()] = true
+		d.reports = append(d.reports, t.r)
+	}
+}
+
+// Reports returns the deduplicated race reports; Finish must have run.
+func (d *ShardedDetector) Reports() []Report { return d.reports }
+
+// RacyAddrSet returns the union of racy addresses across shards, for the
+// §5.1 invalidation/regeneration feedback; Finish must have run.
+func (d *ShardedDetector) RacyAddrSet() map[uint64]bool { return d.racy }
+
+// DetectSharded runs address-sharded parallel FastTrack over a whole trace
+// through the same event merge as Detect, returning the finished detector.
+func DetectSharded(sync []tracefmt.SyncRecord, accesses map[int32][]replay.Access, shards int, opts Options) *ShardedDetector {
+	d := NewShardedDetector(shards, opts)
+	Feed(d, sync, accesses)
+	d.Finish()
+	return d
+}

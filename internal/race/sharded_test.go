@@ -1,0 +1,169 @@
+package race
+
+import (
+	"testing"
+
+	"prorace/internal/replay"
+	"prorace/internal/tracefmt"
+)
+
+// shardScenario builds a trace with many racy addresses spread across the
+// address space, plus lock-ordered accesses that must stay quiet.
+func shardScenario() ([]tracefmt.SyncRecord, map[int32][]replay.Access) {
+	lock := uint64(0x700000)
+	sync := []tracefmt.SyncRecord{
+		syncRec(1, tracefmt.SyncLock, 10, lock, 0),
+		syncRec(1, tracefmt.SyncUnlock, 30, lock, 0),
+		syncRec(2, tracefmt.SyncLock, 40, lock, 0),
+		syncRec(2, tracefmt.SyncUnlock, 60, lock, 0),
+	}
+	accesses := map[int32][]replay.Access{}
+	// Lock-ordered pair on one address.
+	accesses[1] = append(accesses[1], acc(1, 0x400000, 0x500000, true, 20))
+	accesses[2] = append(accesses[2], acc(2, 0x400010, 0x500000, true, 50))
+	// 64 unordered racy pairs on distinct addresses and PCs.
+	for i := 0; i < 64; i++ {
+		addr := 0x600000 + uint64(i)*0x1000
+		accesses[1] = append(accesses[1], acc(1, 0x410000+uint64(i)*16, addr, true, uint64(100+i)))
+		accesses[2] = append(accesses[2], acc(2, 0x420000+uint64(i)*16, addr, true, uint64(200+i)))
+	}
+	return sync, accesses
+}
+
+func keySet(rs []Report) map[[2]uint64]bool {
+	out := map[[2]uint64]bool{}
+	for _, r := range rs {
+		out[r.Key()] = true
+	}
+	return out
+}
+
+func TestShardedMatchesSequentialAcrossShardCounts(t *testing.T) {
+	sync, accesses := shardScenario()
+	seq := Detect(sync, accesses, Options{TrackAllocations: true})
+	for _, shards := range []int{1, 2, 3, 4, 7, 16} {
+		sh := DetectSharded(sync, accesses, shards, Options{TrackAllocations: true})
+		if got, want := len(sh.Reports()), len(seq.Reports()); got != want {
+			t.Fatalf("%d shards: %d reports, want %d", shards, got, want)
+		}
+		// Not only the same set: the same deterministic order.
+		for i, r := range sh.Reports() {
+			if r.Key() != seq.Reports()[i].Key() {
+				t.Fatalf("%d shards: report %d is %v, want %v", shards, i, r.Key(), seq.Reports()[i].Key())
+			}
+		}
+		if got, want := len(sh.RacyAddrSet()), len(seq.RacyAddrSet()); got != want {
+			t.Fatalf("%d shards: %d racy addrs, want %d", shards, got, want)
+		}
+		for addr := range seq.RacyAddrSet() {
+			if !sh.RacyAddrSet()[addr] {
+				t.Fatalf("%d shards: racy addr %#x missing", shards, addr)
+			}
+		}
+	}
+}
+
+func TestShardedDeterministicAcrossRuns(t *testing.T) {
+	sync, accesses := shardScenario()
+	first := DetectSharded(sync, accesses, 5, Options{TrackAllocations: true})
+	for run := 0; run < 5; run++ {
+		again := DetectSharded(sync, accesses, 5, Options{TrackAllocations: true})
+		if len(again.Reports()) != len(first.Reports()) {
+			t.Fatalf("run %d: %d reports, want %d", run, len(again.Reports()), len(first.Reports()))
+		}
+		for i := range again.Reports() {
+			if again.Reports()[i] != first.Reports()[i] {
+				t.Fatalf("run %d: report %d differs", run, i)
+			}
+		}
+	}
+}
+
+func TestShardedMaxReportsMatchesSequential(t *testing.T) {
+	sync, accesses := shardScenario()
+	opts := Options{TrackAllocations: true, MaxReports: 7}
+	seq := Detect(sync, accesses, opts)
+	sh := DetectSharded(sync, accesses, 4, opts)
+	if len(sh.Reports()) != 7 || len(seq.Reports()) != 7 {
+		t.Fatalf("max reports not enforced: sharded %d, sequential %d", len(sh.Reports()), len(seq.Reports()))
+	}
+	for i := range sh.Reports() {
+		if sh.Reports()[i].Key() != seq.Reports()[i].Key() {
+			t.Fatalf("bounded report %d differs: %v vs %v", i, sh.Reports()[i].Key(), seq.Reports()[i].Key())
+		}
+	}
+}
+
+func TestShardedCrossShardDeduplication(t *testing.T) {
+	// One racy PC pair hitting many addresses: the addresses scatter across
+	// shards, yet the merged output must contain exactly one report.
+	var a1, a2 []replay.Access
+	for i := 0; i < 50; i++ {
+		a1 = append(a1, acc(1, 0x400100, 0x600000+uint64(i)*0x2000, true, uint64(100+i)))
+		a2 = append(a2, acc(2, 0x400200, 0x600000+uint64(i)*0x2000, true, uint64(200+i)))
+	}
+	sh := DetectSharded(nil, map[int32][]replay.Access{1: a1, 2: a2}, 8, Options{TrackAllocations: true})
+	if len(sh.Reports()) != 1 {
+		t.Fatalf("cross-shard dedup failed: %d reports", len(sh.Reports()))
+	}
+	if len(sh.RacyAddrSet()) != 50 {
+		t.Errorf("racy addresses = %d, want 50", len(sh.RacyAddrSet()))
+	}
+}
+
+func TestShardedSyncBroadcastKeepsClocksConsistent(t *testing.T) {
+	// The §4.3 address-reuse scenario relies on malloc generation tracking:
+	// the malloc sync records must reach the shard owning the reused
+	// address no matter how many shards exist.
+	addr := uint64(0x10000000)
+	sync := []tracefmt.SyncRecord{
+		syncRec(1, tracefmt.SyncMalloc, 10, addr, 64),
+		syncRec(1, tracefmt.SyncFree, 120, addr, 0),
+		syncRec(2, tracefmt.SyncMalloc, 150, addr, 64),
+	}
+	accesses := map[int32][]replay.Access{
+		1: {acc(1, 0x400100, addr, true, 100)},
+		2: {acc(2, 0x400200, addr, true, 200)},
+	}
+	for _, shards := range []int{2, 7} {
+		sh := DetectSharded(sync, accesses, shards, Options{TrackAllocations: true})
+		if len(sh.Reports()) != 0 {
+			t.Fatalf("%d shards: address reuse reported as race: %v", shards, sh.Reports())
+		}
+	}
+}
+
+func TestFeedStreamsMatchesFeed(t *testing.T) {
+	sync, accesses := shardScenario()
+	seq := Detect(sync, accesses, Options{TrackAllocations: true})
+
+	// Deliver each thread's stream as size-3 chunks over channels.
+	syncByTID := SyncByTID(sync)
+	streams := map[int32]<-chan []Event{}
+	for tid := range accesses {
+		evs := ThreadStream(syncByTID[tid], accesses[tid])
+		ch := make(chan []Event, 1)
+		go func(evs []Event, ch chan []Event) {
+			for len(evs) > 0 {
+				n := 3
+				if n > len(evs) {
+					n = len(evs)
+				}
+				ch <- evs[:n]
+				evs = evs[n:]
+			}
+			close(ch)
+		}(evs, ch)
+		streams[tid] = ch
+	}
+	d := NewDetector(Options{TrackAllocations: true})
+	FeedStreams(d, streams)
+	if len(d.Reports()) != len(seq.Reports()) {
+		t.Fatalf("streamed feed: %d reports, want %d", len(d.Reports()), len(seq.Reports()))
+	}
+	for i := range d.Reports() {
+		if d.Reports()[i] != seq.Reports()[i] {
+			t.Fatalf("streamed report %d differs", i)
+		}
+	}
+}

@@ -111,6 +111,23 @@ type Stats struct {
 	InvalidHits int // accesses suppressed by InvalidAddrs feedback
 }
 
+// Merge folds another thread's stats into s: counters add, Iterations
+// keeps the maximum (the fixed-point depth of the slowest thread). Every
+// aggregation path must go through here so newly added fields are never
+// silently dropped by a hand-rolled merge.
+func (s *Stats) Merge(o Stats) {
+	s.Sampled += o.Sampled
+	s.Forward += o.Forward
+	s.Backward += o.Backward
+	s.BasicBlock += o.BasicBlock
+	s.PathSteps += o.PathSteps
+	s.MemSteps += o.MemSteps
+	s.InvalidHits += o.InvalidHits
+	if o.Iterations > s.Iterations {
+		s.Iterations = o.Iterations
+	}
+}
+
 // Total returns the number of accesses in the extended trace.
 func (s Stats) Total() int { return s.Sampled + s.Forward + s.Backward + s.BasicBlock }
 
@@ -174,16 +191,7 @@ func (e *Engine) ReconstructAll(tts map[int32]*synthesis.ThreadTrace) (map[int32
 	for tid, tt := range tts {
 		acc, st := e.ReconstructThread(tt)
 		out[tid] = acc
-		agg.Sampled += st.Sampled
-		agg.Forward += st.Forward
-		agg.Backward += st.Backward
-		agg.BasicBlock += st.BasicBlock
-		agg.PathSteps += st.PathSteps
-		agg.MemSteps += st.MemSteps
-		agg.InvalidHits += st.InvalidHits
-		if st.Iterations > agg.Iterations {
-			agg.Iterations = st.Iterations
-		}
+		agg.Merge(st)
 	}
 	return out, agg
 }

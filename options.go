@@ -1,0 +1,140 @@
+package prorace
+
+// This file is the package's functional-options surface: one Option type
+// covers both pipeline phases, so callers compose a configuration from
+// named constructors instead of hand-assembling TraceOptions /
+// AnalysisOptions structs and their Disable* booleans.
+//
+//	res, err := prorace.RunWith(w.Program,
+//		prorace.WithMachine(w.Machine),
+//		prorace.WithPeriod(1000),
+//		prorace.WithSeed(7),
+//		prorace.WithWorkers(-1),
+//		prorace.WithDetectShards(8),
+//	)
+//
+// NewOptions expands an option list over the standard ProRace defaults
+// (redesigned driver, PT enabled, period 10000, full forward+backward
+// reconstruction); TraceWith / AnalyzeWith / RunWith apply it in one call.
+
+// Option configures one pipeline run, spanning the online tracing phase
+// and the offline analysis phase.
+type Option func(*TraceOptions, *AnalysisOptions)
+
+// NewOptions expands opts over the standard ProRace configuration and
+// returns the two phase-option structs the explicit entry points take.
+func NewOptions(opts ...Option) (TraceOptions, AnalysisOptions) {
+	topts := TraceOptions{Kind: ProRaceDriver, Period: 10000, Seed: 1, EnablePT: true}
+	aopts := AnalysisOptions{Mode: ReplayForwardBackward}
+	for _, o := range opts {
+		o(&topts, &aopts)
+	}
+	return topts, aopts
+}
+
+// WithMachine overrides the simulated machine configuration (cores, I/O
+// latencies...).
+func WithMachine(cfg MachineConfig) Option {
+	return func(t *TraceOptions, _ *AnalysisOptions) { t.Machine = cfg }
+}
+
+// WithPeriod sets the PEBS sampling period.
+func WithPeriod(period uint64) Option {
+	return func(t *TraceOptions, _ *AnalysisOptions) { t.Period = period }
+}
+
+// WithSeed sets the scheduler seed; a (program, seed) pair reproduces
+// exactly.
+func WithSeed(seed int64) Option {
+	return func(t *TraceOptions, _ *AnalysisOptions) { t.Seed = seed }
+}
+
+// WithDriver selects the PEBS driver model (ProRaceDriver or
+// VanillaDriver).
+func WithDriver(kind DriverKind) Option {
+	return func(t *TraceOptions, _ *AnalysisOptions) { t.Kind = kind }
+}
+
+// WithDriverCosts overrides the driver stack's cycle-cost model.
+func WithDriverCosts(costs DriverCosts) Option {
+	return func(t *TraceOptions, _ *AnalysisOptions) { t.Costs = &costs }
+}
+
+// WithoutPT turns off control-flow tracing (on by default).
+func WithoutPT() Option {
+	return func(t *TraceOptions, _ *AnalysisOptions) { t.EnablePT = false }
+}
+
+// WithOverheadMeasurement additionally executes an untraced baseline run
+// with the same seed, so TraceResult.Overhead can be reported.
+func WithOverheadMeasurement() Option {
+	return func(t *TraceOptions, _ *AnalysisOptions) { t.MeasureOverhead = true }
+}
+
+// WithoutRandomFirstPeriod disables the ProRace driver's sampling-phase
+// randomisation (ablation).
+func WithoutRandomFirstPeriod() Option {
+	return func(t *TraceOptions, _ *AnalysisOptions) { t.DisableRandomFirstPeriod = true }
+}
+
+// WithReplayMode selects the reconstruction algorithm (default
+// ReplayForwardBackward, full ProRace).
+func WithReplayMode(m ReplayMode) Option {
+	return func(_ *TraceOptions, a *AnalysisOptions) { a.Mode = m }
+}
+
+// WithWorkers fans PT decoding and replay reconstruction out across a
+// worker pool, streaming each thread into detection as it completes:
+// 0 = sequential, negative = GOMAXPROCS, n > 0 = n workers.
+func WithWorkers(n int) Option {
+	return func(_ *TraceOptions, a *AnalysisOptions) { a.Workers = n }
+}
+
+// WithDetectShards partitions detection state across shard workers by
+// address hash: 0 or 1 = sequential FastTrack, negative = GOMAXPROCS,
+// n > 1 = n shards. The reported race set is identical at any count.
+func WithDetectShards(n int) Option {
+	return func(_ *TraceOptions, a *AnalysisOptions) { a.DetectShards = n }
+}
+
+// WithMaxReports bounds the race report list.
+func WithMaxReports(n int) Option {
+	return func(_ *TraceOptions, a *AnalysisOptions) { a.MaxReports = n }
+}
+
+// WithoutMemoryEmulation turns off the §5.1 program-map memory emulation
+// (ablation).
+func WithoutMemoryEmulation() Option {
+	return func(_ *TraceOptions, a *AnalysisOptions) { a.DisableMemoryEmulation = true }
+}
+
+// WithoutRaceFeedback turns off the §5.1 invalidate-and-regenerate loop
+// for racy emulated locations (ablation).
+func WithoutRaceFeedback() Option {
+	return func(_ *TraceOptions, a *AnalysisOptions) { a.DisableRaceFeedback = true }
+}
+
+// WithoutAllocationTracking turns off malloc/free generation tracking
+// (ablation; reintroduces the §4.3 address-reuse false positive).
+func WithoutAllocationTracking() Option {
+	return func(_ *TraceOptions, a *AnalysisOptions) { a.DisableAllocationTracking = true }
+}
+
+// TraceWith runs the online phase with functional options.
+func TraceWith(p *Program, opts ...Option) (*TraceResult, error) {
+	topts, _ := NewOptions(opts...)
+	return Trace(p, topts)
+}
+
+// AnalyzeWith runs the offline phase over a collected trace with
+// functional options.
+func AnalyzeWith(p *Program, tr *TraceResult, opts ...Option) (*AnalysisResult, error) {
+	_, aopts := NewOptions(opts...)
+	return Analyze(p, tr, aopts)
+}
+
+// RunWith executes the complete pipeline with functional options.
+func RunWith(p *Program, opts ...Option) (*Result, error) {
+	topts, aopts := NewOptions(opts...)
+	return Run(p, topts, aopts)
+}

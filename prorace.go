@@ -19,9 +19,15 @@
 // # Quick start
 //
 //	w := prorace.MustWorkload("apache", 1)
-//	res, err := prorace.Run(w.Program, prorace.ProRaceTraceOptions(10000, 1, w.Machine), prorace.DefaultAnalysisOptions())
+//	res, err := prorace.RunWith(w.Program, prorace.WithMachine(w.Machine))
 //	if err != nil { ... }
 //	fmt.Print(prorace.FormatRaces(w.Program, res.AnalysisResult.Reports))
+//
+// The pipeline is configured with functional options (options.go):
+// WithPeriod, WithSeed, WithReplayMode, WithWorkers, WithDetectShards and
+// friends; WithWorkers fans the offline phase out across a worker pool and
+// WithDetectShards runs address-sharded parallel FastTrack detection with
+// race reports identical to the sequential detector.
 //
 // Custom programs are assembled with NewProgram (see the builder aliases
 // below) and run through the same pipeline; examples/ contains three
@@ -106,7 +112,11 @@ func Trace(p *Program, opts TraceOptions) (*TraceResult, error) {
 }
 
 // Analyze runs the offline phase over a collected trace: PT decode and
-// synthesis, memory-access reconstruction, and FastTrack detection.
+// synthesis, memory-access reconstruction, and FastTrack detection. It is
+// the single analysis entry point, sequential by default; set
+// AnalysisOptions.Workers (or WithWorkers) to fan synthesis and
+// reconstruction out across a worker pool, and AnalysisOptions.DetectShards
+// (or WithDetectShards) to run address-sharded parallel detection.
 func Analyze(p *Program, tr *TraceResult, opts AnalysisOptions) (*AnalysisResult, error) {
 	return core.Analyze(p, tr.Trace, opts)
 }

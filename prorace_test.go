@@ -139,3 +139,76 @@ func TestPublicAPIExperiments(t *testing.T) {
 		t.Error("full config wrong")
 	}
 }
+
+// TestPublicAPIFunctionalOptions exercises the options.go surface: the
+// defaults, every constructor's field mapping, and the RunWith pipeline
+// with parallel analysis enabled.
+func TestPublicAPIFunctionalOptions(t *testing.T) {
+	topts, aopts := NewOptions()
+	if topts.Kind != ProRaceDriver || !topts.EnablePT || topts.Period != 10000 || topts.Seed != 1 {
+		t.Errorf("trace defaults wrong: %+v", topts)
+	}
+	if aopts.Mode != ReplayForwardBackward || aopts.Workers != 0 || aopts.DetectShards != 0 {
+		t.Errorf("analysis defaults wrong: %+v", aopts)
+	}
+
+	costs := DriverCosts{}
+	topts, aopts = NewOptions(
+		WithMachine(MachineConfig{Cores: 6}),
+		WithPeriod(500),
+		WithSeed(9),
+		WithDriver(VanillaDriver),
+		WithDriverCosts(costs),
+		WithoutPT(),
+		WithOverheadMeasurement(),
+		WithoutRandomFirstPeriod(),
+		WithReplayMode(ReplayForward),
+		WithWorkers(4),
+		WithDetectShards(8),
+		WithMaxReports(17),
+		WithoutMemoryEmulation(),
+		WithoutRaceFeedback(),
+		WithoutAllocationTracking(),
+	)
+	if topts.Machine.Cores != 6 || topts.Period != 500 || topts.Seed != 9 ||
+		topts.Kind != VanillaDriver || topts.Costs == nil || topts.EnablePT ||
+		!topts.MeasureOverhead || !topts.DisableRandomFirstPeriod {
+		t.Errorf("trace options wrong: %+v", topts)
+	}
+	if aopts.Mode != ReplayForward || aopts.Workers != 4 || aopts.DetectShards != 8 ||
+		aopts.MaxReports != 17 || !aopts.DisableMemoryEmulation ||
+		!aopts.DisableRaceFeedback || !aopts.DisableAllocationTracking {
+		t.Errorf("analysis options wrong: %+v", aopts)
+	}
+
+	w := MustWorkload("apache", 1)
+	res, err := RunWith(w.Program,
+		WithMachine(w.Machine),
+		WithPeriod(1000),
+		WithSeed(42),
+		WithWorkers(-1),
+		WithDetectShards(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AnalysisResult.ReplayStats.Total() == 0 {
+		t.Fatal("parallel RunWith produced nothing")
+	}
+	if res.AnalysisResult.Workers < 1 || res.AnalysisResult.DetectShards != 4 {
+		t.Errorf("resolved parallelism not recorded: %+v", res.AnalysisResult)
+	}
+
+	// TraceWith + AnalyzeWith compose to the same pipeline.
+	tr, err := TraceWith(w.Program, WithMachine(w.Machine), WithPeriod(1000), WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := AnalyzeWith(w.Program, tr, WithDetectShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Reports) != len(res.AnalysisResult.Reports) {
+		t.Errorf("composed pipeline diverged: %d vs %d reports", len(ar.Reports), len(res.AnalysisResult.Reports))
+	}
+}
