@@ -358,7 +358,7 @@ func buildReuseWorkload() *Program {
 	f2.CmpI(R3, 0)
 	f2.Jgt("w")
 	f2.Exit(0)
-	return b.MustBuild()
+	return mustBuild(b)
 }
 
 // BenchmarkAblationPTGuidance compares reconstruction with the PT path

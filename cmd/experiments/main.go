@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated: table1,fig6,fig7,fig8,fig9,fig10,table2,fig11,fig12,related,scaling,all")
+	expFlag := flag.String("exp", "all", "comma-separated: table1,fig6,fig7,fig8,fig9,fig10,table2,fig11,fig12,related,scaling,faults,all")
 	full := flag.Bool("full", false, "paper-scale configuration (slow)")
 	scale := flag.Int("scale", 0, "override workload scale")
 	trials := flag.Int("trials", 0, "override Table 2 traces per cell")
@@ -132,6 +132,13 @@ func main() {
 	})
 	run("scaling", func() (string, error) {
 		f, err := h.DetectScaling()
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
+	})
+	run("faults", func() (string, error) {
+		f, err := h.FaultSweep()
 		if err != nil {
 			return "", err
 		}

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"prorace"
 	"prorace/internal/bugs"
@@ -23,6 +24,15 @@ import (
 )
 
 func main() {
+	// A corrupt trace must fail with a diagnosis, not a stack trace: the
+	// decode layers return typed errors, and this backstop catches anything
+	// that still escapes as a panic.
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintln(os.Stderr, "error: internal failure:", r)
+			os.Exit(1)
+		}
+	}()
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
@@ -88,6 +98,8 @@ type commonFlags struct {
 	modeName     string
 	workers      int
 	detectShards int
+	lenient      bool
+	faultSpec    string
 }
 
 func addCommon(fs *flag.FlagSet) *commonFlags {
@@ -101,6 +113,8 @@ func addCommon(fs *flag.FlagSet) *commonFlags {
 	fs.StringVar(&c.modeName, "mode", "fb", "reconstruction: bb, fwd or fb")
 	fs.IntVar(&c.workers, "workers", 0, "offline analysis workers (0 sequential, -1 GOMAXPROCS)")
 	fs.IntVar(&c.detectShards, "detect-shards", 0, "detection shards (0/1 sequential, -1 GOMAXPROCS)")
+	fs.BoolVar(&c.lenient, "lenient", false, "salvage corrupt or truncated traces instead of failing (reports degradation)")
+	fs.StringVar(&c.faultSpec, "fault-spec", "", "inject trace faults before analysis, e.g. ptflip=0.01,syncgap=0.1:seed=7")
 	return c
 }
 
@@ -148,7 +162,29 @@ func (c *commonFlags) options(w workload.Workload) ([]prorace.Option, error) {
 	default:
 		return nil, fmt.Errorf("unknown mode %q", c.modeName)
 	}
+	// The CLI is strict unless -lenient: an operator inspecting a trace
+	// wants corruption surfaced, not silently skipped.
+	if !c.lenient {
+		opts = append(opts, prorace.WithStrict())
+	}
+	if c.faultSpec != "" {
+		spec, err := prorace.ParseFaultSpec(c.faultSpec)
+		if err != nil {
+			return nil, fmt.Errorf("-fault-spec: %w", err)
+		}
+		opts = append(opts, prorace.WithFaultInjection(spec))
+	}
 	return opts, nil
+}
+
+// printDegradation reports what a lenient analysis gave up.
+func printDegradation(d *prorace.Degradation) {
+	if s := d.Summary(); s != "" {
+		fmt.Println("degradation:")
+		for _, line := range strings.Split(s, "\n") {
+			fmt.Println("  " + line)
+		}
+	}
 }
 
 func cmdRun(args []string) error {
@@ -193,6 +229,7 @@ func cmdRun(args []string) error {
 				fmt.Printf("  planted bug %s not detected in this trace\n", built.Bug.ID)
 			}
 		}
+		printDegradation(&ar.Degradation)
 		fmt.Print(prorace.FormatRaces(w.Program, ar.Reports))
 	}
 	if built != nil && *trials > 1 {
@@ -244,11 +281,24 @@ func cmdAnalyze(args []string) error {
 
 	raw, err := os.ReadFile(*in)
 	if err != nil {
-		return err
+		return fmt.Errorf("reading trace: %w", err)
 	}
-	tr, err := tracefmt.DecodeTraceAuto(raw)
-	if err != nil {
-		return err
+	var tr *tracefmt.Trace
+	if c.lenient {
+		var sal *tracefmt.SalvageInfo
+		tr, sal, err = tracefmt.DecodeTraceAutoLenient(raw)
+		if err != nil {
+			return fmt.Errorf("trace %s is unrecognisable even leniently: %w", *in, err)
+		}
+		if sal.Degraded() {
+			fmt.Printf("salvaged %s: truncated=%v, %d torn bytes, dropped %d PEBS + %d sync records + %d PT bytes\n",
+				*in, sal.Truncated, sal.TornBytes, sal.DroppedPEBS, sal.DroppedSync, sal.DroppedPTBytes)
+		}
+	} else {
+		tr, err = tracefmt.DecodeTraceAuto(raw)
+		if err != nil {
+			return fmt.Errorf("trace %s is corrupt (re-run with -lenient to salvage): %w", *in, err)
+		}
 	}
 	if c.workloadName == "" && c.bugID == "" {
 		c.workloadName = tr.Program
@@ -271,6 +321,7 @@ func cmdAnalyze(args []string) error {
 	if built != nil && built.Detected(ar.Reports) {
 		fmt.Printf("planted bug %s DETECTED\n", built.Bug.ID)
 	}
+	printDegradation(&ar.Degradation)
 	fmt.Print(prorace.FormatRaces(w.Program, ar.Reports))
 	return nil
 }

@@ -49,7 +49,10 @@ func ExampleNewProgram() {
 	m.AddI(prorace.R1, 1)
 	m.Store(prorace.MemGlobal("x", 0), prorace.R1)
 	m.Exit(0)
-	p := b.MustBuild()
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("instructions:", len(p.Insts))
 	fmt.Println("entry symbol:", p.SymbolizeAddr(p.Entry))
 	// Output:

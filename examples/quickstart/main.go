@@ -14,7 +14,7 @@ import (
 
 // buildRacyCounter assembles the classic bug: two threads increment a
 // shared counter; one of them skips the lock.
-func buildRacyCounter() *prorace.Program {
+func buildRacyCounter() (*prorace.Program, error) {
 	b := prorace.NewProgram("quickstart")
 	b.Global("counter", 8)
 	b.Global("lk", 8)
@@ -59,11 +59,14 @@ func buildRacyCounter() *prorace.Program {
 	v.Jgt("loop")
 	v.Exit(0)
 
-	return b.MustBuild()
+	return b.Build()
 }
 
 func main() {
-	p := buildRacyCounter()
+	p, err := buildRacyCounter()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Online: trace a production-like run at sampling period 1000 with the
 	// ProRace driver, measuring the overhead against an untraced run.

@@ -241,13 +241,3 @@ func (b *Builder) Build() (*prog.Program, error) {
 	}
 	return p, nil
 }
-
-// MustBuild is Build for programs known to be well formed; it panics on
-// error. Workload constructors use it because their programs are static.
-func (b *Builder) MustBuild() *prog.Program {
-	p, err := b.Build()
-	if err != nil {
-		panic(err)
-	}
-	return p
-}

@@ -201,16 +201,13 @@ func TestBuildErrors(t *testing.T) {
 	if _, err := b.Build(); err == nil {
 		t.Error("call to data symbol must fail")
 	}
-	// MustBuild panics.
+	// Build never panics on malformed input: it returns the error.
 	b = New("t")
 	f = b.Func("main")
 	f.Jmp("nowhere")
-	defer func() {
-		if recover() == nil {
-			t.Error("MustBuild must panic on error")
-		}
-	}()
-	b.MustBuild()
+	if _, err := b.Build(); err == nil {
+		t.Error("jump to undefined label must fail")
+	}
 }
 
 func TestSetEntry(t *testing.T) {

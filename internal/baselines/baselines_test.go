@@ -206,7 +206,17 @@ func buildHotRace() *prog.Program {
 	w.CmpI(isa.R3, 0)
 	w.Jgt("l")
 	w.Exit(0)
-	return b.MustBuild()
+	return mustBuild(b)
 }
 
 func workloadMachine() machine.Config { return machine.Config{Cores: 4} }
+
+// mustBuild finalises a test program; the inputs are static, so a build
+// error means the test itself is broken.
+func mustBuild(b *asm.Builder) *prog.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -12,13 +12,16 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"time"
 
+	"prorace/internal/faultinject"
 	"prorace/internal/machine"
 	"prorace/internal/pmu/driver"
 	"prorace/internal/prog"
 	"prorace/internal/race"
 	"prorace/internal/replay"
+	"prorace/internal/synctrace"
 	"prorace/internal/synthesis"
 	"prorace/internal/tracefmt"
 )
@@ -135,6 +138,36 @@ type AnalysisOptions struct {
 	DisableAllocationTracking bool
 	// MaxReports bounds the race report list.
 	MaxReports int
+	// Strict makes the first decode or per-thread analysis error abort the
+	// run. The default (false) is lenient: corrupt PT regions are skipped
+	// via sync-point recovery, failing threads are dropped (their sync
+	// records still contribute happens-before edges), and everything lost
+	// is accounted in AnalysisResult.Degradation. On a clean trace the two
+	// modes produce identical reports.
+	Strict bool
+	// FaultSpec, when non-nil, injects the described faults into a copy of
+	// the trace before analysis — the test harness for the degradation
+	// machinery. The original trace is never modified.
+	FaultSpec *faultinject.Spec
+	// ThreadRetries bounds retries of a per-thread stage that failed with
+	// a transient error (0 means the default of 1; negative disables).
+	ThreadRetries int
+	// DecodeMaxSteps bounds each thread's PT decode (0 means the decoder's
+	// large default). Lenient analyses of heavily corrupted streams use it
+	// to keep resynced walks from wandering for millions of steps.
+	DecodeMaxSteps int
+}
+
+// threadRetries resolves the ThreadRetries knob.
+func threadRetries(n int) int {
+	switch {
+	case n == 0:
+		return 1
+	case n < 0:
+		return 0
+	default:
+		return n
+	}
 }
 
 // AnalysisResult is the outcome of the offline phase.
@@ -157,6 +190,9 @@ type AnalysisResult struct {
 	// Regenerated is true when the §5.1 feedback loop re-ran
 	// reconstruction with racy locations invalidated.
 	Regenerated bool
+	// Degradation accounts everything a lenient analysis had to give up
+	// (zero-valued on a clean strict or lenient run).
+	Degradation Degradation
 }
 
 // TotalTime is the full offline analysis duration.
@@ -199,11 +235,27 @@ func newReportSink(shards int, ropts race.Options) race.ReportSink {
 
 // Analyze runs the offline phase over a collected trace. It is the single
 // entry point for both sequential and parallel analysis: Workers fans out
-// synthesis and reconstruction, DetectShards fans out detection.
+// synthesis and reconstruction, DetectShards fans out detection. Unless
+// opts.Strict is set, the analysis is fault-tolerant: corrupt trace
+// regions and failing threads degrade the result (see Degradation) instead
+// of aborting it.
 func Analyze(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions) (*AnalysisResult, error) {
 	workers := workerCount(opts.Workers)
 	shards := shardCount(opts.DetectShards)
+	retries := threadRetries(opts.ThreadRetries)
 	res := &AnalysisResult{Workers: workers, DetectShards: shards}
+	deg := &res.Degradation
+
+	if opts.FaultSpec != nil && !opts.FaultSpec.Zero() {
+		tr, _ = opts.FaultSpec.Apply(tr)
+		deg.Injected = opts.FaultSpec.String()
+	}
+
+	// Screen out impossible thread IDs before anything indexes by TID.
+	tr, sanErr := sanitizeTrace(tr, opts.Strict, deg)
+	if sanErr != nil {
+		return nil, sanErr
+	}
 
 	if workers > 1 {
 		// Pre-warm the program's lazily built indexes (basic blocks,
@@ -216,15 +268,25 @@ func Analyze(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions) (*Analys
 	t0 := time.Now()
 	var tts map[int32]*synthesis.ThreadTrace
 	var err error
+	sopts := synthesis.Options{Lenient: !opts.Strict, MaxSteps: opts.DecodeMaxSteps}
 	if workers > 1 {
-		tts, err = synthesizeParallel(p, tr, workers)
+		tts, err = synthesizeParallel(p, tr, workers, sopts, opts.Strict, retries, deg)
 	} else {
-		tts, err = synthesis.Synthesize(p, tr)
+		tts, err = synthesizeGuarded(p, tr, sopts, opts.Strict, retries, deg)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: synthesis: %w", err)
 	}
 	res.DecodeTime = time.Since(t0)
+
+	// Account what decoding gave up, and check the sync log's invariants:
+	// dropped sync records silently widen happens-before (edges can only
+	// disappear, so races are over- not under-reported) — surface that.
+	collectDecodeDegradation(tts, deg)
+	_, ptBytes, _ := tr.Sizes()
+	deg.PTBytesTotal = ptBytes
+	gaps := synctrace.AnalyzeLog(tr.Sync)
+	deg.SyncAnomalies = gaps.Anomalies()
 
 	ropts := race.Options{TrackAllocations: !opts.DisableAllocationTracking, MaxReports: opts.MaxReports}
 	engine := replay.NewEngine(p, replay.Config{Mode: opts.Mode})
@@ -239,13 +301,21 @@ func Analyze(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions) (*Analys
 	if workers > 1 {
 		var rstats replay.Stats
 		var reconT, detT time.Duration
-		accesses, rstats, det, reconT, detT = streamPass(engine, tts, tr.Sync, workers, shards, ropts)
+		var terrs []*ThreadError
+		accesses, rstats, det, reconT, detT, terrs = streamPass(engine, tts, tr.Sync, workers, shards, ropts, retries)
+		if err := absorbThreadErrors(terrs, opts.Strict, deg); err != nil {
+			return nil, err
+		}
 		res.ReplayStats = rstats
 		res.ReconstructTime, res.DetectTime = reconT, detT
 	} else {
 		t1 := time.Now()
 		var rstats replay.Stats
-		accesses, rstats = engine.ReconstructAll(tts)
+		var terrs []*ThreadError
+		accesses, rstats, terrs = reconstructGuarded(engine, tts, retries)
+		if err := absorbThreadErrors(terrs, opts.Strict, deg); err != nil {
+			return nil, err
+		}
 		res.ReconstructTime = time.Since(t1)
 		res.ReplayStats = rstats
 
@@ -266,7 +336,10 @@ func Analyze(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions) (*Analys
 		if workers > 1 {
 			// The streamed pass detects while it reconstructs; adopt its
 			// output only when the invalidation actually changed the trace.
-			accesses2, rstats2, det2, reconT2, detT2 := streamPass(engine2, tts, tr.Sync, workers, shards, ropts)
+			accesses2, rstats2, det2, reconT2, detT2, terrs2 := streamPass(engine2, tts, tr.Sync, workers, shards, ropts, retries)
+			if err := absorbThreadErrors(terrs2, opts.Strict, deg); err != nil {
+				return nil, err
+			}
 			res.ReconstructTime += reconT2
 			if rstats2.InvalidHits > 0 {
 				res.DetectTime += detT2
@@ -277,7 +350,10 @@ func Analyze(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions) (*Analys
 			}
 		} else {
 			t1b := time.Now()
-			accesses2, rstats2 := engine2.ReconstructAll(tts)
+			accesses2, rstats2, terrs2 := reconstructGuarded(engine2, tts, retries)
+			if err := absorbThreadErrors(terrs2, opts.Strict, deg); err != nil {
+				return nil, err
+			}
 			res.ReconstructTime += time.Since(t1b)
 			if rstats2.InvalidHits > 0 {
 				t2b := time.Now()
@@ -295,7 +371,118 @@ func Analyze(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions) (*Analys
 
 	res.Accesses = accesses
 	res.Reports = det.Reports()
+	flagGapAdjacent(res, tts, gaps, deg)
 	return res, nil
+}
+
+// synthesizeGuarded is the sequential synthesis pass with per-thread error
+// isolation: a failing or panicking thread is dropped in lenient mode
+// (recorded in deg), and aborts in strict mode.
+func synthesizeGuarded(p *prog.Program, tr *tracefmt.Trace, sopts synthesis.Options, strict bool, retries int, deg *Degradation) (map[int32]*synthesis.ThreadTrace, error) {
+	out := map[int32]*synthesis.ThreadTrace{}
+	for _, tid := range tr.TIDs() {
+		tid := tid
+		var tt *synthesis.ThreadTrace
+		te := runWithRetry(tid, "synthesis", retries, func() error {
+			var err error
+			tt, err = synthesis.SynthesizeThreadWith(p, tr, tid, sopts)
+			return err
+		})
+		if te != nil {
+			if strict {
+				return nil, te
+			}
+			deg.recordThreadError(te)
+			continue
+		}
+		out[tid] = tt
+	}
+	return out, nil
+}
+
+// reconstructGuarded is the sequential reconstruction pass with per-thread
+// error isolation; failures are returned for the caller to absorb or
+// abort on.
+func reconstructGuarded(engine *replay.Engine, tts map[int32]*synthesis.ThreadTrace, retries int) (map[int32][]replay.Access, replay.Stats, []*ThreadError) {
+	out := map[int32][]replay.Access{}
+	var agg replay.Stats
+	var terrs []*ThreadError
+	for tid, tt := range tts {
+		tid, tt := tid, tt
+		var acc []replay.Access
+		var st replay.Stats
+		te := runWithRetry(tid, "reconstruct", retries, func() error {
+			acc, st = engine.ReconstructThread(tt)
+			return nil
+		})
+		if te != nil {
+			terrs = append(terrs, te)
+			continue
+		}
+		out[tid] = acc
+		agg.Merge(st)
+	}
+	return out, agg, terrs
+}
+
+// absorbThreadErrors applies the strictness policy to a batch of isolated
+// failures: strict returns the first as the run's error, lenient records
+// them as degradation.
+func absorbThreadErrors(terrs []*ThreadError, strict bool, deg *Degradation) error {
+	if len(terrs) == 0 {
+		return nil
+	}
+	// Worker pools surface failures in completion order; sort by thread so
+	// the recorded (or returned) errors are deterministic.
+	sort.Slice(terrs, func(i, j int) bool { return terrs[i].TID < terrs[j].TID })
+	if strict {
+		return terrs[0]
+	}
+	for _, te := range terrs {
+		deg.recordThreadError(te)
+	}
+	return nil
+}
+
+// collectDecodeDegradation aggregates per-thread decode damage into the
+// run's Degradation.
+func collectDecodeDegradation(tts map[int32]*synthesis.ThreadTrace, deg *Degradation) {
+	for _, tt := range tts {
+		if tt.Path != nil {
+			deg.CorruptPTPackets += tt.Path.CorruptPackets
+			deg.DecodeGaps += len(tt.Path.Gaps)
+			deg.PTBytesSkipped += uint64(tt.Path.SkippedBytes())
+		}
+		deg.UnpinnedSamples += len(tt.UnpinnedSamples)
+	}
+}
+
+// flagGapAdjacent marks reports touching a degraded thread — a thread with
+// decode gaps, an isolated failure, or sync-log anomalies — so analysts
+// know which races may be artifacts of widened happens-before.
+func flagGapAdjacent(res *AnalysisResult, tts map[int32]*synthesis.ThreadTrace, gaps *synctrace.GapReport, deg *Degradation) {
+	degTIDs := map[int32]bool{}
+	for _, tid := range deg.DroppedThreads {
+		degTIDs[tid] = true
+	}
+	for tid, tt := range tts {
+		if tt.Path != nil && tt.Path.Degraded() {
+			degTIDs[tid] = true
+		}
+	}
+	for _, tid := range gaps.Threads {
+		degTIDs[tid] = true
+	}
+	if len(degTIDs) == 0 {
+		return
+	}
+	for i := range res.Reports {
+		r := &res.Reports[i]
+		if degTIDs[r.First.TID] || degTIDs[r.Second.TID] {
+			r.GapAdjacent = true
+			deg.GapAdjacentRaces++
+		}
+	}
 }
 
 // Result bundles a full pipeline run.

@@ -27,13 +27,16 @@ func AnalyzeParallel(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions, 
 	return Analyze(p, tr, opts)
 }
 
-// synthesizeParallel decodes and pins each thread concurrently.
-func synthesizeParallel(p *prog.Program, tr *tracefmt.Trace, workers int) (map[int32]*synthesis.ThreadTrace, error) {
+// synthesizeParallel decodes and pins each thread concurrently, with the
+// same per-thread error isolation as the sequential pass: a failing or
+// panicking thread is dropped in lenient mode (recorded in deg) and aborts
+// in strict mode.
+func synthesizeParallel(p *prog.Program, tr *tracefmt.Trace, workers int, sopts synthesis.Options, strict bool, retries int, deg *Degradation) (map[int32]*synthesis.ThreadTrace, error) {
 	tids := tr.TIDs()
 	type result struct {
-		tid int32
-		tt  *synthesis.ThreadTrace
-		err error
+		tid  int32
+		tt   *synthesis.ThreadTrace
+		terr *ThreadError
 	}
 	work := make(chan int32, len(tids))
 	results := make(chan result, len(tids))
@@ -43,8 +46,13 @@ func synthesizeParallel(p *prog.Program, tr *tracefmt.Trace, workers int) (map[i
 		go func() {
 			defer wg.Done()
 			for tid := range work {
-				tt, err := synthesis.SynthesizeThread(p, tr, tid)
-				results <- result{tid: tid, tt: tt, err: err}
+				var tt *synthesis.ThreadTrace
+				te := runWithRetry(tid, "synthesis", retries, func() error {
+					var err error
+					tt, err = synthesis.SynthesizeThreadWith(p, tr, tid, sopts)
+					return err
+				})
+				results <- result{tid: tid, tt: tt, terr: te}
 			}
 		}()
 	}
@@ -56,11 +64,16 @@ func synthesizeParallel(p *prog.Program, tr *tracefmt.Trace, workers int) (map[i
 	close(results)
 
 	out := map[int32]*synthesis.ThreadTrace{}
+	var terrs []*ThreadError
 	for r := range results {
-		if r.err != nil {
-			return nil, r.err
+		if r.terr != nil {
+			terrs = append(terrs, r.terr)
+			continue
 		}
 		out[r.tid] = r.tt
+	}
+	if err := absorbThreadErrors(terrs, strict, deg); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -77,7 +90,7 @@ const streamChunkSize = 512
 // Returned timings: the reconstruction stage's wall clock, and the
 // detection tail that ran on after the last thread was reconstructed (the
 // two stages overlap; their sum is the pass's elapsed time).
-func streamPass(engine *replay.Engine, tts map[int32]*synthesis.ThreadTrace, syncRecs []tracefmt.SyncRecord, workers, shards int, ropts race.Options) (map[int32][]replay.Access, replay.Stats, race.ReportSink, time.Duration, time.Duration) {
+func streamPass(engine *replay.Engine, tts map[int32]*synthesis.ThreadTrace, syncRecs []tracefmt.SyncRecord, workers, shards int, ropts race.Options, retries int) (map[int32][]replay.Access, replay.Stats, race.ReportSink, time.Duration, time.Duration, []*ThreadError) {
 	start := time.Now()
 	syncByTID := race.SyncByTID(syncRecs)
 
@@ -133,12 +146,16 @@ func streamPass(engine *replay.Engine, tts map[int32]*synthesis.ThreadTrace, syn
 		}
 	}
 
-	// Reconstruction worker pool.
+	// Reconstruction worker pool. Each thread's reconstruction runs
+	// guarded: a panic or transient failure becomes a ThreadError, and the
+	// thread's stream is still emitted (sync-only) so the k-way merger
+	// never blocks on a channel a dead worker would have closed.
 	work := make(chan int32, len(tts))
 	var (
-		mu  sync.Mutex
-		out = map[int32][]replay.Access{}
-		agg replay.Stats
+		mu    sync.Mutex
+		out   = map[int32][]replay.Access{}
+		agg   replay.Stats
+		terrs []*ThreadError
 	)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -146,7 +163,22 @@ func streamPass(engine *replay.Engine, tts map[int32]*synthesis.ThreadTrace, syn
 		go func() {
 			defer wg.Done()
 			for tid := range work {
-				acc, st := engine.ReconstructThread(tts[tid])
+				tid := tid
+				var acc []replay.Access
+				var st replay.Stats
+				te := runWithRetry(tid, "reconstruct", retries, func() error {
+					acc, st = engine.ReconstructThread(tts[tid])
+					return nil
+				})
+				if te != nil {
+					mu.Lock()
+					terrs = append(terrs, te)
+					mu.Unlock()
+					// The thread's reconstructed accesses are lost, but its
+					// sync records still carry happens-before edges.
+					go emit(tid, race.ThreadStream(syncByTID[tid], nil))
+					continue
+				}
 				mu.Lock()
 				out[tid] = acc
 				agg.Merge(st)
@@ -164,5 +196,5 @@ func streamPass(engine *replay.Engine, tts map[int32]*synthesis.ThreadTrace, syn
 	reconTime := time.Since(start)
 	<-detDone
 	detectTail := time.Since(start) - reconTime
-	return out, agg, sink, reconTime, detectTail
+	return out, agg, sink, reconTime, detectTail, terrs
 }

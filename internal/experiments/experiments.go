@@ -36,6 +36,11 @@ type Config struct {
 	// BugSubset restricts Table 2 / Figures 11-12 to the named bugs
 	// (empty = all).
 	BugSubset []string
+	// FaultTrials is the number of clean traces per bug the fault sweep
+	// re-analyses under each injected corruption.
+	FaultTrials int
+	// FaultRates is the fault sweep's injection-rate axis.
+	FaultRates []float64
 }
 
 // Quick returns a configuration small enough for tests and benchmarks.
@@ -69,6 +74,12 @@ func (c *Config) setDefaults() {
 	}
 	if len(c.Table2Periods) == 0 {
 		c.Table2Periods = []uint64{100, 1000, 10000}
+	}
+	if c.FaultTrials <= 0 {
+		c.FaultTrials = 3
+	}
+	if len(c.FaultRates) == 0 {
+		c.FaultRates = []float64{0.01, 0.1, 0.25, 0.5}
 	}
 }
 

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"prorace/internal/faultinject"
 )
 
 // tinyConfig keeps experiment tests fast: two workloads, two periods.
@@ -238,5 +240,30 @@ func TestRelatedWorkComparison(t *testing.T) {
 	}
 	if res.Render() == "" {
 		t.Error("empty render")
+	}
+}
+
+func TestFaultSweepQuick(t *testing.T) {
+	cfg := Quick()
+	cfg.BugSubset = []string{"apache-25520"}
+	cfg.FaultTrials = 1
+	cfg.FaultRates = []float64{0.1}
+	h := NewHarness(cfg)
+	f, err := h.FaultSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Total != 1 {
+		t.Fatalf("total = %d, want 1", f.Total)
+	}
+	if f.CleanDetected != 1 {
+		t.Fatalf("clean baseline missed the planted race")
+	}
+	if len(f.Cells) != len(faultinject.Kinds) {
+		t.Fatalf("cells = %d, want %d", len(f.Cells), len(faultinject.Kinds))
+	}
+	out := f.Render()
+	if !strings.Contains(out, "ptflip") || !strings.Contains(out, "recall@10%") {
+		t.Fatalf("render missing expected columns:\n%s", out)
 	}
 }

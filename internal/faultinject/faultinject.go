@@ -1,0 +1,276 @@
+// Package faultinject mutates collected traces the way the production
+// environment does, so the offline analysis can be tested and measured
+// against realistic damage. ProRace's online phase is deliberately lossy:
+// PEBS drops samples under buffer pressure, PT overflows (OVF) and loses
+// packets at high bandwidth, the aux ring buffer overwrites unread
+// segments, and a crash mid-flush tears the trace file. Each injector here
+// models one of those, is deterministic for a given (seed, rate) pair, and
+// composes with the others in declaration order.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"prorace/internal/tracefmt"
+)
+
+// Kind names one injector.
+type Kind string
+
+const (
+	// Trunc cuts a prefix of every PT stream — the aux ring buffer
+	// overwriting the oldest data before the perf tool read it.
+	Trunc Kind = "trunc"
+	// PTFlip flips one random bit in each affected PT stream byte —
+	// transport or storage corruption.
+	PTFlip Kind = "ptflip"
+	// PTDrop removes small chunks (4–64 bytes) from PT streams — packet
+	// loss under bandwidth pressure, the condition real PT signals with
+	// OVF packets.
+	PTDrop Kind = "ptdrop"
+	// PEBSLoss drops bursts of consecutive PEBS records (mean burst ~8) —
+	// the kernel discarding samples while the interrupt handler is
+	// throttled.
+	PEBSLoss Kind = "pebsloss"
+	// SyncGap drops individual synchronization records — a torn or
+	// overwritten sync-log segment.
+	SyncGap Kind = "syncgap"
+	// Torn cuts a few bytes off the tail of PT streams, usually splitting
+	// the final packet — a short write during trace shipping.
+	Torn Kind = "torn"
+)
+
+// Kinds lists every injector, in canonical order.
+var Kinds = []Kind{Trunc, PTFlip, PTDrop, PEBSLoss, SyncGap, Torn}
+
+func validKind(k Kind) bool {
+	for _, v := range Kinds {
+		if v == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Fault is one injector activation.
+type Fault struct {
+	Kind Kind
+	// Rate is the damage intensity in [0, 1]: the fraction of bytes,
+	// records, or streams affected (see each Kind's doc).
+	Rate float64
+}
+
+// Spec is a deterministic, composable fault plan.
+type Spec struct {
+	Seed   int64
+	Faults []Fault
+}
+
+// Zero reports whether the spec injects nothing.
+func (sp *Spec) Zero() bool { return sp == nil || len(sp.Faults) == 0 }
+
+// String renders the spec in the Parse format.
+func (sp *Spec) String() string {
+	if sp.Zero() {
+		return "none"
+	}
+	parts := make([]string, 0, len(sp.Faults))
+	for _, f := range sp.Faults {
+		parts = append(parts, fmt.Sprintf("%s=%g", f.Kind, f.Rate))
+	}
+	return fmt.Sprintf("%s:seed=%d", strings.Join(parts, ","), sp.Seed)
+}
+
+// Parse reads a spec of the form "kind=rate,kind=rate[:seed=N]", e.g.
+// "ptflip=0.1,syncgap=0.01:seed=7". The seed defaults to 1.
+func Parse(s string) (*Spec, error) {
+	sp := &Spec{Seed: 1}
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return sp, nil
+	}
+	if head, tail, ok := strings.Cut(s, ":"); ok {
+		sv, found := strings.CutPrefix(strings.TrimSpace(tail), "seed=")
+		if !found {
+			return nil, fmt.Errorf("faultinject: bad suffix %q (want seed=N)", tail)
+		}
+		seed, err := strconv.ParseInt(sv, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: bad seed %q: %v", sv, err)
+		}
+		sp.Seed = seed
+		s = head
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, rv, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: bad fault %q (want kind=rate)", part)
+		}
+		k := Kind(name)
+		if !validKind(k) {
+			return nil, fmt.Errorf("faultinject: unknown fault kind %q", name)
+		}
+		rate, err := strconv.ParseFloat(rv, 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return nil, fmt.Errorf("faultinject: bad rate %q for %s (want 0..1)", rv, name)
+		}
+		sp.Faults = append(sp.Faults, Fault{Kind: k, Rate: rate})
+	}
+	return sp, nil
+}
+
+// Summary reports what an Apply actually damaged.
+type Summary struct {
+	PTBytesRemoved   int
+	PTBytesFlipped   int
+	PEBSDropped      int
+	SyncDropped      int
+	StreamsTruncated int
+	StreamsTorn      int
+}
+
+// String renders a one-line damage summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("pt: -%dB ~%dB, pebs: -%d, sync: -%d, streams: %d truncated %d torn",
+		s.PTBytesRemoved, s.PTBytesFlipped, s.PEBSDropped, s.SyncDropped,
+		s.StreamsTruncated, s.StreamsTorn)
+}
+
+// Apply injects the spec's faults into a copy of the trace, leaving the
+// original untouched, and reports the damage done. The result is a pure
+// function of (trace, spec): injectors run in declaration order over a
+// single seeded generator, threads in ascending TID order.
+func (sp *Spec) Apply(tr *tracefmt.Trace) (*tracefmt.Trace, Summary) {
+	out := cloneTrace(tr)
+	var sum Summary
+	if sp.Zero() {
+		return out, sum
+	}
+	rng := rand.New(rand.NewSource(sp.Seed))
+	for _, f := range sp.Faults {
+		rate := f.Rate
+		if rate <= 0 {
+			continue
+		}
+		if rate > 1 {
+			rate = 1
+		}
+		switch f.Kind {
+		case Trunc:
+			for _, tid := range sortedKeys(out.PT) {
+				b := out.PT[tid]
+				n := int(rate * float64(len(b)))
+				if n <= 0 {
+					continue
+				}
+				out.PT[tid] = b[n:]
+				sum.PTBytesRemoved += n
+				sum.StreamsTruncated++
+			}
+		case PTFlip:
+			for _, tid := range sortedKeys(out.PT) {
+				b := out.PT[tid]
+				for i := range b {
+					if rng.Float64() < rate {
+						b[i] ^= 1 << rng.Intn(8)
+						sum.PTBytesFlipped++
+					}
+				}
+			}
+		case PTDrop:
+			for _, tid := range sortedKeys(out.PT) {
+				b := out.PT[tid]
+				budget := int(rate * float64(len(b)))
+				removed := 0
+				for removed < budget && len(b) > 0 {
+					off := rng.Intn(len(b))
+					sz := 4 + rng.Intn(61)
+					if sz > len(b)-off {
+						sz = len(b) - off
+					}
+					b = append(b[:off], b[off+sz:]...)
+					removed += sz
+				}
+				out.PT[tid] = b
+				sum.PTBytesRemoved += removed
+			}
+		case PEBSLoss:
+			for _, tid := range sortedKeys(out.PEBS) {
+				recs := out.PEBS[tid]
+				kept := recs[:0]
+				burst := 0
+				for i := range recs {
+					if burst > 0 {
+						burst--
+						sum.PEBSDropped++
+						continue
+					}
+					// Entering a burst of mean length 8 with probability
+					// rate/8 drops ≈rate of all records overall.
+					if rng.Float64() < rate/8 {
+						burst = rng.Intn(15) // this record plus up to 14 more
+						sum.PEBSDropped++
+						continue
+					}
+					kept = append(kept, recs[i])
+				}
+				out.PEBS[tid] = kept
+			}
+		case SyncGap:
+			kept := out.Sync[:0]
+			for i := range out.Sync {
+				if rng.Float64() < rate {
+					sum.SyncDropped++
+					continue
+				}
+				kept = append(kept, out.Sync[i])
+			}
+			out.Sync = kept
+		case Torn:
+			for _, tid := range sortedKeys(out.PT) {
+				b := out.PT[tid]
+				if len(b) < 10 || rng.Float64() >= rate {
+					continue
+				}
+				cut := 1 + rng.Intn(8) // tears the trailing packet
+				out.PT[tid] = b[:len(b)-cut]
+				sum.PTBytesRemoved += cut
+				sum.StreamsTorn++
+			}
+		}
+	}
+	return out, sum
+}
+
+func cloneTrace(tr *tracefmt.Trace) *tracefmt.Trace {
+	out := &tracefmt.Trace{
+		Program:        tr.Program,
+		Period:         tr.Period,
+		Seed:           tr.Seed,
+		WallCycles:     tr.WallCycles,
+		DroppedSamples: tr.DroppedSamples,
+		PEBS:           make(map[int32][]tracefmt.PEBSRecord, len(tr.PEBS)),
+		PT:             make(map[int32][]byte, len(tr.PT)),
+		Sync:           append([]tracefmt.SyncRecord(nil), tr.Sync...),
+	}
+	for tid, recs := range tr.PEBS {
+		out.PEBS[tid] = append([]tracefmt.PEBSRecord(nil), recs...)
+	}
+	for tid, b := range tr.PT {
+		out.PT[tid] = append([]byte(nil), b...)
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[int32]V) []int32 {
+	out := make([]int32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,168 @@
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"prorace/internal/tracefmt"
+)
+
+// sampleTrace fabricates a trace with enough substance for every injector
+// to bite: two PT streams, PEBS records, and a sync log.
+func sampleTrace() *tracefmt.Trace {
+	tr := &tracefmt.Trace{
+		Program: "fi-test",
+		Period:  100,
+		PEBS:    map[int32][]tracefmt.PEBSRecord{},
+		PT:      map[int32][]byte{},
+	}
+	for tid := int32(1); tid <= 2; tid++ {
+		stream := make([]byte, 4096)
+		for i := range stream {
+			stream[i] = byte(i * int(tid))
+		}
+		tr.PT[tid] = stream
+		for i := 0; i < 200; i++ {
+			tr.PEBS[tid] = append(tr.PEBS[tid], tracefmt.PEBSRecord{
+				TID: tid, IP: uint64(i), Addr: uint64(i * 8), TSC: uint64(i * 100),
+			})
+		}
+		tr.Sync = append(tr.Sync,
+			tracefmt.SyncRecord{TID: tid, Kind: tracefmt.SyncLock, Addr: 0x100, TSC: uint64(tid)},
+			tracefmt.SyncRecord{TID: tid, Kind: tracefmt.SyncUnlock, Addr: 0x100, TSC: uint64(tid) + 10},
+		)
+	}
+	return tr
+}
+
+func traceEqual(a, b *tracefmt.Trace) bool {
+	return bytes.Equal(a.Encode(), b.Encode())
+}
+
+func TestApplyDeterministic(t *testing.T) {
+	tr := sampleTrace()
+	for _, kind := range Kinds {
+		sp := &Spec{Seed: 7, Faults: []Fault{{Kind: kind, Rate: 0.3}}}
+		out1, sum1 := sp.Apply(tr)
+		out2, sum2 := sp.Apply(tr)
+		if !traceEqual(out1, out2) {
+			t.Errorf("%s: same (seed, rate) produced different traces", kind)
+		}
+		if sum1 != sum2 {
+			t.Errorf("%s: same (seed, rate) produced different summaries: %v vs %v", kind, sum1, sum2)
+		}
+	}
+}
+
+func TestApplySeedMatters(t *testing.T) {
+	tr := sampleTrace()
+	sp1 := &Spec{Seed: 1, Faults: []Fault{{Kind: PTFlip, Rate: 0.2}}}
+	sp2 := &Spec{Seed: 2, Faults: []Fault{{Kind: PTFlip, Rate: 0.2}}}
+	out1, _ := sp1.Apply(tr)
+	out2, _ := sp2.Apply(tr)
+	if traceEqual(out1, out2) {
+		t.Error("different seeds produced identical corruption")
+	}
+}
+
+func TestApplyLeavesOriginalUntouched(t *testing.T) {
+	tr := sampleTrace()
+	before := tr.Encode()
+	sp := &Spec{Seed: 3, Faults: []Fault{
+		{Kind: Trunc, Rate: 0.5}, {Kind: PTFlip, Rate: 0.5}, {Kind: PTDrop, Rate: 0.5},
+		{Kind: PEBSLoss, Rate: 0.5}, {Kind: SyncGap, Rate: 0.5}, {Kind: Torn, Rate: 1},
+	}}
+	_, sum := sp.Apply(tr)
+	if !bytes.Equal(before, tr.Encode()) {
+		t.Fatal("Apply mutated the original trace")
+	}
+	if sum.PTBytesRemoved == 0 || sum.PTBytesFlipped == 0 || sum.PEBSDropped == 0 ||
+		sum.SyncDropped == 0 || sum.StreamsTruncated == 0 {
+		t.Errorf("composed injectors left some damage counter at zero: %v", sum)
+	}
+}
+
+func TestApplyDamageScalesWithRate(t *testing.T) {
+	tr := sampleTrace()
+	low := &Spec{Seed: 5, Faults: []Fault{{Kind: PTFlip, Rate: 0.01}}}
+	high := &Spec{Seed: 5, Faults: []Fault{{Kind: PTFlip, Rate: 0.5}}}
+	_, sumLow := low.Apply(tr)
+	_, sumHigh := high.Apply(tr)
+	if sumLow.PTBytesFlipped >= sumHigh.PTBytesFlipped {
+		t.Errorf("flips at 1%% (%d) should be fewer than at 50%% (%d)",
+			sumLow.PTBytesFlipped, sumHigh.PTBytesFlipped)
+	}
+}
+
+func TestZeroSpec(t *testing.T) {
+	tr := sampleTrace()
+	var nilSpec *Spec
+	if !nilSpec.Zero() {
+		t.Error("nil spec must be Zero")
+	}
+	sp := &Spec{Seed: 9}
+	out, sum := sp.Apply(tr)
+	if !traceEqual(out, tr) || sum != (Summary{}) {
+		t.Error("zero spec must be an identity transform")
+	}
+	if sp.String() != "none" {
+		t.Errorf("zero spec String = %q, want none", sp.String())
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	sp, err := Parse("ptflip=0.1,syncgap=0.01:seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Seed != 7 || len(sp.Faults) != 2 ||
+		sp.Faults[0] != (Fault{PTFlip, 0.1}) || sp.Faults[1] != (Fault{SyncGap, 0.01}) {
+		t.Fatalf("parsed %+v", sp)
+	}
+	back, err := Parse(sp.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", sp.String(), err)
+	}
+	if back.String() != sp.String() {
+		t.Errorf("round trip %q -> %q", sp.String(), back.String())
+	}
+	for _, s := range []string{"", "none"} {
+		sp, err := Parse(s)
+		if err != nil || !sp.Zero() || sp.Seed != 1 {
+			t.Errorf("Parse(%q) = %+v, %v; want zero spec with seed 1", s, sp, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{
+		"bogus=0.1",        // unknown kind
+		"ptflip",           // missing rate
+		"ptflip=2",         // rate out of range
+		"ptflip=-0.1",      // rate out of range
+		"ptflip=x",         // unparseable rate
+		"ptflip=0.1:bad",   // bad suffix
+		"ptflip=0.1:seed=", // bad seed
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestEveryKindDefaultSeed(t *testing.T) {
+	// Every kind at full rate on the default-seed path: no panics, and the
+	// damaged trace still encodes/decodes.
+	tr := sampleTrace()
+	for _, kind := range Kinds {
+		sp, err := Parse(fmt.Sprintf("%s=1", kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := sp.Apply(tr)
+		if _, err := tracefmt.DecodeTrace(out.Encode()); err != nil {
+			t.Errorf("%s: damaged trace container no longer round-trips: %v", kind, err)
+		}
+	}
+}

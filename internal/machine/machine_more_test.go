@@ -38,7 +38,7 @@ func TestYieldRotatesRunnableThreads(t *testing.T) {
 	w.CmpI(isa.R3, 0)
 	w.Jgt("loop")
 	w.Exit(0)
-	p := b.MustBuild()
+	p := mustBuild(b)
 	mac := New(p, Config{Seed: 1, Cores: 1})
 	if _, err := mac.Run(); err != nil {
 		t.Fatal(err)
@@ -66,7 +66,7 @@ func TestSysRandDeterministicPerSeed(t *testing.T) {
 	m.Syscall(isa.SysRand)
 	m.Store(asm.Global("out", 0), isa.R0)
 	m.Exit(0)
-	p := b.MustBuild()
+	p := mustBuild(b)
 	get := func(seed int64) uint64 {
 		mac := New(p, Config{Seed: seed})
 		if _, err := mac.Run(); err != nil {
@@ -92,7 +92,7 @@ func TestSysLogAccumulatesBytes(t *testing.T) {
 		m.Syscall(isa.SysLog)
 	}
 	m.Exit(0)
-	mac := New(b.MustBuild(), Config{Seed: 1})
+	mac := New(mustBuild(b), Config{Seed: 1})
 	st, err := mac.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -112,7 +112,7 @@ func TestIdleCoreCyclesCounted(t *testing.T) {
 	m.CmpI(isa.R3, 0)
 	m.Jgt("l")
 	m.Exit(0)
-	mac := New(b.MustBuild(), Config{Seed: 1, Cores: 4})
+	mac := New(mustBuild(b), Config{Seed: 1, Cores: 4})
 	st, err := mac.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -127,7 +127,7 @@ func TestHasIdleCoreAndCores(t *testing.T) {
 	b := asm.New("cores")
 	m := b.Func("main")
 	m.Exit(0)
-	mac := New(b.MustBuild(), Config{Seed: 1, Cores: 3})
+	mac := New(mustBuild(b), Config{Seed: 1, Cores: 3})
 	if mac.Cores() != 3 {
 		t.Errorf("Cores() = %d", mac.Cores())
 	}
@@ -191,7 +191,7 @@ func TestCondBroadcastWakesAll(t *testing.T) {
 	w.Store(asm.Global("done", 0), isa.R2)
 	w.Unlock("mtx")
 	w.Exit(0)
-	p := b.MustBuild()
+	p := mustBuild(b)
 	for seed := int64(0); seed < 5; seed++ {
 		mac := New(p, Config{Seed: seed})
 		if _, err := mac.Run(); err != nil {
@@ -207,7 +207,7 @@ func TestThreadAccessor(t *testing.T) {
 	b := asm.New("thr")
 	m := b.Func("main")
 	m.Exit(7)
-	mac := New(b.MustBuild(), Config{Seed: 1})
+	mac := New(mustBuild(b), Config{Seed: 1})
 	if mac.Thread(0) == nil || mac.Thread(99) != nil {
 		t.Error("Thread accessor wrong")
 	}

@@ -5,6 +5,7 @@ import (
 
 	"prorace/internal/asm"
 	"prorace/internal/isa"
+	"prorace/internal/prog"
 )
 
 // buildCounter makes a program where each of `workers` threads increments a
@@ -45,7 +46,7 @@ func buildCounter(workers, n int64, locked bool) *asm.Builder {
 }
 
 func TestLockedCounterIsExact(t *testing.T) {
-	p := buildCounter(3, 200, true).MustBuild()
+	p := mustBuild(buildCounter(3, 200, true))
 	for seed := int64(0); seed < 5; seed++ {
 		m := New(p, Config{Seed: seed})
 		st, err := m.Run()
@@ -66,7 +67,7 @@ func TestLockedCounterIsExact(t *testing.T) {
 }
 
 func TestRacyCounterLosesUpdates(t *testing.T) {
-	p := buildCounter(4, 500, false).MustBuild()
+	p := mustBuild(buildCounter(4, 500, false))
 	lost := false
 	for seed := int64(0); seed < 10; seed++ {
 		m := New(p, Config{Seed: seed, Quantum: 7})
@@ -87,7 +88,7 @@ func TestRacyCounterLosesUpdates(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	p := buildCounter(4, 300, false).MustBuild()
+	p := mustBuild(buildCounter(4, 300, false))
 	run := func() (uint64, uint64) {
 		m := New(p, Config{Seed: 42, Quantum: 13})
 		st, err := m.Run()
@@ -122,7 +123,7 @@ func TestThreadJoinExitCode(t *testing.T) {
 	m.Syscall(isa.SysExit) // exit with r0 = worker's code... r0 already set
 	w := b.Func("worker")
 	w.Exit(77)
-	p := b.MustBuild()
+	p := mustBuild(b)
 	mac := New(p, Config{Seed: 1})
 	if _, err := mac.Run(); err != nil {
 		t.Fatal(err)
@@ -148,7 +149,7 @@ func TestMallocFreeReuse(t *testing.T) {
 	m.Syscall(isa.SysMalloc)
 	m.Store(asm.Global("addr2", 0), isa.R0)
 	m.Exit(0)
-	p := b.MustBuild()
+	p := mustBuild(b)
 	mac := New(p, Config{Seed: 1})
 	if _, err := mac.Run(); err != nil {
 		t.Fatal(err)
@@ -175,7 +176,7 @@ func TestMallocDistinctWhileLive(t *testing.T) {
 	m.Syscall(isa.SysMalloc)
 	m.Store(asm.Global("a2", 0), isa.R0)
 	m.Exit(0)
-	p := b.MustBuild()
+	p := mustBuild(b)
 	mac := New(p, Config{Seed: 1})
 	if _, err := mac.Run(); err != nil {
 		t.Fatal(err)
@@ -222,7 +223,7 @@ func TestBarrier(t *testing.T) {
 	w2.Lea(isa.R5, asm.Global("slots", 0))
 	w2.Store(asm.BaseIndex(isa.R5, isa.R7, 8, 0), isa.R2)
 	w2.Exit(0)
-	prog2 := b2.MustBuild()
+	prog2 := mustBuild(b2)
 	mac := New(prog2, Config{Seed: 3})
 	if _, err := mac.Run(); err != nil {
 		t.Fatal(err)
@@ -275,7 +276,7 @@ func TestCondVarHandoff(t *testing.T) {
 	c.Store(asm.Global("seen", 0), isa.R2)
 	c.Unlock("mtx")
 	c.Exit(0)
-	p := b.MustBuild()
+	p := mustBuild(b)
 	for seed := int64(0); seed < 8; seed++ {
 		mac := New(p, Config{Seed: seed})
 		if _, err := mac.Run(); err != nil {
@@ -315,7 +316,7 @@ func TestDeadlockDetected(t *testing.T) {
 	w2.Jgt("s")
 	w2.Lock("a")
 	w2.Exit(0)
-	p2 := b2.MustBuild()
+	p2 := mustBuild(b2)
 	mac := New(p2, Config{Seed: 1})
 	if _, err := mac.Run(); err == nil {
 		t.Fatal("AB-BA deadlock not detected")
@@ -327,7 +328,7 @@ func TestCycleLimit(t *testing.T) {
 	m := b.Func("main")
 	m.Label("forever")
 	m.Jmp("forever")
-	p := b.MustBuild()
+	p := mustBuild(b)
 	mac := New(p, Config{Seed: 1, MaxCycles: 10_000})
 	if _, err := mac.Run(); err == nil {
 		t.Fatal("cycle limit not enforced")
@@ -354,7 +355,7 @@ func (c *countingTracer) ThreadStarted(TID, uint64)           { c.started++ }
 func (c *countingTracer) ThreadExited(TID, uint64)            { c.exited++ }
 
 func TestTracerStallsSlowTheRun(t *testing.T) {
-	p := buildCounter(2, 400, true).MustBuild()
+	p := mustBuild(buildCounter(2, 400, true))
 	base := New(p, Config{Seed: 9})
 	bst, err := base.Run()
 	if err != nil {
@@ -399,7 +400,7 @@ func TestNetIOHidesTracerOverhead(t *testing.T) {
 		b.Global("g", 8)
 		return b
 	}
-	p := build().MustBuild()
+	p := mustBuild(build())
 	base := New(p, Config{Seed: 5})
 	bst, err := base.Run()
 	if err != nil {
@@ -428,7 +429,7 @@ func TestFileBusContention(t *testing.T) {
 	m.CmpI(isa.R3, 0)
 	m.Jgt("loop")
 	m.Exit(0)
-	p := b.MustBuild()
+	p := mustBuild(b)
 
 	base := New(p, Config{Seed: 1})
 	bst, err := base.Run()
@@ -495,7 +496,7 @@ func TestWildJumpKillsThread(t *testing.T) {
 	m := b.Func("main")
 	m.MovI(isa.R1, 0x12345)
 	m.JmpR(isa.R1)
-	p := b.MustBuild()
+	p := mustBuild(b)
 	mac := New(p, Config{Seed: 1})
 	if _, err := mac.Run(); err != nil {
 		t.Fatal(err)
@@ -510,7 +511,7 @@ func TestReturnFromOutermostFrameExits(t *testing.T) {
 	m := b.Func("main")
 	m.MovI(isa.R0, 5)
 	m.Ret()
-	p := b.MustBuild()
+	p := mustBuild(b)
 	mac := New(p, Config{Seed: 1})
 	if _, err := mac.Run(); err != nil {
 		t.Fatal(err)
@@ -531,7 +532,7 @@ func TestCallRet(t *testing.T) {
 	d := b.Func("double")
 	d.Add(isa.R1, isa.R1)
 	d.Ret()
-	p := b.MustBuild()
+	p := mustBuild(b)
 	mac := New(p, Config{Seed: 1})
 	if _, err := mac.Run(); err != nil {
 		t.Fatal(err)
@@ -549,7 +550,7 @@ func TestUnlockWithoutOwnershipFails(t *testing.T) {
 	m.Unlock("lk")
 	m.Store(asm.Global("r", 0), isa.R0)
 	m.Exit(0)
-	p := b.MustBuild()
+	p := mustBuild(b)
 	mac := New(p, Config{Seed: 1})
 	if _, err := mac.Run(); err != nil {
 		t.Fatal(err)
@@ -557,4 +558,14 @@ func TestUnlockWithoutOwnershipFails(t *testing.T) {
 	if v := mac.Mem.Load8(p.MustLookup("r").Addr); v != ^uint64(0) {
 		t.Errorf("bad unlock returned %#x", v)
 	}
+}
+
+// mustBuild finalises a test program; the inputs are static, so a build
+// error means the test itself is broken.
+func mustBuild(b *asm.Builder) *prog.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
 }

@@ -132,6 +132,11 @@ type Options struct {
 	// sampling-phase randomisation (§4.1.2) — the ablation showing its
 	// contribution to detection diversity.
 	DisableRandomFirstPeriod bool
+	// PSBIntervalCycles overrides how often the PT unit emits sync-point
+	// packets (0 selects the unit's default). Robustness tests lower it to
+	// get PSB-dense streams whose corruption-recovery behaviour they can
+	// observe.
+	PSBIntervalCycles uint64
 }
 
 // Driver is the online tracing stack attached to one machine run.
@@ -182,7 +187,7 @@ func New(m *machine.Machine, opts Options) *Driver {
 			start, end := m.Program().TextRegion()
 			filters = []pt.Range{{Start: start, End: end}}
 		}
-		d.pt = pt.New(pt.Config{Filters: filters})
+		d.pt = pt.New(pt.Config{Filters: filters, PSBIntervalCycles: opts.PSBIntervalCycles})
 	}
 	return d
 }

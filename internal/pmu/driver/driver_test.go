@@ -42,7 +42,7 @@ func cpuBoundProgram(iters int64) *prog.Program {
 	w.CmpI(isa.R3, 0)
 	w.Jgt("loop")
 	w.Exit(0)
-	return b.MustBuild()
+	return mustBuild(b)
 }
 
 // runTraced executes the program with the given driver options and returns
@@ -213,4 +213,14 @@ func TestCustomCosts(t *testing.T) {
 	if tr.SampleCount() == 0 {
 		t.Error("zero-cost model must still sample")
 	}
+}
+
+// mustBuild finalises a test program; the inputs are static, so a build
+// error means the test itself is broken.
+func mustBuild(b *asm.Builder) *prog.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
 }

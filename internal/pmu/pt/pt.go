@@ -40,6 +40,12 @@ type Config struct {
 	// TSCIntervalCycles is how often a TSC packet is interleaved into each
 	// thread's stream (default 50000 cycles).
 	TSCIntervalCycles uint64
+	// PSBIntervalCycles is how often a PSB sync-point packet is emitted
+	// (default 50000 cycles). A corruption-tolerant decoder that loses the
+	// stream scans forward to the next PSB and resumes there, so this
+	// interval bounds how much path is lost to one damaged region — the
+	// role real PT's periodic PSB+ packets play for its decoder.
+	PSBIntervalCycles uint64
 }
 
 type threadStream struct {
@@ -62,6 +68,7 @@ type threadStream struct {
 
 	lastTSC    uint64
 	tscEmitted bool
+	lastPSB    uint64
 	flushedLen int // bytes already flushed to the perf tool
 }
 
@@ -77,6 +84,9 @@ type Unit struct {
 func New(cfg Config) *Unit {
 	if cfg.TSCIntervalCycles == 0 {
 		cfg.TSCIntervalCycles = 50000
+	}
+	if cfg.PSBIntervalCycles == 0 {
+		cfg.PSBIntervalCycles = 50000
 	}
 	if len(cfg.Filters) > MaxFilterRanges {
 		cfg.Filters = cfg.Filters[:MaxFilterRanges]
@@ -122,6 +132,19 @@ func (u *Unit) OnBranch(ev *machine.InstEvent) int {
 	}
 
 	in := ev.Inst
+	// Periodic sync point, anchored only at packet-consuming instructions
+	// (conditional branch, indirect call/jump, return) so a resyncing
+	// decoder that resumes at the anchor pc consumes exactly this event's
+	// packet next. The call stack resets with the PSB: returns for frames
+	// pushed before it fall back to uncompressed TIP packets, which a
+	// fresh post-resync decode handles without the lost stack.
+	if ev.TSC-s.lastPSB >= u.cfg.PSBIntervalCycles &&
+		(in.IsCondBranch() || in.Op == isa.CALLR || in.Op == isa.RET || in.IsIndirectBranch()) {
+		s.flushRuns()
+		s.buf = tracefmt.AppendPSB(s.buf, ev.PC)
+		s.callStack = s.callStack[:0]
+		s.lastPSB = ev.TSC
+	}
 	switch {
 	case in.IsCondBranch():
 		u.Branches++
@@ -198,7 +221,12 @@ func (s *threadStream) emitRun() {
 	}
 	switch {
 	case len(s.runExc) > 0:
-		s.buf = tracefmt.AppendTNTRepEx(s.buf, s.runPattern, s.runCount, s.runExc)
+		// The exception list is bounded by MaxTNTExceptions at insertion,
+		// so the append cannot fail; if it ever did, the run is dropped —
+		// a lossy stream, never a crashed tracer.
+		if out, err := tracefmt.AppendTNTRepEx(s.buf, s.runPattern, s.runCount, s.runExc); err == nil {
+			s.buf = out
+		}
 	case s.runCount == 1:
 		s.buf = tracefmt.AppendTNT6(s.buf, s.runPattern)
 	default:
@@ -214,7 +242,11 @@ func (s *threadStream) emitRun() {
 func (s *threadStream) flushRuns() {
 	s.emitRun()
 	if s.nbits > 0 {
-		s.buf = tracefmt.AppendTNT(s.buf, s.bits, s.nbits)
+		// nbits is 1..5 here, so the append cannot fail; on an impossible
+		// failure the partial group is dropped rather than panicking.
+		if out, err := tracefmt.AppendTNT(s.buf, s.bits, s.nbits); err == nil {
+			s.buf = out
+		}
 		s.bits, s.nbits = 0, 0
 	}
 }
@@ -227,6 +259,7 @@ func (u *Unit) Begin(tid int32, pc, tsc uint64) {
 	s.buf = tracefmt.AppendTSC(s.buf, tsc)
 	s.lastTSC = tsc
 	s.tscEmitted = true
+	s.lastPSB = tsc // the anchor TIP below serves as the first sync point
 	s.buf = tracefmt.AppendTIP(s.buf, pc)
 }
 

@@ -48,7 +48,13 @@ func RandomProgram(rng *rand.Rand) *prog.Program {
 		}
 	}
 	m.Exit(0)
-	return b.MustBuild()
+	p, err := b.Build()
+	if err != nil {
+		// The generator only emits structurally valid programs; a build
+		// failure is a bug in the generator itself, not in the caller.
+		panic(fmt.Sprintf("progtest: generated program failed to build: %v", err))
+	}
+	return p
 }
 
 // emitStraight emits n random non-branching instructions.

@@ -9,6 +9,14 @@
 // at which it was observed. Because the online driver injects a TSC packet
 // at every stored PEBS sample (PMI-synchronised), these markers let the
 // synthesis stage pin every sample onto the path.
+//
+// Decoding comes in two flavours. Strict decoding (the default) stops at
+// the first malformed packet and returns a *tracefmt.ErrCorrupt. Lenient
+// decoding survives damage: it records a Gap, scans forward to the next
+// PSB sync point (tracefmt.PTReader.Resync) and resumes the walk at the
+// anchor pc the PSB carries — the analogue of a real PT decoder recovering
+// at a PSB after packet loss or an OVF. The region between the damage and
+// the sync point is lost; everything after it is decoded normally.
 package ptdecode
 
 import (
@@ -28,6 +36,21 @@ type Marker struct {
 	StepIndex int
 }
 
+// Gap is a region of the stream a lenient decode had to skip: corrupt
+// packets, a desynchronised walk, or a wild jump, healed by scanning to
+// the next PSB sync point.
+type Gap struct {
+	// StepIndex is the decode position at which the damage was detected;
+	// path steps immediately before it may belong to a desynced walk.
+	StepIndex int
+	// Offset is the stream byte offset of the damage.
+	Offset int
+	// Skipped is how many stream bytes were lost to reach the sync point.
+	Skipped int
+	// Reason describes the damage.
+	Reason string
+}
+
 // Path is one thread's decoded execution.
 type Path struct {
 	TID int32
@@ -38,32 +61,142 @@ type Path struct {
 	// Truncated is true when decoding stopped because the stream ended
 	// before the program did (normal: tracing stops at run end).
 	Truncated bool
+	// Gaps are the regions a lenient decode skipped (empty on a clean
+	// stream or in strict mode).
+	Gaps []Gap
+	// CorruptPackets counts malformed packets and sync-point mismatches
+	// encountered (lenient mode; strict mode stops at the first).
+	CorruptPackets int
 }
 
 // Len returns the number of decoded steps.
 func (p *Path) Len() int { return len(p.PCs) }
+
+// Degraded reports whether the decode lost any part of the stream.
+func (p *Path) Degraded() bool { return len(p.Gaps) > 0 || p.CorruptPackets > 0 }
+
+// SkippedBytes totals the stream bytes lost across all gaps.
+func (p *Path) SkippedBytes() int {
+	n := 0
+	for _, g := range p.Gaps {
+		n += g.Skipped
+	}
+	return n
+}
+
+// Options configures a decode.
+type Options struct {
+	// MaxSteps bounds runaway decodes (0 means a large default).
+	MaxSteps int
+	// Lenient enables gap recovery instead of first-error abort.
+	Lenient bool
+}
+
+// runChunkGroups bounds how many run-length-encoded TNT groups are
+// materialised per refill round. TNTRep counts are attacker-controlled in
+// a corrupt stream; expanding them lazily keeps the pending-bit queue
+// small no matter what the packet claims.
+const runChunkGroups = 4096
 
 // decoder state over one stream.
 type decoder struct {
 	prog    *prog.Program
 	rdr     *tracefmt.PTReader
 	path    *Path
+	lenient bool
 	bits    []bool   // pending TNT outcomes
 	tips    []uint64 // pending TIP targets
 	stack   []uint64 // call stack for RET compression
 	done    bool
 	lastErr error
+
+	// pending run-length-encoded TNT state, expanded lazily.
+	runPattern uint8
+	runNBits   uint8
+	runLeft    uint32 // groups not yet materialised
+	runIdx     uint32 // next group's index within the run
+	runExc     []tracefmt.TNTException
+	runEi      int
+
+	// walkPC is the pc of the instruction currently requesting a packet;
+	// a PSB whose anchor disagrees with it reveals a silently desynced
+	// walk (plausible-but-wrong path from flipped TNT bits).
+	walkPC uint64
+	// anchor is a pending resync target discovered during refill.
+	anchor   uint64
+	anchorOK bool
+	// draining is set while collecting trailing markers after the walk
+	// has stopped; recovery is pointless then.
+	draining bool
+	// maxSteps is the walk's step budget, used to reject TNT runs no walk
+	// could consume (lenient mode only).
+	maxSteps int
 }
 
-// refill pulls packets until at least one TNT bit or TIP is pending (or the
-// stream ends). TSC packets become markers at the current position.
+// expandRun materialises up to runChunkGroups groups of the pending run.
+func (d *decoder) expandRun() {
+	n := d.runLeft
+	if n > runChunkGroups {
+		n = runChunkGroups
+	}
+	for k := uint32(0); k < n; k++ {
+		group := d.runPattern
+		if d.runEi < len(d.runExc) && d.runExc[d.runEi].Index == d.runIdx {
+			group = d.runExc[d.runEi].Bits
+			d.runEi++
+		}
+		for i := uint8(0); i < d.runNBits; i++ {
+			d.bits = append(d.bits, group&(1<<i) != 0)
+		}
+		d.runIdx++
+	}
+	d.runLeft -= n
+}
+
+// clearPending drops all queued decode state; it is poisoned once the
+// stream position is known to be damaged.
+func (d *decoder) clearPending() {
+	d.bits = d.bits[:0]
+	d.tips = d.tips[:0]
+	d.stack = d.stack[:0]
+	d.runLeft, d.runExc, d.runEi = 0, nil, 0
+}
+
+// refill pulls packets until at least one TNT bit or TIP is pending, a
+// resync anchor is queued, or the stream ends. TSC packets become markers
+// at the current position.
 func (d *decoder) refill() {
-	for len(d.bits) == 0 && len(d.tips) == 0 && !d.done {
+	for len(d.bits) == 0 && len(d.tips) == 0 && !d.done && !d.anchorOK {
+		if d.runLeft > 0 {
+			if d.draining {
+				d.runLeft = 0 // bits are being discarded anyway
+				continue
+			}
+			d.expandRun()
+			continue
+		}
 		pkt, done, err := d.rdr.Next()
 		if err != nil {
-			d.lastErr = err
-			d.done = true
-			return
+			d.path.CorruptPackets++
+			if !d.lenient {
+				d.lastErr = err
+				d.done = true
+				return
+			}
+			off := d.rdr.Offset()
+			d.stack = d.stack[:0]
+			pc, skipped, ok := d.rdr.Resync()
+			d.path.Gaps = append(d.path.Gaps, Gap{
+				StepIndex: len(d.path.PCs), Offset: off, Skipped: skipped, Reason: err.Error(),
+			})
+			if !ok {
+				d.done = true
+				return
+			}
+			if !d.draining {
+				d.anchor, d.anchorOK = pc, true
+			}
+			continue
 		}
 		if done {
 			d.done = true
@@ -74,28 +207,50 @@ func (d *decoder) refill() {
 			for i := uint8(0); i < pkt.NBits; i++ {
 				d.bits = append(d.bits, pkt.Bits&(1<<i) != 0)
 			}
-		case tracefmt.PktTNTRep:
-			for rep := uint32(0); rep < pkt.Count; rep++ {
-				for i := uint8(0); i < pkt.NBits; i++ {
-					d.bits = append(d.bits, pkt.Bits&(1<<i) != 0)
+		case tracefmt.PktTNTRep, tracefmt.PktTNTRepEx:
+			// Each step consumes at most one TNT bit, so a run the walk
+			// could never finish within its remaining step budget cannot be
+			// real control flow — it is framing damage (garbage bytes
+			// parsing as a huge repeat count). Resync instead of spinning
+			// the walk for millions of steps on a fiction.
+			if d.lenient && !d.draining &&
+				uint64(pkt.Count)*uint64(pkt.NBits) > uint64(d.maxSteps-len(d.path.PCs)) {
+				d.path.CorruptPackets++
+				off := d.rdr.Offset()
+				d.stack = d.stack[:0]
+				pc, skipped, ok := d.rdr.Resync()
+				d.path.Gaps = append(d.path.Gaps, Gap{
+					StepIndex: len(d.path.PCs), Offset: off, Skipped: skipped,
+					Reason: fmt.Sprintf("TNT run of %d bits exceeds step budget", uint64(pkt.Count)*uint64(pkt.NBits)),
+				})
+				if !ok {
+					d.done = true
+					return
 				}
+				d.anchor, d.anchorOK = pc, true
+				continue
 			}
-		case tracefmt.PktTNTRepEx:
-			ei := 0
-			for rep := uint32(0); rep < pkt.Count; rep++ {
-				group := pkt.Bits
-				if ei < len(pkt.Exceptions) && pkt.Exceptions[ei].Index == rep {
-					group = pkt.Exceptions[ei].Bits
-					ei++
-				}
-				for i := uint8(0); i < tracefmt.TNTBitsPerPacket; i++ {
-					d.bits = append(d.bits, group&(1<<i) != 0)
-				}
-			}
+			d.runPattern, d.runNBits = pkt.Bits, pkt.NBits
+			d.runLeft, d.runIdx = pkt.Count, 0
+			d.runExc, d.runEi = pkt.Exceptions, 0
 		case tracefmt.PktTIP:
 			d.tips = append(d.tips, pkt.Target)
 		case tracefmt.PktTSC:
 			d.path.Markers = append(d.path.Markers, Marker{TSC: pkt.TSC, StepIndex: len(d.path.PCs)})
+		case tracefmt.PktPSB:
+			// Sync point. On a clean stream the refill that reads it is
+			// requested by exactly the instruction the encoder anchored it
+			// at, so a mismatch means the walk silently desynced (flipped
+			// TNT bits produce a plausible but wrong path). Re-anchor.
+			if d.lenient && !d.draining && d.walkPC != 0 && pkt.Target != d.walkPC {
+				d.path.CorruptPackets++
+				d.path.Gaps = append(d.path.Gaps, Gap{
+					StepIndex: len(d.path.PCs), Offset: d.rdr.Offset(),
+					Reason: fmt.Sprintf("PSB anchor %#x disagrees with walk at %#x", pkt.Target, d.walkPC),
+				})
+				d.stack = d.stack[:0] // the encoder reset its stack at the PSB
+				d.anchor, d.anchorOK = pkt.Target, true
+			}
 		}
 	}
 }
@@ -126,41 +281,93 @@ func (d *decoder) nextTIP() (uint64, bool) {
 	return t, true
 }
 
-// Decode reconstructs the path of one thread from its packet stream.
-// maxSteps bounds runaway decodes (0 means a large default).
+// reanchor attempts lenient recovery after the walk failed to get the
+// packet it needed (or jumped off the text segment). It consumes a pending
+// resync anchor if one is queued; otherwise, if the stream has not ended,
+// the pending state is untrustworthy (a desync, e.g. a TIP where a TNT bit
+// was needed), so it is dropped and the reader scans to the next sync
+// point. ok is false when recovery is impossible — strict mode, or no sync
+// point remains — in which case the caller truncates as before.
+func (d *decoder) reanchor(reason string) (uint64, bool) {
+	if !d.lenient {
+		return 0, false
+	}
+	if d.anchorOK {
+		d.anchorOK = false
+		return d.anchor, true
+	}
+	if d.done {
+		return 0, false
+	}
+	off := d.rdr.Offset()
+	d.clearPending()
+	pc, skipped, ok := d.rdr.Resync()
+	d.path.Gaps = append(d.path.Gaps, Gap{
+		StepIndex: len(d.path.PCs), Offset: off, Skipped: skipped, Reason: reason,
+	})
+	if !ok {
+		d.done = true
+		return 0, false
+	}
+	return pc, true
+}
+
+// Decode reconstructs the path of one thread from its packet stream in
+// strict mode. maxSteps bounds runaway decodes (0 means a large default).
 func Decode(p *prog.Program, tid int32, stream []byte, maxSteps int) (*Path, error) {
+	return DecodeWith(p, tid, stream, Options{MaxSteps: maxSteps})
+}
+
+// DecodeWith reconstructs the path of one thread from its packet stream.
+func DecodeWith(p *prog.Program, tid int32, stream []byte, opts Options) (*Path, error) {
+	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = 100_000_000
 	}
 	d := &decoder{
-		prog: p,
-		rdr:  tracefmt.NewPTReader(stream),
-		path: &Path{TID: tid},
+		prog:     p,
+		rdr:      tracefmt.NewPTReader(stream),
+		path:     &Path{TID: tid},
+		lenient:  opts.Lenient,
+		maxSteps: maxSteps,
 	}
 	// Anchor: the stream must start with (TSC,) TIP carrying the entry.
 	pc, ok := d.nextTIP()
 	if !ok {
-		if d.lastErr != nil {
-			return nil, fmt.Errorf("ptdecode: tid %d: %w", tid, d.lastErr)
+		if pc2, ok2 := d.reanchor("missing anchor TIP"); ok2 {
+			pc = pc2
+		} else {
+			if d.lastErr != nil {
+				return nil, fmt.Errorf("ptdecode: tid %d: %w", tid, d.lastErr)
+			}
+			return d.path, nil // empty stream: thread traced nothing
 		}
-		return d.path, nil // empty stream: thread traced nothing
 	}
 
 	for len(d.path.PCs) < maxSteps {
 		in, okInst := p.InstAt(pc)
 		if !okInst {
+			if pc2, okR := d.reanchor(fmt.Sprintf("wild jump to %#x", pc)); okR {
+				pc = pc2
+				continue
+			}
 			// Ran off the text segment (wild jump in the workload);
 			// tracing of this thread ends here, like a real decoder losing
 			// sync at an unmapped address.
 			d.path.Truncated = true
 			break
 		}
+		d.walkPC = pc
 		d.path.PCs = append(d.path.PCs, pc)
 
 		switch {
 		case in.IsCondBranch():
 			taken, okBit := d.nextBit()
 			if !okBit {
+				if pc2, okR := d.reanchor("missing TNT bit"); okR {
+					pc = pc2
+					continue
+				}
 				d.finishTailMarkers()
 				d.path.Truncated = true
 				return d.path, d.lastErr
@@ -179,6 +386,10 @@ func Decode(p *prog.Program, tid int32, stream []byte, maxSteps int) (*Path, err
 			d.stack = append(d.stack, pc+isa.InstSize)
 			target, okTip := d.nextTIP()
 			if !okTip {
+				if pc2, okR := d.reanchor("missing TIP target"); okR {
+					pc = pc2
+					continue
+				}
 				d.finishTailMarkers()
 				d.path.Truncated = true
 				return d.path, d.lastErr
@@ -199,6 +410,10 @@ func Decode(p *prog.Program, tid int32, stream []byte, maxSteps int) (*Path, err
 				if !taken || n == 0 {
 					// Desync: a compressed return must be a taken bit with
 					// a tracked frame.
+					if pc2, okR := d.reanchor("return desync"); okR {
+						pc = pc2
+						continue
+					}
 					d.finishTailMarkers()
 					d.path.Truncated = true
 					return d.path, d.lastErr
@@ -210,6 +425,10 @@ func Decode(p *prog.Program, tid int32, stream []byte, maxSteps int) (*Path, err
 				pc = target
 				d.stack = d.stack[:0] // encoder reset its stack too
 			default:
+				if pc2, okR := d.reanchor("missing return packet"); okR {
+					pc = pc2
+					continue
+				}
 				d.finishTailMarkers()
 				d.path.Truncated = true
 				return d.path, d.lastErr
@@ -217,6 +436,10 @@ func Decode(p *prog.Program, tid int32, stream []byte, maxSteps int) (*Path, err
 		case in.IsIndirectBranch():
 			target, okTip := d.nextTIP()
 			if !okTip {
+				if pc2, okR := d.reanchor("missing TIP target"); okR {
+					pc = pc2
+					continue
+				}
 				d.finishTailMarkers()
 				d.path.Truncated = true
 				return d.path, d.lastErr
@@ -236,6 +459,9 @@ func Decode(p *prog.Program, tid int32, stream []byte, maxSteps int) (*Path, err
 // finishTailMarkers drains any packets left after the walk stops so trailing
 // TSC markers are recorded at the final position.
 func (d *decoder) finishTailMarkers() {
+	d.draining = true
+	d.anchorOK = false
+	d.runLeft, d.runExc, d.runEi = 0, nil, 0
 	for !d.done {
 		d.bits = d.bits[:0]
 		d.tips = d.tips[:0]
@@ -245,11 +471,16 @@ func (d *decoder) finishTailMarkers() {
 	d.tips = nil
 }
 
-// DecodeAll decodes every thread stream of a trace.
+// DecodeAll decodes every thread stream of a trace in strict mode.
 func DecodeAll(p *prog.Program, streams map[int32][]byte, maxSteps int) (map[int32]*Path, error) {
+	return DecodeAllWith(p, streams, Options{MaxSteps: maxSteps})
+}
+
+// DecodeAllWith decodes every thread stream of a trace.
+func DecodeAllWith(p *prog.Program, streams map[int32][]byte, opts Options) (map[int32]*Path, error) {
 	out := map[int32]*Path{}
 	for tid, stream := range streams {
-		path, err := Decode(p, tid, stream, maxSteps)
+		path, err := DecodeWith(p, tid, stream, opts)
 		if err != nil {
 			return nil, err
 		}

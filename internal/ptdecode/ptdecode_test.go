@@ -82,7 +82,7 @@ func branchyProgram() *prog.Program {
 	f2.MovI(isa.R0, 7)
 	f2.Store(asm.Global("data", 8), isa.R0)
 	f2.Ret()
-	return b.MustBuild()
+	return mustBuild(b)
 }
 
 func runWithPT(t *testing.T, p *prog.Program, period uint64) (*goldenTracer, map[int32][]byte, map[int32]*Path, *driver.Driver) {
@@ -147,7 +147,7 @@ func TestDecodeMultiThreaded(t *testing.T) {
 	w.CmpI(isa.R3, 0)
 	w.Jgt("loop")
 	w.Exit(0)
-	p := b.MustBuild()
+	p := mustBuild(b)
 
 	g, _, paths, _ := runWithPT(t, p, 20)
 	if len(paths) != 4 {
@@ -259,7 +259,7 @@ func TestDecodeWildJumpTruncates(t *testing.T) {
 	m := b.Func("main")
 	m.MovI(isa.R1, 0x123456)
 	m.JmpR(isa.R1)
-	p := b.MustBuild()
+	p := mustBuild(b)
 	mac := machine.New(p, machine.Config{Seed: 1})
 	d := driver.New(mac, driver.Options{Kind: driver.ProRace, Period: 100, Seed: 1, EnablePT: true})
 	mac.SetTracer(d)
@@ -284,4 +284,14 @@ func TestDecodeGarbageStreamErrors(t *testing.T) {
 	if _, err := Decode(p, 0, []byte{0xFF, 0x01, 0x02}, 0); err == nil {
 		t.Error("garbage stream must error")
 	}
+}
+
+// mustBuild finalises a test program; the inputs are static, so a build
+// error means the test itself is broken.
+func mustBuild(b *asm.Builder) *prog.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
 }

@@ -26,6 +26,12 @@ type Report struct {
 	// First and Second describe the two conflicting accesses; Second is
 	// the one at which the race was detected.
 	First, Second AccessInfo
+	// GapAdjacent marks a report that involves a thread whose trace was
+	// degraded (decode gaps, dropped records, analysis errors). Such
+	// reports may be artifacts of conservatively widened happens-before
+	// and deserve extra scrutiny. The flag is set by the analysis layer
+	// after detection; it does not participate in Key().
+	GapAdjacent bool
 }
 
 // AccessInfo locates one side of a race.

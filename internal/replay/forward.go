@@ -226,7 +226,13 @@ func (e *Engine) collect(ps *pathState, st *Stats) []Access {
 			continue
 		}
 		pc := ps.tt.Path.PCs[i]
-		in := e.p.MustInstAt(pc)
+		in, ok := e.p.InstAt(pc)
+		if !ok {
+			// A gap-recovered path can carry a few desynced steps around a
+			// skipped region; an address outside the text segment yields no
+			// access rather than aborting the thread.
+			continue
+		}
 		if !in.IsMemAccess() {
 			continue
 		}

@@ -122,7 +122,7 @@ func arrayWorkload() *prog.Program {
 	w.CmpI(isa.R3, 0)
 	w.Jgt("loop")
 	w.Exit(0)
-	return b.MustBuild()
+	return mustBuild(b)
 }
 
 func TestForwardReplayIsSoundAndRecovers(t *testing.T) {
@@ -178,7 +178,7 @@ func pcRelWorkload() *prog.Program {
 	m.CmpI(isa.R3, 0)
 	m.Jgt("loop")
 	m.Exit(0)
-	return b.MustBuild()
+	return mustBuild(b)
 }
 
 func TestPCRelRecoveredWithoutAnySamples(t *testing.T) {
@@ -233,7 +233,7 @@ func fig5Workload() *prog.Program {
 	m.CmpI(isa.R3, 0)
 	m.Jgt("loop")
 	m.Exit(0)
-	return b.MustBuild()
+	return mustBuild(b)
 }
 
 func TestBackwardRecoversFig5Dereference(t *testing.T) {
@@ -300,7 +300,7 @@ func chainWorkload(withSyscall bool) *prog.Program {
 	m.CmpI(isa.R3, 0)
 	m.Jgt("loop")
 	m.Exit(0)
-	return b.MustBuild()
+	return mustBuild(b)
 }
 
 func derefRecoveries(t *testing.T, p *prog.Program, e *Engine, tts map[int32]*synthesis.ThreadTrace, g *goldenTracer) int {
@@ -366,7 +366,7 @@ func heapWorkload() *prog.Program {
 	m.CmpI(isa.R3, 0)
 	m.Jgt("loop")
 	m.Exit(0)
-	return b.MustBuild()
+	return mustBuild(b)
 }
 
 func TestMallocResultRestoredFromSyncLog(t *testing.T) {
@@ -473,4 +473,14 @@ func TestStatsMergeCoversEveryField(t *testing.T) {
 	if c.Iterations != 3 {
 		t.Fatalf("iterations = %d, want 3", c.Iterations)
 	}
+}
+
+// mustBuild finalises a test program; the inputs are static, so a build
+// error means the test itself is broken.
+func mustBuild(b *asm.Builder) *prog.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
 }

@@ -6,6 +6,7 @@ import (
 
 	"prorace/internal/asm"
 	"prorace/internal/isa"
+	"prorace/internal/prog"
 	"prorace/internal/race"
 )
 
@@ -18,7 +19,7 @@ func TestFormatRace(t *testing.T) {
 	w := b.Func("writer")
 	w.Store(asm.Global("shared", 0), isa.R1)
 	w.Ret()
-	p := b.MustBuild()
+	p := mustBuild(b)
 
 	r := race.Report{
 		Addr:   p.MustLookup("shared").Addr,
@@ -72,4 +73,14 @@ func TestTableRaggedRows(t *testing.T) {
 	if !strings.Contains(out, "only-one") || !strings.Contains(out, "z") {
 		t.Errorf("ragged rows mishandled:\n%s", out)
 	}
+}
+
+// mustBuild finalises a test program; the inputs are static, so a build
+// error means the test itself is broken.
+func mustBuild(b *asm.Builder) *prog.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
 }

@@ -1,0 +1,139 @@
+package synctrace
+
+import (
+	"fmt"
+	"sort"
+
+	"prorace/internal/tracefmt"
+)
+
+// Offline gap analysis. The happens-before detector already degrades
+// soundly when synchronization records are lost: a missing record can only
+// remove an edge, and removing edges makes the detector report a superset
+// of races — no real race is hidden, some reports become false positives.
+// What the detector cannot do is tell the analyst that this widening
+// happened. AnalyzeLog inspects a (possibly gappy) log for the per-thread
+// invariants every complete log satisfies, so the analysis result can
+// carry "this log is missing records; treat new reports with suspicion"
+// alongside the races.
+
+// GapReport summarises the synchronization-log anomalies that indicate
+// dropped records.
+type GapReport struct {
+	// UnpairedReleases counts unlocks (and condition waits, which release
+	// their mutex) by a thread that did not observably hold the lock — the
+	// signature of a dropped Lock record.
+	UnpairedReleases int
+	// OrphanBegins counts thread-begin records with no creating thread's
+	// Create record anywhere in the log. The root thread is exempt.
+	OrphanBegins int
+	// OrphanJoins counts joins of threads that never logged an exit — a
+	// dropped Exit record removes a join edge.
+	OrphanJoins int
+	// TSCRegressions counts records whose timestamp precedes the same
+	// thread's previous record — reordering or corruption, not drops, but
+	// equally a reason to distrust derived edges.
+	TSCRegressions int
+	// Threads lists the thread IDs with at least one anomaly, ascending.
+	Threads []int32
+}
+
+// Anomalies returns the total anomaly count.
+func (g *GapReport) Anomalies() int {
+	return g.UnpairedReleases + g.OrphanBegins + g.OrphanJoins + g.TSCRegressions
+}
+
+// String renders a one-line summary.
+func (g *GapReport) String() string {
+	if g.Anomalies() == 0 {
+		return "sync log consistent"
+	}
+	return fmt.Sprintf("sync log anomalies: %d unpaired releases, %d orphan begins, %d orphan joins, %d TSC regressions across %d threads",
+		g.UnpairedReleases, g.OrphanBegins, g.OrphanJoins, g.TSCRegressions, len(g.Threads))
+}
+
+// AnalyzeLog checks a synchronization log for the invariants a complete
+// log satisfies, returning the anomalies found. A clean log yields zero
+// anomalies; every anomaly is evidence that records were dropped and that
+// the happens-before relation derived from the log is conservatively
+// widened (missing edges, so possibly extra race reports — never missed
+// ones).
+func AnalyzeLog(recs []tracefmt.SyncRecord) *GapReport {
+	g := &GapReport{}
+	affected := map[int32]bool{}
+	mark := func(tid int32) { affected[tid] = true }
+
+	// First pass: lifecycle facts usable independent of log order, so a
+	// join checked against a later-positioned exit is not a false anomaly.
+	created := map[uint64]bool{}
+	exited := map[int32]bool{}
+	for i := range recs {
+		switch recs[i].Kind {
+		case tracefmt.SyncThreadCreate:
+			created[recs[i].Addr] = true
+		case tracefmt.SyncThreadExit:
+			exited[recs[i].TID] = true
+		}
+	}
+
+	held := map[int32]map[uint64]int{}
+	lastTSC := map[int32]uint64{}
+	rootSeen := false
+	for i := range recs {
+		r := recs[i]
+		if prev, ok := lastTSC[r.TID]; ok && r.TSC < prev {
+			g.TSCRegressions++
+			mark(r.TID)
+		}
+		lastTSC[r.TID] = r.TSC
+
+		hs := held[r.TID]
+		if hs == nil {
+			hs = map[uint64]int{}
+			held[r.TID] = hs
+		}
+		switch r.Kind {
+		case tracefmt.SyncLock:
+			hs[r.Addr]++
+		case tracefmt.SyncUnlock:
+			if hs[r.Addr] == 0 {
+				g.UnpairedReleases++
+				mark(r.TID)
+			} else {
+				hs[r.Addr]--
+			}
+		case tracefmt.SyncCondWait:
+			// Waiting releases the mutex carried in Aux.
+			if hs[r.Aux] == 0 {
+				g.UnpairedReleases++
+				mark(r.TID)
+			} else {
+				hs[r.Aux]--
+			}
+		case tracefmt.SyncCondWake:
+			// Waking reacquires the mutex carried in Aux.
+			hs[r.Aux]++
+		case tracefmt.SyncThreadBegin:
+			if !created[uint64(r.TID)] {
+				if rootSeen {
+					g.OrphanBegins++
+					mark(r.TID)
+				} else {
+					rootSeen = true // the root thread has no creator
+				}
+			}
+		case tracefmt.SyncThreadJoin:
+			if !exited[int32(r.Addr)] {
+				g.OrphanJoins++
+				mark(r.TID)
+			}
+		}
+	}
+
+	g.Threads = make([]int32, 0, len(affected))
+	for tid := range affected {
+		g.Threads = append(g.Threads, tid)
+	}
+	sort.Slice(g.Threads, func(i, j int) bool { return g.Threads[i] < g.Threads[j] })
+	return g
+}

@@ -1,0 +1,158 @@
+package synctrace_test
+
+import (
+	"strings"
+	"testing"
+
+	"prorace/internal/core"
+	"prorace/internal/pmu/driver"
+	"prorace/internal/synctrace"
+	"prorace/internal/tracefmt"
+	"prorace/internal/workload"
+)
+
+// rec abbreviates sync-record construction.
+func rec(tid int32, kind tracefmt.SyncKind, addr, aux, tsc uint64) tracefmt.SyncRecord {
+	return tracefmt.SyncRecord{TID: tid, Kind: kind, Addr: addr, Aux: aux, TSC: tsc}
+}
+
+func TestAnalyzeLogCleanWorkloads(t *testing.T) {
+	// The invariant checks must hold on every real, complete log: a false
+	// anomaly on a clean trace would poison Degradation reporting. Trace a
+	// lock-heavy and a create/join-heavy workload and demand zero findings.
+	for _, name := range []string{"pfscan", "memcached", "blackscholes"} {
+		w, err := workload.ByName(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := core.TraceProgram(w.Program, core.TraceOptions{
+			Kind: driver.ProRace, EnablePT: true, Period: 1000, Seed: 1, Machine: w.Machine,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := synctrace.AnalyzeLog(tr.Trace.Sync)
+		if g.Anomalies() != 0 {
+			t.Errorf("%s: clean log reported anomalies: %s", name, g)
+		}
+		if g.String() != "sync log consistent" {
+			t.Errorf("%s: String() = %q", name, g.String())
+		}
+	}
+}
+
+func TestAnalyzeLogUnpairedRelease(t *testing.T) {
+	g := synctrace.AnalyzeLog([]tracefmt.SyncRecord{
+		rec(1, tracefmt.SyncThreadBegin, 0, 0, 1),
+		rec(1, tracefmt.SyncUnlock, 0x100, 0, 2), // lock record dropped
+	})
+	if g.UnpairedReleases != 1 || g.Anomalies() != 1 {
+		t.Fatalf("got %+v, want 1 unpaired release", g)
+	}
+	if len(g.Threads) != 1 || g.Threads[0] != 1 {
+		t.Fatalf("threads = %v, want [1]", g.Threads)
+	}
+}
+
+func TestAnalyzeLogCondWaitReleasesMutex(t *testing.T) {
+	// A CondWait releases its mutex (Aux): waiting without an observed
+	// Lock is an anomaly; with the Lock present it is not.
+	clean := []tracefmt.SyncRecord{
+		rec(1, tracefmt.SyncLock, 0x200, 0, 1),
+		rec(1, tracefmt.SyncCondWait, 0x300, 0x200, 2),
+	}
+	if g := synctrace.AnalyzeLog(clean); g.Anomalies() != 0 {
+		t.Fatalf("clean wait flagged: %+v", g)
+	}
+	gappy := []tracefmt.SyncRecord{
+		rec(1, tracefmt.SyncCondWait, 0x300, 0x200, 2),
+	}
+	if g := synctrace.AnalyzeLog(gappy); g.UnpairedReleases != 1 {
+		t.Fatalf("dropped lock before wait not flagged: %+v", g)
+	}
+	// The wake-side re-acquire means a wait can be followed by an unlock
+	// without a second explicit Lock record.
+	wake := []tracefmt.SyncRecord{
+		rec(1, tracefmt.SyncLock, 0x200, 0, 1),
+		rec(1, tracefmt.SyncCondWait, 0x300, 0x200, 2),
+		rec(1, tracefmt.SyncCondWake, 0x300, 0x200, 3),
+		rec(1, tracefmt.SyncUnlock, 0x200, 0, 4),
+	}
+	if g := synctrace.AnalyzeLog(wake); g.Anomalies() != 0 {
+		t.Fatalf("wait/wake/unlock sequence flagged: %+v", g)
+	}
+}
+
+func TestAnalyzeLogOrphanBeginAndJoin(t *testing.T) {
+	g := synctrace.AnalyzeLog([]tracefmt.SyncRecord{
+		rec(1, tracefmt.SyncThreadBegin, 0, 0, 1), // root: exempt
+		rec(2, tracefmt.SyncThreadBegin, 0, 0, 5), // create record dropped
+		rec(1, tracefmt.SyncThreadJoin, 3, 0, 9),  // tid 3 never logged exit
+	})
+	if g.OrphanBegins != 1 || g.OrphanJoins != 1 {
+		t.Fatalf("got %+v, want 1 orphan begin + 1 orphan join", g)
+	}
+	if !strings.Contains(g.String(), "orphan") {
+		t.Errorf("String() = %q", g.String())
+	}
+}
+
+func TestAnalyzeLogCompleteCreateJoin(t *testing.T) {
+	// Order independence: the join may precede the exit in log order (TSC
+	// ties); only a missing record is an anomaly.
+	g := synctrace.AnalyzeLog([]tracefmt.SyncRecord{
+		rec(1, tracefmt.SyncThreadBegin, 0, 0, 1),
+		rec(1, tracefmt.SyncThreadCreate, 2, 0, 2),
+		rec(1, tracefmt.SyncThreadJoin, 2, 0, 3),
+		rec(2, tracefmt.SyncThreadBegin, 0, 0, 3),
+		rec(2, tracefmt.SyncThreadExit, 0, 0, 4),
+	})
+	if g.Anomalies() != 0 {
+		t.Fatalf("complete create/join flagged: %+v", g)
+	}
+}
+
+func TestAnalyzeLogTSCRegression(t *testing.T) {
+	g := synctrace.AnalyzeLog([]tracefmt.SyncRecord{
+		rec(1, tracefmt.SyncLock, 0x100, 0, 10),
+		rec(1, tracefmt.SyncUnlock, 0x100, 0, 5), // time went backwards
+	})
+	if g.TSCRegressions != 1 {
+		t.Fatalf("got %+v, want 1 TSC regression", g)
+	}
+}
+
+func TestAnalyzeLogDroppedRecordsDetected(t *testing.T) {
+	// Drop records from a real log at a rate that guarantees lock-pair
+	// damage; the analyzer must notice.
+	w, err := workload.ByName("pfscan", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := core.TraceProgram(w.Program, core.TraceOptions{
+		Kind: driver.ProRace, EnablePT: true, Period: 1000, Seed: 1, Machine: w.Machine,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := tr.Trace.Sync
+	var locks int
+	kept := make([]tracefmt.SyncRecord, 0, len(recs))
+	for _, r := range recs {
+		// Drop every second Lock record, keep everything else.
+		if r.Kind == tracefmt.SyncLock {
+			locks++
+			if locks%2 == 0 {
+				continue
+			}
+		}
+		kept = append(kept, r)
+	}
+	if locks < 4 {
+		t.Skip("workload produced too few lock records to damage")
+	}
+	g := synctrace.AnalyzeLog(kept)
+	if g.UnpairedReleases == 0 {
+		t.Fatalf("dropped %d lock records but no unpaired releases: %+v", locks/2, g)
+	}
+}

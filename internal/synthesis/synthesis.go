@@ -89,11 +89,25 @@ func syncKindOf(s isa.Sys) (tracefmt.SyncKind, bool) {
 	return 0, false
 }
 
+// Options configures synthesis.
+type Options struct {
+	// Lenient decodes PT streams with gap recovery (ptdecode.Options
+	// Lenient) instead of failing the thread at the first corrupt packet.
+	Lenient bool
+	// MaxSteps bounds each thread's decode (0 means the decoder default).
+	MaxSteps int
+}
+
 // Synthesize combines a trace's components per thread.
 func Synthesize(p *prog.Program, tr *tracefmt.Trace) (map[int32]*ThreadTrace, error) {
+	return SynthesizeWith(p, tr, Options{})
+}
+
+// SynthesizeWith is Synthesize with explicit options.
+func SynthesizeWith(p *prog.Program, tr *tracefmt.Trace, opts Options) (map[int32]*ThreadTrace, error) {
 	out := map[int32]*ThreadTrace{}
 	for _, tid := range tr.TIDs() {
-		tt, err := SynthesizeThread(p, tr, tid)
+		tt, err := SynthesizeThreadWith(p, tr, tid, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -107,9 +121,16 @@ func Synthesize(p *prog.Program, tr *tracefmt.Trace) (map[int32]*ThreadTrace, er
 // independent, so callers may run this concurrently per thread — the
 // parallelisation opportunity §7.6 describes.
 func SynthesizeThread(p *prog.Program, tr *tracefmt.Trace, tid int32) (*ThreadTrace, error) {
+	return SynthesizeThreadWith(p, tr, tid, Options{})
+}
+
+// SynthesizeThreadWith is SynthesizeThread with explicit options.
+func SynthesizeThreadWith(p *prog.Program, tr *tracefmt.Trace, tid int32, opts Options) (*ThreadTrace, error) {
 	tt := &ThreadTrace{TID: tid}
 	if stream, ok := tr.PT[tid]; ok {
-		path, err := ptdecode.Decode(p, tid, stream, 0)
+		path, err := ptdecode.DecodeWith(p, tid, stream, ptdecode.Options{
+			MaxSteps: opts.MaxSteps, Lenient: opts.Lenient,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("synthesis: tid %d: %w", tid, err)
 		}

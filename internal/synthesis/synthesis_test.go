@@ -44,7 +44,7 @@ func syncHeavyProgram() *prog.Program {
 	w.CmpI(isa.R3, 0)
 	w.Jgt("loop")
 	w.Exit(0)
-	return b.MustBuild()
+	return mustBuild(b)
 }
 
 func synthesize(t *testing.T, p *prog.Program, period uint64, seed int64) (map[int32]*ThreadTrace, *tracefmt.Trace) {
@@ -190,4 +190,14 @@ func TestSynthesizeWithoutPT(t *testing.T) {
 	if unpinned == 0 {
 		t.Error("expected unpinned samples from the PEBS-only trace")
 	}
+}
+
+// mustBuild finalises a test program; the inputs are static, so a build
+// error means the test itself is broken.
+func mustBuild(b *asm.Builder) *prog.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
 }

@@ -36,17 +36,55 @@ func (t *Trace) EncodeCompressed() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// maxDecompressedTrace bounds DEFLATE expansion so a hostile or corrupt
+// compressed container cannot exhaust memory (1 GiB is far above any trace
+// the simulated machine produces).
+const maxDecompressedTrace = 1 << 30
+
+// inflate decompresses a "PRTZ" payload with the expansion cap applied.
+func inflate(src []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(src))
+	defer r.Close()
+	raw, err := io.ReadAll(io.LimitReader(r, maxDecompressedTrace+1))
+	if err != nil {
+		return raw, fmt.Errorf("tracefmt: decompress: %w", err)
+	}
+	if len(raw) > maxDecompressedTrace {
+		return nil, fmt.Errorf("tracefmt: decompressed trace exceeds %d bytes", maxDecompressedTrace)
+	}
+	return raw, nil
+}
+
 // DecodeTraceAuto parses either container format, detecting compression by
 // magic.
 func DecodeTraceAuto(src []byte) (*Trace, error) {
 	if len(src) >= 4 && string(src[:4]) == compressedMagic {
-		r := flate.NewReader(bytes.NewReader(src[4:]))
-		defer r.Close()
-		raw, err := io.ReadAll(r)
+		raw, err := inflate(src[4:])
 		if err != nil {
-			return nil, fmt.Errorf("tracefmt: decompress: %w", err)
+			return nil, err
 		}
 		return DecodeTrace(raw)
 	}
 	return DecodeTrace(src)
+}
+
+// DecodeTraceAutoLenient is DecodeTraceAuto with best-effort salvage: a
+// truncated DEFLATE stream still yields whatever prefix inflated cleanly,
+// which is then decoded leniently.
+func DecodeTraceAutoLenient(src []byte) (*Trace, *SalvageInfo, error) {
+	if len(src) >= 4 && string(src[:4]) == compressedMagic {
+		raw, err := inflate(src[4:])
+		if err != nil && len(raw) == 0 {
+			return nil, &SalvageInfo{Truncated: true, Err: err}, err
+		}
+		tr, sal, derr := DecodeTraceLenient(raw)
+		if err != nil && sal != nil {
+			sal.Truncated = true
+			if sal.Err == nil {
+				sal.Err = err
+			}
+		}
+		return tr, sal, derr
+	}
+	return DecodeTraceLenient(src)
 }

@@ -1,0 +1,112 @@
+package tracefmt_test
+
+import (
+	"testing"
+
+	"prorace/internal/asm"
+	"prorace/internal/core"
+	"prorace/internal/isa"
+	"prorace/internal/prog"
+	"prorace/internal/tracefmt"
+)
+
+// fuzzSeedTrace builds a small but fully populated trace so the fuzzer
+// starts from valid containers rather than random bytes.
+func fuzzSeedTrace() *tracefmt.Trace {
+	tr := tracefmt.NewTrace("fuzz", 100, 1)
+	for tid := int32(0); tid < 2; tid++ {
+		var stream []byte
+		stream = tracefmt.AppendPSB(stream, 0x10)
+		stream, _ = tracefmt.AppendTNT(stream, 0b10110, 5)
+		stream = tracefmt.AppendTIP(stream, 0x40)
+		stream = tracefmt.AppendTNTRep(stream, 0b101010, 3)
+		stream = tracefmt.AppendTSC(stream, 1234)
+		stream = tracefmt.AppendEnd(stream)
+		tr.PT[tid] = stream
+		for i := 0; i < 16; i++ {
+			tr.PEBS[tid] = append(tr.PEBS[tid], tracefmt.PEBSRecord{
+				TID: tid, IP: uint64(0x10 + i), Addr: uint64(i * 8), TSC: uint64(i * 50),
+			})
+		}
+	}
+	tr.Sync = []tracefmt.SyncRecord{
+		{TID: 0, Kind: tracefmt.SyncThreadBegin, TSC: 1},
+		{TID: 0, Kind: tracefmt.SyncLock, Addr: 0x100, TSC: 2},
+		{TID: 0, Kind: tracefmt.SyncUnlock, Addr: 0x100, TSC: 3},
+	}
+	return tr
+}
+
+// fuzzProgram is a minimal program for exercising lenient analysis on
+// whatever trace the fuzzer manages to decode.
+func fuzzProgram() (*prog.Program, error) {
+	b := asm.New("fuzz")
+	b.Global("x", 8)
+	f := b.Func("main")
+	f.MovI(isa.R1, 7)
+	f.Store(asm.Global("x", 0), isa.R1)
+	f.Load(isa.R2, asm.Global("x", 0))
+	f.Ret()
+	return b.Build()
+}
+
+// FuzzTraceDecode feeds arbitrary bytes through every container decode
+// path, the PT packet reader, and a lenient end-to-end analysis. Nothing
+// may panic; strict paths may only return errors.
+func FuzzTraceDecode(f *testing.F) {
+	seed := fuzzSeedTrace()
+	f.Add(seed.Encode())
+	if z, err := seed.EncodeCompressed(); err == nil {
+		f.Add(z)
+	}
+	f.Add([]byte("PRT0"))
+	f.Add([]byte("PRTZ\x00\x01\x02"))
+	f.Add([]byte{})
+
+	p, err := fuzzProgram()
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Strict decode: error or success, never panic.
+		tr, strictErr := tracefmt.DecodeTraceAuto(data)
+
+		// Lenient decode: must always produce a trace and salvage info.
+		ltr, info, lenientErr := tracefmt.DecodeTraceAutoLenient(data)
+		if lenientErr == nil {
+			if ltr == nil || info == nil {
+				t.Fatal("lenient decode returned nil trace without error")
+			}
+			if strictErr != nil && !info.Degraded() {
+				t.Fatalf("strict decode failed (%v) but salvage reports clean", strictErr)
+			}
+		}
+		if strictErr == nil && tr != nil {
+			// A valid container must re-encode and walk cleanly-bounded.
+			for _, stream := range tr.PT {
+				r := tracefmt.NewPTReader(stream)
+				for i := 0; i < 1<<16; i++ {
+					_, done, err := r.Next()
+					if done {
+						break
+					}
+					if err != nil {
+						if _, _, ok := r.Resync(); !ok {
+							break
+						}
+					}
+				}
+			}
+		}
+		if lenientErr == nil && ltr != nil && len(ltr.PEBS) <= 64 && len(ltr.Sync) <= 4096 {
+			// Lenient end-to-end analysis of an arbitrary decoded trace:
+			// must not panic; errors are not acceptable in lenient mode.
+			// The size guard only keeps the fuzzer fast — huge valid
+			// traces do real (slow) analysis work, which is not a bug.
+			if _, err := core.Analyze(p, ltr, core.AnalysisOptions{DecodeMaxSteps: 1 << 12}); err != nil {
+				t.Fatalf("lenient analysis of salvaged trace errored: %v", err)
+			}
+		}
+	})
+}

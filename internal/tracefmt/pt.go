@@ -31,7 +31,31 @@ const (
 	PktEnd                          // no payload
 	PktTNT6                         // one full 6-bit group: bits byte
 	PktTNTRepEx                     // repeated pattern with sparse exceptions
+	PktPSB                          // sync point: 2 magic bytes + uint64 anchor pc
 )
+
+// ErrCorrupt is the typed decode error every malformed-stream condition
+// reports: the byte offset at which decoding failed and why. Lenient
+// consumers match on it (errors.As) and resync; strict consumers surface
+// it with position information instead of a panic.
+type ErrCorrupt struct {
+	Offset int
+	Reason string
+}
+
+func (e *ErrCorrupt) Error() string {
+	return fmt.Sprintf("tracefmt: corrupt at byte %d: %s", e.Offset, e.Reason)
+}
+
+// psbMagic0/1 are the PSB payload magic. The 3-byte kind+magic pattern is
+// what Resync scans for, so it is chosen to be unlikely in other payloads.
+const (
+	psbMagic0 = 0xA5
+	psbMagic1 = 0x5A
+)
+
+// psbSize is the serialised size of a PSB packet.
+const psbSize = 1 + 2 + 8
 
 // TNTBitsPerPacket is the number of branch outcomes one TNT payload packs.
 const TNTBitsPerPacket = 6
@@ -62,15 +86,18 @@ type PTPacket struct {
 	TSC uint64
 }
 
-// AppendTNT appends a TNT packet with n (1..6) outcomes in bits.
-func AppendTNT(dst []byte, bits uint8, n uint8) []byte {
+// AppendTNT appends a TNT packet with n (1..6) outcomes in bits. A count
+// outside that range is a caller bug; dst is returned unchanged with an
+// error rather than panicking, so encoder layers degrade instead of
+// crashing the process.
+func AppendTNT(dst []byte, bits uint8, n uint8) ([]byte, error) {
 	if n == 0 || n > TNTBitsPerPacket {
-		panic(fmt.Sprintf("tracefmt: bad TNT bit count %d", n))
+		return dst, fmt.Errorf("tracefmt: bad TNT bit count %d", n)
 	}
 	// payload: low 6 bits = outcomes, high 2 bits... n needs 3 bits, so
 	// use two bytes: n byte + bits byte? Keep it one kind byte + one count
 	// byte + one bits byte for simplicity and determinism.
-	return append(dst, byte(PktTNT), n, bits&0x3F)
+	return append(dst, byte(PktTNT), n, bits&0x3F), nil
 }
 
 // AppendTNTRep appends a run-length-encoded TNT packet: `count` repetitions
@@ -96,9 +123,9 @@ const MaxTNTExceptions = 15
 // except at the listed positions — how the simulated PT keeps
 // almost-periodic loop branches (a bounds check that fails every k-th
 // iteration) compressed.
-func AppendTNTRepEx(dst []byte, pattern uint8, count uint32, exceptions []TNTException) []byte {
+func AppendTNTRepEx(dst []byte, pattern uint8, count uint32, exceptions []TNTException) ([]byte, error) {
 	if len(exceptions) > MaxTNTExceptions {
-		panic("tracefmt: too many TNT exceptions")
+		return dst, fmt.Errorf("tracefmt: too many TNT exceptions (%d > %d)", len(exceptions), MaxTNTExceptions)
 	}
 	var b [7]byte
 	b[0] = byte(PktTNTRepEx)
@@ -112,7 +139,20 @@ func AppendTNTRepEx(dst []byte, pattern uint8, count uint32, exceptions []TNTExc
 		x[4] = e.Bits & 0x3F
 		dst = append(dst, x[:]...)
 	}
-	return dst
+	return dst, nil
+}
+
+// AppendPSB appends a sync-point packet carrying the anchor pc of the next
+// packet-consuming instruction. The online PT unit emits one periodically;
+// a corruption-tolerant decoder that loses the stream scans forward to the
+// next PSB and resumes the walk at its anchor, trading the skipped region
+// for continued coverage (the analogue of real PT's PSB/OVF recovery).
+func AppendPSB(dst []byte, pc uint64) []byte {
+	var b [psbSize]byte
+	b[0] = byte(PktPSB)
+	b[1], b[2] = psbMagic0, psbMagic1
+	binary.LittleEndian.PutUint64(b[3:], pc)
+	return append(dst, b[:]...)
 }
 
 // AppendTIP appends an indirect-branch target packet.
@@ -143,8 +183,32 @@ type PTReader struct {
 // NewPTReader wraps an encoded stream.
 func NewPTReader(buf []byte) *PTReader { return &PTReader{buf: buf} }
 
+// Offset returns the reader's current byte position. After a decode error
+// it still points at the offending packet's kind byte, so callers can
+// report positions and Resync past the damage.
+func (r *PTReader) Offset() int { return r.off }
+
+// Resync scans forward for the next PSB sync-point packet and positions
+// the reader just past it, returning the anchor pc it carried and the
+// number of bytes skipped (from the current position). ok is false when no
+// further sync point exists; the reader is then at end of stream. The scan
+// always advances at least one byte, so repeated corruption cannot loop.
+func (r *PTReader) Resync() (pc uint64, skipped int, ok bool) {
+	start := r.off
+	for i := r.off + 1; i+psbSize <= len(r.buf); i++ {
+		if PTPacketKind(r.buf[i]) == PktPSB && r.buf[i+1] == psbMagic0 && r.buf[i+2] == psbMagic1 {
+			pc = binary.LittleEndian.Uint64(r.buf[i+3:])
+			r.off = i + psbSize
+			return pc, r.off - start, true
+		}
+	}
+	r.off = len(r.buf)
+	return 0, r.off - start, false
+}
+
 // Next decodes the next packet. done is true at (and after) the END marker
-// or when the buffer is exhausted.
+// or when the buffer is exhausted. Malformed input yields an *ErrCorrupt;
+// the reader does not advance past it, so Offset/Resync see the damage.
 func (r *PTReader) Next() (pkt PTPacket, done bool, err error) {
 	if r.off >= len(r.buf) {
 		return PTPacket{}, true, nil
@@ -154,36 +218,37 @@ func (r *PTReader) Next() (pkt PTPacket, done bool, err error) {
 	switch kind {
 	case PktTNT:
 		if !need(3) {
-			return PTPacket{}, true, fmt.Errorf("tracefmt: truncated TNT packet at %d", r.off)
+			return PTPacket{}, true, &ErrCorrupt{Offset: r.off, Reason: "truncated TNT packet"}
 		}
 		pkt = PTPacket{Kind: PktTNT, NBits: r.buf[r.off+1], Bits: r.buf[r.off+2]}
 		if pkt.NBits == 0 || pkt.NBits > TNTBitsPerPacket {
-			return PTPacket{}, true, fmt.Errorf("tracefmt: bad TNT bit count %d at %d", pkt.NBits, r.off)
+			return PTPacket{}, true, &ErrCorrupt{Offset: r.off, Reason: fmt.Sprintf("bad TNT bit count %d", pkt.NBits)}
 		}
 		r.off += 3
 	case PktTNTRep:
 		if !need(6) {
-			return PTPacket{}, true, fmt.Errorf("tracefmt: truncated TNTREP packet at %d", r.off)
+			return PTPacket{}, true, &ErrCorrupt{Offset: r.off, Reason: "truncated TNTREP packet"}
 		}
 		pkt = PTPacket{Kind: PktTNTRep, Bits: r.buf[r.off+1], NBits: TNTBitsPerPacket,
 			Count: binary.LittleEndian.Uint32(r.buf[r.off+2:])}
 		r.off += 6
 	case PktTNT6:
 		if !need(2) {
-			return PTPacket{}, true, fmt.Errorf("tracefmt: truncated TNT6 packet at %d", r.off)
+			return PTPacket{}, true, &ErrCorrupt{Offset: r.off, Reason: "truncated TNT6 packet"}
 		}
 		pkt = PTPacket{Kind: PktTNT6, Bits: r.buf[r.off+1], NBits: TNTBitsPerPacket}
 		r.off += 2
 	case PktTNTRepEx:
 		if !need(7) {
-			return PTPacket{}, true, fmt.Errorf("tracefmt: truncated TNTREPEX packet at %d", r.off)
+			return PTPacket{}, true, &ErrCorrupt{Offset: r.off, Reason: "truncated TNTREPEX packet"}
 		}
 		pkt = PTPacket{Kind: PktTNTRepEx, Bits: r.buf[r.off+1], NBits: TNTBitsPerPacket,
 			Count: binary.LittleEndian.Uint32(r.buf[r.off+2:])}
 		nExc := int(r.buf[r.off+6])
 		r.off += 7
 		if !need(5 * nExc) {
-			return PTPacket{}, true, fmt.Errorf("tracefmt: truncated TNTREPEX exceptions at %d", r.off)
+			r.off -= 7
+			return PTPacket{}, true, &ErrCorrupt{Offset: r.off, Reason: "truncated TNTREPEX exceptions"}
 		}
 		for k := 0; k < nExc; k++ {
 			pkt.Exceptions = append(pkt.Exceptions, TNTException{
@@ -194,21 +259,30 @@ func (r *PTReader) Next() (pkt PTPacket, done bool, err error) {
 		}
 	case PktTIP:
 		if !need(9) {
-			return PTPacket{}, true, fmt.Errorf("tracefmt: truncated TIP packet at %d", r.off)
+			return PTPacket{}, true, &ErrCorrupt{Offset: r.off, Reason: "truncated TIP packet"}
 		}
 		pkt = PTPacket{Kind: PktTIP, Target: binary.LittleEndian.Uint64(r.buf[r.off+1:])}
 		r.off += 9
 	case PktTSC:
 		if !need(9) {
-			return PTPacket{}, true, fmt.Errorf("tracefmt: truncated TSC packet at %d", r.off)
+			return PTPacket{}, true, &ErrCorrupt{Offset: r.off, Reason: "truncated TSC packet"}
 		}
 		pkt = PTPacket{Kind: PktTSC, TSC: binary.LittleEndian.Uint64(r.buf[r.off+1:])}
 		r.off += 9
+	case PktPSB:
+		if !need(psbSize) {
+			return PTPacket{}, true, &ErrCorrupt{Offset: r.off, Reason: "truncated PSB packet"}
+		}
+		if r.buf[r.off+1] != psbMagic0 || r.buf[r.off+2] != psbMagic1 {
+			return PTPacket{}, true, &ErrCorrupt{Offset: r.off, Reason: "bad PSB magic"}
+		}
+		pkt = PTPacket{Kind: PktPSB, Target: binary.LittleEndian.Uint64(r.buf[r.off+3:])}
+		r.off += psbSize
 	case PktEnd:
 		r.off++
 		return PTPacket{Kind: PktEnd}, true, nil
 	default:
-		return PTPacket{}, true, fmt.Errorf("tracefmt: unknown PT packet kind %d at %d", kind, r.off)
+		return PTPacket{}, true, &ErrCorrupt{Offset: r.off, Reason: fmt.Sprintf("unknown PT packet kind %d", kind)}
 	}
 	return pkt, false, nil
 }

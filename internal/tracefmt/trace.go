@@ -137,58 +137,159 @@ func (t *Trace) Encode() []byte {
 	return b.Bytes()
 }
 
-// DecodeTrace parses a container produced by Encode.
+// DecodeTrace parses a container produced by Encode. Malformed input
+// yields an *ErrCorrupt describing the damage; it never panics, and every
+// length field is validated against the remaining payload before any
+// allocation, so adversarial counts cannot exhaust memory.
 func DecodeTrace(src []byte) (*Trace, error) {
+	t, salvage := decodeTrace(src)
+	if salvage.Err != nil {
+		return nil, salvage.Err
+	}
+	return t, nil
+}
+
+// SalvageInfo describes what a lenient container decode had to give up.
+type SalvageInfo struct {
+	// Truncated is true when the container ended before its declared
+	// contents (torn write, short read, ring overwrite of the tail).
+	Truncated bool
+	// TornBytes counts trailing bytes that did not form a whole record.
+	TornBytes int
+	// DroppedPEBS and DroppedSync count declared records lost to the
+	// truncation; DroppedPTBytes likewise for PT stream payload.
+	DroppedPEBS    int
+	DroppedSync    int
+	DroppedPTBytes int
+	// Err is the corruption that stopped the strict decode (nil if clean).
+	Err error
+}
+
+// Degraded reports whether anything was lost.
+func (s *SalvageInfo) Degraded() bool { return s.Err != nil || s.Truncated }
+
+// DecodeTraceLenient parses as much of a (possibly torn or truncated)
+// container as survives, returning the salvaged trace and what was lost.
+// Only an unrecognisable header (bad magic) is a hard error — ProRace's
+// deployment model treats partial traces as the normal case, so whatever
+// prefix decodes cleanly is analysed.
+func DecodeTraceLenient(src []byte) (*Trace, *SalvageInfo, error) {
+	t, salvage := decodeTrace(src)
+	if t == nil {
+		return nil, salvage, salvage.Err
+	}
+	return t, salvage, nil
+}
+
+func decodeTrace(src []byte) (*Trace, *SalvageInfo) {
+	sal := &SalvageInfo{}
 	r := &sliceReader{buf: src}
 	if string(r.take(4)) != traceMagic {
-		return nil, fmt.Errorf("tracefmt: bad trace magic")
+		sal.Err = &ErrCorrupt{Offset: 0, Reason: "bad trace magic"}
+		return nil, sal
 	}
+	corrupt := func(reason string) {
+		if sal.Err == nil {
+			sal.Err = &ErrCorrupt{Offset: r.off, Reason: reason}
+		}
+		sal.Truncated = true
+	}
+	// remaining is the undecoded payload size, the ceiling for any
+	// declared length.
+	remaining := func() int { return len(r.buf) - r.off }
+
 	t := &Trace{PEBS: map[int32][]PEBSRecord{}, PT: map[int32][]byte{}}
-	t.Program = string(r.take(int(r.u16())))
+	nameLen := int(r.u16())
+	if nameLen > remaining() {
+		corrupt("program name length exceeds payload")
+		return t, sal
+	}
+	t.Program = string(r.take(nameLen))
 	t.Period = r.u64()
 	t.Seed = int64(r.u64())
 	t.WallCycles = r.u64()
 	t.DroppedSamples = r.u64()
+	if r.err != nil {
+		corrupt("truncated header")
+		return t, sal
+	}
 	ntids := int(r.u32())
-	for k := 0; k < ntids && r.err == nil; k++ {
+	if ntids > remaining()/8 { // 8 bytes of per-thread framing minimum
+		corrupt("thread count exceeds payload")
+		return t, sal
+	}
+	for k := 0; k < ntids; k++ {
 		tid := int32(r.u32())
 		nrec := int(r.u32())
+		if r.err != nil || nrec > remaining()/PEBSRecordSize {
+			if r.err == nil {
+				sal.DroppedPEBS += nrec
+			}
+			corrupt("PEBS record count exceeds payload")
+			return t, sal
+		}
 		if nrec > 0 {
 			recs := make([]PEBSRecord, 0, nrec)
 			for i := 0; i < nrec; i++ {
 				raw := r.take(PEBSRecordSize)
 				if r.err != nil {
-					break
+					sal.TornBytes = remaining()
+					sal.DroppedPEBS += nrec - i
+					corrupt("torn PEBS record")
+					t.PEBS[tid] = recs
+					return t, sal
 				}
 				rec, _, err := DecodePEBSRecord(raw)
 				if err != nil {
-					return nil, err
+					sal.DroppedPEBS++
+					if sal.Err == nil {
+						sal.Err = &ErrCorrupt{Offset: r.off - PEBSRecordSize, Reason: err.Error()}
+					}
+					continue
 				}
 				recs = append(recs, rec)
 			}
 			t.PEBS[tid] = recs
 		}
 		nstream := int(r.u32())
+		if r.err != nil || nstream > remaining() {
+			if r.err == nil {
+				sal.DroppedPTBytes += nstream
+			}
+			corrupt("PT stream length exceeds payload")
+			return t, sal
+		}
 		if nstream > 0 {
 			t.PT[tid] = append([]byte(nil), r.take(nstream)...)
 		}
 	}
 	nsync := int(r.u32())
-	for i := 0; i < nsync && r.err == nil; i++ {
+	if r.err != nil || nsync > remaining()/SyncRecordSize {
+		if r.err == nil {
+			sal.DroppedSync += nsync
+		}
+		corrupt("sync record count exceeds payload")
+		return t, sal
+	}
+	for i := 0; i < nsync; i++ {
 		raw := r.take(SyncRecordSize)
 		if r.err != nil {
-			break
+			sal.TornBytes = remaining()
+			sal.DroppedSync += nsync - i
+			corrupt("torn sync record")
+			return t, sal
 		}
 		rec, _, err := DecodeSyncRecord(raw)
 		if err != nil {
-			return nil, err
+			sal.DroppedSync++
+			if sal.Err == nil {
+				sal.Err = &ErrCorrupt{Offset: r.off - SyncRecordSize, Reason: err.Error()}
+			}
+			continue
 		}
 		t.Sync = append(t.Sync, rec)
 	}
-	if r.err != nil {
-		return nil, fmt.Errorf("tracefmt: truncated trace: %w", r.err)
-	}
-	return t, nil
+	return t, sal
 }
 
 type sliceReader struct {

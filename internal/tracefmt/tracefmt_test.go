@@ -89,11 +89,16 @@ func TestSyncKindNames(t *testing.T) {
 
 func TestPTPacketRoundTrip(t *testing.T) {
 	var stream []byte
-	stream = AppendTNT(stream, 0b101, 3)
+	var err error
+	if stream, err = AppendTNT(stream, 0b101, 3); err != nil {
+		t.Fatal(err)
+	}
 	stream = AppendTNTRep(stream, 0b110110, 1000)
 	stream = AppendTIP(stream, 0x400120)
 	stream = AppendTSC(stream, 987654321)
-	stream = AppendTNT(stream, 0b1, 1)
+	if stream, err = AppendTNT(stream, 0b1, 1); err != nil {
+		t.Fatal(err)
+	}
 	stream = AppendEnd(stream)
 
 	r := NewPTReader(stream)
@@ -140,13 +145,18 @@ func TestPTReaderErrors(t *testing.T) {
 	if _, _, err := r.Next(); err == nil {
 		t.Error("bad TNT count must fail")
 	}
-	// AppendTNT panics on bad count.
-	defer func() {
-		if recover() == nil {
-			t.Error("AppendTNT with 0 bits must panic")
-		}
-	}()
-	AppendTNT(nil, 0, 0)
+	// AppendTNT reports bad counts as errors, leaving dst unchanged.
+	if out, err := AppendTNT(nil, 0, 0); err == nil || out != nil {
+		t.Errorf("AppendTNT with 0 bits: out=%v err=%v, want error and unchanged dst", out, err)
+	}
+	if out, err := AppendTNT(nil, 0, 7); err == nil || out != nil {
+		t.Errorf("AppendTNT with 7 bits: out=%v err=%v, want error and unchanged dst", out, err)
+	}
+	// AppendTNTRepEx rejects oversized exception lists the same way.
+	exc := make([]TNTException, MaxTNTExceptions+1)
+	if out, err := AppendTNTRepEx(nil, 0, 10, exc); err == nil || out != nil {
+		t.Errorf("AppendTNTRepEx overflow: out=%v err=%v, want error and unchanged dst", out, err)
+	}
 }
 
 func TestTraceRoundTrip(t *testing.T) {
@@ -161,8 +171,11 @@ func TestTraceRoundTrip(t *testing.T) {
 			tr.PEBS[tid] = append(tr.PEBS[tid], rec)
 		}
 		var stream []byte
+		var err error
 		stream = AppendTSC(stream, 100)
-		stream = AppendTNT(stream, 0b11, 2)
+		if stream, err = AppendTNT(stream, 0b11, 2); err != nil {
+			t.Fatal(err)
+		}
 		stream = AppendEnd(stream)
 		tr.PT[tid] = stream
 	}

@@ -92,7 +92,7 @@ func buildParsec(s parsecSpec, scale Scale) Workload {
 		Name:    s.name,
 		Threads: parsecThreads,
 		Class:   CPUBound,
-		Program: b.MustBuild(),
+		Program: mustBuild(b),
 		Machine: machine.Config{Cores: 4},
 	}
 }

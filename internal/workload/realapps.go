@@ -229,7 +229,7 @@ func BuildServer(s ServerSpec, scale Scale, hooks *InjectHooks) Workload {
 		Name:    s.Name,
 		Threads: s.Threads,
 		Class:   s.Class,
-		Program: b.MustBuild(),
+		Program: mustBuild(b),
 		Machine: machine.Config{Cores: 4},
 	}
 }

@@ -14,6 +14,7 @@ package workload
 import (
 	"fmt"
 
+	"prorace/internal/asm"
 	"prorace/internal/machine"
 	"prorace/internal/prog"
 )
@@ -136,4 +137,17 @@ func Names() []string {
 		out = append(out, w.Name)
 	}
 	return out
+}
+
+// mustBuild finalises one of this package's statically-defined programs.
+// The builders here encode fixed workload sources, so a build error is a
+// defect in the package itself (caught by its tests), not a runtime
+// condition callers could handle — it is fatal rather than threaded
+// through every constructor.
+func mustBuild(b *asm.Builder) *prog.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("workload: static program failed to build: %v", err))
+	}
+	return p
 }

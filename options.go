@@ -120,6 +120,29 @@ func WithoutAllocationTracking() Option {
 	return func(_ *TraceOptions, a *AnalysisOptions) { a.DisableAllocationTracking = true }
 }
 
+// WithStrict makes the offline phase abort on the first decode error or
+// thread failure instead of degrading gracefully. The library default is
+// lenient: corrupt PT regions are skipped (recorded as decode gaps),
+// failing threads are dropped with their sync records retained, and
+// everything given up is accounted in AnalysisResult.Degradation.
+func WithStrict() Option {
+	return func(_ *TraceOptions, a *AnalysisOptions) { a.Strict = true }
+}
+
+// WithFaultInjection deterministically corrupts the collected trace before
+// analysis — the robustness-testing hook. A nil spec is a no-op.
+func WithFaultInjection(spec *FaultSpec) Option {
+	return func(_ *TraceOptions, a *AnalysisOptions) { a.FaultSpec = spec }
+}
+
+// WithThreadRetries sets how many extra attempts a transiently-failing
+// per-thread stage gets before the thread is dropped (lenient) or the
+// analysis aborts (strict). 0 means the default of one retry; negative
+// disables retries.
+func WithThreadRetries(n int) Option {
+	return func(_ *TraceOptions, a *AnalysisOptions) { a.ThreadRetries = n }
+}
+
 // TraceWith runs the online phase with functional options.
 func TraceWith(p *Program, opts ...Option) (*TraceResult, error) {
 	topts, _ := NewOptions(opts...)

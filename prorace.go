@@ -39,6 +39,7 @@ import (
 	"prorace/internal/bugs"
 	"prorace/internal/core"
 	"prorace/internal/experiments"
+	"prorace/internal/faultinject"
 	"prorace/internal/isa"
 	"prorace/internal/machine"
 	"prorace/internal/pmu/driver"
@@ -68,6 +69,13 @@ type (
 	Result = core.Result
 	// Report is one detected data race.
 	Report = race.Report
+	// Degradation summarises everything a lenient analysis had to give up.
+	Degradation = core.Degradation
+	// ThreadError is one thread's isolated analysis failure.
+	ThreadError = core.ThreadError
+	// FaultSpec describes a deterministic set of trace faults to inject
+	// before analysis (robustness testing).
+	FaultSpec = faultinject.Spec
 	// DriverKind selects the vanilla or ProRace PEBS driver model.
 	DriverKind = driver.Kind
 	// DriverCosts is a driver stack's cycle-cost model.
@@ -180,6 +188,11 @@ func Bugs() []Bug { return bugs.All() }
 
 // BugByID finds a Table 2 bug by its identifier (e.g. "apache-25520").
 func BugByID(id string) (Bug, error) { return bugs.ByID(id) }
+
+// ParseFaultSpec parses a fault-injection spec of the form
+// "kind=rate,kind=rate[:seed=N]" (kinds: trunc, ptflip, ptdrop, pebsloss,
+// syncgap, torn); "" and "none" mean no injection.
+func ParseFaultSpec(s string) (*FaultSpec, error) { return faultinject.Parse(s) }
 
 // FormatRaces renders race reports with symbol names.
 func FormatRaces(p *Program, rs []Report) string { return report.FormatRaces(p, rs) }

@@ -56,7 +56,7 @@ func TestPublicAPICustomProgram(t *testing.T) {
 	f.CmpI(R3, 0)
 	f.Jgt("l")
 	f.Exit(0)
-	p := b.MustBuild()
+	p := mustBuild(b)
 
 	res, err := Run(p, ProRaceTraceOptions(500, 3, MachineConfig{Cores: 4}), DefaultAnalysisOptions())
 	if err != nil {
@@ -211,4 +211,14 @@ func TestPublicAPIFunctionalOptions(t *testing.T) {
 	if len(ar.Reports) != len(res.AnalysisResult.Reports) {
 		t.Errorf("composed pipeline diverged: %d vs %d reports", len(ar.Reports), len(res.AnalysisResult.Reports))
 	}
+}
+
+// mustBuild finalises a test program; the inputs are static, so a build
+// error means the test itself is broken.
+func mustBuild(b *Builder) *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
