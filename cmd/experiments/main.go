@@ -5,6 +5,8 @@
 //	experiments -exp fig6,fig10          # selected figures
 //	experiments -exp table2 -full        # paper-scale (100 traces per cell)
 //	experiments -exp table2 -trials 25
+//	experiments -exp perf                # offline-pipeline benchmarks -> BENCH_PR3.json
+//	experiments -exp fig12 -cpuprofile cpu.out -memprofile mem.out
 //
 // The mapping from each experiment to the paper's artifact is DESIGN.md §4;
 // paper-vs-measured numbers are recorded in EXPERIMENTS.md.
@@ -18,16 +20,27 @@ import (
 	"time"
 
 	"prorace/internal/experiments"
+	"prorace/internal/profiling"
 	"prorace/internal/workload"
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated: table1,fig6,fig7,fig8,fig9,fig10,table2,fig11,fig12,related,scaling,faults,all")
+	expFlag := flag.String("exp", "all", "comma-separated: table1,fig6,fig7,fig8,fig9,fig10,table2,fig11,fig12,related,scaling,faults,perf,all")
 	full := flag.Bool("full", false, "paper-scale configuration (slow)")
 	scale := flag.Int("scale", 0, "override workload scale")
 	trials := flag.Int("trials", 0, "override Table 2 traces per cell")
 	seed := flag.Int64("seed", 1, "base scheduler seed")
+	benchOut := flag.String("bench-out", "BENCH_PR3.json", "perf experiment: JSON measurement file")
+	var prof profiling.Flags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	cfg := experiments.Quick()
 	if *full {
@@ -144,6 +157,24 @@ func main() {
 		}
 		return f.Render(), nil
 	})
+
+	// perf is opt-in only (not part of "all"): it runs auto-scaled
+	// benchmarks for tens of seconds and writes a measurement file.
+	if want["perf"] {
+		ran++
+		t0 := time.Now()
+		res, err := h.Perf()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perf:", err)
+			os.Exit(1)
+		}
+		if err := res.WriteJSON(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "perf:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("[perf measured in %v, wrote %s]\n\n", time.Since(t0).Round(time.Millisecond), *benchOut)
+	}
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *expFlag)

@@ -18,6 +18,7 @@ import (
 	"prorace"
 	"prorace/internal/bugs"
 	"prorace/internal/isa"
+	"prorace/internal/profiling"
 	"prorace/internal/report"
 	"prorace/internal/tracefmt"
 	"prorace/internal/workload"
@@ -100,10 +101,12 @@ type commonFlags struct {
 	detectShards int
 	lenient      bool
 	faultSpec    string
+	prof         profiling.Flags
 }
 
 func addCommon(fs *flag.FlagSet) *commonFlags {
 	c := &commonFlags{}
+	c.prof.Register(fs)
 	fs.StringVar(&c.workloadName, "workload", "", "built-in workload name")
 	fs.StringVar(&c.bugID, "bug", "", "Table 2 bug id (alternative to -workload)")
 	fs.Uint64Var(&c.period, "period", 10000, "PEBS sampling period")
@@ -202,6 +205,11 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	stopProf, err := c.prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	if *overhead {
 		opts = append(opts, prorace.WithOverheadMeasurement())
 	}
@@ -254,6 +262,11 @@ func cmdTrace(args []string) error {
 		return err
 	}
 	opts = append(opts, prorace.WithOverheadMeasurement())
+	stopProf, err := c.prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	res, err := prorace.TraceWith(w.Program, opts...)
 	if err != nil {
 		return err
@@ -311,6 +324,11 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
+	stopProf, err := c.prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	ar, err := prorace.AnalyzeWith(w.Program, &prorace.TraceResult{Trace: tr}, opts...)
 	if err != nil {
 		return err

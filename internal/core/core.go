@@ -156,6 +156,15 @@ type AnalysisOptions struct {
 	// large default). Lenient analyses of heavily corrupted streams use it
 	// to keep resynced walks from wandering for millions of steps.
 	DecodeMaxSteps int
+	// PathCache overrides the decoded-path cache consulted before PT
+	// decode + synthesis. nil selects a process-wide shared cache; set
+	// DisablePathCache to opt out of memoization entirely. Cached entries
+	// are keyed by (program, trace content fingerprint, decode options),
+	// so a hit is byte-equivalent to a fresh decode.
+	PathCache *synthesis.Cache
+	// DisablePathCache turns off decoded-path memoization (ablation /
+	// memory-constrained callers).
+	DisablePathCache bool
 }
 
 // threadRetries resolves the ThreadRetries knob.
@@ -190,6 +199,9 @@ type AnalysisResult struct {
 	// Regenerated is true when the §5.1 feedback loop re-ran
 	// reconstruction with racy locations invalidated.
 	Regenerated bool
+	// DecodeCacheHit is true when decode + synthesis were served from the
+	// decoded-path cache instead of being recomputed.
+	DecodeCacheHit bool
 	// Degradation accounts everything a lenient analysis had to give up
 	// (zero-valued on a clean strict or lenient run).
 	Degradation Degradation
@@ -222,6 +234,22 @@ func shardCount(n int) int {
 		return 1
 	}
 	return n
+}
+
+// defaultPathCache is the process-wide decoded-path cache used when
+// AnalysisOptions names no explicit one. Bounded small: entries hold
+// decoded paths, the dominant per-trace memory cost.
+var defaultPathCache = synthesis.NewCache(synthesis.DefaultCacheCapacity)
+
+// pathCacheFor resolves the cache knobs: nil means memoization is off.
+func pathCacheFor(opts *AnalysisOptions) *synthesis.Cache {
+	if opts.DisablePathCache {
+		return nil
+	}
+	if opts.PathCache != nil {
+		return opts.PathCache
+	}
+	return defaultPathCache
 }
 
 // newReportSink picks the detector for the resolved shard count: the
@@ -269,13 +297,34 @@ func Analyze(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions) (*Analys
 	var tts map[int32]*synthesis.ThreadTrace
 	var err error
 	sopts := synthesis.Options{Lenient: !opts.Strict, MaxSteps: opts.DecodeMaxSteps}
-	if workers > 1 {
-		tts, err = synthesizeParallel(p, tr, workers, sopts, opts.Strict, retries, deg)
-	} else {
-		tts, err = synthesizeGuarded(p, tr, sopts, opts.Strict, retries, deg)
+	cache := pathCacheFor(&opts)
+	var ckey synthesis.CacheKey
+	if cache != nil {
+		// Content-keyed, so a mutated copy (fault injection, salvage)
+		// misses while a byte-identical re-analysis hits; the fingerprint
+		// is computed on the sanitised trace the pipeline actually decodes.
+		ckey = synthesis.CacheKey{Prog: p, Fingerprint: tr.Fingerprint(), Opts: sopts}
+		if hit, ok := cache.Get(ckey); ok {
+			tts = hit
+			res.DecodeCacheHit = true
+		}
 	}
-	if err != nil {
-		return nil, fmt.Errorf("core: synthesis: %w", err)
+	if tts == nil {
+		errsBefore := len(deg.ThreadErrors)
+		if workers > 1 {
+			tts, err = synthesizeParallel(p, tr, workers, sopts, opts.Strict, retries, deg)
+		} else {
+			tts, err = synthesizeGuarded(p, tr, sopts, opts.Strict, retries, deg)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: synthesis: %w", err)
+		}
+		// Only a fully successful synthesis is cached: a run that dropped
+		// threads must re-record those drops in every analysis's
+		// Degradation, which a hit would silently skip.
+		if cache != nil && len(deg.ThreadErrors) == errsBefore {
+			cache.Put(ckey, tts)
+		}
 	}
 	res.DecodeTime = time.Since(t0)
 
@@ -404,7 +453,7 @@ func synthesizeGuarded(p *prog.Program, tr *tracefmt.Trace, sopts synthesis.Opti
 // error isolation; failures are returned for the caller to absorb or
 // abort on.
 func reconstructGuarded(engine *replay.Engine, tts map[int32]*synthesis.ThreadTrace, retries int) (map[int32][]replay.Access, replay.Stats, []*ThreadError) {
-	out := map[int32][]replay.Access{}
+	out := make(map[int32][]replay.Access, len(tts))
 	var agg replay.Stats
 	var terrs []*ThreadError
 	for tid, tt := range tts {

@@ -78,13 +78,13 @@ func synthesizeParallel(p *prog.Program, tr *tracefmt.Trace, workers int, sopts 
 	return out, nil
 }
 
-// streamChunkSize batches a thread's events on their way to the merger.
-const streamChunkSize = 512
-
 // streamPass runs one reconstruct-and-detect pass with the replay work
 // fanned out across a worker pool and each thread's events streamed into
 // the detector as the thread completes, instead of materialising the full
-// access map before detection starts. The merged event order — and
+// access map before detection starts. Events travel in fixed-size pooled
+// batches (race.EventChunkSize) that the merger recycles as it consumes
+// them, so the streaming layer's allocation cost is a handful of chunks
+// rather than one event slice per thread. The merged event order — and
 // therefore the race report list — is identical to the sequential pass.
 //
 // Returned timings: the reconstruction stage's wall clock, and the
@@ -112,37 +112,29 @@ func streamPass(engine *replay.Engine, tts map[int32]*synthesis.ThreadTrace, syn
 		streams[tid] = ch
 	}
 
-	// emit hands one thread's events to the merger in chunks. It runs on a
-	// dedicated goroutine per thread so a full channel never stalls a
-	// reconstruction worker (the merger consumes nothing until every live
-	// stream has produced its head).
-	emit := func(tid int32, evs []race.Event) {
-		ch := send[tid]
-		for len(evs) > 0 {
-			n := streamChunkSize
-			if n > len(evs) {
-				n = len(evs)
-			}
-			ch <- evs[:n]
-			evs = evs[n:]
-		}
-		close(ch)
+	// emit hands one thread's events to the merger in pooled fixed-size
+	// batches. It runs on a dedicated goroutine per thread so a full
+	// channel never stalls a reconstruction worker (the merger consumes
+	// nothing until every live stream has produced its head).
+	emit := func(tid int32, accs []replay.Access) {
+		race.StreamThread(send[tid], syncByTID[tid], accs)
 	}
 
 	// Detection: the merger pulls the k-way-merged event order from the
-	// per-thread streams and drives the (possibly sharded) detector.
+	// per-thread streams and drives the (possibly sharded) detector,
+	// recycling each consumed chunk back into the pool.
 	sink := newReportSink(shards, ropts)
 	detDone := make(chan struct{})
 	go func() {
 		defer close(detDone)
-		race.FeedStreams(sink, streams)
+		race.FeedStreamsPooled(sink, streams)
 		sink.Finish()
 	}()
 
 	// Sync-only threads stream straight away.
 	for tid := range tidSet {
 		if _, ok := tts[tid]; !ok {
-			go emit(tid, race.ThreadStream(syncByTID[tid], nil))
+			go emit(tid, nil)
 		}
 	}
 
@@ -176,14 +168,14 @@ func streamPass(engine *replay.Engine, tts map[int32]*synthesis.ThreadTrace, syn
 					mu.Unlock()
 					// The thread's reconstructed accesses are lost, but its
 					// sync records still carry happens-before edges.
-					go emit(tid, race.ThreadStream(syncByTID[tid], nil))
+					go emit(tid, nil)
 					continue
 				}
 				mu.Lock()
 				out[tid] = acc
 				agg.Merge(st)
 				mu.Unlock()
-				go emit(tid, race.ThreadStream(syncByTID[tid], acc))
+				go emit(tid, acc)
 			}
 		}()
 	}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"prorace/internal/core"
+	"prorace/internal/pmu/driver"
+	"prorace/internal/ptdecode"
+	"prorace/internal/race"
+	"prorace/internal/replay"
+	"prorace/internal/report"
+	"prorace/internal/synthesis"
+	"prorace/internal/workload"
+)
+
+// The perf experiment re-runs the offline pipeline's key benchmarks —
+// the same bodies as the root package's BenchmarkParallelAnalysis,
+// BenchmarkReplayForwardBackward, BenchmarkPTDecode and
+// BenchmarkShardedDetection — through testing.Benchmark, and writes the
+// measurements next to a pinned pre-optimisation baseline so the
+// allocation-lean work (decoded-path cache, pooled replay state, batched
+// access streaming) stays accountable: ns/op and allocs/op, current vs
+// baseline, with the speedup factors computed.
+
+// PerfBench is one benchmark measurement.
+type PerfBench struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// PerfRow pairs a current measurement with its pre-optimisation baseline.
+type PerfRow struct {
+	Current PerfBench `json:"current"`
+	// Baseline is the same benchmark at the commit before the
+	// allocation-lean rework, measured on the development machine
+	// (Xeon @ 2.10GHz); zero when no baseline was pinned.
+	Baseline *PerfBench `json:"baseline,omitempty"`
+	// Speedup is baseline ns/op over current ns/op (>1 means faster).
+	Speedup float64 `json:"speedup,omitempty"`
+	// AllocReduction is baseline allocs/op over current allocs/op.
+	AllocReduction float64 `json:"alloc_reduction,omitempty"`
+}
+
+// PerfResult is the full suite: one row per benchmark, in run order.
+type PerfResult struct {
+	Rows []PerfRow `json:"benchmarks"`
+}
+
+// perfBaselines pins the pre-optimisation numbers (benchtime=5x on the
+// development machine) the speedup columns divide against.
+var perfBaselines = map[string]PerfBench{
+	"parallel_analysis/sequential":     {NsPerOp: 527029049, BytesPerOp: 254526369, AllocsPerOp: 190447},
+	"parallel_analysis/workers":        {NsPerOp: 547211853, BytesPerOp: 254526376, AllocsPerOp: 190447},
+	"parallel_analysis/workers+shards": {NsPerOp: 556615601, BytesPerOp: 254518996, AllocsPerOp: 190446},
+	"replay_forward_backward":          {NsPerOp: 168230746, BytesPerOp: 19228368, AllocsPerOp: 12543},
+	"pt_decode":                        {NsPerOp: 24869778, BytesPerOp: 67692408, AllocsPerOp: 3394},
+	"sharded_detection/sequential":     {NsPerOp: 14550595, BytesPerOp: 3527972, AllocsPerOp: 4133},
+	"sharded_detection/shards=4":       {NsPerOp: 16448801, BytesPerOp: 6690992, AllocsPerOp: 5487},
+}
+
+// Perf runs the suite. Each benchmark is auto-scaled by testing.Benchmark
+// (about a second each), so a full run takes tens of seconds.
+func (h *Harness) Perf() (*PerfResult, error) {
+	res := &PerfResult{}
+	add := func(name string, f func(b *testing.B)) {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			f(b)
+		})
+		row := PerfRow{Current: PerfBench{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}}
+		if base, ok := perfBaselines[name]; ok {
+			base.Name = name
+			row.Baseline = &base
+			if row.Current.NsPerOp > 0 {
+				row.Speedup = base.NsPerOp / row.Current.NsPerOp
+			}
+			if row.Current.AllocsPerOp > 0 {
+				row.AllocReduction = float64(base.AllocsPerOp) / float64(row.Current.AllocsPerOp)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	// parallel_analysis — BenchmarkParallelAnalysis: the full offline
+	// pipeline over the 20-thread mysql trace, sequential vs fanned out.
+	// Iterations past the first hit the decoded-path cache, exactly as
+	// repeated analyses of one trace do in production use.
+	mysql := workload.MySQL(1)
+	mysqlTrace, err := core.TraceProgram(mysql.Program, core.TraceOptions{
+		Kind: driver.ProRace, Period: 1000, Seed: 3, EnablePT: true, Machine: mysql.Machine})
+	if err != nil {
+		return nil, err
+	}
+	analysis := func(opts core.AnalysisOptions) func(b *testing.B) {
+		return func(b *testing.B) {
+			opts.PathCache = synthesis.NewCache(synthesis.DefaultCacheCapacity)
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Analyze(mysql.Program, mysqlTrace.Trace, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	add("parallel_analysis/sequential", analysis(core.AnalysisOptions{Mode: replay.ModeForwardBackward}))
+	add("parallel_analysis/workers", analysis(core.AnalysisOptions{Mode: replay.ModeForwardBackward, Workers: -1}))
+	add("parallel_analysis/workers+shards", analysis(core.AnalysisOptions{
+		Mode: replay.ModeForwardBackward, Workers: -1, DetectShards: -1}))
+
+	// replay_forward_backward — BenchmarkReplayForwardBackward: the
+	// reconstruction engine alone, synthesis prebuilt.
+	bs := workload.PARSEC(1)[0]
+	bsTrace, err := core.TraceProgram(bs.Program, core.TraceOptions{
+		Kind: driver.ProRace, Period: 1000, Seed: 3, EnablePT: true, Machine: bs.Machine})
+	if err != nil {
+		return nil, err
+	}
+	bsTTS, err := synthesis.Synthesize(bs.Program, bsTrace.Trace)
+	if err != nil {
+		return nil, err
+	}
+	engine := replay.NewEngine(bs.Program, replay.Config{Mode: replay.ModeForwardBackward})
+	add("replay_forward_backward", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, st := engine.ReconstructAll(bsTTS)
+			if st.Total() == 0 {
+				b.Fatal("nothing reconstructed")
+			}
+		}
+	})
+
+	// pt_decode — BenchmarkPTDecode: raw decode throughput, uncached.
+	add("pt_decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ptdecode.DecodeAll(bs.Program, bsTrace.Trace.PT, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// sharded_detection — BenchmarkShardedDetection: the detect phase over
+	// a prepared extended trace, sequential FastTrack vs 4 shards.
+	detTrace, err := core.TraceProgram(mysql.Program, core.TraceOptions{
+		Kind: driver.ProRace, Period: 500, Seed: 3, EnablePT: true, Machine: mysql.Machine})
+	if err != nil {
+		return nil, err
+	}
+	detTTS, err := synthesis.Synthesize(mysql.Program, detTrace.Trace)
+	if err != nil {
+		return nil, err
+	}
+	detEngine := replay.NewEngine(mysql.Program, replay.Config{Mode: replay.ModeForwardBackward})
+	accesses, _ := detEngine.ReconstructAll(detTTS)
+	add("sharded_detection/sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			race.Detect(detTrace.Trace.Sync, accesses, race.Options{TrackAllocations: true})
+		}
+	})
+	add("sharded_detection/shards=4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			race.DetectSharded(detTrace.Trace.Sync, accesses, 4, race.Options{TrackAllocations: true})
+		}
+	})
+	return res, nil
+}
+
+// WriteJSON records the suite at path, indented for diffing.
+func (r *PerfResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render formats the measurements against their baselines.
+func (r *PerfResult) Render() string {
+	t := report.NewTable("offline pipeline performance (vs pre-optimisation baseline)",
+		"benchmark", "ns/op", "allocs/op", "base ns/op", "base allocs", "speedup", "allocs÷")
+	for _, row := range r.Rows {
+		c := row.Current
+		if row.Baseline == nil {
+			t.AddRow(c.Name, fmt.Sprintf("%.0f", c.NsPerOp), c.AllocsPerOp, "-", "-", "-", "-")
+			continue
+		}
+		t.AddRow(c.Name, fmt.Sprintf("%.0f", c.NsPerOp), c.AllocsPerOp,
+			fmt.Sprintf("%.0f", row.Baseline.NsPerOp), row.Baseline.AllocsPerOp,
+			fmt.Sprintf("%.2fx", row.Speedup), fmt.Sprintf("%.2fx", row.AllocReduction))
+	}
+	return t.String()
+}

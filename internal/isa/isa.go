@@ -386,16 +386,21 @@ func (i Inst) EffectiveAddress(reg func(Reg) uint64, pc uint64) uint64 {
 // AddrRegs returns the registers that participate in the effective-address
 // computation. PC-relative and absolute operands need none — the property
 // that makes them always reconstructible offline.
-func (i Inst) AddrRegs() []Reg {
+func (i Inst) AddrRegs() []Reg { return i.AppendAddrRegs(nil) }
+
+// AppendAddrRegs appends the address registers to buf and returns it.
+// With a caller-provided buffer of capacity ≥ 2 it does not allocate,
+// which matters in the replay inner loops that query every instruction.
+func (i Inst) AppendAddrRegs(buf []Reg) []Reg {
 	if !i.HasMemOperand() {
-		return nil
+		return buf
 	}
 	switch i.Mode {
 	case ModeBase:
-		return []Reg{i.Base}
+		return append(buf, i.Base)
 	case ModeBaseIndex:
-		return []Reg{i.Base, i.Index}
+		return append(buf, i.Base, i.Index)
 	default:
-		return nil
+		return buf
 	}
 }

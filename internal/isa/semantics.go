@@ -33,23 +33,26 @@ func (i Inst) Uses() []Reg {
 		// Conservatively: syscalls read the argument registers.
 		u = append(u, R0, R1, R2)
 	}
-	u = append(u, i.AddrRegs()...)
-	return u
+	return i.AppendAddrRegs(u)
 }
 
 // Defs returns the registers the instruction writes.
-func (i Inst) Defs() []Reg {
+func (i Inst) Defs() []Reg { return i.AppendDefs(nil) }
+
+// AppendDefs appends the registers the instruction writes to buf and
+// returns it. The allocation-free form of Defs for hot loops.
+func (i Inst) AppendDefs(buf []Reg) []Reg {
 	switch i.Op {
 	case MOVI, MOV, LEA, LOAD:
-		return []Reg{i.Rd}
+		return append(buf, i.Rd)
 	case ADD, SUB, MUL, AND, OR, XOR, SHL, SHR,
 		ADDI, SUBI, MULI, ANDI, ORI, XORI, SHLI, SHRI:
-		return []Reg{i.Rd}
+		return append(buf, i.Rd)
 	case SYSCALL:
 		// Result register. Syscalls with no result still clobber R0.
-		return []Reg{R0}
+		return append(buf, R0)
 	}
-	return nil
+	return buf
 }
 
 // WritesFlags reports whether the instruction updates the flags.

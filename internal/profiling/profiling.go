@@ -1,0 +1,92 @@
+// Package profiling wires the standard Go profilers into the command-line
+// tools: CPU profile, heap profile, and runtime execution trace. Commands
+// register the three flags on their flag set and bracket main with Start —
+// the profiles are written where `go tool pprof` / `go tool trace` expect
+// them.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the profile destinations; empty means off.
+type Flags struct {
+	CPU   string
+	Mem   string
+	Trace string
+}
+
+// Register installs -cpuprofile, -memprofile and -trace on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to this file")
+}
+
+// Start begins the requested collectors. The returned stop function must
+// run before the process exits (defer it right after a successful Start);
+// it flushes the heap profile and closes the CPU profile and trace.
+// Failures to write a profile are reported on stderr, never fatal: the
+// command's real work has already succeeded by then.
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuFile, traceFile *os.File
+	if f.CPU != "" {
+		cpuFile, err = os.Create(f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	if f.Trace != "" {
+		traceFile, err = os.Create(f.Trace)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, fmt.Errorf("-trace: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			traceFile.Close()
+			return nil, fmt.Errorf("-trace: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			}
+		}
+		if traceFile != nil {
+			trace.Stop()
+			if err := traceFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+			}
+		}
+		if f.Mem != "" {
+			out, err := os.Create(f.Mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer out.Close()
+			runtime.GC() // materialise the final live set
+			if err := pprof.Lookup("allocs").WriteTo(out, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
+}

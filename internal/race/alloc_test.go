@@ -1,0 +1,75 @@
+package race
+
+import (
+	"testing"
+
+	"prorace/internal/replay"
+	"prorace/internal/tracefmt"
+)
+
+// TestWarmDetectorAllocs pins the hot-path allocation behaviour of the
+// detector: once the shadow state for an address set exists, re-processing
+// the same accesses must not allocate at all. Epoch updates, same-epoch
+// fast paths and vector-clock joins all work in place.
+func TestWarmDetectorAllocs(t *testing.T) {
+	sync, accesses := shardScenario()
+	d := NewDetector(Options{TrackAllocations: true})
+	feed := func() {
+		for i := range sync {
+			d.HandleSync(&sync[i])
+		}
+		for _, accs := range accesses {
+			for i := range accs {
+				d.HandleAccess(&accs[i])
+			}
+		}
+	}
+	feed() // populate shadow state; reports for the racy pairs are emitted here
+	base := len(d.Reports())
+	avg := testing.AllocsPerRun(10, feed)
+	// Re-reports of already-known races are deduplicated, so a warm replay
+	// is pure shadow-state churn; hold it to (almost) zero allocations.
+	const budget = 2
+	if avg > budget {
+		t.Errorf("warm detector replay: %.1f allocs/run, budget %d", avg, budget)
+	}
+	if len(d.Reports()) != base {
+		t.Fatalf("warm replay changed the report list: %d -> %d", base, len(d.Reports()))
+	}
+}
+
+// TestStreamingChunkRecycling pins the pooled streaming path: once the
+// event-chunk pool is warm, pushing a thread's events through
+// StreamThread and draining them with recycling must allocate per chunk
+// (channel machinery), not per event.
+func TestStreamingChunkRecycling(t *testing.T) {
+	sync, accesses := shardScenario()
+	events := 0
+	for tid, accs := range accesses {
+		events += len(accs) + len(SyncByTID(sync)[tid])
+	}
+	run := func() {
+		streams := map[int32]<-chan []Event{}
+		for tid, accs := range accesses {
+			ch := make(chan []Event, 2)
+			streams[tid] = ch
+			go StreamThread(ch, SyncByTID(sync)[tid], accs)
+		}
+		FeedStreamsPooled(countSink{}, streams)
+	}
+	run() // warm the chunk pool
+	avg := testing.AllocsPerRun(10, run)
+	// Per run: 2 goroutines, 2 channels, the cursor slice and maps — but
+	// nothing proportional to the event count. A per-event regression on
+	// this workload (130+ events) would overshoot the budget at once.
+	const budget = 64
+	if avg > budget {
+		t.Errorf("pooled streaming of %d events: %.1f allocs/run, budget %d", events, avg, budget)
+	}
+}
+
+type countSink struct{}
+
+func (countSink) HandleSync(*tracefmt.SyncRecord) {}
+
+func (countSink) HandleAccess(*replay.Access) {}

@@ -13,6 +13,7 @@ package race
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"prorace/internal/replay"
 	"prorace/internal/tracefmt"
@@ -377,43 +378,121 @@ func (e *Event) mergePriority() int {
 	return 1
 }
 
-// ThreadStream builds one thread's events in program order: sync records
-// arrive in machine order; accesses are ordered by path step (or TSC when
-// unpinned). At equal TSC within a thread, acquires precede accesses and
-// accesses precede releases, keeping accesses inside their critical
-// sections. The access slice is sorted in place.
-func ThreadStream(sync []tracefmt.SyncRecord, accs []replay.Access) []Event {
+// threadMerger interleaves one thread's sync records and accesses into
+// program order, one event at a time. It is the single source of truth for
+// the within-thread order; ThreadStream materialises it, StreamThread
+// batches it into pooled chunks.
+type threadMerger struct {
+	sync   []tracefmt.SyncRecord
+	accs   []replay.Access
+	si, ai int
+}
+
+// newThreadMerger sorts the access slice in place (by TSC, then path step)
+// and positions the merger at the thread's first event.
+func newThreadMerger(sync []tracefmt.SyncRecord, accs []replay.Access) threadMerger {
 	sort.SliceStable(accs, func(i, j int) bool {
 		if accs[i].TSC != accs[j].TSC {
 			return accs[i].TSC < accs[j].TSC
 		}
 		return accs[i].Step < accs[j].Step
 	})
-	out := make([]Event, 0, len(sync)+len(accs))
-	si, ai := 0, 0
-	for si < len(sync) || ai < len(accs) {
-		takeSync := false
-		switch {
-		case si == len(sync):
-			takeSync = false
-		case ai == len(accs):
-			takeSync = true
-		case sync[si].TSC < accs[ai].TSC:
-			takeSync = true
-		case sync[si].TSC > accs[ai].TSC:
-			takeSync = false
-		default: // tie: acquires first, releases last
-			takeSync = isAcquire(sync[si].Kind)
+	return threadMerger{sync: sync, accs: accs}
+}
+
+func (m *threadMerger) remaining() int { return len(m.sync) - m.si + len(m.accs) - m.ai }
+
+// next returns the thread's next event; ok is false at end of stream. At
+// equal TSC, acquires precede accesses and accesses precede releases,
+// keeping accesses inside their critical sections.
+func (m *threadMerger) next() (Event, bool) {
+	si, ai := m.si, m.ai
+	if si == len(m.sync) && ai == len(m.accs) {
+		return Event{}, false
+	}
+	takeSync := false
+	switch {
+	case si == len(m.sync):
+		takeSync = false
+	case ai == len(m.accs):
+		takeSync = true
+	case m.sync[si].TSC < m.accs[ai].TSC:
+		takeSync = true
+	case m.sync[si].TSC > m.accs[ai].TSC:
+		takeSync = false
+	default: // tie: acquires first, releases last
+		takeSync = isAcquire(m.sync[si].Kind)
+	}
+	if takeSync {
+		m.si++
+		return Event{TSC: m.sync[si].TSC, Sync: &m.sync[si]}, true
+	}
+	m.ai++
+	return Event{TSC: m.accs[ai].TSC, Acc: &m.accs[ai]}, true
+}
+
+// ThreadStream builds one thread's events in program order: sync records
+// arrive in machine order; accesses are ordered by path step (or TSC when
+// unpinned). At equal TSC within a thread, acquires precede accesses and
+// accesses precede releases, keeping accesses inside their critical
+// sections. The access slice is sorted in place.
+func ThreadStream(sync []tracefmt.SyncRecord, accs []replay.Access) []Event {
+	m := newThreadMerger(sync, accs)
+	out := make([]Event, 0, m.remaining())
+	for {
+		ev, ok := m.next()
+		if !ok {
+			return out
 		}
-		if takeSync {
-			out = append(out, Event{TSC: sync[si].TSC, Sync: &sync[si]})
-			si++
-		} else {
-			out = append(out, Event{TSC: accs[ai].TSC, Acc: &accs[ai]})
-			ai++
+		out = append(out, ev)
+	}
+}
+
+// EventChunkSize is the fixed batch size of streamed event delivery: one
+// chunk is the unit handed from a per-thread producer to the k-way merger.
+const EventChunkSize = 512
+
+// eventChunks recycles the fixed-size batches that StreamThread emits and
+// FeedStreamsPooled consumes, so a streamed detection pass allocates a
+// handful of chunks total instead of one event slice per thread.
+var eventChunks = sync.Pool{
+	New: func() any { return make([]Event, 0, EventChunkSize) },
+}
+
+func getEventChunk() []Event { return eventChunks.Get().([]Event)[:0] }
+
+func putEventChunk(c []Event) {
+	if cap(c) >= EventChunkSize {
+		clear(c[:cap(c)])
+		eventChunks.Put(c[:0])
+	}
+}
+
+// StreamThread writes one thread's happens-before-consistent event stream
+// to ch as fixed-size batches drawn from the chunk pool, then closes ch.
+// The event order is exactly ThreadStream's; the access slice is sorted in
+// place. Consumers must hand each chunk back via FeedStreamsPooled (or
+// otherwise not retain it) once processed.
+func StreamThread(ch chan<- []Event, sync []tracefmt.SyncRecord, accs []replay.Access) {
+	m := newThreadMerger(sync, accs)
+	chunk := getEventChunk()
+	for {
+		ev, ok := m.next()
+		if !ok {
+			break
+		}
+		chunk = append(chunk, ev)
+		if len(chunk) == cap(chunk) {
+			ch <- chunk
+			chunk = getEventChunk()
 		}
 	}
-	return out
+	if len(chunk) > 0 {
+		ch <- chunk
+	} else {
+		putEventChunk(chunk)
+	}
+	close(ch)
 }
 
 // SyncByTID partitions sync records per thread, preserving machine order.
@@ -460,17 +539,25 @@ func Detect(sync []tracefmt.SyncRecord, accesses map[int32][]replay.Access, opts
 }
 
 // streamCursor walks one thread's event stream, either fully materialised
-// (buf only) or delivered incrementally as chunks on ch.
+// (buf only) or delivered incrementally as chunks on ch. With recycle set,
+// each exhausted chunk is returned to the chunk pool — only safe when the
+// producer drew its chunks from the pool (StreamThread), never for chunks
+// sliced out of a shared backing array.
 type streamCursor struct {
-	buf []Event
-	pos int
-	ch  <-chan []Event
+	buf     []Event
+	pos     int
+	ch      <-chan []Event
+	recycle bool
 }
 
 // head returns the next event, blocking on the channel for the next chunk
 // when the buffer is exhausted; nil means the stream ended.
 func (c *streamCursor) head() *Event {
 	for c.pos >= len(c.buf) {
+		if c.recycle && c.buf != nil {
+			putEventChunk(c.buf)
+			c.buf = nil
+		}
 		if c.ch == nil {
 			return nil
 		}
@@ -543,6 +630,18 @@ func Feed(sink EventSink, sync []tracefmt.SyncRecord, accesses map[int32][]repla
 // the fully materialised streams. Cursor order follows ascending thread id,
 // keeping tie-breaks deterministic.
 func FeedStreams(sink EventSink, streams map[int32]<-chan []Event) {
+	feedStreams(sink, streams, false)
+}
+
+// FeedStreamsPooled is FeedStreams for producers that emit pool-drawn
+// chunks (StreamThread): each chunk is recycled into the chunk pool as soon
+// as the merge has consumed it. Chunks that alias a shared backing array
+// must go through FeedStreams instead.
+func FeedStreamsPooled(sink EventSink, streams map[int32]<-chan []Event) {
+	feedStreams(sink, streams, true)
+}
+
+func feedStreams(sink EventSink, streams map[int32]<-chan []Event, recycle bool) {
 	tids := make([]int32, 0, len(streams))
 	for tid := range streams {
 		tids = append(tids, tid)
@@ -550,7 +649,7 @@ func FeedStreams(sink EventSink, streams map[int32]<-chan []Event) {
 	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
 	cursors := make([]*streamCursor, len(tids))
 	for i, tid := range tids {
-		cursors[i] = &streamCursor{ch: streams[tid]}
+		cursors[i] = &streamCursor{ch: streams[tid], recycle: recycle}
 	}
 	mergeCursors(sink, cursors)
 }

@@ -37,6 +37,10 @@ type ShardedDetector struct {
 	pending  [][]shardEvent
 	seq      uint64
 	finished bool
+	// free recycles routing buffers: workers return each processed chunk,
+	// the feeder prefers a recycled buffer over allocating a fresh one, so
+	// steady-state ingestion reuses a fixed set of chunk buffers.
+	free chan []shardEvent
 
 	reports []Report
 	racy    map[uint64]bool
@@ -62,6 +66,7 @@ type taggedReport struct {
 type shardWorker struct {
 	inner  *Detector
 	ch     chan []shardEvent
+	free   chan<- []shardEvent
 	done   chan struct{}
 	tagged []taggedReport
 }
@@ -80,6 +85,14 @@ func (w *shardWorker) run() {
 			for _, r := range w.inner.reports[before:] {
 				w.tagged = append(w.tagged, taggedReport{seq: ev.seq, r: r})
 			}
+		}
+		// Hand the drained buffer back to the feeder; if the free list is
+		// full (the feeder is far ahead) let the buffer drop instead of
+		// blocking detection.
+		clear(chunk)
+		select {
+		case w.free <- chunk[:0]:
+		default:
 		}
 	}
 }
@@ -100,15 +113,18 @@ func NewShardedDetector(n int, opts Options) *ShardedDetector {
 		opts:    opts,
 		shards:  make([]*shardWorker, n),
 		pending: make([][]shardEvent, n),
+		free:    make(chan []shardEvent, 4*n),
 		racy:    map[uint64]bool{},
 	}
 	for i := range d.shards {
 		w := &shardWorker{
 			inner: NewDetector(opts),
 			ch:    make(chan []shardEvent, 4),
+			free:  d.free,
 			done:  make(chan struct{}),
 		}
 		d.shards[i] = w
+		d.pending[i] = make([]shardEvent, 0, shardChunkSize)
 		go w.run()
 	}
 	return d
@@ -136,7 +152,12 @@ func (d *ShardedDetector) flush(i int) {
 		return
 	}
 	d.shards[i].ch <- d.pending[i]
-	d.pending[i] = make([]shardEvent, 0, shardChunkSize)
+	select {
+	case buf := <-d.free:
+		d.pending[i] = buf
+	default:
+		d.pending[i] = make([]shardEvent, 0, shardChunkSize)
+	}
 }
 
 // HandleSync broadcasts one synchronization record to every shard.

@@ -1,0 +1,53 @@
+package replay
+
+import (
+	"testing"
+
+	"prorace/internal/machine"
+	"prorace/internal/pmu/driver"
+	"prorace/internal/synthesis"
+	"prorace/internal/workload"
+)
+
+// allocWorkload traces the blackscholes workload and synthesizes its
+// per-thread paths — a fixed, deterministic input for allocation guards.
+func allocWorkload(t *testing.T) (*workload.Workload, map[int32]*synthesis.ThreadTrace) {
+	t.Helper()
+	w := workload.PARSEC(1)[0]
+	mcfg := w.Machine
+	mcfg.Seed = 3
+	mac := machine.New(w.Program, mcfg)
+	d := driver.New(mac, driver.Options{Kind: driver.ProRace, Period: 1000, Seed: 3, EnablePT: true})
+	mac.SetTracer(d)
+	if _, err := mac.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tts, err := synthesis.Synthesize(w.Program, d.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &w, tts
+}
+
+// TestReconstructAllSteadyStateAllocs pins the allocation budget of warm
+// reconstruction. With pooled path states, the dense per-step tables and
+// the learned-fact arena, a steady-state ReconstructAll allocates only the
+// result map and access slices — a handful of allocations for thousands of
+// accesses. The bound is ~20× above the measured value (7) but ~900× under
+// the pre-pooling cost (12k+), so it flags a real regression without being
+// flaky across runtime versions.
+func TestReconstructAllSteadyStateAllocs(t *testing.T) {
+	w, tts := allocWorkload(t)
+	engine := NewEngine(w.Program, Config{Mode: ModeForwardBackward})
+	// Warm the state pool and count the accesses the budget amortises.
+	accs, st := engine.ReconstructAll(tts)
+	if st.Total() == 0 || len(accs) == 0 {
+		t.Fatal("probe workload reconstructed nothing")
+	}
+	avg := testing.AllocsPerRun(5, func() { engine.ReconstructAll(tts) })
+	const budget = 150
+	if avg > budget {
+		t.Errorf("steady-state ReconstructAll: %.1f allocs/run over %d accesses, budget %d",
+			avg, st.Total(), budget)
+	}
+}

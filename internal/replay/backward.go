@@ -37,17 +37,7 @@ func (e *Engine) backwardPass(ps *pathState) int {
 func (e *Engine) backwardSegment(ps *pathState, lo, hi int, cur regFile) int {
 	newly := 0
 	pcs := ps.tt.Path.PCs
-	recordFact := func(step int, r isa.Reg, v uint64) {
-		if step > hi || ps.fwdAvail[step]&(1<<r) != 0 {
-			return
-		}
-		facts := ps.learned[step]
-		if facts == nil {
-			facts = map[isa.Reg]uint64{}
-			ps.learned[step] = facts
-		}
-		facts[r] = v
-	}
+	var regBuf [2]isa.Reg // stack scratch for AppendDefs/AppendAddrRegs
 	for i := hi; i >= lo; i-- {
 		in, okInst := e.p.InstAt(pcs[i])
 		if !okInst {
@@ -63,9 +53,9 @@ func (e *Engine) backwardSegment(ps *pathState, lo, hi int, cur regFile) int {
 		// instruction", iterated to a fixed point.
 		post := cur
 		e.unexecute(in, &cur)
-		for _, d := range in.Defs() {
+		for _, d := range in.AppendDefs(regBuf[:0]) {
 			if post.has(d) && (!cur.has(d) || cur.get(d) != post.get(d)) {
-				recordFact(i+1, d, post.get(d))
+				ps.learnFact(hi, i+1, d, post.get(d))
 			}
 		}
 
@@ -76,6 +66,7 @@ func (e *Engine) backwardSegment(ps *pathState, lo, hi int, cur regFile) int {
 				ps.known[i] = true
 				ps.origin[i] = OriginBackward
 				ps.addrs[i] = addr
+				ps.recovered++
 				newly++
 			}
 		}
@@ -83,19 +74,23 @@ func (e *Engine) backwardSegment(ps *pathState, lo, hi int, cur regFile) int {
 		// Record facts the forward pass lacked, but only where they can
 		// pay off: at memory operands forward could not resolve.
 		if i < hi && in.HasMemOperand() {
-			for _, r := range in.AddrRegs() {
+			for _, r := range in.AppendAddrRegs(regBuf[:0]) {
 				if cur.has(r) && ps.fwdAvail[i]&(1<<r) == 0 {
-					facts := ps.learned[i]
-					if facts == nil {
-						facts = map[isa.Reg]uint64{}
-						ps.learned[i] = facts
-					}
-					facts[r] = cur.get(r)
+					ps.learnedSlot(i).set(r, cur.get(r))
 				}
 			}
 		}
 	}
 	return newly
+}
+
+// learnFact records a learned fact at step for the next forward pass,
+// unless the forward pass already had the register there.
+func (ps *pathState) learnFact(hi, step int, r isa.Reg, v uint64) {
+	if step > hi || ps.fwdAvail[step]&(1<<r) != 0 {
+		return
+	}
+	ps.learnedSlot(step).set(r, v)
 }
 
 // unexecute transforms cur from the post-state of in to its pre-state.

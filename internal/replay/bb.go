@@ -122,14 +122,15 @@ func (e *Engine) bbForRecord(rec *tracefmt.PEBSRecord, st *Stats) []Access {
 	// (The sampled values are post-state; un-define the sampled
 	// instruction's own defs first.)
 	rb := regFileFromSample(rec)
-	for _, d := range e.p.Insts[sampleIdx].Defs() {
+	var regBuf [2]isa.Reg
+	for _, d := range e.p.Insts[sampleIdx].AppendDefs(regBuf[:0]) {
 		rb.clear(d)
 	}
 	for idx := sampleIdx - 1; idx >= blk.Start; idx-- {
 		in := e.p.Insts[idx]
 		// The instruction's defs were overwritten after this point: their
 		// pre-state is unknown (RaceZ has no reverse execution).
-		for _, d := range in.Defs() {
+		for _, d := range in.AppendDefs(regBuf[:0]) {
 			rb.clear(d)
 		}
 		if in.IsMemAccess() {

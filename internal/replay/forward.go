@@ -6,8 +6,23 @@ import (
 	"prorace/internal/tracefmt"
 )
 
+// regFacts is a flat register-fact set: the backward-derived pre-state
+// values to apply at one step. A fixed array instead of a nested map keeps
+// the learned-fact bookkeeping allocation-free on the replay hot path.
+type regFacts struct {
+	avail uint16 // bit i set = a fact for register i
+	val   [isa.NumRegs]uint64
+}
+
+func (f *regFacts) set(r isa.Reg, v uint64) {
+	f.val[r] = v
+	f.avail |= 1 << r
+}
+
 // pathState carries the per-path working arrays shared by the forward and
-// backward passes across fixed-point iterations.
+// backward passes across fixed-point iterations. States are pooled by the
+// engine and reset per thread, so steady-state reconstruction reuses the
+// slices and map buckets of earlier threads instead of reallocating them.
 type pathState struct {
 	tt     *synthesis.ThreadTrace
 	origin []Origin // per step; originNone when unrecovered
@@ -17,43 +32,103 @@ type pathState struct {
 	// the latest forward pass, so the backward pass can tell which of its
 	// facts are new.
 	fwdAvail []uint16
-	// learned holds backward-derived pre-state register values, applied at
-	// the given step by the next forward pass.
-	learned map[int]map[isa.Reg]uint64
-	// sampleAt maps a step index to its PEBS record.
-	sampleAt map[int]*tracefmt.PEBSRecord
-	// syncAt maps a step index to its pinned synchronization record.
-	syncAt map[int]*tracefmt.SyncRecord
+	// learnedIdx/learnedFacts hold backward-derived pre-state register
+	// values, applied at the given step by the next forward pass. The
+	// per-step table stores 1-based indices into an arena slice (0 = no
+	// facts): regFacts is larger than the runtime's 128-byte inline-map-
+	// value limit, so a map[int]regFacts would heap-box every insert, and
+	// per-step map lookups dominated the replay CPU profile besides.
+	learnedIdx   []int32
+	learnedFacts []regFacts
+	// sampleAt holds each step's PEBS record, nil when unsampled.
+	sampleAt []*tracefmt.PEBSRecord
+	// syncAt holds each step's pinned synchronization record, nil if none.
+	syncAt []*tracefmt.SyncRecord
+	// mem is the forward pass's emulated-memory map, cleared at every pass
+	// and reused so its buckets survive across passes and threads.
+	mem map[uint64]uint64
+	// recovered counts steps with known[i] set — the exact capacity the
+	// access list needs (upper-bounded by Stats.MemSteps).
+	recovered int
 }
 
-func newPathState(tt *synthesis.ThreadTrace) *pathState {
-	n := tt.Path.Len()
-	ps := &pathState{
-		tt:       tt,
-		origin:   make([]Origin, n),
-		known:    make([]bool, n),
-		addrs:    make([]uint64, n),
-		fwdAvail: make([]uint16, n),
-		learned:  map[int]map[isa.Reg]uint64{},
-		sampleAt: map[int]*tracefmt.PEBSRecord{},
-		syncAt:   map[int]*tracefmt.SyncRecord{},
+// resetSlice returns s resized to n and zeroed, reusing capacity.
+func resetSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
 	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// reset prepares a (possibly pooled) state for one thread.
+func (ps *pathState) reset(tt *synthesis.ThreadTrace) {
+	n := tt.Path.Len()
+	ps.tt = tt
+	ps.origin = resetSlice(ps.origin, n)
+	ps.known = resetSlice(ps.known, n)
+	ps.addrs = resetSlice(ps.addrs, n)
+	ps.fwdAvail = resetSlice(ps.fwdAvail, n)
+	ps.learnedIdx = resetSlice(ps.learnedIdx, n)
+	ps.sampleAt = resetSlice(ps.sampleAt, n)
+	ps.syncAt = resetSlice(ps.syncAt, n)
+	ps.learnedFacts = ps.learnedFacts[:0]
+	if ps.mem == nil {
+		ps.mem = map[uint64]uint64{}
+	}
+	ps.recovered = 0
 	for i := range tt.Samples {
 		s := &tt.Samples[i]
-		ps.sampleAt[s.StepIndex] = &s.Rec
+		if s.StepIndex >= 0 && s.StepIndex < n {
+			ps.sampleAt[s.StepIndex] = &s.Rec
+		}
 	}
 	for i := range tt.Sync {
 		s := &tt.Sync[i]
-		if s.StepIndex >= 0 {
+		if s.StepIndex >= 0 && s.StepIndex < n {
 			ps.syncAt[s.StepIndex] = &s.Rec
 		}
 	}
-	return ps
+}
+
+// learnedAt returns the facts recorded at step, or nil.
+func (ps *pathState) learnedAt(step int) *regFacts {
+	if j := ps.learnedIdx[step]; j != 0 {
+		return &ps.learnedFacts[j-1]
+	}
+	return nil
+}
+
+// learnedSlot returns the step's fact slot, creating it if needed. The
+// pointer is only valid until the next learnedSlot call — the arena may
+// grow under it.
+func (ps *pathState) learnedSlot(step int) *regFacts {
+	if j := ps.learnedIdx[step]; j != 0 {
+		return &ps.learnedFacts[j-1]
+	}
+	ps.learnedFacts = append(ps.learnedFacts, regFacts{})
+	ps.learnedIdx[step] = int32(len(ps.learnedFacts))
+	return &ps.learnedFacts[len(ps.learnedFacts)-1]
+}
+
+// release drops every reference into the thread's trace so a pooled state
+// never pins decoded paths or samples beyond its use.
+func (ps *pathState) release() {
+	ps.tt = nil
+	clear(ps.sampleAt)
+	clear(ps.syncAt)
+	clear(ps.mem)
 }
 
 // reconstructPath runs the path-guided modes (Forward, ForwardBackward).
 func (e *Engine) reconstructPath(tt *synthesis.ThreadTrace) ([]Access, Stats) {
-	ps := newPathState(tt)
+	ps := e.states.Get().(*pathState)
+	defer func() {
+		ps.release()
+		e.states.Put(ps)
+	}()
+	ps.reset(tt)
 	var st Stats
 	st.PathSteps = tt.Path.Len()
 	for _, pc := range tt.Path.PCs {
@@ -90,20 +165,26 @@ func (e *Engine) reconstructPath(tt *synthesis.ThreadTrace) ([]Access, Stats) {
 // It returns the number of newly recovered accesses.
 func (e *Engine) forwardPass(ps *pathState, st *Stats) int {
 	var rf regFile // all-unavailable before the first sample
-	mem := map[uint64]uint64{}
+	mem := ps.mem
+	clear(mem) // each pass starts with no trusted emulated memory
 	memDrop := func() {
 		if len(mem) > 0 {
-			mem = map[uint64]uint64{}
+			clear(mem)
 		}
 	}
+	// invalidAddr avoids a map probe per memory step in the common case of
+	// no §5.1 invalidations yet.
+	invalid := e.cfg.InvalidAddrs
+	hasInvalid := len(invalid) > 0
+	invalidAddr := func(addr uint64) bool { return hasInvalid && invalid[addr] }
 	newly := 0
 
 	for i, pc := range ps.tt.Path.PCs {
 		// Apply backward-derived facts for this step's pre-state.
-		if facts, ok := ps.learned[i]; ok {
-			for r, v := range facts {
-				if !rf.has(r) {
-					rf.set(r, v)
+		if facts := ps.learnedAt(i); facts != nil {
+			for r := isa.Reg(0); r < isa.NumRegs; r++ {
+				if facts.avail&(1<<r) != 0 && !rf.has(r) {
+					rf.set(r, facts.val[r])
 				}
 			}
 		}
@@ -121,9 +202,10 @@ func (e *Engine) forwardPass(ps *pathState, st *Stats) int {
 				ps.known[i] = true
 				ps.origin[i] = OriginSampled
 				ps.addrs[i] = rec.Addr
+				ps.recovered++
 			}
 			rf = regFileFromSample(rec)
-			if e.cfg.EmulateMemory && !e.cfg.InvalidAddrs[rec.Addr] {
+			if e.cfg.EmulateMemory && !invalidAddr(rec.Addr) {
 				if in.Op == isa.LOAD {
 					// The loaded value is the post-state of rd.
 					mem[rec.Addr] = rf.get(in.Rd)
@@ -141,14 +223,15 @@ func (e *Engine) forwardPass(ps *pathState, st *Stats) int {
 				ps.known[i] = true
 				ps.origin[i] = OriginForward
 				ps.addrs[i] = addr
+				ps.recovered++
 				newly++
 			}
 			switch in.Op {
 			case isa.LOAD:
-				if v, hit := mem[addr]; okAddr && hit && e.cfg.EmulateMemory && !e.cfg.InvalidAddrs[addr] {
+				if v, hit := mem[addr]; okAddr && hit && e.cfg.EmulateMemory && !invalidAddr(addr) {
 					rf.set(in.Rd, v)
 				} else {
-					if okAddr && e.cfg.InvalidAddrs[addr] {
+					if okAddr && invalidAddr(addr) {
 						st.InvalidHits++
 					}
 					rf.clear(in.Rd)
@@ -158,7 +241,7 @@ func (e *Engine) forwardPass(ps *pathState, st *Stats) int {
 					// A store to an unknown location may clobber anything:
 					// conservatively invalidate the emulated memory (§5.1).
 					memDrop()
-				} else if e.cfg.EmulateMemory && rf.has(in.Rs) && !e.cfg.InvalidAddrs[addr] {
+				} else if e.cfg.EmulateMemory && rf.has(in.Rs) && !invalidAddr(addr) {
 					mem[addr] = rf.get(in.Rs)
 				} else {
 					delete(mem, addr)
@@ -218,9 +301,11 @@ func (e *Engine) forwardPass(ps *pathState, st *Stats) int {
 	return newly
 }
 
-// collect turns the per-step recovery state into the access list.
+// collect turns the per-step recovery state into the access list. The
+// slice is sized once from the recovery count (a tight version of the
+// Stats.MemSteps upper bound), so appending never regrows it.
 func (e *Engine) collect(ps *pathState, st *Stats) []Access {
-	var out []Access
+	out := make([]Access, 0, ps.recovered)
 	for i, known := range ps.known {
 		if !known {
 			continue

@@ -24,6 +24,8 @@
 package replay
 
 import (
+	"sync"
+
 	"prorace/internal/isa"
 	"prorace/internal/prog"
 	"prorace/internal/synthesis"
@@ -144,6 +146,10 @@ func (s Stats) RecoveryRatio() float64 {
 type Engine struct {
 	p   *prog.Program
 	cfg Config
+	// states pools pathState working sets across threads and calls, so
+	// steady-state reconstruction reuses the per-path arrays and map
+	// buckets instead of reallocating them for every thread.
+	states *sync.Pool
 }
 
 // NewEngine returns an engine with defaults applied.
@@ -160,7 +166,11 @@ func NewEngine(p *prog.Program, cfg Config) *Engine {
 		// EmulateMemoryOff explicitly via DisableMemoryEmulation.
 		cfg.EmulateMemory = true
 	}
-	return &Engine{p: p, cfg: cfg}
+	return &Engine{
+		p:      p,
+		cfg:    cfg,
+		states: &sync.Pool{New: func() any { return &pathState{} }},
+	}
 }
 
 // DisableMemoryEmulation returns a copy of the engine without the §5.1
@@ -186,7 +196,7 @@ func (e *Engine) ReconstructThread(tt *synthesis.ThreadTrace) ([]Access, Stats) 
 // ReconstructAll runs reconstruction over every thread, returning accesses
 // keyed by thread and aggregate stats.
 func (e *Engine) ReconstructAll(tts map[int32]*synthesis.ThreadTrace) (map[int32][]Access, Stats) {
-	out := map[int32][]Access{}
+	out := make(map[int32][]Access, len(tts))
 	var agg Stats
 	for tid, tt := range tts {
 		acc, st := e.ReconstructThread(tt)
@@ -223,7 +233,8 @@ func regFileFromSample(rec *tracefmt.PEBSRecord) regFile {
 // addrOf computes a memory operand's effective address under availability
 // tracking; ok is false when a required register is unavailable.
 func addrOf(in isa.Inst, rf *regFile, pc uint64) (uint64, bool) {
-	for _, r := range in.AddrRegs() {
+	var regBuf [2]isa.Reg
+	for _, r := range in.AppendAddrRegs(regBuf[:0]) {
 		if !rf.has(r) {
 			return 0, false
 		}

@@ -1,0 +1,117 @@
+package synthesis
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"prorace/internal/prog"
+)
+
+// Cache memoizes per-trace synthesis results — the decoded PT paths with
+// their pinned samples, sync records and TSC anchors — keyed by program
+// identity, trace content fingerprint and synthesis options. Decode and
+// synthesis are the expensive front of the offline pipeline (the paper's
+// Figure 12 puts decode at a third of the analysis cost), and they are
+// pure: the same (program, trace bytes, options) always synthesises the
+// same ThreadTraces. Re-analyses of one trace — §5.1 regeneration rounds,
+// worker/shard sweeps, repeated experiments — therefore reuse the first
+// decode instead of repeating it.
+//
+// Entries are shared: a cached ThreadTrace map must be treated as
+// immutable by every consumer. The replay and detection stages already
+// honour that (they only read Path/Samples/Sync and call EstimateTSC,
+// which is a binary search over prebuilt anchors), so a hit can be handed
+// to concurrent analyses safely.
+//
+// The cache is a small LRU bounded by entry count, not bytes: decoded
+// paths dwarf every other per-entry cost, and the workloads that benefit
+// re-analyse a handful of traces, not thousands.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[CacheKey]*cacheEntry
+	// use orders entries for LRU eviction; the newest use is the largest.
+	tick uint64
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// CacheKey identifies one synthesis result. Prog is compared by pointer:
+// workload programs are built once and shared, and a false miss merely
+// costs a re-decode.
+type CacheKey struct {
+	Prog        *prog.Program
+	Fingerprint uint64
+	Opts        Options
+}
+
+type cacheEntry struct {
+	tts  map[int32]*ThreadTrace
+	used uint64
+}
+
+// DefaultCacheCapacity bounds the shared default cache used by the
+// analysis pipeline.
+const DefaultCacheCapacity = 4
+
+// NewCache returns a cache bounded to capacity entries (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{cap: capacity, entries: map[CacheKey]*cacheEntry{}}
+}
+
+// Get returns the cached synthesis for key, if present. The returned map
+// and its ThreadTraces are shared and must not be mutated.
+func (c *Cache) Get(key CacheKey) (map[int32]*ThreadTrace, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.tick++
+	e.used = c.tick
+	c.hits.Add(1)
+	return e.tts, true
+}
+
+// Put stores a synthesis result, evicting the least recently used entry
+// when full. Callers hand over ownership: the map must not be mutated
+// after Put.
+func (c *Cache) Put(key CacheKey, tts map[int32]*ThreadTrace) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.tick++
+		e.tts, e.used = tts, c.tick
+		return
+	}
+	for len(c.entries) >= c.cap {
+		var oldest CacheKey
+		var oldestUse uint64
+		first := true
+		for k, e := range c.entries {
+			if first || e.used < oldestUse {
+				oldest, oldestUse, first = k, e.used, false
+			}
+		}
+		delete(c.entries, oldest)
+	}
+	c.tick++
+	c.entries[key] = &cacheEntry{tts: tts, used: c.tick}
+}
+
+// Len returns the number of cached traces.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Hits and Misses report lookup counters, for tests and diagnostics.
+func (c *Cache) Hits() uint64   { return c.hits.Load() }
+func (c *Cache) Misses() uint64 { return c.misses.Load() }

@@ -1,0 +1,121 @@
+package synthesis
+
+import (
+	"fmt"
+	"testing"
+)
+
+func cacheKey(fp uint64) CacheKey {
+	return CacheKey{Fingerprint: fp, Opts: Options{Lenient: true}}
+}
+
+func TestCacheGetPutIdentity(t *testing.T) {
+	c := NewCache(2)
+	tts := map[int32]*ThreadTrace{1: {TID: 1}, 2: {TID: 2}}
+	key := cacheKey(42)
+
+	if _, ok := c.Get(key); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put(key, tts)
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("stored entry missed")
+	}
+	// The cached entry must be the same shared object, not a copy: hits
+	// hand out the original synthesis result.
+	if len(got) != 2 || got[1] != tts[1] || got[2] != tts[2] {
+		t.Fatal("hit returned a different object than was stored")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("counters: hits=%d misses=%d, want 1/1", c.Hits(), c.Misses())
+	}
+}
+
+func TestCacheKeyDiscriminates(t *testing.T) {
+	c := NewCache(4)
+	c.Put(cacheKey(1), map[int32]*ThreadTrace{})
+	if _, ok := c.Get(cacheKey(2)); ok {
+		t.Error("different fingerprint must miss")
+	}
+	other := CacheKey{Fingerprint: 1, Opts: Options{Lenient: true, MaxSteps: 10}}
+	if _, ok := c.Get(other); ok {
+		t.Error("different options must miss")
+	}
+	if _, ok := c.Get(cacheKey(1)); !ok {
+		t.Error("original key must still hit")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	for fp := uint64(1); fp <= 2; fp++ {
+		c.Put(cacheKey(fp), map[int32]*ThreadTrace{})
+	}
+	// Touch 1 so 2 becomes the least recently used.
+	if _, ok := c.Get(cacheKey(1)); !ok {
+		t.Fatal("warm entry missed")
+	}
+	c.Put(cacheKey(3), map[int32]*ThreadTrace{})
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Get(cacheKey(2)); ok {
+		t.Error("LRU entry 2 should have been evicted")
+	}
+	if _, ok := c.Get(cacheKey(1)); !ok {
+		t.Error("recently used entry 1 was evicted")
+	}
+	if _, ok := c.Get(cacheKey(3)); !ok {
+		t.Error("newest entry 3 missing")
+	}
+}
+
+func TestCacheCapacityClamp(t *testing.T) {
+	c := NewCache(0)
+	for fp := uint64(1); fp <= 3; fp++ {
+		c.Put(cacheKey(fp), map[int32]*ThreadTrace{})
+	}
+	if c.Len() != 1 {
+		t.Fatalf("capacity 0 must clamp to 1, Len = %d", c.Len())
+	}
+}
+
+func TestCachePutReplacesInPlace(t *testing.T) {
+	c := NewCache(1)
+	a := map[int32]*ThreadTrace{1: {TID: 1}}
+	b := map[int32]*ThreadTrace{2: {TID: 2}}
+	c.Put(cacheKey(7), a)
+	c.Put(cacheKey(7), b)
+	got, ok := c.Get(cacheKey(7))
+	if !ok || got[2] != b[2] {
+		t.Fatal("re-Put must replace the stored entry")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(4)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		go func() {
+			for i := 0; i < 200; i++ {
+				fp := uint64(g%4 + 1)
+				c.Put(cacheKey(fp), map[int32]*ThreadTrace{int32(g): {TID: int32(g)}})
+				if got, ok := c.Get(cacheKey(fp)); ok && len(got) != 1 {
+					done <- fmt.Errorf("goroutine %d: corrupt entry", g)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package tracefmt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func fingerprintTrace(seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := NewTrace("apache", 10000, 7)
+	tr.WallCycles = 4_000_000
+	tr.DroppedSamples = 5
+	for tid := int32(0); tid < 3; tid++ {
+		for k := 0; k < 20; k++ {
+			rec := randPEBS(rng)
+			rec.TID = tid
+			tr.PEBS[tid] = append(tr.PEBS[tid], rec)
+		}
+		stream := AppendTSC(nil, 100)
+		stream, _ = AppendTNT(stream, 0b11, 2)
+		tr.PT[tid] = AppendEnd(stream)
+	}
+	for k := 0; k < 10; k++ {
+		tr.Sync = append(tr.Sync, SyncRecord{TID: int32(k % 3), Kind: SyncLock, TSC: uint64(k), Addr: 0x600000})
+	}
+	return tr
+}
+
+func TestFingerprintStableAcrossCopies(t *testing.T) {
+	a := fingerprintTrace(3)
+	b := fingerprintTrace(3)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("content-identical traces must fingerprint equal")
+	}
+	// The fingerprint must survive an encode/decode round trip: the cache
+	// key of a trace read back from disk equals the in-memory original's.
+	back, err := DecodeTrace(a.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != a.Fingerprint() {
+		t.Fatal("round-tripped trace must fingerprint equal")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fingerprintTrace(3).Fingerprint()
+	mutations := map[string]func(*Trace){
+		"pt byte flip":      func(tr *Trace) { tr.PT[1][2] ^= 0x01 },
+		"pebs addr":         func(tr *Trace) { tr.PEBS[0][3].Addr++ },
+		"sync kind":         func(tr *Trace) { tr.Sync[4].Kind = SyncUnlock },
+		"dropped counter":   func(tr *Trace) { tr.DroppedSamples++ },
+		"program name":      func(tr *Trace) { tr.Program = "apache2" },
+		"period":            func(tr *Trace) { tr.Period++ },
+		"sync record added": func(tr *Trace) { tr.Sync = append(tr.Sync, SyncRecord{TID: 1, Kind: SyncFree}) },
+		"pt stream dropped": func(tr *Trace) { delete(tr.PT, 2) },
+	}
+	for name, mutate := range mutations {
+		tr := fingerprintTrace(3)
+		mutate(tr)
+		if tr.Fingerprint() == base {
+			t.Errorf("%s: fingerprint unchanged after mutation", name)
+		}
+	}
+}

@@ -101,6 +101,57 @@ func (t *Trace) MBPerSecond() float64 {
 	return float64(t.TotalBytes()) / 1e6 / seconds
 }
 
+// Fingerprint returns a 64-bit FNV-1a hash of the trace's full content —
+// everything Encode would serialise — without materialising the container.
+// Two traces with equal content hash equal, so the offline analysis can key
+// its decoded-path cache on the fingerprint: a re-analysis of the same
+// trace (a §5.1 regeneration round, a repeated experiment, an ablation
+// sweep over analysis knobs) reuses the decode instead of repeating it,
+// while any mutation — fault injection, salvage, sanitisation — changes the
+// fingerprint and misses.
+func (t *Trace) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b []byte) {
+		for _, c := range b {
+			h = (h ^ uint64(c)) * prime64
+		}
+	}
+	var scratch [8]byte
+	mixU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		mix(scratch[:])
+	}
+	mix([]byte(t.Program))
+	mixU64(t.Period)
+	mixU64(uint64(t.Seed))
+	mixU64(t.WallCycles)
+	mixU64(t.DroppedSamples)
+
+	recBuf := make([]byte, 0, PEBSRecordSize)
+	for _, tid := range t.TIDs() {
+		mixU64(uint64(uint32(tid)))
+		recs := t.PEBS[tid]
+		mixU64(uint64(len(recs)))
+		for i := range recs {
+			recBuf = recs[i].Encode(recBuf[:0])
+			mix(recBuf)
+		}
+		stream := t.PT[tid]
+		mixU64(uint64(len(stream)))
+		mix(stream)
+	}
+	mixU64(uint64(len(t.Sync)))
+	for i := range t.Sync {
+		recBuf = t.Sync[i].Encode(recBuf[:0])
+		mix(recBuf)
+	}
+	return h
+}
+
 const traceMagic = "PRTR"
 
 // Encode serialises the trace to its container format.

@@ -135,6 +135,20 @@ func WithFaultInjection(spec *FaultSpec) Option {
 	return func(_ *TraceOptions, a *AnalysisOptions) { a.FaultSpec = spec }
 }
 
+// WithPathCache routes the analysis's decoded-path lookups through cache
+// instead of the shared process-wide default, isolating its contents (and
+// hit/miss counters) to the analyses that share it.
+func WithPathCache(cache *PathCache) Option {
+	return func(_ *TraceOptions, a *AnalysisOptions) { a.PathCache = cache }
+}
+
+// WithoutPathCache disables decoded-path memoization: every analysis
+// re-decodes PT and re-synthesises thread paths from scratch (ablation, and
+// the honest configuration for decode-cost measurements).
+func WithoutPathCache() Option {
+	return func(_ *TraceOptions, a *AnalysisOptions) { a.DisablePathCache = true }
+}
+
 // WithThreadRetries sets how many extra attempts a transiently-failing
 // per-thread stage gets before the thread is dropped (lenient) or the
 // analysis aborts (strict). 0 means the default of one retry; negative

@@ -48,6 +48,7 @@ import (
 	"prorace/internal/racez"
 	"prorace/internal/replay"
 	"prorace/internal/report"
+	"prorace/internal/synthesis"
 	"prorace/internal/workload"
 )
 
@@ -76,6 +77,9 @@ type (
 	// FaultSpec describes a deterministic set of trace faults to inject
 	// before analysis (robustness testing).
 	FaultSpec = faultinject.Spec
+	// PathCache memoizes decoded PT paths across analyses of one trace
+	// (see NewPathCache / WithPathCache).
+	PathCache = synthesis.Cache
 	// DriverKind selects the vanilla or ProRace PEBS driver model.
 	DriverKind = driver.Kind
 	// DriverCosts is a driver stack's cycle-cost model.
@@ -188,6 +192,12 @@ func Bugs() []Bug { return bugs.All() }
 
 // BugByID finds a Table 2 bug by its identifier (e.g. "apache-25520").
 func BugByID(id string) (Bug, error) { return bugs.ByID(id) }
+
+// NewPathCache returns a decoded-path cache holding up to capacity traces,
+// for analyses that want cache isolation via WithPathCache. Analyses that
+// pass neither WithPathCache nor WithoutPathCache share a process-wide
+// default cache.
+func NewPathCache(capacity int) *PathCache { return synthesis.NewCache(capacity) }
 
 // ParseFaultSpec parses a fault-injection spec of the form
 // "kind=rate,kind=rate[:seed=N]" (kinds: trunc, ptflip, ptdrop, pebsloss,
