@@ -25,11 +25,13 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated: table1,fig6,fig7,fig8,fig9,fig10,table2,fig11,fig12,related,scaling,faults,perf,all")
+	expFlag := flag.String("exp", "all", "comma-separated: table1,fig6,fig7,fig8,fig9,fig10,table2,fig11,fig12,related,scaling,faults,oracle,perf,all")
 	full := flag.Bool("full", false, "paper-scale configuration (slow)")
 	scale := flag.Int("scale", 0, "override workload scale")
 	trials := flag.Int("trials", 0, "override Table 2 traces per cell")
 	seed := flag.Int64("seed", 1, "base scheduler seed")
+	soak := flag.Bool("soak", false, "oracle experiment: full 200-seed soak with a dense determinism matrix")
+	oracleSeeds := flag.Int("oracle-seeds", 0, "override oracle differential-sweep seed count")
 	benchOut := flag.String("bench-out", "BENCH_PR3.json", "perf experiment: JSON measurement file")
 	var prof profiling.Flags
 	prof.Register(flag.CommandLine)
@@ -53,6 +55,13 @@ func main() {
 		cfg.Table2Trials = *trials
 	}
 	cfg.Seed = *seed
+	if *soak {
+		cfg.OracleSeeds = 200
+		cfg.OracleDeterminismEvery = 10
+	}
+	if *oracleSeeds > 0 {
+		cfg.OracleSeeds = *oracleSeeds
+	}
 	h := experiments.NewHarness(cfg)
 
 	want := map[string]bool{}
@@ -152,6 +161,17 @@ func main() {
 	})
 	run("faults", func() (string, error) {
 		f, err := h.FaultSweep()
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
+	})
+	run("oracle", func() (string, error) {
+		f, err := h.Oracle()
+		if f != nil && err != nil {
+			// Render the table before failing so the violations are visible.
+			return "", fmt.Errorf("%v\n%s", err, f.Render())
+		}
 		if err != nil {
 			return "", err
 		}

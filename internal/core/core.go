@@ -48,6 +48,14 @@ type TraceOptions struct {
 	// DisableRandomFirstPeriod turns off the ProRace driver's sampling
 	// phase randomisation (ablation).
 	DisableRandomFirstPeriod bool
+	// WrapTracer, when set, wraps the PMU driver before it is installed as
+	// the machine's tracer. The wrapper must delegate every callback to the
+	// driver (preserving its returned stall cycles unchanged) so the traced
+	// execution is bit-identical to an unwrapped run; it may observe the
+	// full event stream on the way through. The ground-truth oracle
+	// (internal/oracle) uses this to record every memory access of the
+	// very execution whose sampled trace the pipeline analyzes.
+	WrapTracer func(machine.Tracer) machine.Tracer
 }
 
 // TraceResult is the outcome of the online phase.
@@ -95,7 +103,11 @@ func TraceProgram(p *prog.Program, opts TraceOptions) (*TraceResult, error) {
 		Costs:                    opts.Costs,
 		DisableRandomFirstPeriod: opts.DisableRandomFirstPeriod,
 	})
-	mac.SetTracer(d)
+	tracer := machine.Tracer(d)
+	if opts.WrapTracer != nil {
+		tracer = opts.WrapTracer(tracer)
+	}
+	mac.SetTracer(tracer)
 	st, err := mac.Run()
 	if err != nil {
 		return nil, fmt.Errorf("core: traced run: %w", err)
@@ -181,7 +193,13 @@ func threadRetries(n int) int {
 
 // AnalysisResult is the outcome of the offline phase.
 type AnalysisResult struct {
-	Reports     []race.Report
+	Reports []race.Report
+	// RacyAddrs is the full set of addresses with at least one detected
+	// race. Unlike Reports — which deduplicates by PC pair and is bounded
+	// by MaxReports — this set is complete, so it is the right basis for
+	// per-variable recall measurements (the oracle harness scores against
+	// it) as well as the §5.1 feedback.
+	RacyAddrs   map[uint64]bool
 	ReplayStats replay.Stats
 	// Accesses is the extended memory trace per thread.
 	Accesses map[int32][]replay.Access
@@ -420,6 +438,7 @@ func Analyze(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions) (*Analys
 
 	res.Accesses = accesses
 	res.Reports = det.Reports()
+	res.RacyAddrs = det.RacyAddrSet()
 	flagGapAdjacent(res, tts, gaps, deg)
 	return res, nil
 }

@@ -41,6 +41,15 @@ type Config struct {
 	FaultTrials int
 	// FaultRates is the fault sweep's injection-rate axis.
 	FaultRates []float64
+	// OracleSeeds is the number of generated programs the ground-truth
+	// differential sweep scores (seeds Seed..Seed+OracleSeeds-1).
+	OracleSeeds int
+	// OraclePeriods is the oracle sweep's sampling-period axis; it must
+	// include 1 for the recall@1 invariant.
+	OraclePeriods []uint64
+	// OracleDeterminismEvery runs the metamorphic determinism matrix on
+	// every Nth oracle seed (0 disables).
+	OracleDeterminismEvery int
 }
 
 // Quick returns a configuration small enough for tests and benchmarks.
@@ -59,6 +68,8 @@ func Full() Config {
 	c := Quick()
 	c.Scale = 3
 	c.Table2Trials = 100
+	c.OracleSeeds = 200
+	c.OracleDeterminismEvery = 10
 	return c
 }
 
@@ -80,6 +91,15 @@ func (c *Config) setDefaults() {
 	}
 	if len(c.FaultRates) == 0 {
 		c.FaultRates = []float64{0.01, 0.1, 0.25, 0.5}
+	}
+	if c.OracleSeeds <= 0 {
+		c.OracleSeeds = 50
+	}
+	if len(c.OraclePeriods) == 0 {
+		c.OraclePeriods = []uint64{1, 10, 100, 1000}
+	}
+	if c.OracleDeterminismEvery == 0 {
+		c.OracleDeterminismEvery = 25
 	}
 }
 

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"prorace/internal/oracle"
+	"prorace/internal/report"
+)
+
+// OracleResult is the ground-truth differential sweep: generated concurrent
+// programs scored against the exact happens-before oracle at each sampling
+// period (DESIGN.md §11).
+type OracleResult struct {
+	StartSeed  int64
+	Seeds      int
+	Aggregates []oracle.Aggregate
+	Violations []string
+}
+
+// Render produces the recall-vs-period table for EXPERIMENTS.md.
+func (o *OracleResult) Render() string {
+	tab := report.NewTable(
+		fmt.Sprintf("Ground-truth oracle: recall and precision vs sampling period (%d seeded programs, seeds %d..%d)",
+			o.Seeds, o.StartSeed, o.StartSeed+int64(o.Seeds)-1),
+		"period", "racy execs", "GT racy addrs", "addr recall", "GT racy pairs", "pair recall", "false pairs", "false addrs")
+	for _, a := range o.Aggregates {
+		tab.AddRow(
+			fmt.Sprintf("%d", a.Period),
+			fmt.Sprintf("%d", a.RacySeeds),
+			fmt.Sprintf("%d", a.GTAddrs),
+			fmt.Sprintf("%.1f%%", 100*a.AddrRecall()),
+			fmt.Sprintf("%d", a.GTPairs),
+			fmt.Sprintf("%.1f%%", 100*a.PairRecall()),
+			fmt.Sprintf("%d", a.FalsePairs),
+			fmt.Sprintf("%d", a.FalseAddrs),
+		)
+	}
+	s := tab.String()
+	if len(o.Violations) == 0 {
+		s += fmt.Sprintf("invariants: all hold (zero false positives, recall@1=100%%, monotone recall, deterministic reports)\n")
+	} else {
+		s += fmt.Sprintf("INVARIANT VIOLATIONS (%d):\n", len(o.Violations))
+		for _, v := range o.Violations {
+			s += "  " + v + "\n"
+		}
+	}
+	return s
+}
+
+// Oracle runs the differential soak at the configured scale. Violations are
+// reported in the rendered table and returned as an error, so a CI smoke
+// run fails loudly.
+func (h *Harness) Oracle() (*OracleResult, error) {
+	cfg := h.cfg
+	sr, err := oracle.Soak(oracle.SoakConfig{
+		StartSeed:        cfg.Seed,
+		Seeds:            cfg.OracleSeeds,
+		Periods:          cfg.OraclePeriods,
+		DeterminismEvery: cfg.OracleDeterminismEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &OracleResult{
+		StartSeed:  sr.StartSeed,
+		Seeds:      sr.Seeds,
+		Aggregates: sr.Aggregates,
+		Violations: sr.Violations,
+	}
+	if len(sr.Violations) > 0 {
+		return res, fmt.Errorf("oracle: %d invariant violations (first: %s)", len(sr.Violations), sr.Violations[0])
+	}
+	return res, nil
+}

@@ -1,0 +1,314 @@
+// Package oracle is the ground-truth differential harness for the ProRace
+// pipeline (the correctness backstop behind PAPER.md §6's recall claims).
+//
+// For each seed it generates a random concurrent program
+// (progtest.ConcurrentProgram), runs it once per sampling period under the
+// real PMU driver while a Recorder captures *every* memory access of that
+// same execution, computes the exact happens-before race set with the
+// pair-complete race.PairOracle, runs the production pipeline
+// (core.Analyze) on the sampled trace, and scores the pipeline against the
+// ground truth:
+//
+//   - precision at PC-pair granularity: every reported pair must be in the
+//     oracle's pair set (zero false positives);
+//   - recall at racy-address granularity: FastTrack guarantees at least
+//     one report per racy variable, so at period=1 the pipeline must
+//     recover every racy address, and recall must not improve as the
+//     period grows.
+//
+// Each period gets its own ground truth because the driver's stall cycles
+// perturb the deterministic scheduler: the executions at period 1 and
+// period 1000 are different interleavings of the same program, and each is
+// scored against the races of its own execution.
+//
+// Metamorphic invariants (CheckDeterminism) re-analyze one trace across
+// {workers}×{detect shards}, with the path cache on and off, and in strict
+// vs lenient mode, requiring byte-identical reports every time.
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"prorace/internal/core"
+	"prorace/internal/machine"
+	"prorace/internal/pmu/driver"
+	"prorace/internal/prog"
+	"prorace/internal/progtest"
+	"prorace/internal/race"
+	"prorace/internal/replay"
+	"prorace/internal/tracefmt"
+)
+
+// Recorder is a machine.Tracer wrapper that captures every retired memory
+// access while delegating all callbacks — stall cycles included — to the
+// wrapped tracer (the PMU driver), so the recorded execution is exactly
+// the one whose sampled trace the pipeline analyzes.
+type Recorder struct {
+	inner machine.Tracer
+	// Accesses is the complete per-thread access trace, in program order.
+	Accesses map[int32][]replay.Access
+	steps    map[int32]int
+}
+
+// NewRecorder creates a Recorder; Wrap installs the delegate.
+func NewRecorder() *Recorder {
+	return &Recorder{Accesses: map[int32][]replay.Access{}, steps: map[int32]int{}}
+}
+
+// Wrap is the core.TraceOptions.WrapTracer hook.
+func (r *Recorder) Wrap(inner machine.Tracer) machine.Tracer {
+	r.inner = inner
+	return r
+}
+
+// InstRetired implements machine.Tracer. Loads and stores retire exactly
+// once (only blocked syscalls re-deliver), so no deduplication is needed.
+func (r *Recorder) InstRetired(ev *machine.InstEvent) uint64 {
+	tid := int32(ev.TID)
+	step := r.steps[tid]
+	r.steps[tid] = step + 1
+	if ev.IsMem {
+		r.Accesses[tid] = append(r.Accesses[tid], replay.Access{
+			TID:   tid,
+			PC:    ev.PC,
+			Addr:  ev.MemAddr,
+			Store: ev.IsStore,
+			TSC:   ev.TSC,
+			Step:  step,
+		})
+	}
+	return r.inner.InstRetired(ev)
+}
+
+// SyscallRetired implements machine.Tracer.
+func (r *Recorder) SyscallRetired(ev *machine.SyscallEvent) uint64 {
+	return r.inner.SyscallRetired(ev)
+}
+
+// ThreadStarted implements machine.Tracer.
+func (r *Recorder) ThreadStarted(tid machine.TID, tsc uint64) { r.inner.ThreadStarted(tid, tsc) }
+
+// ThreadExited implements machine.Tracer.
+func (r *Recorder) ThreadExited(tid machine.TID, tsc uint64) { r.inner.ThreadExited(tid, tsc) }
+
+// GroundTruth computes the exact race set of a recorded execution: the
+// complete access trace merged with the (unsampled, hence complete) sync
+// log, through the pair-complete oracle detector.
+func GroundTruth(sync []tracefmt.SyncRecord, accesses map[int32][]replay.Access) *race.PairOracle {
+	o := race.NewPairOracle(race.Options{TrackAllocations: true})
+	race.Feed(o, sync, accesses)
+	o.Finish()
+	return o
+}
+
+// PeriodScore is the differential result for one (seed, period) run.
+type PeriodScore struct {
+	Period uint64
+	// Ground-truth sizes for this period's execution.
+	GTPairs int `json:"gt_pairs"`
+	GTAddrs int `json:"gt_addrs"`
+	// Pipeline results: detected pairs that are true/false vs the oracle,
+	// and racy addresses found/invented.
+	TruePairs  int `json:"true_pairs"`
+	FalsePairs int `json:"false_pairs"`
+	TrueAddrs  int `json:"true_addrs"`
+	FalseAddrs int `json:"false_addrs"`
+}
+
+// AddrRecall is the fraction of ground-truth racy addresses the pipeline
+// found (1.0 when the execution had no races).
+func (s PeriodScore) AddrRecall() float64 {
+	if s.GTAddrs == 0 {
+		return 1.0
+	}
+	return float64(s.TrueAddrs) / float64(s.GTAddrs)
+}
+
+// SeedResult is one seed's differential run across all periods.
+type SeedResult struct {
+	Seed   int64
+	Info   progtest.ConcurrentInfo
+	Scores []PeriodScore
+	// Violations lists every invariant broken by this seed, each message
+	// carrying the (seed, period) needed to reproduce it.
+	Violations []string
+}
+
+// Options configures a differential run.
+type Options struct {
+	// Periods to score; must include 1 for the recall@1 invariant.
+	// Sorted ascending before use. Default {1, 10, 100, 1000}.
+	Periods []uint64
+	// Determinism enables the metamorphic worker/shard/cache/strict
+	// matrix on this seed's period-1 trace (expensive; soak runs it on a
+	// subset of seeds).
+	Determinism bool
+}
+
+// DefaultPeriods is the standard recall-vs-period sweep.
+func DefaultPeriods() []uint64 { return []uint64{1, 10, 100, 1000} }
+
+func (o *Options) setDefaults() {
+	if len(o.Periods) == 0 {
+		o.Periods = DefaultPeriods()
+	}
+	sort.Slice(o.Periods, func(i, j int) bool { return o.Periods[i] < o.Periods[j] })
+}
+
+// RunSeed generates the seed's program and scores the pipeline against the
+// ground truth at every period.
+func RunSeed(seed int64, opts Options) (*SeedResult, error) {
+	opts.setDefaults()
+	p, info := progtest.ConcurrentProgram(rand.New(rand.NewSource(seed)))
+	res := &SeedResult{Seed: seed, Info: info}
+
+	for _, period := range opts.Periods {
+		score, tr, err := runPeriod(p, seed, period)
+		if err != nil {
+			return nil, fmt.Errorf("oracle: seed %d period %d: %w", seed, period, err)
+		}
+		res.Scores = append(res.Scores, *score)
+
+		if score.FalsePairs > 0 {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("seed %d period %d: %d reported pairs not in ground truth", seed, period, score.FalsePairs))
+		}
+		if score.FalseAddrs > 0 {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("seed %d period %d: %d racy addrs not in ground truth", seed, period, score.FalseAddrs))
+		}
+		if period == 1 && score.TrueAddrs != score.GTAddrs {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("seed %d: recall@period=1 is %d/%d racy addrs, want all", seed, score.TrueAddrs, score.GTAddrs))
+		}
+		if opts.Determinism && period == opts.Periods[0] {
+			res.Violations = append(res.Violations, CheckDeterminism(p, tr, seed)...)
+		}
+	}
+	return res, nil
+}
+
+// runPeriod performs one traced execution + ground truth + pipeline run.
+func runPeriod(p *prog.Program, seed int64, period uint64) (*PeriodScore, *tracefmt.Trace, error) {
+	rec := NewRecorder()
+	tr, err := core.TraceProgram(p, core.TraceOptions{
+		Kind:       driver.ProRace,
+		Period:     period,
+		Seed:       seed,
+		EnablePT:   true,
+		WrapTracer: rec.Wrap,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: %w", err)
+	}
+
+	gt := GroundTruth(tr.Trace.Sync, rec.Accesses)
+	gtPairs := pairSet(gt.Reports())
+
+	ar, err := core.Analyze(p, tr.Trace, core.AnalysisOptions{Mode: replay.ModeForwardBackward})
+	if err != nil {
+		return nil, nil, fmt.Errorf("analyze: %w", err)
+	}
+
+	score := &PeriodScore{
+		Period:  period,
+		GTPairs: len(gtPairs),
+		GTAddrs: len(gt.RacyAddrSet()),
+	}
+	for _, r := range ar.Reports {
+		if gtPairs[r.Key()] {
+			score.TruePairs++
+		} else {
+			score.FalsePairs++
+		}
+	}
+	for addr := range ar.RacyAddrs {
+		if gt.RacyAddrSet()[addr] {
+			score.TrueAddrs++
+		} else {
+			score.FalseAddrs++
+		}
+	}
+	return score, tr.Trace, nil
+}
+
+func pairSet(reports []race.Report) map[[2]uint64]bool {
+	s := make(map[[2]uint64]bool, len(reports))
+	for _, r := range reports {
+		s[r.Key()] = true
+	}
+	return s
+}
+
+// FormatReports renders a report list into the canonical byte string the
+// determinism invariants compare. Every field that detection computes is
+// included, so any divergence — order, content, or count — shows up.
+func FormatReports(reports []race.Report) string {
+	var b strings.Builder
+	for i, r := range reports {
+		fmt.Fprintf(&b, "%d: addr=%#x first={tid=%d pc=%#x w=%v tsc=%d} second={tid=%d pc=%#x w=%v tsc=%d} gap=%v\n",
+			i, r.Addr,
+			r.First.TID, r.First.PC, r.First.Write, r.First.TSC,
+			r.Second.TID, r.Second.PC, r.Second.Write, r.Second.TSC,
+			r.GapAdjacent)
+	}
+	return b.String()
+}
+
+// determinismConfigs is the metamorphic matrix: every configuration must
+// produce byte-identical reports on the same clean trace.
+type determinismConfig struct {
+	name string
+	opts core.AnalysisOptions
+}
+
+func determinismConfigs() []determinismConfig {
+	base := core.AnalysisOptions{Mode: replay.ModeForwardBackward}
+	var out []determinismConfig
+	for _, workers := range []int{0, 4} {
+		for _, shards := range []int{0, 4} {
+			o := base
+			o.Workers, o.DetectShards = workers, shards
+			out = append(out, determinismConfig{
+				name: fmt.Sprintf("workers=%d shards=%d", workers, shards),
+				opts: o,
+			})
+		}
+	}
+	nocache := base
+	nocache.DisablePathCache = true
+	out = append(out, determinismConfig{name: "path cache off", opts: nocache})
+	strict := base
+	strict.Strict = true
+	out = append(out, determinismConfig{name: "strict", opts: strict})
+	return out
+}
+
+// CheckDeterminism re-analyzes one clean trace under the metamorphic
+// matrix and returns a violation message per configuration whose reports
+// differ from the sequential baseline.
+func CheckDeterminism(p *prog.Program, tr *tracefmt.Trace, seed int64) []string {
+	var violations []string
+	var want string
+	for i, cfg := range determinismConfigs() {
+		ar, err := core.Analyze(p, tr, cfg.opts)
+		if err != nil {
+			violations = append(violations,
+				fmt.Sprintf("seed %d determinism [%s]: analyze failed: %v", seed, cfg.name, err))
+			continue
+		}
+		got := FormatReports(ar.Reports)
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			violations = append(violations,
+				fmt.Sprintf("seed %d determinism [%s]: reports differ from sequential baseline", seed, cfg.name))
+		}
+	}
+	return violations
+}

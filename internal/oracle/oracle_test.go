@@ -1,0 +1,95 @@
+package oracle
+
+import (
+	"testing"
+)
+
+// soakSeeds is the acceptance range: every invariant must hold on seeds
+// [1, soakSeeds]. Short mode runs a prefix slice of the same range, so a CI
+// quick pass exercises the identical deterministic executions.
+const soakSeeds = 200
+
+func soakConfig(t *testing.T) SoakConfig {
+	t.Helper()
+	cfg := SoakConfig{StartSeed: 1, Seeds: soakSeeds, DeterminismEvery: 20}
+	if testing.Short() {
+		cfg.Seeds = 40
+		cfg.DeterminismEvery = 10
+	}
+	return cfg
+}
+
+// TestSoakInvariants is the tentpole acceptance test: across the seed
+// range, the pipeline must report zero false positives (pairs and
+// addresses), find every racy address at period=1, keep aggregate recall
+// monotone non-increasing as the period grows, and produce byte-identical
+// reports across the determinism matrix. Every violation message carries
+// the (seed, period) that reproduces it.
+func TestSoakInvariants(t *testing.T) {
+	cfg := soakConfig(t)
+	res, err := Soak(cfg)
+	if err != nil {
+		t.Fatalf("soak seeds %d..%d: %v", cfg.StartSeed, cfg.StartSeed+int64(cfg.Seeds)-1, err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+
+	// The sweep must actually exercise the interesting regimes: plenty of
+	// racy executions, and a recall curve that the period genuinely moves
+	// (otherwise the monotonicity invariant is vacuous).
+	if len(res.Aggregates) == 0 {
+		t.Fatal("soak produced no aggregates")
+	}
+	first, last := res.Aggregates[0], res.Aggregates[len(res.Aggregates)-1]
+	if first.Period != 1 {
+		t.Fatalf("first aggregate period = %d, want 1 (seeds %d..%d)", first.Period, cfg.StartSeed, cfg.StartSeed+int64(cfg.Seeds)-1)
+	}
+	if first.RacySeeds < cfg.Seeds/4 {
+		t.Errorf("only %d/%d seeds raced at period=1; generator too tame", first.RacySeeds, cfg.Seeds)
+	}
+	if first.AddrRecall() != 1.0 {
+		t.Errorf("aggregate recall@period=1 = %.4f, want 1.0 (seeds %d..%d)", first.AddrRecall(), cfg.StartSeed, cfg.StartSeed+int64(cfg.Seeds)-1)
+	}
+	if last.AddrRecall() >= first.AddrRecall() {
+		t.Errorf("recall curve is flat: period %d recall %.4f, period %d recall %.4f — register-addressed accesses not degrading (seeds %d..%d)",
+			first.Period, first.AddrRecall(), last.Period, last.AddrRecall(), cfg.StartSeed, cfg.StartSeed+int64(cfg.Seeds)-1)
+	}
+}
+
+// TestRunSeedDeterministic: the same seed must produce identical scores on
+// repeated runs — the property every violation message relies on for
+// reproduction.
+func TestRunSeedDeterministic(t *testing.T) {
+	const seed = 7
+	var results [2]*SeedResult
+	for i := range results {
+		r, err := RunSeed(seed, Options{})
+		if err != nil {
+			t.Fatalf("seed %d run %d: %v", seed, i, err)
+		}
+		results[i] = r
+	}
+	if len(results[0].Scores) != len(results[1].Scores) {
+		t.Fatalf("seed %d: score counts differ: %d vs %d", seed, len(results[0].Scores), len(results[1].Scores))
+	}
+	for i := range results[0].Scores {
+		if results[0].Scores[i] != results[1].Scores[i] {
+			t.Fatalf("seed %d period index %d: scores differ: %+v vs %+v", seed, i, results[0].Scores[i], results[1].Scores[i])
+		}
+	}
+}
+
+// TestDeterminismMatrix runs the full metamorphic matrix on a few seeds
+// explicitly (the soak only samples it).
+func TestDeterminismMatrix(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		res, err := RunSeed(seed, Options{Periods: []uint64{1}, Determinism: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+	}
+}

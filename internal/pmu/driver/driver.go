@@ -137,6 +137,10 @@ type Options struct {
 	// get PSB-dense streams whose corruption-recovery behaviour they can
 	// observe.
 	PSBIntervalCycles uint64
+	// DSBufferRecords overrides the DS-area capacity in records (0 selects
+	// the unit's 64 KB default). Tests shrink it to force frequent
+	// interrupt-driven segment swaps.
+	DSBufferRecords int
 }
 
 // Driver is the online tracing stack attached to one machine run.
@@ -174,6 +178,7 @@ func New(m *machine.Machine, opts Options) *Driver {
 			RandomFirstPeriod: opts.Kind == ProRace && !opts.DisableRandomFirstPeriod,
 			Seed:              opts.Seed,
 			MaxBusyFrac:       costs.MaxBusyFrac,
+			DSBufferRecords:   opts.DSBufferRecords,
 		}),
 		sync:        synctrace.New(),
 		trace:       tracefmt.NewTrace(m.Program().Name, opts.Period, opts.Seed),

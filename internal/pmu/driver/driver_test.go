@@ -224,3 +224,54 @@ func mustBuild(b *asm.Builder) *prog.Program {
 	}
 	return p
 }
+
+// TestSegmentSwapChargedPerDrain isolates the ProRace handler's segment-swap
+// cost: with every other cost zeroed and a tiny DS buffer, raising
+// SegmentSwap must raise the traced run's cycle count — proof the handler
+// actually swaps segments on each interrupt-driven drain.
+func TestSegmentSwapChargedPerDrain(t *testing.T) {
+	p := cpuBoundProgram(3000)
+	free := DefaultCosts(ProRace)
+	free.PEBSAssist = 0
+	free.PollCost = 0
+	free.SyncShim = 0
+	free.PTPerByte = 0
+	free.InterruptEntry = 0
+	free.SegmentSwap = 0
+	free.PerfCPUPerByte = 0
+	base, btr := runTraced(t, p, Options{Kind: ProRace, Period: 200, Seed: 3, Costs: &free, DSBufferRecords: 8})
+
+	swap := free
+	swap.SegmentSwap = 50_000
+	costly, ctr := runTraced(t, p, Options{Kind: ProRace, Period: 200, Seed: 3, Costs: &swap, DSBufferRecords: 8})
+
+	if btr.SampleCount() == 0 || ctr.SampleCount() == 0 {
+		t.Fatalf("runs must sample: base %d, swap %d records", btr.SampleCount(), ctr.SampleCount())
+	}
+	if costly <= base {
+		t.Errorf("segment-swap cost not charged: overhead %.4f with 50k-cycle swaps vs %.4f with free swaps", costly, base)
+	}
+}
+
+// TestTinyDSBufferLosesNoSamples: interrupt-driven drains plus the final
+// Finish drain must deliver every stored record, in per-thread TSC order,
+// no matter how small the segment is.
+func TestTinyDSBufferLosesNoSamples(t *testing.T) {
+	p := cpuBoundProgram(3000)
+	_, tr := runTraced(t, p, Options{Kind: ProRace, Period: 200, Seed: 3, DSBufferRecords: 4})
+	total := 0
+	for tid, recs := range tr.PEBS {
+		total += len(recs)
+		for i := 1; i < len(recs); i++ {
+			if recs[i].TSC < recs[i-1].TSC {
+				t.Fatalf("tid %d: records out of TSC order at %d (%d < %d)", tid, i, recs[i].TSC, recs[i-1].TSC)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no records stored")
+	}
+	if total != tr.SampleCount() {
+		t.Errorf("drains lost records: %d in trace, SampleCount %d", total, tr.SampleCount())
+	}
+}

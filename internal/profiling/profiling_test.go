@@ -1,0 +1,87 @@
+package profiling
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRegisterWiresAllFlags(t *testing.T) {
+	var f Flags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f.Register(fs)
+	if err := fs.Parse([]string{"-cpuprofile", "cpu.out", "-memprofile", "mem.out", "-trace", "trace.out"}); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if f.CPU != "cpu.out" || f.Mem != "mem.out" || f.Trace != "trace.out" {
+		t.Fatalf("flags not wired: %+v", f)
+	}
+}
+
+func TestStartCreatesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{
+		CPU:   filepath.Join(dir, "cpu.out"),
+		Mem:   filepath.Join(dir, "mem.out"),
+		Trace: filepath.Join(dir, "trace.out"),
+	}
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	// Burn a little CPU and heap so the collectors have something to record.
+	sink := 0
+	buf := make([]byte, 1<<20)
+	for i := range buf {
+		sink += int(buf[i]) + i
+	}
+	_ = sink
+	stop()
+
+	for _, path := range []string{f.CPU, f.Mem, f.Trace} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("profile %s missing: %v", path, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+}
+
+func TestStartNoFlagsIsNoop(t *testing.T) {
+	var f Flags
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatalf("start with no flags: %v", err)
+	}
+	stop() // must not panic or create files
+}
+
+func TestStartUncreatableCPUPathFails(t *testing.T) {
+	f := Flags{CPU: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out")}
+	if _, err := f.Start(); err == nil {
+		t.Fatal("expected error for uncreatable cpuprofile path")
+	}
+}
+
+func TestStartUncreatableTracePathStopsCPU(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{
+		CPU:   filepath.Join(dir, "cpu.out"),
+		Trace: filepath.Join(dir, "no", "such", "dir", "trace.out"),
+	}
+	if _, err := f.Start(); err == nil {
+		t.Fatal("expected error for uncreatable trace path")
+	}
+	// The failed Start must have released the CPU profiler: a fresh Start
+	// with a valid configuration must succeed.
+	f2 := Flags{CPU: filepath.Join(dir, "cpu2.out")}
+	stop, err := f2.Start()
+	if err != nil {
+		t.Fatalf("cpu profiler left running after failed Start: %v", err)
+	}
+	stop()
+}

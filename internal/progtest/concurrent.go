@@ -1,0 +1,249 @@
+package progtest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prorace/internal/asm"
+	"prorace/internal/isa"
+	"prorace/internal/prog"
+)
+
+// ConcurrentInfo describes the shape of a generated concurrent program, so
+// harnesses can assert structural properties (all workers joined, etc.).
+type ConcurrentInfo struct {
+	// Threads is the number of spawned workers (the program runs Threads+1
+	// machine threads including main).
+	Threads int
+	// Slots is the number of 8-byte shared slots in the "shared" global.
+	Slots int
+	// RegSlots is the number of 8-byte slots in the "rshared" global, which
+	// workers address through thread-derived registers.
+	RegSlots int
+	// Locks is the number of mutex globals ("lk0".."lkN-1").
+	Locks int
+}
+
+// ConcurrentProgram generates a structured, always-terminating concurrent
+// program for the ground-truth oracle (internal/oracle): 2-4 worker threads
+// over a small set of shared global slots, with randomly placed lock/unlock
+// pairs, deliberate unlock-free windows, thread create/join, and
+// thread-private malloc/free traffic.
+//
+// Termination and decidability are by construction:
+//
+//   - every loop is a counted register loop with a static bound;
+//   - critical sections are straight-line and never nest, so no lock order
+//     can deadlock;
+//   - condition variables and barriers are not emitted (their pairing
+//     rules are what make generated sync programs hang);
+//   - main joins every spawned worker before exiting.
+//
+// Racy accesses come in two recoverability classes, which is what gives
+// the differential harness a real recall-vs-period curve:
+//
+//   - "shared" is addressed through PC-relative operands, which the replay
+//     engine reconstructs from the PT path alone — recoverable at every
+//     sampling period;
+//   - "rshared" is addressed through a per-thread register (R14, derived
+//     from the thread argument in the worker prologue and never redefined),
+//     so those accesses are recoverable only in threads that got at least
+//     one PEBS sample: at period=1 every thread's first memory access is
+//     sampled and forward+backward replay propagates the write-once R14
+//     across the whole path (100% recall), while at large periods threads
+//     with no samples lose their rshared accesses and recall drops.
+//
+// Heap traffic stays thread-private (each worker mallocs, uses and frees
+// its own object), exercising the allocation-generation machinery without
+// adding races.
+func ConcurrentProgram(rng *rand.Rand) (*prog.Program, ConcurrentInfo) {
+	info := ConcurrentInfo{
+		Threads:  2 + rng.Intn(3), // 2..4 workers
+		Slots:    4 + rng.Intn(5), // 4..8 shared slots
+		RegSlots: 2,
+		Locks:    1 + rng.Intn(3), // 1..3 locks
+	}
+	b := asm.New("oracleprog")
+	b.Global("shared", uint64(info.Slots)*8)
+	b.Global("rshared", uint64(info.RegSlots)*8)
+	b.Global("tids", uint64(info.Threads)*8)
+	for l := 0; l < info.Locks; l++ {
+		b.Global(fmt.Sprintf("lk%d", l), 8)
+	}
+
+	// Shared helpers: a locked update and an unlocked (racy-window) update,
+	// callable from any worker — the same helper PC racing against itself
+	// across threads is a pair FastTrack's epoch compression stresses.
+	nHelpers := 1 + rng.Intn(2)
+	for h := 0; h < nHelpers; h++ {
+		f := b.Func(fmt.Sprintf("chelper%d", h))
+		lk := fmt.Sprintf("lk%d", rng.Intn(info.Locks))
+		locked := rng.Intn(2) == 0
+		if locked {
+			f.Lock(lk)
+		}
+		emitSharedAccesses(rng, f, info.Slots, 1+rng.Intn(3))
+		if locked {
+			f.Unlock(lk)
+		}
+		f.Ret()
+	}
+
+	// Workers. Distinct functions give distinct racy PCs; occasionally two
+	// spawns share one function so the same PC races with itself.
+	workerFns := make([]string, info.Threads)
+	nFns := info.Threads
+	if info.Threads > 2 && rng.Intn(3) == 0 {
+		nFns = info.Threads - 1 // one function runs twice
+	}
+	for w := 0; w < nFns; w++ {
+		name := fmt.Sprintf("worker%d", w)
+		f := b.Func(name)
+		// Prologue: R14 = &rshared[arg % RegSlots], computed from the thread
+		// argument (R0) through write-once registers. No memory operand is
+		// involved, so a thread's first memory access — the one period=1
+		// always samples — comes after R14 is live, and replay can propagate
+		// it across the entire path in both directions.
+		f.Mov(isa.R13, isa.R0)
+		f.AndI(isa.R13, int64(info.RegSlots-1))
+		f.ShlI(isa.R13, 3)
+		f.MovSym(isa.R14, "rshared", 0)
+		f.Add(isa.R14, isa.R13)
+		nSegs := 2 + rng.Intn(4)
+		for s := 0; s < nSegs; s++ {
+			switch rng.Intn(6) {
+			case 0: // locked critical section (straight-line, never nested)
+				lk := fmt.Sprintf("lk%d", rng.Intn(info.Locks))
+				f.Lock(lk)
+				emitSharedAccesses(rng, f, info.Slots, 1+rng.Intn(3))
+				f.Unlock(lk)
+			case 1: // unlock-free window: the racy part
+				emitSharedAccesses(rng, f, info.Slots, 1+rng.Intn(2))
+			case 2: // bounded local compute loop (registers only)
+				emitComputeLoop(rng, f, fmt.Sprintf("w%ds%d", w, s))
+			case 3: // thread-private heap object
+				emitPrivateHeap(rng, f)
+			case 4:
+				f.Call(fmt.Sprintf("chelper%d", rng.Intn(nHelpers)))
+			case 5: // register-addressed racy window (sample-dependent recovery)
+				emitRegSharedAccesses(rng, f, info.RegSlots)
+			}
+		}
+		f.Ret()
+	}
+	for w := 0; w < info.Threads; w++ {
+		workerFns[w] = fmt.Sprintf("worker%d", w%nFns)
+	}
+
+	m := b.Func("main")
+	// Initialize the shared slots before any worker exists: these writes
+	// are ordered before every worker access by the create edge.
+	for s := 0; s < info.Slots; s++ {
+		m.MovI(isa.R2, int64(s)*3+1)
+		m.Store(asm.Global("shared", int64(s)*8), isa.R2)
+	}
+	for s := 0; s < info.RegSlots; s++ {
+		m.MovI(isa.R2, int64(s)+100)
+		m.Store(asm.Global("rshared", int64(s)*8), isa.R2)
+	}
+	for w := 0; w < info.Threads; w++ {
+		m.MovI(isa.R4, int64(w))
+		m.SpawnThread(workerFns[w], isa.R4)
+		m.Store(asm.Global("tids", int64(w)*8), isa.R0)
+	}
+	for w := 0; w < info.Threads; w++ {
+		m.Load(isa.R0, asm.Global("tids", int64(w)*8))
+		m.Syscall(isa.SysThreadJoin)
+	}
+	// Post-join reads are ordered after every worker access: clean.
+	m.Load(isa.R3, asm.Global("shared", 0))
+	m.Exit(0)
+
+	p, err := b.Build()
+	if err != nil {
+		// As in RandomProgram: generated programs are structurally valid by
+		// construction, so a build failure is a generator bug.
+		panic(fmt.Sprintf("progtest: generated concurrent program failed to build: %v", err))
+	}
+	return p, info
+}
+
+// emitSharedAccesses emits n loads/stores to random shared slots through
+// PC-relative operands (always reconstructible offline).
+func emitSharedAccesses(rng *rand.Rand, f *asm.FuncBuilder, slots, n int) {
+	for i := 0; i < n; i++ {
+		slot := int64(rng.Intn(slots)) * 8
+		r := isa.Reg(1 + rng.Intn(4)) // r1..r4 scratch
+		if rng.Intn(2) == 0 {
+			f.Load(r, asm.Global("shared", slot))
+			f.AddI(r, 1)
+		} else {
+			f.MovI(r, rng.Int63n(500))
+			f.Store(asm.Global("shared", slot), r)
+		}
+	}
+}
+
+// emitRegSharedAccesses emits unlocked accesses to the thread's rshared
+// slot through the R14 base register the worker prologue computed — the
+// operands replay can only resolve in threads holding at least one PEBS
+// sample. A PC-relative access to a random rshared slot is mixed in so
+// register-addressed accesses also race against always-recoverable ones.
+func emitRegSharedAccesses(rng *rand.Rand, f *asm.FuncBuilder, regSlots int) {
+	for i := 0; i < 1+rng.Intn(2); i++ {
+		r := isa.Reg(1 + rng.Intn(4)) // r1..r4 scratch
+		if rng.Intn(2) == 0 {
+			f.Load(r, asm.Base(isa.R14, 0))
+			f.AddI(r, 1)
+		} else {
+			f.MovI(r, rng.Int63n(500))
+			f.Store(asm.Base(isa.R14, 0), r)
+		}
+	}
+	if rng.Intn(2) == 0 {
+		slot := int64(rng.Intn(regSlots)) * 8
+		r := isa.Reg(1 + rng.Intn(4))
+		if rng.Intn(2) == 0 {
+			f.Load(r, asm.Global("rshared", slot))
+		} else {
+			f.MovI(r, rng.Int63n(500))
+			f.Store(asm.Global("rshared", slot), r)
+		}
+	}
+}
+
+// emitComputeLoop emits a bounded counted loop over register arithmetic —
+// no memory traffic, so it perturbs schedules without adding accesses.
+func emitComputeLoop(rng *rand.Rand, f *asm.FuncBuilder, label string) {
+	ctr := isa.Reg(8 + rng.Intn(4)) // r8..r11: away from scratch regs
+	f.MovI(ctr, int64(1+rng.Intn(8)))
+	f.Label(label)
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		r := isa.Reg(1 + rng.Intn(4))
+		f.AddI(r, rng.Int63n(10)-5)
+	}
+	f.SubI(ctr, 1)
+	f.CmpI(ctr, 0)
+	f.Jgt(label)
+}
+
+// emitPrivateHeap emits malloc → a few base-register accesses → free. The
+// object is only ever touched by the allocating thread, so this adds
+// allocation-generation churn (address reuse across threads) but no races.
+func emitPrivateHeap(rng *rand.Rand, f *asm.FuncBuilder) {
+	size := int64(16 * (1 + rng.Intn(4)))
+	f.MovI(isa.R0, size)
+	f.Syscall(isa.SysMalloc)
+	f.Mov(isa.R5, isa.R0) // r5 = private object
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		off := int64(rng.Intn(int(size/8))) * 8
+		if rng.Intn(2) == 0 {
+			f.MovI(isa.R6, rng.Int63n(100))
+			f.Store(asm.Base(isa.R5, off), isa.R6)
+		} else {
+			f.Load(isa.R6, asm.Base(isa.R5, off))
+		}
+	}
+	f.Mov(isa.R0, isa.R5)
+	f.Syscall(isa.SysFree)
+}

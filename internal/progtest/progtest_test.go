@@ -1,0 +1,109 @@
+package progtest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"prorace/internal/machine"
+)
+
+func TestRandomProgramsTerminate(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		p := RandomProgram(rand.New(rand.NewSource(seed)))
+		mac := machine.New(p, machine.Config{Seed: seed, MaxCycles: 5_000_000})
+		if _, err := mac.Run(); err != nil {
+			t.Fatalf("gen seed %d: program did not terminate: %v", seed, err)
+		}
+	}
+}
+
+// TestGoldenMatchesExecution re-runs one program with the same machine seed
+// and requires the golden instruction streams to be identical, and every
+// recorded step to be consistent with the program text.
+func TestGoldenMatchesExecution(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		p := RandomProgram(rand.New(rand.NewSource(seed)))
+		var runs [2]*Golden
+		for i := range runs {
+			g := NewGolden(machine.NopTracer{})
+			mac := machine.New(p, machine.Config{Seed: seed, MaxCycles: 5_000_000, Tracer: g})
+			if _, err := mac.Run(); err != nil {
+				t.Fatalf("gen seed %d run %d: %v", seed, i, err)
+			}
+			runs[i] = g
+		}
+		if len(runs[0].Steps) != len(runs[1].Steps) {
+			t.Fatalf("gen seed %d: thread counts differ: %d vs %d", seed, len(runs[0].Steps), len(runs[1].Steps))
+		}
+		for tid, steps := range runs[0].Steps {
+			other := runs[1].Steps[tid]
+			if len(steps) != len(other) {
+				t.Fatalf("gen seed %d tid %d: step counts differ: %d vs %d", seed, tid, len(steps), len(other))
+			}
+			for i := range steps {
+				if steps[i] != other[i] {
+					t.Fatalf("gen seed %d tid %d step %d: %+v vs %+v", seed, tid, i, steps[i], other[i])
+				}
+			}
+			for i, s := range steps {
+				in, ok := p.InstAt(s.PC)
+				if !ok {
+					t.Fatalf("gen seed %d tid %d step %d: PC %#x not in program", seed, tid, i, s.PC)
+				}
+				if s.IsMem != in.IsMemAccess() {
+					t.Fatalf("gen seed %d tid %d step %d: IsMem=%v but instruction %v", seed, tid, i, s.IsMem, in)
+				}
+			}
+		}
+	}
+}
+
+func TestConcurrentProgramsTerminate(t *testing.T) {
+	genSeeds := int64(100)
+	if testing.Short() {
+		genSeeds = 20
+	}
+	for seed := int64(1); seed <= genSeeds; seed++ {
+		p, info := ConcurrentProgram(rand.New(rand.NewSource(seed)))
+		if info.Threads < 2 || info.Threads > 4 {
+			t.Fatalf("gen seed %d: thread count %d out of range", seed, info.Threads)
+		}
+		for mseed := int64(1); mseed <= 3; mseed++ {
+			g := NewGolden(machine.NopTracer{})
+			mac := machine.New(p, machine.Config{Seed: mseed, MaxCycles: 5_000_000, Tracer: g})
+			if _, err := mac.Run(); err != nil {
+				t.Fatalf("gen seed %d machine seed %d: program did not terminate: %v", seed, mseed, err)
+			}
+			// Run returning nil means every thread exited; also check that
+			// every spawned worker actually executed instructions.
+			if got, want := len(g.Steps), info.Threads+1; got != want {
+				t.Fatalf("gen seed %d machine seed %d: %d threads traced, want %d", seed, mseed, got, want)
+			}
+		}
+	}
+}
+
+// TestConcurrentProgramDeterministic: a (generator seed, machine seed) pair
+// must reproduce the execution exactly — the property every oracle failure
+// message relies on.
+func TestConcurrentProgramDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		var runs [2]*Golden
+		for i := range runs {
+			p, _ := ConcurrentProgram(rand.New(rand.NewSource(seed)))
+			g := NewGolden(machine.NopTracer{})
+			mac := machine.New(p, machine.Config{Seed: seed, MaxCycles: 5_000_000, Tracer: g})
+			if _, err := mac.Run(); err != nil {
+				t.Fatalf("gen seed %d run %d: %v", seed, i, err)
+			}
+			runs[i] = g
+		}
+		for tid, steps := range runs[0].Steps {
+			other := runs[1].Steps[tid]
+			if fmt.Sprint(steps) != fmt.Sprint(other) {
+				t.Fatalf("gen seed %d tid %d: executions differ", seed, tid)
+			}
+		}
+	}
+}

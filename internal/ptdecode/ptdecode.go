@@ -347,6 +347,15 @@ func DecodeWith(p *prog.Program, tid int32, stream []byte, opts Options) (*Path,
 	for len(d.path.PCs) < maxSteps {
 		in, okInst := p.InstAt(pc)
 		if !okInst {
+			if pc == 0 {
+				// A return from a thread's outermost frame targets address
+				// 0 — the machine's thread-exit convention, encoded as a
+				// TIP to 0. This is the normal end of a spawned thread's
+				// trace, not a wild jump: end cleanly in both modes so a
+				// lenient decode of a clean stream records no gap.
+				d.finishTailMarkers()
+				return d.path, d.lastErr
+			}
 			if pc2, okR := d.reanchor(fmt.Sprintf("wild jump to %#x", pc)); okR {
 				pc = pc2
 				continue

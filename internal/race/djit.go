@@ -15,15 +15,9 @@ import (
 type DjitDetector struct {
 	opts Options
 
-	threads map[int32]*vc.VC
-	locks   map[uint64]*vc.VC
-	conds   map[uint64]*vc.VC
-	bars    map[uint64]*vc.VC
-	exited  map[int32]*vc.VC
-	created map[int32]*vc.VC
+	hbState // shared sync-clock machinery (hb.go)
 
-	vars     map[varKey]*djitVar
-	allocGen map[uint64]uint32
+	vars map[varKey]*djitVar
 
 	reports []Report
 	seen    map[[2]uint64]bool
@@ -45,14 +39,8 @@ func NewDjitDetector(opts Options) *DjitDetector {
 	}
 	return &DjitDetector{
 		opts:      opts,
-		threads:   map[int32]*vc.VC{},
-		locks:     map[uint64]*vc.VC{},
-		conds:     map[uint64]*vc.VC{},
-		bars:      map[uint64]*vc.VC{},
-		exited:    map[int32]*vc.VC{},
-		created:   map[int32]*vc.VC{},
+		hbState:   newHBState(opts.TrackAllocations),
 		vars:      map[varKey]*djitVar{},
-		allocGen:  map[uint64]uint32{},
 		seen:      map[[2]uint64]bool{},
 		RacyAddrs: map[uint64]bool{},
 	}
@@ -74,99 +62,6 @@ func (d *DjitDetector) Finish() {}
 
 // RacyAddrSet returns the distinct racy addresses, for the §5.1 feedback.
 func (d *DjitDetector) RacyAddrSet() map[uint64]bool { return d.RacyAddrs }
-
-func (d *DjitDetector) clock(tid int32) *vc.VC {
-	c := d.threads[tid]
-	if c == nil {
-		c = vc.New()
-		c.Set(tid, 1)
-		d.threads[tid] = c
-	}
-	return c
-}
-
-func (d *DjitDetector) genOf(addr uint64) uint32 {
-	if !d.opts.TrackAllocations {
-		return 0
-	}
-	return d.allocGen[addr&^uint64(granule-1)]
-}
-
-// HandleSync processes one synchronization record with the same
-// happens-before semantics as the FastTrack detector.
-func (d *DjitDetector) HandleSync(rec *tracefmt.SyncRecord) {
-	tid := rec.TID
-	c := d.clock(tid)
-	switch rec.Kind {
-	case tracefmt.SyncLock:
-		if l := d.locks[rec.Addr]; l != nil {
-			c.Join(l)
-		}
-	case tracefmt.SyncUnlock:
-		l := d.locks[rec.Addr]
-		if l == nil {
-			l = vc.New()
-			d.locks[rec.Addr] = l
-		}
-		l.Assign(c)
-		c.Tick(tid)
-	case tracefmt.SyncCondWait:
-		l := d.locks[rec.Aux]
-		if l == nil {
-			l = vc.New()
-			d.locks[rec.Aux] = l
-		}
-		l.Assign(c)
-		c.Tick(tid)
-	case tracefmt.SyncCondSignal, tracefmt.SyncCondBroadcast:
-		s := d.conds[rec.Addr]
-		if s == nil {
-			s = vc.New()
-			d.conds[rec.Addr] = s
-		}
-		s.Join(c)
-		c.Tick(tid)
-	case tracefmt.SyncCondWake:
-		if s := d.conds[rec.Addr]; s != nil {
-			c.Join(s)
-		}
-		if l := d.locks[rec.Aux]; l != nil {
-			c.Join(l)
-		}
-	case tracefmt.SyncBarrier:
-		b := d.bars[rec.Addr]
-		if b == nil {
-			b = vc.New()
-			d.bars[rec.Addr] = b
-		}
-		b.Join(c)
-		c.Tick(tid)
-	case tracefmt.SyncBarrierWake:
-		if b := d.bars[rec.Addr]; b != nil {
-			c.Join(b)
-		}
-	case tracefmt.SyncThreadCreate:
-		d.created[int32(rec.Addr)] = c.Copy()
-		c.Tick(tid)
-	case tracefmt.SyncThreadBegin:
-		if parent := d.created[tid]; parent != nil {
-			c.Join(parent)
-		}
-	case tracefmt.SyncThreadExit:
-		d.exited[tid] = c.Copy()
-	case tracefmt.SyncThreadJoin:
-		if ev := d.exited[int32(rec.Addr)]; ev != nil {
-			c.Join(ev)
-		}
-	case tracefmt.SyncMalloc:
-		if d.opts.TrackAllocations {
-			end := rec.Addr + rec.Aux
-			for a := rec.Addr &^ uint64(granule-1); a < end; a += granule {
-				d.allocGen[a]++
-			}
-		}
-	}
-}
 
 // HandleAccess processes one memory access: full vector-clock comparison
 // on every access, DJIT+ style.

@@ -1,0 +1,143 @@
+package race
+
+import (
+	"sort"
+
+	"prorace/internal/replay"
+	"prorace/internal/vc"
+)
+
+// PairOracle is an exact, pair-complete happens-before detector used as the
+// ground truth for the differential oracle (internal/oracle). FastTrack's
+// epoch compression guarantees at least one report per racy *variable*
+// (PLDI 2009, Theorem 2) but deliberately forgets access history, so which
+// PC *pairs* it reports depends on the event interleaving — unacceptable
+// for an oracle that must certify "every pipeline report is a true race".
+//
+// PairOracle instead keeps, per variable and per thread, the latest clock
+// component at which each distinct PC accessed the variable. Per-thread
+// clocks are monotone, so the stored clock for (thread u, pc p) dominates
+// every earlier access by u at p: if any access instance at p races with a
+// later access, the stored entry is itself unordered with it, and the pair
+// (p, current PC) is reported no matter how the two were interleaved with
+// the rest of the stream. Conversely a stored entry that compares unordered
+// corresponds to a concrete earlier access instance, so every reported pair
+// is a true race. There is no report cap and no per-variable compression:
+// the reported pair set is exactly the racy-PC-pair set of the execution.
+//
+// The cost is O(threads × PCs-per-variable) per access — fine for the
+// generated oracle programs, not for production traces; use Detector there.
+type PairOracle struct {
+	hbState // shared sync-clock machinery (hb.go)
+
+	vars map[varKey]*oracleVar
+
+	reports []Report
+	seen    map[[2]uint64]bool
+	racy    map[uint64]bool
+}
+
+// pairEntry is the latest recorded access by one (thread, PC): the thread's
+// clock component and timestamp at that access.
+type pairEntry struct {
+	clock uint64
+	tsc   uint64
+}
+
+// oracleVar holds, per thread, the latest clock per accessing PC, separately
+// for reads and writes.
+type oracleVar struct {
+	reads, writes map[int32]map[uint64]pairEntry
+}
+
+// NewPairOracle creates a ground-truth detector. Allocation-generation
+// tracking follows opts.TrackAllocations exactly as in NewDetector.
+func NewPairOracle(opts Options) *PairOracle {
+	return &PairOracle{
+		hbState: newHBState(opts.TrackAllocations),
+		vars:    map[varKey]*oracleVar{},
+		seen:    map[[2]uint64]bool{},
+		racy:    map[uint64]bool{},
+	}
+}
+
+// HandleAccess checks the access against every recorded conflicting access
+// of every other thread, then records it.
+func (d *PairOracle) HandleAccess(a *replay.Access) {
+	tid := a.TID
+	c := d.clock(tid)
+	key := varKey{addr: a.Addr, gen: d.genOf(a.Addr)}
+	v := d.vars[key]
+	if v == nil {
+		v = &oracleVar{
+			reads:  map[int32]map[uint64]pairEntry{},
+			writes: map[int32]map[uint64]pairEntry{},
+		}
+		d.vars[key] = v
+	}
+
+	// Writes conflict with everything; reads only with writes.
+	d.checkTable(a, v.writes, true, c)
+	if a.Store {
+		d.checkTable(a, v.reads, false, c)
+	}
+
+	table := v.reads
+	if a.Store {
+		table = v.writes
+	}
+	byPC := table[tid]
+	if byPC == nil {
+		byPC = map[uint64]pairEntry{}
+		table[tid] = byPC
+	}
+	// Per-thread clocks are monotone, so this entry dominates all earlier
+	// accesses by tid at this PC.
+	byPC[a.PC] = pairEntry{clock: c.Get(tid), tsc: a.TSC}
+}
+
+func (d *PairOracle) checkTable(a *replay.Access, table map[int32]map[uint64]pairEntry, priorIsWrite bool, c *vc.VC) {
+	for t, byPC := range table {
+		if t == a.TID {
+			continue
+		}
+		covered := c.Get(t)
+		for pc, e := range byPC {
+			if e.clock > covered {
+				d.report(a, AccessInfo{TID: t, PC: pc, Write: priorIsWrite, TSC: e.tsc})
+			}
+		}
+	}
+}
+
+func (d *PairOracle) report(a *replay.Access, prior AccessInfo) {
+	d.racy[a.Addr] = true
+	r := Report{
+		Addr:   a.Addr,
+		First:  prior,
+		Second: AccessInfo{TID: a.TID, PC: a.PC, Write: a.Store, TSC: a.TSC},
+	}
+	if d.seen[r.Key()] {
+		return
+	}
+	d.seen[r.Key()] = true
+	d.reports = append(d.reports, r)
+}
+
+// Finish sorts the reports by PC-pair key so the oracle's output is
+// independent of map iteration order. It must be called before Reports.
+func (d *PairOracle) Finish() {
+	sort.Slice(d.reports, func(i, j int) bool {
+		a, b := d.reports[i].Key(), d.reports[j].Key()
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		return a[1] < b[1]
+	})
+}
+
+// Reports returns the complete deduplicated racy-PC-pair set.
+func (d *PairOracle) Reports() []Report { return d.reports }
+
+// RacyAddrSet returns the distinct racy addresses.
+func (d *PairOracle) RacyAddrSet() map[uint64]bool { return d.racy }

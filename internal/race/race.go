@@ -80,17 +80,9 @@ type Options struct {
 type Detector struct {
 	opts Options
 
-	threads map[int32]*vc.VC
-	locks   map[uint64]*vc.VC
-	conds   map[uint64]*vc.VC
-	bars    map[uint64]*vc.VC
-	exited  map[int32]*vc.VC
-	created map[int32]*vc.VC // child tid -> parent clock at create
+	hbState // shared sync-clock machinery (hb.go)
 
 	vars map[varKey]*varState
-
-	// allocation generation per 16-byte granule
-	allocGen map[uint64]uint32
 
 	reports []Report
 	seen    map[[2]uint64]bool
@@ -127,117 +119,11 @@ func NewDetector(opts Options) *Detector {
 	}
 	return &Detector{
 		opts:      opts,
-		threads:   map[int32]*vc.VC{},
-		locks:     map[uint64]*vc.VC{},
-		conds:     map[uint64]*vc.VC{},
-		bars:      map[uint64]*vc.VC{},
-		exited:    map[int32]*vc.VC{},
-		created:   map[int32]*vc.VC{},
+		hbState:   newHBState(opts.TrackAllocations),
 		vars:      map[varKey]*varState{},
-		allocGen:  map[uint64]uint32{},
 		reports:   nil,
 		seen:      map[[2]uint64]bool{},
 		RacyAddrs: map[uint64]bool{},
-	}
-}
-
-const granule = 16
-
-func (d *Detector) clock(tid int32) *vc.VC {
-	c := d.threads[tid]
-	if c == nil {
-		c = vc.New()
-		c.Set(tid, 1)
-		d.threads[tid] = c
-	}
-	return c
-}
-
-// genOf returns the allocation generation covering addr.
-func (d *Detector) genOf(addr uint64) uint32 {
-	if !d.opts.TrackAllocations {
-		return 0
-	}
-	return d.allocGen[addr&^uint64(granule-1)]
-}
-
-// HandleSync processes one synchronization record.
-func (d *Detector) HandleSync(rec *tracefmt.SyncRecord) {
-	tid := rec.TID
-	c := d.clock(tid)
-	switch rec.Kind {
-	case tracefmt.SyncLock:
-		if l := d.locks[rec.Addr]; l != nil {
-			c.Join(l)
-		}
-	case tracefmt.SyncUnlock:
-		l := d.locks[rec.Addr]
-		if l == nil {
-			l = vc.New()
-			d.locks[rec.Addr] = l
-		}
-		l.Assign(c)
-		c.Tick(tid)
-	case tracefmt.SyncCondWait:
-		// The waiter releases its mutex at the wait (the paired wake edge
-		// arrives as SyncCondWake).
-		l := d.locks[rec.Aux]
-		if l == nil {
-			l = vc.New()
-			d.locks[rec.Aux] = l
-		}
-		l.Assign(c)
-		c.Tick(tid)
-	case tracefmt.SyncCondSignal, tracefmt.SyncCondBroadcast:
-		s := d.conds[rec.Addr]
-		if s == nil {
-			s = vc.New()
-			d.conds[rec.Addr] = s
-		}
-		s.Join(c)
-		c.Tick(tid)
-	case tracefmt.SyncCondWake:
-		if s := d.conds[rec.Addr]; s != nil {
-			c.Join(s)
-		}
-		if l := d.locks[rec.Aux]; l != nil {
-			c.Join(l) // mutex reacquired on wake
-		}
-	case tracefmt.SyncBarrier:
-		b := d.bars[rec.Addr]
-		if b == nil {
-			b = vc.New()
-			d.bars[rec.Addr] = b
-		}
-		b.Join(c)
-		c.Tick(tid)
-	case tracefmt.SyncBarrierWake:
-		if b := d.bars[rec.Addr]; b != nil {
-			c.Join(b)
-		}
-	case tracefmt.SyncThreadCreate:
-		child := int32(rec.Addr)
-		d.created[child] = c.Copy()
-		c.Tick(tid)
-	case tracefmt.SyncThreadBegin:
-		if parent := d.created[tid]; parent != nil {
-			c.Join(parent)
-		}
-	case tracefmt.SyncThreadExit:
-		d.exited[tid] = c.Copy()
-	case tracefmt.SyncThreadJoin:
-		if ev := d.exited[int32(rec.Addr)]; ev != nil {
-			c.Join(ev)
-		}
-	case tracefmt.SyncMalloc:
-		if d.opts.TrackAllocations {
-			end := rec.Addr + rec.Aux
-			for a := rec.Addr &^ uint64(granule-1); a < end; a += granule {
-				d.allocGen[a]++
-			}
-		}
-	case tracefmt.SyncFree:
-		// Generation bumps on malloc; free needs no action.
 	}
 }
 

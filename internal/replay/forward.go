@@ -151,12 +151,45 @@ func (e *Engine) reconstructPath(tt *synthesis.ThreadTrace) ([]Access, Stats) {
 
 	accesses := e.collect(ps, &st)
 
-	// Samples that could not be pinned to the path still contribute via
-	// static basic-block reconstruction.
+	// Samples that could not be pinned to the path still contribute. On a
+	// complete path every instruction was already visited, so the
+	// block-relative TSC guesses bbForRecord fabricates for a sample's
+	// neighbours would only duplicate path recoveries — and a static block
+	// can span a sync syscall, so a guessed timestamp can drop an access on
+	// the wrong side of its own thread's acquire or release, manufacturing
+	// a race the execution never had. Emit just the sampled access itself
+	// (exact address, exact TSC); fall back to full block reconstruction
+	// only when the path is missing or degraded and may genuinely lack the
+	// sample's block.
+	pathComplete := tt.Path.Len() > 0 && !tt.Path.Degraded()
 	for i := range tt.UnpinnedSamples {
-		accesses = append(accesses, e.bbForRecord(&tt.UnpinnedSamples[i], &st)...)
+		rec := &tt.UnpinnedSamples[i]
+		if pathComplete {
+			accesses = append(accesses, e.sampleAccess(rec, &st))
+			continue
+		}
+		accesses = append(accesses, e.bbForRecord(rec, &st)...)
 	}
 	return accesses, st
+}
+
+// sampleAccess converts one PEBS record into the access it directly
+// witnessed, with no reconstruction around it.
+func (e *Engine) sampleAccess(rec *tracefmt.PEBSRecord, st *Stats) Access {
+	store := false
+	if in, ok := e.p.InstAt(rec.IP); ok {
+		store = in.IsStore()
+	}
+	st.Sampled++
+	return Access{
+		TID:    rec.TID,
+		PC:     rec.IP,
+		Addr:   rec.Addr,
+		Store:  store,
+		TSC:    rec.TSC,
+		Step:   -1,
+		Origin: OriginSampled,
+	}
 }
 
 // forwardPass is the §5.1 forward replay over the whole path: registers are

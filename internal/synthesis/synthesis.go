@@ -233,17 +233,39 @@ func pinSync(p *prog.Program, tt *ThreadTrace, recs []tracefmt.SyncRecord) {
 	}
 }
 
-// buildAnchors collects (step, tsc) anchor points for TSC interpolation.
+// buildAnchors collects (step, tsc) anchor points for TSC estimation.
+//
+// Pinned samples and sync records are exact: both the step and the TSC
+// belong to the same retired instruction, so within a thread they are
+// automatically monotone (path order is time order). PMI markers are not:
+// a marker carries the TSC of the *sampled* instruction but sits at the
+// *PMI delivery* step a few instructions later (skid), so when a sync
+// syscall retires inside the skid window the marker claims an earlier TSC
+// at a later step. Such an anchor would let EstimateTSC place an access
+// before the thread's own preceding release and invert the merge order, so
+// markers are admitted only when consistent with the exact anchors around
+// them.
 func buildAnchors(tt *ThreadTrace) {
-	for _, m := range tt.Path.Markers {
-		tt.anchors = append(tt.anchors, anchor{step: m.StepIndex, tsc: m.TSC})
-	}
+	var exact []anchor
 	for _, s := range tt.Samples {
-		tt.anchors = append(tt.anchors, anchor{step: s.StepIndex, tsc: s.Rec.TSC})
+		exact = append(exact, anchor{step: s.StepIndex, tsc: s.Rec.TSC})
 	}
 	for _, s := range tt.Sync {
 		if s.StepIndex >= 0 {
-			tt.anchors = append(tt.anchors, anchor{step: s.StepIndex, tsc: s.Rec.TSC})
+			exact = append(exact, anchor{step: s.StepIndex, tsc: s.Rec.TSC})
+		}
+	}
+	sort.Slice(exact, func(i, j int) bool {
+		if exact[i].step != exact[j].step {
+			return exact[i].step < exact[j].step
+		}
+		return exact[i].tsc < exact[j].tsc
+	})
+	tt.anchors = exact
+	for _, m := range tt.Path.Markers {
+		cand := anchor{step: m.StepIndex, tsc: m.TSC}
+		if markerConsistent(exact, cand) {
+			tt.anchors = append(tt.anchors, cand)
 		}
 	}
 	sort.Slice(tt.anchors, func(i, j int) bool {
@@ -252,6 +274,19 @@ func buildAnchors(tt *ThreadTrace) {
 		}
 		return tt.anchors[i].tsc < tt.anchors[j].tsc
 	})
+}
+
+// markerConsistent reports whether a marker anchor fits monotonically
+// between the exact anchors bracketing its step.
+func markerConsistent(exact []anchor, cand anchor) bool {
+	i := sort.Search(len(exact), func(k int) bool { return exact[k].step >= cand.step })
+	if i > 0 && exact[i-1].tsc > cand.tsc {
+		return false
+	}
+	if i < len(exact) && cand.tsc > exact[i].tsc {
+		return false
+	}
+	return true
 }
 
 // EstimateTSC returns an approximate TSC for a path step, interpolating

@@ -16,6 +16,11 @@ package prorace
 // NewOptions expands an option list over the standard ProRace defaults
 // (redesigned driver, PT enabled, period 10000, full forward+backward
 // reconstruction); TraceWith / AnalyzeWith / RunWith apply it in one call.
+//
+// Performance options never change results: WithWorkers, WithDetectShards,
+// WithPathCache and WithoutPathCache all produce byte-identical race
+// reports for a given trace (see the package's Determinism section; the
+// guarantee is enforced by internal/oracle's metamorphic matrix).
 
 // Option configures one pipeline run, spanning the online tracing phase
 // and the offline analysis phase.

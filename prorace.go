@@ -32,6 +32,28 @@
 // Custom programs are assembled with NewProgram (see the builder aliases
 // below) and run through the same pipeline; examples/ contains three
 // complete programs.
+//
+// # Determinism
+//
+// The pipeline is deterministic end to end, and the guarantees are
+// continuously enforced, not aspirational:
+//
+//   - online: a (program, seed) pair reproduces the traced execution
+//     exactly — same interleaving, same samples, same trace bytes;
+//   - offline: for a given trace, the reported race set is byte-identical
+//     across every performance configuration — any WithWorkers count, any
+//     WithDetectShards count, path cache on or off — and WithStrict equals
+//     the lenient default whenever the trace decodes cleanly.
+//
+// internal/oracle checks these invariants differentially: it generates
+// random concurrent programs, records every memory access of the traced
+// execution, computes the exact happens-before race set with a
+// pair-complete detector, and requires the pipeline to report zero false
+// positives at any period, every racy address at period=1, and identical
+// reports across the configuration matrix. Run it with
+//
+//	go run ./cmd/experiments -exp oracle        # quick differential sweep
+//	go run ./cmd/experiments -exp oracle -soak  # 200-seed soak
 package prorace
 
 import (
