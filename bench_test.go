@@ -22,6 +22,7 @@ import (
 	"prorace/internal/race"
 	"prorace/internal/replay"
 	"prorace/internal/synthesis"
+	"prorace/internal/telemetry"
 	"prorace/internal/tracefmt"
 	"prorace/internal/workload"
 )
@@ -550,6 +551,42 @@ func BenchmarkParallelAnalysis(b *testing.B) {
 	b.Run("workers", run(core.AnalysisOptions{Mode: replay.ModeForwardBackward, Workers: -1}))
 	b.Run("workers+shards", run(core.AnalysisOptions{
 		Mode: replay.ModeForwardBackward, Workers: -1, DetectShards: -1}))
+}
+
+// benchAnalyzeTelemetry is the shared body of the telemetry cost pair:
+// one full analysis per iteration over a fixed mysql trace.
+func benchAnalyzeTelemetry(b *testing.B, opts core.AnalysisOptions) {
+	w := workload.MySQL(1)
+	tr, err := core.TraceProgram(w.Program, core.TraceOptions{
+		Kind: driver.ProRace, Period: 1000, Seed: 3, EnablePT: true, Machine: w.Machine})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(w.Program, tr.Trace, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeTelemetryOff is the disabled-telemetry baseline: nil
+// registry, nil metric handles, zero extra allocations on the hot paths
+// (the contract the AllocsPerRun guards in internal/replay and
+// internal/race enforce). Compare against BenchmarkAnalyzeTelemetryOn to
+// price the observability; cmd/experiments -exp perf records the pair to
+// the BENCH json artifact.
+func BenchmarkAnalyzeTelemetryOff(b *testing.B) {
+	benchAnalyzeTelemetry(b, core.AnalysisOptions{Mode: replay.ModeForwardBackward})
+}
+
+// BenchmarkAnalyzeTelemetryOn runs the same analysis publishing into a
+// live registry: per-thread counter batches, stage spans, and one snapshot
+// per analysis.
+func BenchmarkAnalyzeTelemetryOn(b *testing.B) {
+	benchAnalyzeTelemetry(b, core.AnalysisOptions{
+		Mode: replay.ModeForwardBackward, Telemetry: telemetry.New()})
 }
 
 // BenchmarkShardedDetection measures address-sharded parallel FastTrack

@@ -21,6 +21,7 @@ import (
 
 	"prorace/internal/experiments"
 	"prorace/internal/profiling"
+	"prorace/internal/telemetry"
 	"prorace/internal/workload"
 )
 
@@ -33,6 +34,9 @@ func main() {
 	soak := flag.Bool("soak", false, "oracle experiment: full 200-seed soak with a dense determinism matrix")
 	oracleSeeds := flag.Int("oracle-seeds", 0, "override oracle differential-sweep seed count")
 	benchOut := flag.String("bench-out", "BENCH_PR3.json", "perf experiment: JSON measurement file")
+	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry on this address (/metrics, /debug/vars, /timeline, /debug/pprof)")
+	timeline := flag.String("timeline", "", "write a chrome://tracing stage-span timeline JSON to this file")
+	metricsHold := flag.Duration("metrics-hold", 0, "keep the -metrics-addr listener alive this long after the experiments finish (for scrapers)")
 	var prof profiling.Flags
 	prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -43,6 +47,35 @@ func main() {
 		os.Exit(1)
 	}
 	defer stopProf()
+
+	// Observability flags enable the process-wide telemetry registry, so
+	// every analysis the harness runs publishes into it without the
+	// experiment code knowing about telemetry at all.
+	var reg *telemetry.Registry
+	if *metricsAddr != "" || *timeline != "" {
+		reg = telemetry.EnableDefault()
+		if *metricsAddr != "" {
+			srv, err := telemetry.EnsureServer(*metricsAddr, reg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error: -metrics-addr:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", srv.Addr())
+		}
+		defer func() {
+			if *timeline != "" {
+				if err := reg.WriteTimelineFile(*timeline); err != nil {
+					fmt.Fprintln(os.Stderr, "error: -timeline:", err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "telemetry: wrote timeline %s (open in chrome://tracing)\n", *timeline)
+			}
+			if *metricsAddr != "" && *metricsHold > 0 {
+				fmt.Fprintf(os.Stderr, "telemetry: holding http://%s/metrics for %v\n", *metricsAddr, *metricsHold)
+				time.Sleep(*metricsHold)
+			}
+		}()
+	}
 
 	cfg := experiments.Quick()
 	if *full {

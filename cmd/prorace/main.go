@@ -14,12 +14,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"prorace"
 	"prorace/internal/bugs"
 	"prorace/internal/isa"
 	"prorace/internal/profiling"
 	"prorace/internal/report"
+	"prorace/internal/telemetry"
 	"prorace/internal/tracefmt"
 	"prorace/internal/workload"
 )
@@ -101,6 +103,9 @@ type commonFlags struct {
 	detectShards int
 	lenient      bool
 	faultSpec    string
+	metricsAddr  string
+	timeline     string
+	metricsHold  time.Duration
 	prof         profiling.Flags
 }
 
@@ -118,7 +123,62 @@ func addCommon(fs *flag.FlagSet) *commonFlags {
 	fs.IntVar(&c.detectShards, "detect-shards", 0, "detection shards (0/1 sequential, -1 GOMAXPROCS)")
 	fs.BoolVar(&c.lenient, "lenient", false, "salvage corrupt or truncated traces instead of failing (reports degradation)")
 	fs.StringVar(&c.faultSpec, "fault-spec", "", "inject trace faults before analysis, e.g. ptflip=0.01,syncgap=0.1:seed=7")
+	fs.StringVar(&c.metricsAddr, "metrics-addr", "", "serve live telemetry on this address (/metrics, /debug/vars, /timeline, /debug/pprof)")
+	fs.StringVar(&c.timeline, "timeline", "", "write a chrome://tracing stage-span timeline JSON to this file")
+	fs.DurationVar(&c.metricsHold, "metrics-hold", 0, "keep the -metrics-addr listener alive this long after the command finishes (for scrapers)")
 	return c
+}
+
+// startTelemetry enables the process-wide telemetry registry when any
+// observability flag is set, so every analysis the command runs publishes
+// into it without threading a registry through each call site. The
+// returned stop function writes the -timeline artifact and holds the
+// -metrics-addr listener open for -metrics-hold.
+func (c *commonFlags) startTelemetry() (func() error, error) {
+	if c.metricsAddr == "" && c.timeline == "" {
+		return func() error { return nil }, nil
+	}
+	reg := telemetry.EnableDefault()
+	if c.metricsAddr != "" {
+		srv, err := telemetry.EnsureServer(c.metricsAddr, reg)
+		if err != nil {
+			return nil, fmt.Errorf("-metrics-addr: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", srv.Addr())
+	}
+	return func() error {
+		if c.timeline != "" {
+			if err := reg.WriteTimelineFile(c.timeline); err != nil {
+				return fmt.Errorf("-timeline: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "telemetry: wrote timeline %s (open in chrome://tracing)\n", c.timeline)
+		}
+		if c.metricsAddr != "" && c.metricsHold > 0 {
+			fmt.Fprintf(os.Stderr, "telemetry: holding http://%s/metrics for %v\n", c.metricsAddr, c.metricsHold)
+			time.Sleep(c.metricsHold)
+		}
+		return nil
+	}, nil
+}
+
+// publishSalvage folds a lenient decode's SalvageInfo into the telemetry
+// registry (no-op when telemetry is off) — the CLI owns trace files, so it
+// owns the prorace_trace_salvage_* series too.
+func publishSalvage(sal *tracefmt.SalvageInfo) {
+	reg := telemetry.Default()
+	if reg == nil || sal == nil {
+		return
+	}
+	if sal.Degraded() {
+		reg.Counter("prorace_trace_salvage_runs_total", "Trace decodes that had to salvage (SalvageInfo.Degraded).").Inc()
+	}
+	if sal.Truncated {
+		reg.Counter("prorace_trace_salvage_truncated_total", "Salvaged traces that ended before their declared contents.").Inc()
+	}
+	reg.Counter("prorace_trace_salvage_torn_bytes_total", "Trailing bytes that did not form a whole record (SalvageInfo.TornBytes).").AddInt(sal.TornBytes)
+	reg.Counter("prorace_trace_salvage_dropped_pebs_total", "PEBS records lost to trace truncation (SalvageInfo.DroppedPEBS).").AddInt(sal.DroppedPEBS)
+	reg.Counter("prorace_trace_salvage_dropped_sync_total", "Sync records lost to trace truncation (SalvageInfo.DroppedSync).").AddInt(sal.DroppedSync)
+	reg.Counter("prorace_trace_salvage_dropped_pt_bytes_total", "PT stream bytes lost to trace truncation (SalvageInfo.DroppedPTBytes).").AddInt(sal.DroppedPTBytes)
 }
 
 func (c *commonFlags) resolve() (workload.Workload, *bugs.Built, error) {
@@ -210,6 +270,10 @@ func cmdRun(args []string) error {
 		return err
 	}
 	defer stopProf()
+	stopTel, err := c.startTelemetry()
+	if err != nil {
+		return err
+	}
 	if *overhead {
 		opts = append(opts, prorace.WithOverheadMeasurement())
 	}
@@ -243,7 +307,7 @@ func cmdRun(args []string) error {
 	if built != nil && *trials > 1 {
 		fmt.Printf("\ndetection probability: %d/%d\n", detected, *trials)
 	}
-	return nil
+	return stopTel()
 }
 
 func cmdTrace(args []string) error {
@@ -267,6 +331,10 @@ func cmdTrace(args []string) error {
 		return err
 	}
 	defer stopProf()
+	stopTel, err := c.startTelemetry()
+	if err != nil {
+		return err
+	}
 	res, err := prorace.TraceWith(w.Program, opts...)
 	if err != nil {
 		return err
@@ -283,7 +351,7 @@ func cmdTrace(args []string) error {
 	}
 	fmt.Printf("traced %s at period %d: overhead %.2f%%, %d samples, wrote %s\n",
 		w.Name, c.period, res.Overhead*100, res.Trace.SampleCount(), *out)
-	return nil
+	return stopTel()
 }
 
 func cmdAnalyze(args []string) error {
@@ -292,6 +360,10 @@ func cmdAnalyze(args []string) error {
 	in := fs.String("in", "prorace.trace", "input trace file")
 	fs.Parse(args)
 
+	stopTel, err := c.startTelemetry()
+	if err != nil {
+		return err
+	}
 	raw, err := os.ReadFile(*in)
 	if err != nil {
 		return fmt.Errorf("reading trace: %w", err)
@@ -303,6 +375,7 @@ func cmdAnalyze(args []string) error {
 		if err != nil {
 			return fmt.Errorf("trace %s is unrecognisable even leniently: %w", *in, err)
 		}
+		publishSalvage(sal)
 		if sal.Degraded() {
 			fmt.Printf("salvaged %s: truncated=%v, %d torn bytes, dropped %d PEBS + %d sync records + %d PT bytes\n",
 				*in, sal.Truncated, sal.TornBytes, sal.DroppedPEBS, sal.DroppedSync, sal.DroppedPTBytes)
@@ -341,7 +414,7 @@ func cmdAnalyze(args []string) error {
 	}
 	printDegradation(&ar.Degradation)
 	fmt.Print(prorace.FormatRaces(w.Program, ar.Reports))
-	return nil
+	return stopTel()
 }
 
 func cmdDisasm(args []string) error {

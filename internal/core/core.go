@@ -23,6 +23,7 @@ import (
 	"prorace/internal/replay"
 	"prorace/internal/synctrace"
 	"prorace/internal/synthesis"
+	"prorace/internal/telemetry"
 	"prorace/internal/tracefmt"
 )
 
@@ -56,6 +57,14 @@ type TraceOptions struct {
 	// (internal/oracle) uses this to record every memory access of the
 	// very execution whose sampled trace the pipeline analyzes.
 	WrapTracer func(machine.Tracer) machine.Tracer
+	// Telemetry receives the online phase's prorace_driver_* series and a
+	// "trace" stage span. Nil falls back to the process-wide default
+	// registry (telemetry.Default), which is itself nil unless a command
+	// enabled it — the zero-overhead disabled state.
+	Telemetry *telemetry.Registry
+	// MetricsAddr, when non-empty, guarantees a live telemetry HTTP
+	// listener on that address for the run (see WithMetricsAddr).
+	MetricsAddr string
 }
 
 // TraceResult is the outcome of the online phase.
@@ -77,6 +86,12 @@ func TraceProgram(p *prog.Program, opts TraceOptions) (*TraceResult, error) {
 	if opts.Period == 0 {
 		opts.Period = 10000
 	}
+	tel, telErr := resolveTelemetry(opts.Telemetry, opts.MetricsAddr)
+	if telErr != nil {
+		return nil, telErr
+	}
+	span := tel.StartSpan("trace")
+	defer span.End()
 	res := &TraceResult{}
 
 	if opts.MeasureOverhead {
@@ -102,6 +117,7 @@ func TraceProgram(p *prog.Program, opts TraceOptions) (*TraceResult, error) {
 		EnablePT:                 opts.EnablePT,
 		Costs:                    opts.Costs,
 		DisableRandomFirstPeriod: opts.DisableRandomFirstPeriod,
+		Telemetry:                tel,
 	})
 	tracer := machine.Tracer(d)
 	if opts.WrapTracer != nil {
@@ -177,6 +193,15 @@ type AnalysisOptions struct {
 	// DisablePathCache turns off decoded-path memoization (ablation /
 	// memory-constrained callers).
 	DisablePathCache bool
+	// Telemetry receives the offline phase's metric series and stage
+	// spans, and its snapshot is attached to AnalysisResult.Telemetry.
+	// Nil falls back to the process-wide default registry (nil unless a
+	// command enabled it); instrumentation is allocation-free when no
+	// registry is resolved.
+	Telemetry *telemetry.Registry
+	// MetricsAddr, when non-empty, guarantees a live telemetry HTTP
+	// listener on that address for the run (see WithMetricsAddr).
+	MetricsAddr string
 }
 
 // threadRetries resolves the ThreadRetries knob.
@@ -223,6 +248,12 @@ type AnalysisResult struct {
 	// Degradation accounts everything a lenient analysis had to give up
 	// (zero-valued on a clean strict or lenient run).
 	Degradation Degradation
+	// Telemetry is the metrics registry's snapshot taken as the analysis
+	// finished — counters, gauges, histograms and completed stage spans.
+	// Nil when the analysis ran without telemetry. When analyses share a
+	// registry (the cmds' process-wide default), counters accumulate
+	// across runs and the snapshot reflects the registry, not one run.
+	Telemetry *telemetry.Snapshot
 }
 
 // TotalTime is the full offline analysis duration.
@@ -289,6 +320,12 @@ func Analyze(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions) (*Analys
 	workers := workerCount(opts.Workers)
 	shards := shardCount(opts.DetectShards)
 	retries := threadRetries(opts.ThreadRetries)
+	tel, telErr := resolveTelemetry(opts.Telemetry, opts.MetricsAddr)
+	if telErr != nil {
+		return nil, telErr
+	}
+	span := tel.StartSpan("analyze")
+	defer span.End()
 	res := &AnalysisResult{Workers: workers, DetectShards: shards}
 	deg := &res.Degradation
 
@@ -312,6 +349,7 @@ func Analyze(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions) (*Analys
 	}
 
 	t0 := time.Now()
+	spanDecode := tel.StartSpan("decode+synthesis")
 	var tts map[int32]*synthesis.ThreadTrace
 	var err error
 	sopts := synthesis.Options{Lenient: !opts.Strict, MaxSteps: opts.DecodeMaxSteps}
@@ -344,7 +382,9 @@ func Analyze(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions) (*Analys
 			cache.Put(ckey, tts)
 		}
 	}
+	spanDecode.End()
 	res.DecodeTime = time.Since(t0)
+	publishSynthesis(tel, tts, res.DecodeCacheHit)
 
 	// Account what decoding gave up, and check the sync log's invariants:
 	// dropped sync records silently widen happens-before (edges can only
@@ -355,8 +395,8 @@ func Analyze(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions) (*Analys
 	gaps := synctrace.AnalyzeLog(tr.Sync)
 	deg.SyncAnomalies = gaps.Anomalies()
 
-	ropts := race.Options{TrackAllocations: !opts.DisableAllocationTracking, MaxReports: opts.MaxReports}
-	engine := replay.NewEngine(p, replay.Config{Mode: opts.Mode})
+	ropts := race.Options{TrackAllocations: !opts.DisableAllocationTracking, MaxReports: opts.MaxReports, Telemetry: tel}
+	engine := replay.NewEngine(p, replay.Config{Mode: opts.Mode, Telemetry: tel})
 	if opts.DisableMemoryEmulation {
 		engine = engine.DisableMemoryEmulation()
 	}
@@ -366,10 +406,12 @@ func Analyze(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions) (*Analys
 		det      race.ReportSink
 	)
 	if workers > 1 {
+		spanStream := tel.StartSpan("reconstruct+detect")
 		var rstats replay.Stats
 		var reconT, detT time.Duration
 		var terrs []*ThreadError
 		accesses, rstats, det, reconT, detT, terrs = streamPass(engine, tts, tr.Sync, workers, shards, ropts, retries)
+		spanStream.End()
 		if err := absorbThreadErrors(terrs, opts.Strict, deg); err != nil {
 			return nil, err
 		}
@@ -377,9 +419,11 @@ func Analyze(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions) (*Analys
 		res.ReconstructTime, res.DetectTime = reconT, detT
 	} else {
 		t1 := time.Now()
+		spanRecon := tel.StartSpan("reconstruct")
 		var rstats replay.Stats
 		var terrs []*ThreadError
 		accesses, rstats, terrs = reconstructGuarded(engine, tts, retries)
+		spanRecon.End()
 		if err := absorbThreadErrors(terrs, opts.Strict, deg); err != nil {
 			return nil, err
 		}
@@ -387,9 +431,11 @@ func Analyze(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions) (*Analys
 		res.ReplayStats = rstats
 
 		t2 := time.Now()
+		spanDetect := tel.StartSpan("detect")
 		det = newReportSink(shards, ropts)
 		race.Feed(det, tr.Sync, accesses)
 		det.Finish()
+		spanDetect.End()
 		res.DetectTime = time.Since(t2)
 	}
 
@@ -399,7 +445,8 @@ func Analyze(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions) (*Analys
 	// detect again.
 	if !opts.DisableRaceFeedback && opts.Mode != replay.ModeBasicBlock &&
 		!opts.DisableMemoryEmulation && len(det.RacyAddrSet()) > 0 {
-		engine2 := replay.NewEngine(p, replay.Config{Mode: opts.Mode, InvalidAddrs: det.RacyAddrSet()})
+		spanFeedback := tel.StartSpan("feedback")
+		engine2 := replay.NewEngine(p, replay.Config{Mode: opts.Mode, InvalidAddrs: det.RacyAddrSet(), Telemetry: tel})
 		if workers > 1 {
 			// The streamed pass detects while it reconstructs; adopt its
 			// output only when the invalidation actually changed the trace.
@@ -434,12 +481,15 @@ func Analyze(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions) (*Analys
 				res.Regenerated = true
 			}
 		}
+		spanFeedback.End()
 	}
 
 	res.Accesses = accesses
 	res.Reports = det.Reports()
 	res.RacyAddrs = det.RacyAddrSet()
 	flagGapAdjacent(res, tts, gaps, deg)
+	publishAnalysis(tel, res)
+	res.Telemetry = tel.Snapshot()
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strconv"
 	"sync"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"prorace/internal/race"
 	"prorace/internal/replay"
 	"prorace/internal/synthesis"
+	"prorace/internal/telemetry"
 	"prorace/internal/tracefmt"
 )
 
@@ -149,6 +151,11 @@ func streamPass(engine *replay.Engine, tts map[int32]*synthesis.ThreadTrace, syn
 		agg   replay.Stats
 		terrs []*ThreadError
 	)
+	// Per-thread reconstruction lanes in the timeline (track 1+tid so
+	// thread lanes never collide with the top-level stage track 0). The
+	// guard keeps the hot loop allocation-free when telemetry is off: no
+	// name string is built for a nil registry.
+	tel := ropts.Telemetry
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -156,12 +163,17 @@ func streamPass(engine *replay.Engine, tts map[int32]*synthesis.ThreadTrace, syn
 			defer wg.Done()
 			for tid := range work {
 				tid := tid
+				var sp *telemetry.Span
+				if tel != nil {
+					sp = tel.StartSpanTrack("reconstruct t"+strconv.Itoa(int(tid)), 1+int(tid))
+				}
 				var acc []replay.Access
 				var st replay.Stats
 				te := runWithRetry(tid, "reconstruct", retries, func() error {
 					acc, st = engine.ReconstructThread(tts[tid])
 					return nil
 				})
+				sp.End()
 				if te != nil {
 					mu.Lock()
 					terrs = append(terrs, te)

@@ -13,6 +13,7 @@ import (
 	"prorace/internal/replay"
 	"prorace/internal/report"
 	"prorace/internal/synthesis"
+	"prorace/internal/telemetry"
 	"prorace/internal/workload"
 )
 
@@ -117,6 +118,15 @@ func (h *Harness) Perf() (*PerfResult, error) {
 	add("parallel_analysis/workers", analysis(core.AnalysisOptions{Mode: replay.ModeForwardBackward, Workers: -1}))
 	add("parallel_analysis/workers+shards", analysis(core.AnalysisOptions{
 		Mode: replay.ModeForwardBackward, Workers: -1, DetectShards: -1}))
+
+	// analyze_telemetry — BenchmarkAnalyzeTelemetryOff/On: the same full
+	// analysis with telemetry disabled (nil registry — must match
+	// parallel_analysis/sequential, the 0-extra-cost contract) vs
+	// publishing every stage's series into a live registry (the enabled
+	// overhead, dominated by one snapshot per analysis).
+	add("analyze_telemetry/off", analysis(core.AnalysisOptions{Mode: replay.ModeForwardBackward}))
+	add("analyze_telemetry/on", analysis(core.AnalysisOptions{
+		Mode: replay.ModeForwardBackward, Telemetry: telemetry.New()}))
 
 	// replay_forward_backward — BenchmarkReplayForwardBackward: the
 	// reconstruction engine alone, synthesis prebuilt.

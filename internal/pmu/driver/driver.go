@@ -23,6 +23,7 @@ import (
 	"prorace/internal/pmu/pebs"
 	"prorace/internal/pmu/pt"
 	"prorace/internal/synctrace"
+	"prorace/internal/telemetry"
 	"prorace/internal/tracefmt"
 )
 
@@ -141,6 +142,10 @@ type Options struct {
 	// the unit's 64 KB default). Tests shrink it to force frequent
 	// interrupt-driven segment swaps.
 	DSBufferRecords int
+	// Telemetry receives the driver's prorace_driver_* counters, published
+	// once in Finish so the hot tracing path stays untouched. Nil disables
+	// publication.
+	Telemetry *telemetry.Registry
 }
 
 // Driver is the online tracing stack attached to one machine run.
@@ -160,6 +165,9 @@ type Driver struct {
 	pollCharged map[int32]bool
 	ptFraction  map[int32]float64 // accumulated fractional PT cost
 	ptBegun     map[int32]bool    // threads whose PT stream has its anchor
+
+	tel        *telemetry.Registry
+	interrupts uint64 // DS drains with records: ring wraps / segment swaps
 }
 
 // New builds a driver for the machine. Attach it with m.SetTracer before
@@ -185,6 +193,7 @@ func New(m *machine.Machine, opts Options) *Driver {
 		pollCharged: map[int32]bool{},
 		ptFraction:  map[int32]float64{},
 		ptBegun:     map[int32]bool{},
+		tel:         opts.Telemetry,
 	}
 	if opts.EnablePT {
 		filters := opts.Filters
@@ -289,6 +298,7 @@ func (d *Driver) handleInterrupt(tid int32, tsc uint64) uint64 {
 	if len(recs) == 0 {
 		return 0
 	}
+	d.interrupts++
 	d.trace.PEBS[tid] = append(d.trace.PEBS[tid], recs...)
 
 	bytes := uint64(len(recs)) * tracefmt.PEBSRecordSize
@@ -331,7 +341,36 @@ func (d *Driver) Finish() *tracefmt.Trace {
 	d.trace.Sync = d.sync.Records()
 	d.trace.WallCycles = d.m.Now()
 	d.trace.DroppedSamples = d.pebs.Dropped
+	d.publish()
 	return d.trace
+}
+
+// publish folds the completed trace's counters into the telemetry
+// registry: one batch of Adds per traced run, nothing on the per-event
+// path. Stored+dropped equals samples emitted, and every emitted sample
+// implies one counter rearm — the period_resets series.
+func (d *Driver) publish() {
+	if d.tel == nil {
+		return
+	}
+	var stored, ptBytes uint64
+	for _, recs := range d.trace.PEBS {
+		stored += uint64(len(recs))
+	}
+	for _, stream := range d.trace.PT {
+		ptBytes += uint64(len(stream))
+	}
+	tel := d.tel
+	tel.Counter("prorace_driver_traces_total", "Completed online tracing runs.").Inc()
+	tel.Counter("prorace_driver_samples_emitted_total", "PEBS samples captured by the counter (stored + dropped).").Add(stored + d.pebs.Dropped)
+	tel.Counter("prorace_driver_samples_stored_total", "PEBS records written to the trace file.").Add(stored)
+	tel.Counter("prorace_driver_samples_dropped_total", "PEBS records lost to the store-spacing rule.").Add(d.pebs.Dropped)
+	tel.Counter("prorace_driver_period_resets_total", "PEBS counter rearms after a period expiry.").Add(stored + d.pebs.Dropped)
+	tel.Counter("prorace_driver_ring_wraps_total", "DS-buffer drains (vanilla ring copies / ProRace segment swaps).").Add(d.interrupts)
+	tel.Counter("prorace_driver_throttled_events_total", "Memory events skipped while the counter was throttle-suspended.").Add(d.pebs.Throttled)
+	tel.Counter("prorace_driver_pt_bytes_total", "Intel PT stream bytes collected.").Add(ptBytes)
+	tel.Counter("prorace_driver_sync_records_total", "Synchronization shim records collected.").Add(uint64(len(d.trace.Sync)))
+	tel.Histogram("prorace_trace_bytes", "Per-run collected trace size in bytes (PEBS + PT).", telemetry.SizeBuckets).Observe(float64(stored*tracefmt.PEBSRecordSize + ptBytes))
 }
 
 // DroppedSamples reports PEBS records lost to the store-spacing rule.

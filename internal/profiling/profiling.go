@@ -1,13 +1,16 @@
 // Package profiling wires the standard Go profilers into the command-line
-// tools: CPU profile, heap profile, and runtime execution trace. Commands
-// register the three flags on their flag set and bracket main with Start —
-// the profiles are written where `go tool pprof` / `go tool trace` expect
-// them.
+// tools: CPU profile, heap profile, blocking/mutex-contention profiles,
+// and runtime execution trace. Commands register the flags on their flag
+// set and bracket main with Start — the profiles are written where
+// `go tool pprof` / `go tool trace` expect them. AttachPprof additionally
+// exposes the live net/http/pprof handlers for telemetry servers.
 package profiling
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	nhpprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -19,20 +22,37 @@ type Flags struct {
 	CPU   string
 	Mem   string
 	Trace string
+	// Block and Mutex are written on stop from the goroutine-blocking and
+	// mutex-contention profiles; enabling them sets
+	// runtime.SetBlockProfileRate(BlockRate) and
+	// runtime.SetMutexProfileFraction(MutexFraction) for the process
+	// lifetime, which is how shard contention becomes visible in pprof.
+	Block string
+	Mutex string
+	// BlockRate is the nanoseconds-blocked sampling threshold passed to
+	// runtime.SetBlockProfileRate when Block is set; 0 means 1 (sample
+	// every blocking event).
+	BlockRate int
+	// MutexFraction is the sampling fraction passed to
+	// runtime.SetMutexProfileFraction when Mutex is set; 0 means 1.
+	MutexFraction int
 }
 
-// Register installs -cpuprofile, -memprofile and -trace on fs.
+// Register installs -cpuprofile, -memprofile, -blockprofile, -mutexprofile
+// and -trace on fs.
 func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&f.Block, "blockprofile", "", "write a goroutine blocking profile to this file on exit")
+	fs.StringVar(&f.Mutex, "mutexprofile", "", "write a mutex contention profile to this file on exit")
 	fs.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to this file")
 }
 
 // Start begins the requested collectors. The returned stop function must
 // run before the process exits (defer it right after a successful Start);
-// it flushes the heap profile and closes the CPU profile and trace.
-// Failures to write a profile are reported on stderr, never fatal: the
-// command's real work has already succeeded by then.
+// it flushes the heap/block/mutex profiles and closes the CPU profile and
+// trace. Failures to write a profile are reported on stderr, never fatal:
+// the command's real work has already succeeded by then.
 func (f *Flags) Start() (stop func(), err error) {
 	var cpuFile, traceFile *os.File
 	if f.CPU != "" {
@@ -63,6 +83,20 @@ func (f *Flags) Start() (stop func(), err error) {
 			return nil, fmt.Errorf("-trace: %w", err)
 		}
 	}
+	if f.Block != "" {
+		rate := f.BlockRate
+		if rate <= 0 {
+			rate = 1
+		}
+		runtime.SetBlockProfileRate(rate)
+	}
+	if f.Mutex != "" {
+		frac := f.MutexFraction
+		if frac <= 0 {
+			frac = 1
+		}
+		runtime.SetMutexProfileFraction(frac)
+	}
 	return func() {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
@@ -77,16 +111,49 @@ func (f *Flags) Start() (stop func(), err error) {
 			}
 		}
 		if f.Mem != "" {
-			out, err := os.Create(f.Mem)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "memprofile:", err)
-				return
-			}
-			defer out.Close()
-			runtime.GC() // materialise the final live set
-			if err := pprof.Lookup("allocs").WriteTo(out, 0); err != nil {
-				fmt.Fprintln(os.Stderr, "memprofile:", err)
-			}
+			writeLookup("memprofile", f.Mem, "allocs", true)
+		}
+		if f.Block != "" {
+			writeLookup("blockprofile", f.Block, "block", false)
+			runtime.SetBlockProfileRate(0)
+		}
+		if f.Mutex != "" {
+			writeLookup("mutexprofile", f.Mutex, "mutex", false)
+			runtime.SetMutexProfileFraction(0)
 		}
 	}, nil
+}
+
+// writeLookup dumps a named runtime profile to path, reporting failures on
+// stderr.
+func writeLookup(flagName, path, profile string, gcFirst bool) {
+	out, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, flagName+":", err)
+		return
+	}
+	defer out.Close()
+	if gcFirst {
+		runtime.GC() // materialise the final live set
+	}
+	p := pprof.Lookup(profile)
+	if p == nil {
+		fmt.Fprintf(os.Stderr, "%s: unknown profile %q\n", flagName, profile)
+		return
+	}
+	if err := p.WriteTo(out, 0); err != nil {
+		fmt.Fprintln(os.Stderr, flagName+":", err)
+	}
+}
+
+// AttachPprof registers the live net/http/pprof handlers under
+// /debug/pprof/ on mux, the same endpoints net/http/pprof installs on the
+// default mux. Telemetry servers reuse this so a -metrics-addr listener
+// also serves CPU/heap/block/mutex profiles of the running analysis.
+func AttachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", nhpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", nhpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", nhpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", nhpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", nhpprof.Trace)
 }

@@ -2,20 +2,29 @@ package profiling
 
 import (
 	"flag"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestRegisterWiresAllFlags(t *testing.T) {
 	var f Flags
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
 	f.Register(fs)
-	if err := fs.Parse([]string{"-cpuprofile", "cpu.out", "-memprofile", "mem.out", "-trace", "trace.out"}); err != nil {
+	if err := fs.Parse([]string{"-cpuprofile", "cpu.out", "-memprofile", "mem.out", "-trace", "trace.out",
+		"-blockprofile", "block.out", "-mutexprofile", "mutex.out"}); err != nil {
 		t.Fatalf("parse: %v", err)
 	}
 	if f.CPU != "cpu.out" || f.Mem != "mem.out" || f.Trace != "trace.out" {
 		t.Fatalf("flags not wired: %+v", f)
+	}
+	if f.Block != "block.out" || f.Mutex != "mutex.out" {
+		t.Fatalf("block/mutex flags not wired: %+v", f)
 	}
 }
 
@@ -58,6 +67,74 @@ func TestStartNoFlagsIsNoop(t *testing.T) {
 		t.Fatalf("start with no flags: %v", err)
 	}
 	stop() // must not panic or create files
+}
+
+// TestBlockAndMutexProfiles: Start must enable the runtime collectors (they
+// are off by default) and stop must write the profiles and disable the
+// collectors again.
+func TestBlockAndMutexProfiles(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{
+		Block: filepath.Join(dir, "block.out"),
+		Mutex: filepath.Join(dir, "mutex.out"),
+	}
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	// Generate real contention for both collectors: a mutex two goroutines
+	// fight over, and a channel receive that blocks.
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				mu.Lock()
+				time.Sleep(50 * time.Microsecond)
+				mu.Unlock()
+			}
+		}()
+	}
+	ch := make(chan struct{})
+	go func() { time.Sleep(5 * time.Millisecond); close(ch) }()
+	<-ch
+	wg.Wait()
+	stop()
+
+	for _, path := range []string{f.Block, f.Mutex} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("profile %s missing: %v", path, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+	// stop must have turned the collectors back off.
+	if runtime.SetMutexProfileFraction(-1) != 0 {
+		t.Error("mutex profiling left enabled after stop")
+	}
+}
+
+// TestAttachPprof serves the live pprof handlers off a plain mux.
+func TestAttachPprof(t *testing.T) {
+	mux := http.NewServeMux()
+	AttachPprof(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
 }
 
 func TestStartUncreatableCPUPathFails(t *testing.T) {

@@ -67,6 +67,13 @@ type Path struct {
 	// CorruptPackets counts malformed packets and sync-point mismatches
 	// encountered (lenient mode; strict mode stops at the first).
 	CorruptPackets int
+	// Packets counts the well-formed packets consumed from the stream —
+	// deterministic per stream, feeding the prorace_ptdecode_packets_total
+	// telemetry series.
+	Packets int
+	// Resyncs counts recovery events that re-anchored the walk at a PSB
+	// sync point (scans after damage plus in-place PSB re-anchors).
+	Resyncs int
 }
 
 // Len returns the number of decoded steps.
@@ -193,6 +200,7 @@ func (d *decoder) refill() {
 				d.done = true
 				return
 			}
+			d.path.Resyncs++
 			if !d.draining {
 				d.anchor, d.anchorOK = pc, true
 			}
@@ -202,6 +210,7 @@ func (d *decoder) refill() {
 			d.done = true
 			return
 		}
+		d.path.Packets++
 		switch pkt.Kind {
 		case tracefmt.PktTNT, tracefmt.PktTNT6:
 			for i := uint8(0); i < pkt.NBits; i++ {
@@ -227,6 +236,7 @@ func (d *decoder) refill() {
 					d.done = true
 					return
 				}
+				d.path.Resyncs++
 				d.anchor, d.anchorOK = pc, true
 				continue
 			}
@@ -249,6 +259,7 @@ func (d *decoder) refill() {
 					Reason: fmt.Sprintf("PSB anchor %#x disagrees with walk at %#x", pkt.Target, d.walkPC),
 				})
 				d.stack = d.stack[:0] // the encoder reset its stack at the PSB
+				d.path.Resyncs++
 				d.anchor, d.anchorOK = pkt.Target, true
 			}
 		}
@@ -309,6 +320,7 @@ func (d *decoder) reanchor(reason string) (uint64, bool) {
 		d.done = true
 		return 0, false
 	}
+	d.path.Resyncs++
 	return pc, true
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"prorace/internal/replay"
+	"prorace/internal/telemetry"
 	"prorace/internal/tracefmt"
 )
 
@@ -73,3 +74,68 @@ type countSink struct{}
 func (countSink) HandleSync(*tracefmt.SyncRecord) {}
 
 func (countSink) HandleAccess(*replay.Access) {}
+
+// TestShardedTelemetryOffAddsNoAllocs pins the disabled-telemetry contract
+// on the sharded detection path: without a registry the detector holds a
+// nil queue-depth histogram and nil registry handle, its feeder tallies are
+// plain ints, and the instrumentation calls on the flush path are exactly
+// zero allocations.
+func TestShardedTelemetryOffAddsNoAllocs(t *testing.T) {
+	d := NewShardedDetector(2, Options{})
+	defer d.Finish()
+	if d.tel != nil || d.queueDepth != nil {
+		t.Fatal("sharded detector without telemetry must hold nil handles")
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		d.queueDepth.Observe(3)
+		d.publish()
+	}); avg != 0 {
+		t.Errorf("disabled-telemetry sharded instrumentation: %.1f allocs/run, want 0", avg)
+	}
+}
+
+// TestShardedTelemetryCounts cross-checks the sharded pass's published
+// series: feeder-side event counts are exact (sync broadcasts counted once,
+// not per shard), per-shard events sum to nSync*shards + nAccess, and the
+// read-shared inflation sum across shards equals the sequential detector's
+// count for the same trace.
+func TestShardedTelemetryCounts(t *testing.T) {
+	sync, accesses := shardScenario()
+	nAccess := 0
+	for _, accs := range accesses {
+		nAccess += len(accs)
+	}
+
+	seq := NewDetector(Options{TrackAllocations: true})
+	Feed(seq, sync, accesses)
+	seq.Finish()
+
+	reg := telemetry.New()
+	const shards = 4
+	d := DetectSharded(sync, accesses, shards, Options{TrackAllocations: true, Telemetry: reg})
+	_ = d
+	s := reg.Snapshot()
+
+	if got := s.Counter("prorace_detect_sync_events_total"); got != uint64(len(sync)) {
+		t.Errorf("sync events = %d, want %d", got, len(sync))
+	}
+	if got := s.Counter("prorace_detect_access_events_total"); got != uint64(nAccess) {
+		t.Errorf("access events = %d, want %d", got, nAccess)
+	}
+	if got := s.Counter("prorace_detect_read_share_inflations_total"); got != uint64(seq.inflations) {
+		t.Errorf("sharded inflation sum = %d, sequential = %d", got, seq.inflations)
+	}
+	if got := s.Gauges["prorace_detect_shards"]; got != shards {
+		t.Errorf("shards gauge = %d, want %d", got, shards)
+	}
+	var perShard uint64
+	for i := 0; i < shards; i++ {
+		perShard += s.Counter(telemetry.Label("prorace_detect_shard_events_total", "shard", i))
+	}
+	if want := uint64(len(sync)*shards + nAccess); perShard != want {
+		t.Errorf("per-shard event sum = %d, want %d (sync broadcast to every shard)", perShard, want)
+	}
+	if got := s.Histograms["prorace_detect_queue_depth"].Count; got == 0 {
+		t.Error("queue-depth histogram recorded no flushes")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"prorace/internal/replay"
+	"prorace/internal/telemetry"
 	"prorace/internal/tracefmt"
 	"prorace/internal/vc"
 )
@@ -74,6 +75,10 @@ type Options struct {
 	// on via Detect; disable for the ablation that shows the §4.3
 	// address-reuse false positive).
 	TrackAllocations bool
+	// Telemetry receives the prorace_detect_* series, published once in
+	// Finish. The event hot path only maintains plain per-detector ints;
+	// nil disables publication entirely.
+	Telemetry *telemetry.Registry
 }
 
 // Detector runs FastTrack over a merged event stream.
@@ -89,6 +94,13 @@ type Detector struct {
 	// RacyAddrs collects distinct addresses with detected races, for the
 	// §5.1 invalidation/regeneration feedback into the replay engine.
 	RacyAddrs map[uint64]bool
+
+	// Plain event tallies for telemetry: ints on the single-goroutine hot
+	// path, flushed to the registry once in Finish.
+	nSync      int
+	nAccess    int
+	inflations int // epoch → vector-clock read-state transitions
+	published  bool
 }
 
 type varKey struct {
@@ -127,8 +139,15 @@ func NewDetector(opts Options) *Detector {
 	}
 }
 
+// HandleSync processes one synchronization record.
+func (d *Detector) HandleSync(rec *tracefmt.SyncRecord) {
+	d.nSync++
+	d.hbState.HandleSync(rec)
+}
+
 // HandleAccess processes one memory access of the extended trace.
 func (d *Detector) HandleAccess(a *replay.Access) {
+	d.nAccess++
 	tid := a.TID
 	c := d.clock(tid)
 	key := varKey{addr: a.Addr, gen: d.genOf(a.Addr)}
@@ -186,6 +205,7 @@ func (d *Detector) HandleAccess(a *replay.Access) {
 		return
 	}
 	// Inflate to read-shared.
+	d.inflations++
 	v.rShared = vc.New()
 	v.rShared.Set(v.r.TID(), v.r.Clock())
 	v.rShared.Set(tid, me.Clock())
@@ -210,9 +230,25 @@ func (d *Detector) report(a *replay.Access, prior AccessInfo) {
 // Reports returns the deduplicated race reports.
 func (d *Detector) Reports() []Report { return d.reports }
 
-// Finish is a no-op: the sequential detector is complete after the last
-// event. It exists so Detector satisfies ReportSink.
-func (d *Detector) Finish() {}
+// Finish completes the detector: the sequential detector needs no
+// draining, so this only flushes the event tallies into the telemetry
+// registry (once — repeated calls are no-ops), keeping Detector a valid
+// ReportSink.
+func (d *Detector) Finish() {
+	tel := d.opts.Telemetry
+	if tel == nil || d.published {
+		return
+	}
+	d.published = true
+	publishDetect(tel, d.nSync, d.nAccess, d.inflations)
+}
+
+// publishDetect folds one detection pass's tallies into the registry.
+func publishDetect(tel *telemetry.Registry, nSync, nAccess, inflations int) {
+	tel.Counter("prorace_detect_sync_events_total", "Synchronization records processed by detection.").AddInt(nSync)
+	tel.Counter("prorace_detect_access_events_total", "Memory accesses processed by detection.").AddInt(nAccess)
+	tel.Counter("prorace_detect_read_share_inflations_total", "FastTrack read-epoch to vector-clock (read-shared) transitions.").AddInt(inflations)
+}
 
 // RacyAddrSet returns the distinct racy addresses, for the §5.1 feedback.
 func (d *Detector) RacyAddrSet() map[uint64]bool { return d.RacyAddrs }

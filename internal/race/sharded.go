@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"prorace/internal/replay"
+	"prorace/internal/telemetry"
 	"prorace/internal/tracefmt"
 )
 
@@ -44,6 +45,13 @@ type ShardedDetector struct {
 
 	reports []Report
 	racy    map[uint64]bool
+
+	// Telemetry: plain tallies on the feeder goroutine plus a queue-depth
+	// histogram sampled once per flushed chunk. All nil/zero when disabled.
+	tel        *telemetry.Registry
+	queueDepth *telemetry.Histogram
+	nSync      int
+	nAccess    int
 }
 
 // shardChunkSize amortises channel traffic: events are handed to shard
@@ -115,10 +123,20 @@ func NewShardedDetector(n int, opts Options) *ShardedDetector {
 		pending: make([][]shardEvent, n),
 		free:    make(chan []shardEvent, 4*n),
 		racy:    map[uint64]bool{},
+		tel:     opts.Telemetry,
 	}
+	if d.tel != nil {
+		d.queueDepth = d.tel.Histogram("prorace_detect_queue_depth",
+			"Shard-worker channel depth observed at each chunk flush (scheduling-dependent).", telemetry.DepthBuckets)
+	}
+	// Inner detectors never publish themselves: the sharded detector owns
+	// the merged telemetry so sync broadcasts are not counted once per
+	// shard.
+	innerOpts := opts
+	innerOpts.Telemetry = nil
 	for i := range d.shards {
 		w := &shardWorker{
-			inner: NewDetector(opts),
+			inner: NewDetector(innerOpts),
 			ch:    make(chan []shardEvent, 4),
 			free:  d.free,
 			done:  make(chan struct{}),
@@ -151,6 +169,7 @@ func (d *ShardedDetector) flush(i int) {
 	if len(d.pending[i]) == 0 {
 		return
 	}
+	d.queueDepth.Observe(float64(len(d.shards[i].ch)))
 	d.shards[i].ch <- d.pending[i]
 	select {
 	case buf := <-d.free:
@@ -163,6 +182,7 @@ func (d *ShardedDetector) flush(i int) {
 // HandleSync broadcasts one synchronization record to every shard.
 func (d *ShardedDetector) HandleSync(rec *tracefmt.SyncRecord) {
 	d.seq++
+	d.nSync++
 	for i := range d.shards {
 		d.push(i, shardEvent{seq: d.seq, sync: rec})
 	}
@@ -171,6 +191,7 @@ func (d *ShardedDetector) HandleSync(rec *tracefmt.SyncRecord) {
 // HandleAccess routes one memory access to its address's shard.
 func (d *ShardedDetector) HandleAccess(a *replay.Access) {
 	d.seq++
+	d.nAccess++
 	d.push(d.shardOf(a.Addr), shardEvent{seq: d.seq, acc: a})
 }
 
@@ -205,6 +226,27 @@ func (d *ShardedDetector) Finish() {
 		seen[t.r.Key()] = true
 		d.reports = append(d.reports, t.r)
 	}
+	d.publish()
+}
+
+// publish folds the sharded pass's tallies into the registry: merged event
+// counts from the feeder (sync broadcasts counted once, not per shard),
+// read-shared inflations summed across shards (each address lives in
+// exactly one shard, so the sum equals the sequential detector's count),
+// and a per-shard events_total series for load-balance visibility.
+func (d *ShardedDetector) publish() {
+	if d.tel == nil {
+		return
+	}
+	inflations := 0
+	for i, w := range d.shards {
+		inflations += w.inner.inflations
+		d.tel.Counter(telemetry.Label("prorace_detect_shard_events_total", "shard", i),
+			"Events processed per detection shard (sync broadcasts + routed accesses).").
+			AddInt(w.inner.nSync + w.inner.nAccess)
+	}
+	publishDetect(d.tel, d.nSync, d.nAccess, inflations)
+	d.tel.Gauge("prorace_detect_shards", "Shard workers in the most recent sharded detection pass.").Set(int64(len(d.shards)))
 }
 
 // Reports returns the deduplicated race reports; Finish must have run.

@@ -6,6 +6,7 @@ import (
 	"prorace/internal/machine"
 	"prorace/internal/pmu/driver"
 	"prorace/internal/synthesis"
+	"prorace/internal/telemetry"
 	"prorace/internal/workload"
 )
 
@@ -49,5 +50,58 @@ func TestReconstructAllSteadyStateAllocs(t *testing.T) {
 	if avg > budget {
 		t.Errorf("steady-state ReconstructAll: %.1f allocs/run over %d accesses, budget %d",
 			avg, st.Total(), budget)
+	}
+}
+
+// TestTelemetryOffAddsNoAllocs pins the disabled-telemetry contract on the
+// replay hot path: an engine built without a registry holds nil metric
+// handles, and every instrumentation call through them — the per-thread
+// publish batch and the per-reconstruction recycle/iteration calls — is
+// exactly zero allocations.
+func TestTelemetryOffAddsNoAllocs(t *testing.T) {
+	w, _ := allocWorkload(t)
+	engine := NewEngine(w.Program, Config{Mode: ModeForwardBackward})
+	m := engine.met
+	if m.threads != nil || m.sampled != nil || m.iterations != nil || m.recycles != nil {
+		t.Fatal("engine without telemetry must hold nil metric handles")
+	}
+	st := Stats{Sampled: 10, Forward: 20, Backward: 5, PathSteps: 100, MemSteps: 40, Iterations: 2}
+	if avg := testing.AllocsPerRun(100, func() {
+		m.recycles.Inc()
+		m.publish(&st)
+	}); avg != 0 {
+		t.Errorf("disabled-telemetry instrumentation: %.1f allocs/run, want 0", avg)
+	}
+}
+
+// TestReconstructTelemetryMatchesStats cross-checks the published series
+// against the returned Stats — the registry is a second read path for the
+// same deterministic values, so they must agree exactly.
+func TestReconstructTelemetryMatchesStats(t *testing.T) {
+	w, tts := allocWorkload(t)
+	reg := telemetry.New()
+	engine := NewEngine(w.Program, Config{Mode: ModeForwardBackward, Telemetry: reg})
+	_, st := engine.ReconstructAll(tts)
+	s := reg.Snapshot()
+	checks := []struct {
+		name string
+		want int
+	}{
+		{"prorace_replay_threads_total", len(tts)},
+		{"prorace_replay_accesses_sampled_total", st.Sampled},
+		{"prorace_replay_accesses_forward_total", st.Forward},
+		{"prorace_replay_accesses_backward_total", st.Backward},
+		{"prorace_replay_accesses_bb_total", st.BasicBlock},
+		{"prorace_replay_path_steps_total", st.PathSteps},
+		{"prorace_replay_mem_steps_total", st.MemSteps},
+		{"prorace_replay_invalid_hits_total", st.InvalidHits},
+	}
+	for _, c := range checks {
+		if got := s.Counter(c.name); got != uint64(c.want) {
+			t.Errorf("%s = %d, want %d", c.name, got, c.want)
+		}
+	}
+	if got := s.Histograms["prorace_replay_iterations"].Count; got != uint64(len(tts)) {
+		t.Errorf("iterations histogram count = %d, want one observation per thread (%d)", got, len(tts))
 	}
 }

@@ -124,6 +124,9 @@ func (ps *pathState) release() {
 // reconstructPath runs the path-guided modes (Forward, ForwardBackward).
 func (e *Engine) reconstructPath(tt *synthesis.ThreadTrace) ([]Access, Stats) {
 	ps := e.states.Get().(*pathState)
+	if ps.origin != nil {
+		e.met.recycles.Inc() // warm state: prior capacity is being reused
+	}
 	defer func() {
 		ps.release()
 		e.states.Put(ps)

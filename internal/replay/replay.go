@@ -29,6 +29,7 @@ import (
 	"prorace/internal/isa"
 	"prorace/internal/prog"
 	"prorace/internal/synthesis"
+	"prorace/internal/telemetry"
 	"prorace/internal/tracefmt"
 )
 
@@ -73,6 +74,11 @@ type Config struct {
 	// be trusted — the detector feeds back racy locations here and
 	// reconstruction is re-run, implementing §5.1's trace regeneration.
 	InvalidAddrs map[uint64]bool
+	// Telemetry receives the prorace_replay_* series. Metric handles are
+	// resolved once at NewEngine and flushed once per reconstructed thread;
+	// nil leaves every handle nil, making the instrumented calls no-ops
+	// with zero allocations (see alloc_test.go).
+	Telemetry *telemetry.Registry
 }
 
 // How an access was obtained, for the Figure 11 breakdown.
@@ -150,6 +156,56 @@ type Engine struct {
 	// steady-state reconstruction reuses the per-path arrays and map
 	// buckets instead of reallocating them for every thread.
 	states *sync.Pool
+	met    engineMetrics
+}
+
+// engineMetrics caches the engine's telemetry handles; the zero value
+// (all nil) is the disabled state and every call through it is a no-op.
+type engineMetrics struct {
+	threads     *telemetry.Counter
+	sampled     *telemetry.Counter
+	forward     *telemetry.Counter
+	backward    *telemetry.Counter
+	bb          *telemetry.Counter
+	pathSteps   *telemetry.Counter
+	memSteps    *telemetry.Counter
+	invalidHits *telemetry.Counter
+	recycles    *telemetry.Counter
+	iterations  *telemetry.Histogram
+}
+
+func newEngineMetrics(tel *telemetry.Registry) engineMetrics {
+	if tel == nil {
+		return engineMetrics{}
+	}
+	return engineMetrics{
+		threads:     tel.Counter("prorace_replay_threads_total", "Threads reconstructed."),
+		sampled:     tel.Counter("prorace_replay_accesses_sampled_total", "Accesses taken directly from PEBS records (replay.Stats.Sampled)."),
+		forward:     tel.Counter("prorace_replay_accesses_forward_total", "Accesses recovered by forward replay (replay.Stats.Forward)."),
+		backward:    tel.Counter("prorace_replay_accesses_backward_total", "Accesses recovered only by backward replay (replay.Stats.Backward)."),
+		bb:          tel.Counter("prorace_replay_accesses_bb_total", "Accesses recovered by static basic-block reconstruction (replay.Stats.BasicBlock)."),
+		pathSteps:   tel.Counter("prorace_replay_path_steps_total", "Decoded path steps walked (replay.Stats.PathSteps)."),
+		memSteps:    tel.Counter("prorace_replay_mem_steps_total", "Memory-access instructions on walked paths (replay.Stats.MemSteps)."),
+		invalidHits: tel.Counter("prorace_replay_invalid_hits_total", "Accesses suppressed by §5.1 racy-address feedback (replay.Stats.InvalidHits)."),
+		recycles:    tel.Counter("prorace_replay_pool_recycles_total", "Reconstructions served by a warm pooled pathState."),
+		iterations:  tel.Histogram("prorace_replay_iterations", "Forward/backward fixed-point rounds per thread (replay.Stats.Iterations).", telemetry.DepthBuckets),
+	}
+}
+
+// publish flushes one thread's stats into the registry — a single batch of
+// atomic adds per thread, nothing per step.
+func (m *engineMetrics) publish(st *Stats) {
+	m.threads.Inc()
+	m.sampled.AddInt(st.Sampled)
+	m.forward.AddInt(st.Forward)
+	m.backward.AddInt(st.Backward)
+	m.bb.AddInt(st.BasicBlock)
+	m.pathSteps.AddInt(st.PathSteps)
+	m.memSteps.AddInt(st.MemSteps)
+	m.invalidHits.AddInt(st.InvalidHits)
+	if m.iterations != nil {
+		m.iterations.Observe(float64(st.Iterations))
+	}
 }
 
 // NewEngine returns an engine with defaults applied.
@@ -170,6 +226,7 @@ func NewEngine(p *prog.Program, cfg Config) *Engine {
 		p:      p,
 		cfg:    cfg,
 		states: &sync.Pool{New: func() any { return &pathState{} }},
+		met:    newEngineMetrics(cfg.Telemetry),
 	}
 }
 
@@ -185,12 +242,18 @@ func (e *Engine) DisableMemoryEmulation() *Engine {
 
 // ReconstructThread produces the extended memory trace of one thread.
 func (e *Engine) ReconstructThread(tt *synthesis.ThreadTrace) ([]Access, Stats) {
+	var (
+		acc []Access
+		st  Stats
+	)
 	switch e.cfg.Mode {
 	case ModeBasicBlock:
-		return e.reconstructBB(tt)
+		acc, st = e.reconstructBB(tt)
 	default:
-		return e.reconstructPath(tt)
+		acc, st = e.reconstructPath(tt)
 	}
+	e.met.publish(&st)
+	return acc, st
 }
 
 // ReconstructAll runs reconstruction over every thread, returning accesses

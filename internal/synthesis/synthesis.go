@@ -56,6 +56,10 @@ type ThreadTrace struct {
 	anchors []anchor // for TSC estimation, ascending StepIndex
 }
 
+// Anchors reports how many TSC anchors the synthesis built for this
+// thread — the prorace_synthesis_anchors_total telemetry series.
+func (tt *ThreadTrace) Anchors() int { return len(tt.anchors) }
+
 type anchor struct {
 	step int
 	tsc  uint64

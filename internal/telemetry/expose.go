@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"prorace/internal/profiling"
+)
+
+// familyOf strips the label part of a rendered metric name:
+// `x_total{shard="3"}` → `x_total`.
+func familyOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// withLabel merges an extra label into a rendered name:
+// withLabel(`x`, `le`, `1`) → `x{le="1"}`;
+// withLabel(`x{shard="3"}`, `le`, `1`) → `x{shard="3",le="1"}`.
+func withLabel(name, key, value string) string {
+	if strings.HasSuffix(name, "}") {
+		return fmt.Sprintf("%s,%s=%q}", name[:len(name)-1], key, value)
+	}
+	return fmt.Sprintf("%s{%s=%q}", name, key, value)
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format (version 0.0.4), sorted by name so the output is stable. A nil
+// registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	type entry struct {
+		name string
+		typ  string
+		help string
+		emit func(io.Writer) error
+	}
+	r.mu.Lock()
+	entries := make([]entry, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		c := c
+		entries = append(entries, entry{name, "counter", c.help, func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "%s %d\n", c.name, c.Value())
+			return err
+		}})
+	}
+	for name, g := range r.gauges {
+		g := g
+		entries = append(entries, entry{name, "gauge", g.help, func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "%s %d\n", g.name, g.Value())
+			return err
+		}})
+	}
+	for name, h := range r.hists {
+		h := h
+		entries = append(entries, entry{name, "histogram", h.help, func(w io.Writer) error {
+			var cum uint64
+			for i, b := range h.bounds {
+				cum += h.counts[i].Load()
+				if _, err := fmt.Fprintf(w, "%s %d\n", withLabel(h.name+"_bucket", "le", formatFloat(b)), cum); err != nil {
+					return err
+				}
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			if _, err := fmt.Fprintf(w, "%s %d\n", withLabel(h.name+"_bucket", "le", "+Inf"), cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n", h.name, formatFloat(h.Sum())); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "%s_count %d\n", h.name, h.Count())
+			return err
+		}})
+	}
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	lastFamily := ""
+	for _, e := range entries {
+		if fam := familyOf(e.name); fam != lastFamily {
+			lastFamily = fam
+			if e.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, e.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, e.typ); err != nil {
+				return err
+			}
+		}
+		if err := e.emit(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the registry's snapshot as indented expvar-style JSON
+// (the /debug/vars payload). A nil registry writes an empty object.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r.Snapshot())
+}
+
+// NewMux returns the telemetry HTTP handler set: /metrics (Prometheus
+// text), /debug/vars (expvar-style JSON snapshot), /timeline
+// (chrome://tracing trace events), and /debug/pprof/* via
+// internal/profiling.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/timeline", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		reg.WriteTimeline(w)
+	})
+	profiling.AttachPprof(mux)
+	return mux
+}
+
+// Server is a live telemetry HTTP listener.
+type Server struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts a telemetry HTTP server on addr (host:port; port 0 picks a
+// free port) and returns once the listener is accepting.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{reg: reg, ln: ln, srv: &http.Server{Handler: NewMux(reg), ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the listener's resolved address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Registry returns the registry the server scrapes.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+var (
+	serversMu sync.Mutex
+	servers   = make(map[string]*Server)
+)
+
+// EnsureServer starts (or reuses) the process-wide telemetry server for
+// addr. The first call for an address creates the listener bound to reg;
+// subsequent calls with the same addr return the existing server, so
+// library entry points can call this unconditionally per analysis.
+func EnsureServer(addr string, reg *Registry) (*Server, error) {
+	serversMu.Lock()
+	defer serversMu.Unlock()
+	if s, ok := servers[addr]; ok {
+		return s, nil
+	}
+	s, err := Serve(addr, reg)
+	if err != nil {
+		return nil, err
+	}
+	servers[addr] = s
+	return s, nil
+}

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServe starts a real listener on an ephemeral port and scrapes every
+// endpoint the mux serves.
+func TestServe(t *testing.T) {
+	r := New()
+	r.Counter("prorace_test_total", "Test counter.").Add(42)
+	sp := r.StartSpan("stage")
+	sp.End()
+
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Registry() != r {
+		t.Fatal("Registry() mismatch")
+	}
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.Contains(metrics, "prorace_test_total 42") {
+		t.Errorf("/metrics missing counter:\n%s", metrics)
+	}
+	if !strings.Contains(ctype, "version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+
+	vars, _ := get("/debug/vars")
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(vars), &snap); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if snap.Counters["prorace_test_total"] != 42 {
+		t.Errorf("/debug/vars counter = %d", snap.Counters["prorace_test_total"])
+	}
+
+	timeline, _ := get("/timeline")
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(timeline), &doc); err != nil {
+		t.Fatalf("/timeline not JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Error("/timeline missing traceEvents")
+	}
+
+	if body, _ := get("/debug/pprof/"); !strings.Contains(body, "profile") {
+		t.Errorf("/debug/pprof/ index looks wrong:\n%.200s", body)
+	}
+}
+
+// TestEnsureServer reuses one listener per address.
+func TestEnsureServer(t *testing.T) {
+	r := New()
+	s1, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	addr := s1.Addr()
+	serversMu.Lock()
+	servers[addr] = s1
+	serversMu.Unlock()
+	defer func() {
+		serversMu.Lock()
+		delete(servers, addr)
+		serversMu.Unlock()
+	}()
+	s2, err := EnsureServer(addr, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s1 {
+		t.Fatal("EnsureServer must reuse the existing server for an address")
+	}
+}

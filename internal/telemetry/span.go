@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"time"
+)
+
+// SpanEvent is one completed stage span: a named interval on a track.
+// Start is relative to the registry's epoch, so a snapshot's spans are
+// directly comparable and render on a shared timeline. Track groups spans
+// into lanes (0 = the pipeline's top-level stages; per-thread work uses
+// 1+TID, per-shard work uses 1+shard).
+type SpanEvent struct {
+	Name  string        `json:"name"`
+	Track int           `json:"track"`
+	Start time.Duration `json:"start"`
+	Dur   time.Duration `json:"dur"`
+}
+
+// Span is an in-flight stage span; End completes it and appends it to the
+// registry's span log. A nil Span (from a nil registry) is a no-op.
+type Span struct {
+	r     *Registry
+	name  string
+	track int
+	t0    time.Time
+}
+
+// StartSpan opens a span on track 0. Returns nil (a no-op span) on a nil
+// registry — the only allocation happens when telemetry is enabled.
+func (r *Registry) StartSpan(name string) *Span { return r.StartSpanTrack(name, 0) }
+
+// StartSpanTrack opens a span on an explicit track lane.
+func (r *Registry) StartSpanTrack(name string, track int) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{r: r, name: name, track: track, t0: time.Now()}
+}
+
+// End completes the span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	ev := SpanEvent{
+		Name:  s.name,
+		Track: s.track,
+		Start: s.t0.Sub(s.r.epoch),
+		Dur:   time.Since(s.t0),
+	}
+	s.r.spanMu.Lock()
+	s.r.spans = append(s.r.spans, ev)
+	s.r.spanMu.Unlock()
+}
+
+// traceEvent is one chrome://tracing "complete" event (ph="X"); ts and dur
+// are microseconds.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+}
+
+// timelineFile is the trace-event container format chrome://tracing and
+// https://ui.perfetto.dev load directly.
+type timelineFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTimeline renders the completed spans as a chrome://tracing
+// trace-event JSON document. Tracks map to tids, so top-level stages and
+// per-thread/per-shard work appear as separate lanes.
+func (r *Registry) WriteTimeline(w io.Writer) error {
+	var spans []SpanEvent
+	if r != nil {
+		r.spanMu.Lock()
+		spans = append(spans, r.spans...)
+		r.spanMu.Unlock()
+	}
+	tf := timelineFile{TraceEvents: make([]traceEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	for _, ev := range spans {
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: ev.Name,
+			Cat:  "pipeline",
+			Ph:   "X",
+			PID:  1,
+			TID:  ev.Track,
+			TS:   float64(ev.Start) / float64(time.Microsecond),
+			Dur:  float64(ev.Dur) / float64(time.Microsecond),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(tf)
+}
+
+// WriteTimelineFile writes the timeline artifact to path.
+func (r *Registry) WriteTimelineFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteTimeline(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

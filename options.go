@@ -154,6 +154,31 @@ func WithoutPathCache() Option {
 	return func(_ *TraceOptions, a *AnalysisOptions) { a.DisablePathCache = true }
 }
 
+// WithTelemetry routes both phases' metrics and stage spans into reg (see
+// NewTelemetry). A nil registry keeps telemetry disabled — the default,
+// which adds zero allocations to the pipeline's hot paths. The registry's
+// snapshot is attached to AnalysisResult.Telemetry.
+func WithTelemetry(reg *Telemetry) Option {
+	return func(t *TraceOptions, a *AnalysisOptions) {
+		t.Telemetry = reg
+		a.Telemetry = reg
+	}
+}
+
+// WithMetricsAddr guarantees a live telemetry HTTP listener on addr
+// (e.g. "localhost:9100") for the run, serving Prometheus text at
+// /metrics, expvar-style JSON at /debug/vars, a chrome://tracing timeline
+// at /timeline, and net/http/pprof under /debug/pprof/. If no registry
+// was supplied via WithTelemetry, the process-wide default registry is
+// enabled and served. The listener is shared: repeated runs with the same
+// addr reuse one server.
+func WithMetricsAddr(addr string) Option {
+	return func(t *TraceOptions, a *AnalysisOptions) {
+		t.MetricsAddr = addr
+		a.MetricsAddr = addr
+	}
+}
+
 // WithThreadRetries sets how many extra attempts a transiently-failing
 // per-thread stage gets before the thread is dropped (lenient) or the
 // analysis aborts (strict). 0 means the default of one retry; negative

@@ -71,6 +71,7 @@ import (
 	"prorace/internal/replay"
 	"prorace/internal/report"
 	"prorace/internal/synthesis"
+	"prorace/internal/telemetry"
 	"prorace/internal/workload"
 )
 
@@ -118,6 +119,14 @@ type (
 	ExperimentConfig = experiments.Config
 	// Experiments regenerates the paper's tables and figures.
 	Experiments = experiments.Harness
+	// Telemetry is a metrics registry capturing the pipeline's counters,
+	// gauges, histograms and stage spans (see NewTelemetry/WithTelemetry).
+	Telemetry = telemetry.Registry
+	// TelemetrySnapshot is a frozen view of a Telemetry registry, attached
+	// to AnalysisResult.Telemetry when telemetry is enabled.
+	TelemetrySnapshot = telemetry.Snapshot
+	// MetricsServer is a live telemetry HTTP listener (see ServeMetrics).
+	MetricsServer = telemetry.Server
 )
 
 // Driver kinds.
@@ -231,6 +240,22 @@ func FormatRaces(p *Program, rs []Report) string { return report.FormatRaces(p, 
 
 // FormatRace renders one race report with symbol names.
 func FormatRace(p *Program, r Report) string { return report.FormatRace(p, r) }
+
+// NewTelemetry returns an empty metrics registry. Pass it to runs via
+// WithTelemetry (or the phase options' Telemetry fields); every pipeline
+// stage then publishes its prorace_* series and stage spans into it.
+// Expose it with ServeMetrics, render it with its WritePrometheus /
+// WriteJSON / WriteTimeline methods, or read AnalysisResult.Telemetry.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// ServeMetrics starts an HTTP listener on addr (e.g. "localhost:9100",
+// or ":0" for an ephemeral port — see Server.Addr) serving reg's
+// Prometheus text at /metrics, expvar-style JSON at /debug/vars, a
+// chrome://tracing timeline at /timeline, and net/http/pprof under
+// /debug/pprof/. Close the returned server to release the port.
+func ServeMetrics(addr string, reg *Telemetry) (*MetricsServer, error) {
+	return telemetry.Serve(addr, reg)
+}
 
 // NewExperiments creates the evaluation harness that regenerates the
 // paper's tables and figures.
