@@ -5,7 +5,7 @@
 //	experiments -exp fig6,fig10          # selected figures
 //	experiments -exp table2 -full        # paper-scale (100 traces per cell)
 //	experiments -exp table2 -trials 25
-//	experiments -exp perf                # offline-pipeline benchmarks -> BENCH_PR3.json
+//	experiments -exp perf                # offline-pipeline benchmarks -> BENCH_PR6.json
 //	experiments -exp fig12 -cpuprofile cpu.out -memprofile mem.out
 //
 // The mapping from each experiment to the paper's artifact is DESIGN.md §4;
@@ -33,7 +33,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base scheduler seed")
 	soak := flag.Bool("soak", false, "oracle experiment: full 200-seed soak with a dense determinism matrix")
 	oracleSeeds := flag.Int("oracle-seeds", 0, "override oracle differential-sweep seed count")
-	benchOut := flag.String("bench-out", "BENCH_PR3.json", "perf experiment: JSON measurement file")
+	benchOut := flag.String("bench-out", "BENCH_PR6.json", "perf experiment: JSON measurement file")
 	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry on this address (/metrics, /debug/vars, /timeline, /debug/pprof)")
 	timeline := flag.String("timeline", "", "write a chrome://tracing stage-span timeline JSON to this file")
 	metricsHold := flag.Duration("metrics-hold", 0, "keep the -metrics-addr listener alive this long after the experiments finish (for scrapers)")

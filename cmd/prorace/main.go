@@ -279,6 +279,9 @@ func cmdRun(args []string) error {
 	}
 
 	detected := 0
+	// One deduplicating sink across all trials: a race re-detected under a
+	// different seed prints once, not once per trial.
+	printer := report.NewPrinter(w.Program, os.Stdout)
 	for trial := 0; trial < *trials; trial++ {
 		seed := c.seed + int64(trial)*7919
 		res, err := prorace.RunWith(w.Program, append(opts, prorace.WithSeed(seed))...)
@@ -302,10 +305,18 @@ func cmdRun(args []string) error {
 			}
 		}
 		printDegradation(&ar.Degradation)
-		fmt.Print(prorace.FormatRaces(w.Program, ar.Reports))
+		if len(ar.Reports) == 0 {
+			fmt.Println("  no data races detected")
+		} else {
+			fmt.Printf("  %d data race(s) in this trace:\n", len(ar.Reports))
+		}
+		printer.Publish(ar.Reports)
+	}
+	if *trials > 1 {
+		fmt.Printf("\n%d distinct data race(s) across %d trials\n", printer.Printed(), *trials)
 	}
 	if built != nil && *trials > 1 {
-		fmt.Printf("\ndetection probability: %d/%d\n", detected, *trials)
+		fmt.Printf("detection probability: %d/%d\n", detected, *trials)
 	}
 	return stopTel()
 }

@@ -1,0 +1,221 @@
+// Command proraced is the continuous fleet-monitoring daemon: it ingests
+// PRSG-framed trace segments from many tenants over HTTP, re-analyses each
+// tenant's rolling window incrementally on the segment-resumable analysis
+// API, and maintains a persistent deduplicating race-report store.
+//
+//	proraced serve -listen :7077 -store /var/lib/proraced/reports.json
+//	proraced send -addr localhost:7077 -tenant web-1 -bug apache-21287 -segments 8
+//
+// The serve listener co-hosts the full observability surface: /metrics,
+// /debug/vars and /debug/pprof next to /ingest, /program, /reports,
+// /tenants and /healthz.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"prorace/internal/bugs"
+	"prorace/internal/core"
+	"prorace/internal/monitor"
+	"prorace/internal/pmu/driver"
+	"prorace/internal/prog"
+	"prorace/internal/progtest"
+	"prorace/internal/telemetry"
+	"prorace/internal/tracefmt"
+	"prorace/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "send":
+		err = cmdSend(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: proraced <command> [flags]
+
+commands:
+  serve     run the monitoring daemon
+  send      trace a workload locally and stream it to a daemon in segments`)
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:7077", "HTTP listen address")
+	store := fs.String("store", "", "persistent report store path (empty = in memory)")
+	window := fs.Int("window", 8, "rolling window: segments re-analysed per tenant round")
+	queueDepth := fs.Int("queue-depth", 32, "pending segments per tenant before admission rejection")
+	workers := fs.Int("workers", 2, "analysis worker pool size (0 = analyse inline on ingest)")
+	analysisWorkers := fs.Int("analysis-workers", 0, "replay workers per analysis round (0 sequential, -1 GOMAXPROCS)")
+	detectShards := fs.Int("detect-shards", 0, "detection shards per analysis round (0/1 sequential, -1 GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg := telemetry.New()
+	m, err := monitor.New(monitor.Config{
+		Window:     *window,
+		QueueDepth: *queueDepth,
+		Workers:    *workers,
+		StorePath:  *store,
+		// Strict stays false: a degraded window is a tenant problem, not a
+		// daemon problem.
+		Analysis: core.AnalysisOptions{
+			Workers:      *analysisWorkers,
+			DetectShards: *detectShards,
+		},
+		Telemetry: reg,
+	})
+	if err != nil {
+		return err
+	}
+	mux := telemetry.NewMux(reg)
+	m.Attach(mux)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("-listen: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "proraced: serving http://%s (store %s, window %d, %d workers)\n",
+		ln.Addr(), storeLabel(*store), *window, *workers)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "proraced: %v, draining\n", s)
+	case err := <-done:
+		m.Close()
+		return err
+	}
+	srv.Close()
+	if err := m.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "proraced: store persisted, bye")
+	return nil
+}
+
+func storeLabel(path string) string {
+	if path == "" {
+		return "in-memory"
+	}
+	return path
+}
+
+func cmdSend(args []string) error {
+	fs := flag.NewFlagSet("send", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7077", "daemon address")
+	tenant := fs.String("tenant", "", "tenant tag for this stream (required)")
+	workloadName := fs.String("workload", "", "built-in workload to trace")
+	bugID := fs.String("bug", "", "Table 2 bug id to trace (alternative to -workload)")
+	oracleSeed := fs.Int64("oracle-seed", 0, "trace an oracle-generated concurrent program with this generator seed (alternative to -workload/-bug)")
+	scale := fs.Int("scale", 1, "workload scale factor")
+	period := fs.Uint64("period", 10000, "PEBS sampling period")
+	seed := fs.Int64("seed", 1, "scheduler seed")
+	segments := fs.Int("segments", 8, "PRSG segments to split the trace into")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tenant == "" {
+		return fmt.Errorf("-tenant is required")
+	}
+	if *segments < 1 {
+		*segments = 1
+	}
+
+	var (
+		p   *prog.Program
+		mc  = workload.Workload{}.Machine
+		err error
+	)
+	switch {
+	case *oracleSeed != 0:
+		p, _ = progtest.ConcurrentProgram(rand.New(rand.NewSource(*oracleSeed)))
+	case *bugID != "":
+		bug, err := bugs.ByID(*bugID)
+		if err != nil {
+			return err
+		}
+		built := bug.Build(workload.Scale(*scale))
+		p, mc = built.Workload.Program, built.Workload.Machine
+	case *workloadName != "":
+		w, err := workload.ByName(*workloadName, workload.Scale(*scale))
+		if err != nil {
+			return err
+		}
+		p, mc = w.Program, w.Machine
+	default:
+		return fmt.Errorf("one of -workload, -bug or -oracle-seed is required")
+	}
+
+	fmt.Fprintf(os.Stderr, "proraced send: tracing %s (period %d, seed %d)\n", p.Name, *period, *seed)
+	tr, err := core.TraceProgram(p, core.TraceOptions{
+		Kind:     driver.ProRace,
+		Period:   *period,
+		Seed:     *seed,
+		EnablePT: true,
+		Machine:  mc,
+	})
+	if err != nil {
+		return err
+	}
+
+	base := "http://" + *addr
+	if err := post(base+"/program", prog.EncodeImage(p)); err != nil {
+		return fmt.Errorf("uploading program image: %w", err)
+	}
+	segs := tr.Trace.Split(*segments)
+	for i, seg := range segs {
+		frame := tracefmt.EncodeSegment(tracefmt.SegmentHeader{
+			Seq:    uint64(i),
+			Tenant: *tenant,
+			Final:  i == len(segs)-1,
+		}, seg)
+		if err := post(base+"/ingest?tenant="+*tenant, frame); err != nil {
+			return fmt.Errorf("segment %d/%d: %w", i+1, len(segs), err)
+		}
+		fmt.Fprintf(os.Stderr, "proraced send: segment %d/%d accepted (%d bytes)\n", i+1, len(segs), len(frame))
+	}
+	return nil
+}
+
+func post(url string, body []byte) error {
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}

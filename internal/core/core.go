@@ -202,6 +202,13 @@ type AnalysisOptions struct {
 	// MetricsAddr, when non-empty, guarantees a live telemetry HTTP
 	// listener on that address for the run (see WithMetricsAddr).
 	MetricsAddr string
+	// SegmentSize, when > 0, routes the analysis through an Analyzer
+	// session fed the trace in segments of at most this many serialised
+	// bytes — the exerciser for the segment-resumable path. Results are
+	// byte-identical to SegmentSize == 0 (the session re-concatenates
+	// segments before decode); the knob exists so whole-trace callers and
+	// tests cover the exact code path streaming ingest uses.
+	SegmentSize int
 }
 
 // threadRetries resolves the ThreadRetries knob.
@@ -239,6 +246,9 @@ type AnalysisResult struct {
 	// analysis actually ran with (after GOMAXPROCS expansion).
 	Workers      int
 	DetectShards int
+	// Segments is the number of trace segments the producing Analyzer
+	// session accepted (0 for a plain whole-trace Analyze).
+	Segments int
 	// Regenerated is true when the §5.1 feedback loop re-ran
 	// reconstruction with racy locations invalidated.
 	Regenerated bool
@@ -317,6 +327,9 @@ func newReportSink(shards int, ropts race.Options) race.ReportSink {
 // regions and failing threads degrade the result (see Degradation) instead
 // of aborting it.
 func Analyze(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions) (*AnalysisResult, error) {
+	if opts.SegmentSize > 0 {
+		return analyzeSegmented(p, tr, opts)
+	}
 	workers := workerCount(opts.Workers)
 	shards := shardCount(opts.DetectShards)
 	retries := threadRetries(opts.ThreadRetries)
@@ -491,6 +504,26 @@ func Analyze(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions) (*Analys
 	publishAnalysis(tel, res)
 	res.Telemetry = tel.Snapshot()
 	return res, nil
+}
+
+// analyzeSegmented honours AnalysisOptions.SegmentSize: split the trace
+// into serialised chunks of at most that many bytes and drive them through
+// an Analyzer session — the same path streamed ingest takes.
+func analyzeSegmented(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions) (*AnalysisResult, error) {
+	n := int((tr.TotalBytes() + uint64(opts.SegmentSize) - 1) / uint64(opts.SegmentSize))
+	if n < 1 {
+		n = 1
+	}
+	a, err := NewAnalyzer(p, opts) // clears SegmentSize for the session's rounds
+	if err != nil {
+		return nil, err
+	}
+	for _, seg := range tr.Split(n) {
+		if err := a.Feed(seg); err != nil {
+			return nil, err
+		}
+	}
+	return a.Finish()
 }
 
 // synthesizeGuarded is the sequential synthesis pass with per-thread error

@@ -105,13 +105,20 @@ type Degradation struct {
 	// corrupt container attributed to impossible thread IDs and that the
 	// analysis discarded (see sanitizeTrace).
 	InvalidTIDDrops int
+	// RejectedSegments counts trace segments an Analyzer session refused
+	// (foreign run header, nil segment). The session itself stays healthy;
+	// the refusals are surfaced here so every subsequent result says the
+	// window may be missing data.
+	RejectedSegments int
+	// SegmentRejections holds the rejection reasons, in arrival order.
+	SegmentRejections []string
 }
 
 // Degraded reports whether the analysis lost anything.
 func (d *Degradation) Degraded() bool {
 	return d.Injected != "" || len(d.ThreadErrors) > 0 || len(d.DroppedThreads) > 0 ||
 		d.CorruptPTPackets > 0 || d.DecodeGaps > 0 || d.PTBytesSkipped > 0 ||
-		d.SyncAnomalies > 0 || d.InvalidTIDDrops > 0
+		d.SyncAnomalies > 0 || d.InvalidTIDDrops > 0 || d.RejectedSegments > 0
 }
 
 // CoverageLossPct estimates the fraction of the control-flow trace lost,
@@ -154,6 +161,9 @@ func (d *Degradation) Summary() string {
 	}
 	if d.InvalidTIDDrops > 0 {
 		fmt.Fprintf(&b, "invalid thread ids: %d streams/records dropped\n", d.InvalidTIDDrops)
+	}
+	if d.RejectedSegments > 0 {
+		fmt.Fprintf(&b, "rejected segments: %d (%s)\n", d.RejectedSegments, strings.Join(d.SegmentRejections, "; "))
 	}
 	return strings.TrimRight(b.String(), "\n")
 }

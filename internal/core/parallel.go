@@ -13,22 +13,6 @@ import (
 	"prorace/internal/tracefmt"
 )
 
-// AnalyzeParallel is Analyze with worker-pool fan-out — the parallelisation
-// §7.6 points out: "PT records are independent of each other, and the
-// forward-and-backward replay can also be performed region by region,
-// making it suitable for using multiple analysis machines."
-//
-// Deprecated: set AnalysisOptions.Workers (and DetectShards) and call
-// Analyze instead; this wrapper only translates its workers argument
-// (<= 0 selects GOMAXPROCS, matching its historical behaviour).
-func AnalyzeParallel(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions, workers int) (*AnalysisResult, error) {
-	if workers <= 0 {
-		workers = -1
-	}
-	opts.Workers = workers
-	return Analyze(p, tr, opts)
-}
-
 // synthesizeParallel decodes and pins each thread concurrently, with the
 // same per-thread error isolation as the sequential pass: a failing or
 // panicking thread is dropped in lenient mode (recorded in deg) and aborts

@@ -29,7 +29,9 @@ func TestParallelAnalysisMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := AnalyzeParallel(built.Workload.Program, tr.Trace, opts, 8)
+	popts := opts
+	popts.Workers = 8
+	par, err := Analyze(built.Workload.Program, tr.Trace, popts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +154,7 @@ func TestParallelAnalysisDefaultWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ar, err := AnalyzeParallel(w.Program, tr.Trace, AnalysisOptions{Mode: replay.ModeForwardBackward}, 0)
+	ar, err := Analyze(w.Program, tr.Trace, AnalysisOptions{Mode: replay.ModeForwardBackward, Workers: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

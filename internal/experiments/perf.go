@@ -119,6 +119,16 @@ func (h *Harness) Perf() (*PerfResult, error) {
 	add("parallel_analysis/workers+shards", analysis(core.AnalysisOptions{
 		Mode: replay.ModeForwardBackward, Workers: -1, DetectShards: -1}))
 
+	// segmented_analysis — the session API's cost contract: feeding the
+	// trace as 8 segments through an Analyzer (merge + one deferred
+	// analysis at Finish) vs the identical one-shot Analyze. The results
+	// are byte-identical (the equivalence matrix proves it); this row
+	// prices the segment accounting and re-merge the daemon path adds.
+	add("segmented_analysis/oneshot", analysis(core.AnalysisOptions{Mode: replay.ModeForwardBackward}))
+	segSize := int(mysqlTrace.Trace.TotalBytes()/8) + 1
+	add("segmented_analysis/segments=8", analysis(core.AnalysisOptions{
+		Mode: replay.ModeForwardBackward, SegmentSize: segSize}))
+
 	// analyze_telemetry — BenchmarkAnalyzeTelemetryOff/On: the same full
 	// analysis with telemetry disabled (nil registry — must match
 	// parallel_analysis/sequential, the 0-extra-cost contract) vs

@@ -1,0 +1,97 @@
+package monitor
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"prorace/internal/prog"
+)
+
+// maxBodyBytes bounds uploaded frame and image bodies; segments are
+// deliberately small (a producer flushes every few MB), so this is far
+// above any legitimate request.
+const maxBodyBytes = 256 << 20
+
+// Attach registers the daemon's HTTP surface on mux:
+//
+//	POST /ingest?tenant=NAME   one PRSG segment frame (body)
+//	POST /program              one PRIM program image (body)
+//	GET  /reports              the deduplicated race-report store (JSON)
+//	GET  /tenants              per-tenant stream health (JSON)
+//	GET  /healthz              liveness
+//
+// Pass telemetry.NewMux's mux to co-host /metrics on the same listener.
+func (m *Monitor) Attach(mux *http.ServeMux) {
+	mux.HandleFunc("/ingest", m.handleIngest)
+	mux.HandleFunc("/program", m.handleProgram)
+	mux.HandleFunc("/reports", m.handleReports)
+	mux.HandleFunc("/tenants", m.handleTenants)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+}
+
+func (m *Monitor) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	tenant := r.URL.Query().Get("tenant")
+	if tenant == "" {
+		http.Error(w, "missing tenant parameter", http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch err := m.Ingest(tenant, body); {
+	case err == nil:
+		w.WriteHeader(http.StatusAccepted)
+	case errors.Is(err, ErrQueueFull):
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		// Corrupt frame or unresolvable program: the producer's fault,
+		// recorded against its tenant only.
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func (m *Monitor) handleProgram(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	p, err := prog.DecodeImage(body)
+	if err != nil {
+		http.Error(w, "decoding image: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	m.RegisterProgram(p)
+	io.WriteString(w, p.Name+"\n")
+}
+
+func (m *Monitor) handleReports(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, m.store.Reports())
+}
+
+func (m *Monitor) handleTenants(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, m.Tenants())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}

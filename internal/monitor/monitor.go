@@ -1,0 +1,480 @@
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"prorace/internal/bugs"
+	"prorace/internal/core"
+	"prorace/internal/prog"
+	"prorace/internal/telemetry"
+	"prorace/internal/tracefmt"
+	"prorace/internal/workload"
+)
+
+// Classified ingest failures. The HTTP layer maps them to status codes;
+// in-process callers can errors.Is against them.
+var (
+	// ErrCorruptSegment reports a frame that failed PRSG decoding. The
+	// tenant's degradation record absorbs it; the window is untouched.
+	ErrCorruptSegment = errors.New("monitor: corrupt segment")
+	// ErrQueueFull reports admission rejection: the tenant's pending queue
+	// is at capacity and the segment was dropped (the producer retries).
+	ErrQueueFull = errors.New("monitor: tenant queue full")
+	// ErrClosed reports ingestion into a shut-down monitor.
+	ErrClosed = errors.New("monitor: closed")
+	// ErrUnknownProgram reports a segment naming a program the daemon
+	// cannot resolve (no uploaded image, no built-in workload or bug).
+	ErrUnknownProgram = errors.New("monitor: unknown program")
+)
+
+// Config parameterises a Monitor.
+type Config struct {
+	// Window is how many most-recent segments of each tenant's stream are
+	// re-analysed per round (the rolling window). Default 8.
+	Window int
+	// QueueDepth bounds each tenant's pending (ingested but not yet
+	// analysed) segments; beyond it Ingest rejects with ErrQueueFull.
+	// Default 32.
+	QueueDepth int
+	// Workers is the analysis worker-pool size. 0 means synchronous:
+	// Ingest runs the analysis round inline before returning
+	// (deterministic, used by tests and small deployments).
+	Workers int
+	// StorePath is the persistent report store location ("" = in memory).
+	StorePath string
+	// Analysis configures each window's analysis round. Telemetry and
+	// MetricsAddr inside it are ignored — the monitor owns telemetry.
+	Analysis core.AnalysisOptions
+	// Telemetry receives the proraced_* series (nil disables).
+	Telemetry *telemetry.Registry
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+// tenant is one producer's stream state. Lifecycle: Ingest appends decoded
+// segments to pending under mu; a worker (holding the busy claim via the
+// monitor's queue) drains pending into window, analyses a copy of the
+// window outside mu, then records the outcome back under mu. The busy
+// claim serialises analysis per tenant, so window order is ingest order.
+type tenant struct {
+	name string
+
+	mu      sync.Mutex
+	pending []*tracefmt.Trace
+	window  []*tracefmt.Trace
+	program *prog.Program
+
+	// Rolling health/degradation record, served by TenantStatus.
+	segments     uint64
+	bytes        uint64
+	corrupt      uint64
+	rejected     uint64
+	queueDrops   uint64
+	analyses     uint64
+	failures     uint64
+	lastError    string
+	lastAnalysis time.Time
+	lastReports  int
+
+	queued bool
+}
+
+// TenantStatus is the externally visible health record of one tenant.
+type TenantStatus struct {
+	Tenant          string    `json:"tenant"`
+	Program         string    `json:"program"`
+	Segments        uint64    `json:"segments"`
+	Bytes           uint64    `json:"bytes"`
+	Corrupt         uint64    `json:"corrupt"`
+	Rejected        uint64    `json:"rejected"`
+	QueueDrops      uint64    `json:"queue_drops"`
+	Analyses        uint64    `json:"analyses"`
+	Failures        uint64    `json:"failures"`
+	LastError       string    `json:"last_error,omitempty"`
+	LastAnalysis    time.Time `json:"last_analysis"`
+	LastReports     int       `json:"last_reports"`
+	WindowSegments  int       `json:"window_segments"`
+	PendingSegments int       `json:"pending_segments"`
+}
+
+// Monitor is the daemon core: per-tenant rolling-window incremental
+// analysis over the segment-resumable core API, feeding a deduplicating
+// persistent store. All methods are safe for concurrent use.
+type Monitor struct {
+	cfg   Config
+	store *Store
+	tel   *telemetry.Registry
+	now   func() time.Time
+
+	mu       sync.Mutex
+	tenants  map[string]*tenant
+	programs map[string]*prog.Program
+
+	// Worker-pool queue: tenants with pending work, each present at most
+	// once (tenant.queued). Guarded by qmu; workers wait on qcond.
+	qmu      sync.Mutex
+	qcond    *sync.Cond
+	queue    []*tenant
+	inflight int
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New builds a Monitor, opening (and replaying) the persistent store and
+// starting the worker pool.
+func New(cfg Config) (*Monitor, error) {
+	if cfg.Window <= 0 {
+		cfg.Window = 8
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 32
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	cfg.Analysis.Telemetry = nil
+	cfg.Analysis.MetricsAddr = ""
+	store, err := OpenStore(cfg.StorePath)
+	if err != nil {
+		return nil, err
+	}
+	store.SetClock(cfg.Now)
+	m := &Monitor{
+		cfg:      cfg,
+		store:    store,
+		tel:      cfg.Telemetry,
+		now:      cfg.Now,
+		tenants:  map[string]*tenant{},
+		programs: map[string]*prog.Program{},
+	}
+	m.qcond = sync.NewCond(&m.qmu)
+	m.gauge("proraced_store_reports", "Distinct races in the persistent report store.").Set(int64(store.Len()))
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// Store exposes the monitor's report store.
+func (m *Monitor) Store() *Store { return m.store }
+
+// RegisterProgram makes a program image resolvable for incoming segments
+// whose trace header names it (the POST /program path).
+func (m *Monitor) RegisterProgram(p *prog.Program) {
+	m.mu.Lock()
+	m.programs[p.Name] = p
+	m.mu.Unlock()
+}
+
+// resolveProgram maps a trace's program name to a built program:
+// registered images first, then the built-in workload table, then the
+// planted-bug table.
+func (m *Monitor) resolveProgram(name string) (*prog.Program, error) {
+	m.mu.Lock()
+	p, ok := m.programs[name]
+	m.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	if w, err := workload.ByName(name, 1); err == nil {
+		p = w.Program
+	} else if b, err := bugs.ByID(name); err == nil {
+		p = b.Build(1).Workload.Program
+	} else {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownProgram, name)
+	}
+	m.mu.Lock()
+	m.programs[name] = p
+	m.mu.Unlock()
+	return p, nil
+}
+
+func (m *Monitor) tenantFor(name string) *tenant {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.tenants[name]
+	if !ok {
+		t = &tenant{name: name}
+		m.tenants[name] = t
+		m.gauge("proraced_tenants", "Tenants with at least one ingest attempt.").Set(int64(len(m.tenants)))
+	}
+	return t
+}
+
+// Ingest accepts one PRSG-framed segment from tenantName. Decoding,
+// admission and (with Workers == 0) the analysis round happen before it
+// returns; with a worker pool the analysis is scheduled and Ingest returns
+// once the segment is queued. Failures are tenant-scoped: a corrupt frame
+// or full queue degrades this tenant's record and leaves every other
+// tenant — and the daemon — untouched.
+func (m *Monitor) Ingest(tenantName string, frame []byte) error {
+	m.qmu.Lock()
+	closed := m.closed
+	m.qmu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	t := m.tenantFor(tenantName)
+	_, seg, err := tracefmt.DecodeSegment(frame)
+	if err != nil {
+		t.mu.Lock()
+		t.corrupt++
+		t.lastError = err.Error()
+		t.mu.Unlock()
+		m.count("proraced_segments_corrupt_total", "Ingested frames that failed PRSG decoding.").Inc()
+		return fmt.Errorf("%w: %v", ErrCorruptSegment, err)
+	}
+	if _, err := m.resolveProgram(seg.Program); err != nil {
+		t.mu.Lock()
+		t.rejected++
+		t.lastError = err.Error()
+		t.mu.Unlock()
+		m.count("proraced_segments_rejected_total", "Decoded segments rejected before analysis (unknown program, session mismatch).").Inc()
+		return err
+	}
+	t.mu.Lock()
+	if len(t.pending) >= m.cfg.QueueDepth {
+		t.queueDrops++
+		t.mu.Unlock()
+		m.count("proraced_queue_rejections_total", "Segments dropped at admission because the tenant's pending queue was full.").Inc()
+		return fmt.Errorf("%w: tenant %q has %d pending segments", ErrQueueFull, tenantName, m.cfg.QueueDepth)
+	}
+	t.pending = append(t.pending, seg)
+	t.segments++
+	t.bytes += seg.TotalBytes()
+	t.mu.Unlock()
+	m.count("proraced_segments_ingested_total", "Segments accepted into tenant windows.").Inc()
+	m.count("proraced_segment_bytes_total", "Trace payload bytes accepted into tenant windows.").Add(seg.TotalBytes())
+	if m.cfg.Workers == 0 {
+		m.analyzeTenant(t)
+		return nil
+	}
+	m.schedule(t)
+	return nil
+}
+
+// schedule puts t on the worker queue unless it is already there or being
+// processed; the processing worker re-checks pending before releasing its
+// claim, so no segment is stranded.
+func (m *Monitor) schedule(t *tenant) {
+	m.qmu.Lock()
+	if !t.queued && !m.closed {
+		t.queued = true
+		m.queue = append(m.queue, t)
+		m.qcond.Signal()
+	}
+	m.qmu.Unlock()
+}
+
+func (m *Monitor) worker() {
+	defer m.wg.Done()
+	for {
+		m.qmu.Lock()
+		for len(m.queue) == 0 && !m.closed {
+			m.qcond.Wait()
+		}
+		if len(m.queue) == 0 && m.closed {
+			m.qmu.Unlock()
+			return
+		}
+		t := m.queue[0]
+		m.queue = m.queue[1:]
+		m.inflight++
+		m.qmu.Unlock()
+
+		m.analyzeTenant(t)
+
+		m.qmu.Lock()
+		m.inflight--
+		t.queued = false
+		// New segments may have arrived while we analysed; requeue rather
+		// than strand them (Ingest's schedule saw queued == true).
+		t.mu.Lock()
+		again := len(t.pending) > 0
+		t.mu.Unlock()
+		if again && !m.closed {
+			t.queued = true
+			m.queue = append(m.queue, t)
+			m.qcond.Signal()
+		}
+		if m.inflight == 0 && len(m.queue) == 0 {
+			m.qcond.Broadcast()
+		}
+		m.qmu.Unlock()
+	}
+}
+
+// analyzeTenant runs one analysis round: drain pending into the rolling
+// window, re-analyse the window on a fresh session, fold reports into the
+// store. The tenant's busy claim (worker queue) serialises rounds, so
+// pending/window mutation order is ingest order.
+func (m *Monitor) analyzeTenant(t *tenant) {
+	t.mu.Lock()
+	t.window = append(t.window, t.pending...)
+	t.pending = nil
+	if len(t.window) > m.cfg.Window {
+		t.window = t.window[len(t.window)-m.cfg.Window:]
+	}
+	window := append([]*tracefmt.Trace(nil), t.window...)
+	t.mu.Unlock()
+	if len(window) == 0 {
+		return
+	}
+
+	p, err := m.resolveProgram(window[0].Program)
+	if err != nil {
+		m.recordFailure(t, err)
+		return
+	}
+	a, err := core.NewAnalyzer(p, m.cfg.Analysis)
+	if err != nil {
+		m.recordFailure(t, err)
+		return
+	}
+	rejected := 0
+	for _, seg := range window {
+		if err := a.Feed(seg); err != nil {
+			// A window can legitimately mix runs (the producer restarted
+			// with a new seed): segments of a different run are rejected
+			// by the session and recorded as tenant degradation, and the
+			// stale prefix is evicted below so the window converges on
+			// the newest run instead of rejecting forever.
+			rejected++
+			m.count("proraced_segments_rejected_total", "Decoded segments rejected before analysis (unknown program, session mismatch).").Inc()
+			continue
+		}
+	}
+	if rejected > 0 {
+		t.mu.Lock()
+		t.rejected += uint64(rejected)
+		// Keep only the suffix matching the newest segment's run identity.
+		newest := window[len(window)-1]
+		keep := t.window[:0]
+		for _, seg := range t.window {
+			if seg.Program == newest.Program && seg.Period == newest.Period && seg.Seed == newest.Seed {
+				keep = append(keep, seg)
+			}
+		}
+		t.window = keep
+		t.mu.Unlock()
+	}
+	res, err := a.Finish()
+	if err != nil {
+		m.recordFailure(t, err)
+		return
+	}
+	added, repeated, serr := m.store.Observe(t.name, window[0].Program, res.Reports)
+	now := m.now()
+	t.mu.Lock()
+	t.analyses++
+	t.lastAnalysis = now
+	t.lastReports = len(res.Reports)
+	if serr != nil {
+		t.lastError = serr.Error()
+	} else if rejected == 0 {
+		t.lastError = ""
+	}
+	t.mu.Unlock()
+	m.count("proraced_analyses_total", "Rolling-window analysis rounds completed.").Inc()
+	m.count("proraced_reports_total", "Race reports produced by analysis rounds (pre-dedup).").AddInt(len(res.Reports))
+	m.count("proraced_reports_new_total", "Distinct races first observed by this daemon.").AddInt(added)
+	m.count("proraced_reports_dup_total", "Race observations deduplicated against the store.").AddInt(repeated)
+	m.gauge("proraced_store_reports", "Distinct races in the persistent report store.").Set(int64(m.store.Len()))
+}
+
+func (m *Monitor) recordFailure(t *tenant, err error) {
+	t.mu.Lock()
+	t.failures++
+	t.lastError = err.Error()
+	t.mu.Unlock()
+	m.count("proraced_analysis_failures_total", "Analysis rounds that failed (the tenant window is kept; the daemon is unaffected).").Inc()
+}
+
+// Wait blocks until every queued and in-flight analysis round has
+// completed (quiescence). It does not prevent new ingests from starting
+// new rounds afterwards.
+func (m *Monitor) Wait() {
+	m.qmu.Lock()
+	for len(m.queue) > 0 || m.inflight > 0 {
+		m.qcond.Wait()
+	}
+	m.qmu.Unlock()
+}
+
+// Close drains the worker pool (queued rounds finish first) and persists
+// the store. Ingest after Close returns ErrClosed.
+func (m *Monitor) Close() error {
+	m.qmu.Lock()
+	if m.closed {
+		m.qmu.Unlock()
+		return nil
+	}
+	for len(m.queue) > 0 || m.inflight > 0 {
+		m.qcond.Wait()
+	}
+	m.closed = true
+	m.qcond.Broadcast()
+	m.qmu.Unlock()
+	m.wg.Wait()
+	return m.store.Save()
+}
+
+// Tenants returns every tenant's status, sorted by name.
+func (m *Monitor) Tenants() []TenantStatus {
+	m.mu.Lock()
+	names := make([]*tenant, 0, len(m.tenants))
+	for _, t := range m.tenants {
+		names = append(names, t)
+	}
+	m.mu.Unlock()
+	out := make([]TenantStatus, 0, len(names))
+	for _, t := range names {
+		out = append(out, m.tenantStatus(t))
+	}
+	sortTenantStatus(out)
+	return out
+}
+
+func (m *Monitor) tenantStatus(t *tenant) TenantStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := TenantStatus{
+		Tenant:          t.name,
+		Segments:        t.segments,
+		Bytes:           t.bytes,
+		Corrupt:         t.corrupt,
+		Rejected:        t.rejected,
+		QueueDrops:      t.queueDrops,
+		Analyses:        t.analyses,
+		Failures:        t.failures,
+		LastError:       t.lastError,
+		LastAnalysis:    t.lastAnalysis,
+		LastReports:     t.lastReports,
+		WindowSegments:  len(t.window),
+		PendingSegments: len(t.pending),
+	}
+	if len(t.window) > 0 {
+		st.Program = t.window[len(t.window)-1].Program
+	} else if len(t.pending) > 0 {
+		st.Program = t.pending[len(t.pending)-1].Program
+	}
+	return st
+}
+
+func sortTenantStatus(ts []TenantStatus) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Tenant < ts[j].Tenant })
+}
+
+// count and gauge tolerate a nil registry (telemetry disabled).
+func (m *Monitor) count(name, help string) *telemetry.Counter {
+	return m.tel.Counter(name, help)
+}
+
+func (m *Monitor) gauge(name, help string) *telemetry.Gauge {
+	return m.tel.Gauge(name, help)
+}

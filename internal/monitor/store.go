@@ -1,0 +1,232 @@
+// Package monitor is the continuous fleet-monitoring layer over the
+// segment-resumable analysis API: a daemon core (Monitor) that ingests
+// trace segments from many concurrently running tenants, re-analyses each
+// tenant's rolling window on a worker pool, and folds the resulting race
+// reports into a persistent deduplicating store. cmd/proraced wraps it in
+// an HTTP listener; the package itself is transport-agnostic and fully
+// testable in-process.
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"prorace/internal/race"
+)
+
+// StoredReport is one distinct race across the fleet's history: the
+// defining report plus its observation record. Identity is Fingerprint —
+// stable across daemon restarts, window re-analyses and re-ingests of the
+// same run — so a race seen again bumps Occurrences instead of adding a
+// row.
+type StoredReport struct {
+	// Fingerprint identifies the race: FNV-1a over (tenant, program, the
+	// unordered racing PC pair, and each access's read/write kind).
+	// Addresses and timestamps are deliberately excluded — heap addresses
+	// shift between runs of one binary, but the racing instruction pair is
+	// the race.
+	Fingerprint string `json:"fingerprint"`
+	// Tenant is the producing process/tenant tag the ingest layer assigned.
+	Tenant string `json:"tenant"`
+	// Program is the traced program's name.
+	Program string `json:"program"`
+	// Report is the first-observed concrete report (representative
+	// addresses/TSCs; later occurrences may differ in those).
+	Report race.Report `json:"report"`
+	// FirstSeen and LastSeen bound the observation interval.
+	FirstSeen time.Time `json:"first_seen"`
+	LastSeen  time.Time `json:"last_seen"`
+	// Occurrences counts how many times the race was observed (across
+	// window re-analyses, runs and restarts).
+	Occurrences int `json:"occurrences"`
+}
+
+// Fingerprint computes the stable identity of one report (see
+// StoredReport.Fingerprint).
+func Fingerprint(tenant, program string, r race.Report) string {
+	a, b := r.First, r.Second
+	if a.PC > b.PC {
+		a, b = b, a
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%s\x00%x:%t\x00%x:%t", tenant, program, a.PC, a.Write, b.PC, b.Write)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Store is the persistent deduplicating race-report store. A Store with an
+// empty path lives in memory only; otherwise every mutation batch is
+// persisted as JSON via an atomic temp-file rename, so a crash leaves
+// either the old or the new state, never a torn file.
+//
+// Store implements report.Sink: Publish records reports without
+// tenant/program attribution (both empty), for callers that only have the
+// generic sink shape. The daemon uses Observe, which attributes.
+type Store struct {
+	mu      sync.Mutex
+	path    string
+	reports map[string]*StoredReport
+	now     func() time.Time
+}
+
+// storeFile is the on-disk envelope.
+type storeFile struct {
+	Version int             `json:"version"`
+	Reports []*StoredReport `json:"reports"`
+}
+
+const storeVersion = 1
+
+// OpenStore opens (creating if absent) the report store at path; an empty
+// path yields a memory-only store. A corrupt store file is an error — the
+// operator must decide, the daemon must not silently discard history.
+func OpenStore(path string) (*Store, error) {
+	s := &Store{path: path, reports: map[string]*StoredReport{}, now: time.Now}
+	if path == "" {
+		return s, nil
+	}
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("monitor: reading store: %w", err)
+	}
+	var f storeFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("monitor: store %s is corrupt: %w", path, err)
+	}
+	if f.Version != storeVersion {
+		return nil, fmt.Errorf("monitor: store %s has unsupported version %d", path, f.Version)
+	}
+	for _, r := range f.Reports {
+		s.reports[r.Fingerprint] = r
+	}
+	return s, nil
+}
+
+// SetClock overrides the store's time source (tests).
+func (s *Store) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	s.now = now
+	s.mu.Unlock()
+}
+
+// Observe folds one analysis round's reports into the store, attributed to
+// (tenant, program). It returns how many races were new and how many were
+// repeat observations, and persists the store if anything changed.
+func (s *Store) Observe(tenant, program string, rs []race.Report) (added, repeated int, err error) {
+	if len(rs) == 0 {
+		return 0, 0, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	// One analysis round re-reports every race in the window, so dedup
+	// within the batch: a fingerprint counts once per Observe call.
+	inBatch := map[string]bool{}
+	for _, r := range rs {
+		fp := Fingerprint(tenant, program, r)
+		if inBatch[fp] {
+			continue
+		}
+		inBatch[fp] = true
+		if have, ok := s.reports[fp]; ok {
+			have.LastSeen = now
+			have.Occurrences++
+			repeated++
+			continue
+		}
+		s.reports[fp] = &StoredReport{
+			Fingerprint: fp,
+			Tenant:      tenant,
+			Program:     program,
+			Report:      r,
+			FirstSeen:   now,
+			LastSeen:    now,
+			Occurrences: 1,
+		}
+		added++
+	}
+	if added+repeated == 0 {
+		return 0, 0, nil
+	}
+	return added, repeated, s.saveLocked()
+}
+
+// Publish implements report.Sink: Observe without attribution.
+func (s *Store) Publish(rs []race.Report) {
+	s.Observe("", "", rs)
+}
+
+// Reports returns the stored races, sorted by first-seen time then
+// fingerprint (stable render order).
+func (s *Store) Reports() []*StoredReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*StoredReport, 0, len(s.reports))
+	for _, r := range s.reports {
+		cp := *r
+		out = append(out, &cp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].FirstSeen.Equal(out[j].FirstSeen) {
+			return out[i].FirstSeen.Before(out[j].FirstSeen)
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}
+
+// Len reports how many distinct races the store holds.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.reports)
+}
+
+// Save persists the store now (no-op for memory-only stores).
+func (s *Store) Save() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.saveLocked()
+}
+
+// saveLocked writes the JSON envelope atomically. Caller holds s.mu.
+func (s *Store) saveLocked() error {
+	if s.path == "" {
+		return nil
+	}
+	f := storeFile{Version: storeVersion, Reports: make([]*StoredReport, 0, len(s.reports))}
+	for _, r := range s.reports {
+		f.Reports = append(f.Reports, r)
+	}
+	sort.Slice(f.Reports, func(i, j int) bool { return f.Reports[i].Fingerprint < f.Reports[j].Fingerprint })
+	raw, err := json.MarshalIndent(&f, "", " ")
+	if err != nil {
+		return fmt.Errorf("monitor: encoding store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(s.path), ".store-*")
+	if err != nil {
+		return fmt.Errorf("monitor: persisting store: %w", err)
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("monitor: persisting store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("monitor: persisting store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("monitor: persisting store: %w", err)
+	}
+	return nil
+}

@@ -45,6 +45,11 @@ type ShardedDetector struct {
 
 	reports []Report
 	racy    map[uint64]bool
+	// seen is the merged report key set (built by Finish, extended by
+	// Publish); external buffers reports published before Finish so they
+	// fold in after the shards' own sequence-ordered findings.
+	seen     map[[2]uint64]bool
+	external []Report
 
 	// Telemetry: plain tallies on the feeder goroutine plus a queue-depth
 	// histogram sampled once per flushed chunk. All nil/zero when disabled.
@@ -218,15 +223,44 @@ func (d *ShardedDetector) Finish() {
 	// have reported in; SliceStable keeps multiple findings of one access
 	// (same seq, same shard) in their within-event order.
 	sort.SliceStable(tagged, func(i, j int) bool { return tagged[i].seq < tagged[j].seq })
-	seen := map[[2]uint64]bool{}
+	d.seen = map[[2]uint64]bool{}
 	for _, t := range tagged {
-		if seen[t.r.Key()] || len(d.reports) >= d.opts.MaxReports {
+		if d.seen[t.r.Key()] || len(d.reports) >= d.opts.MaxReports {
 			continue
 		}
-		seen[t.r.Key()] = true
+		d.seen[t.r.Key()] = true
 		d.reports = append(d.reports, t.r)
 	}
+	d.fold(d.external)
+	d.external = nil
 	d.publish()
+}
+
+// Publish absorbs externally produced reports (the report.Sink side of the
+// detector). Reports published before Finish are buffered and folded in
+// after the shards' own sequence-ordered findings, preserving the native
+// deterministic order; after Finish they fold in directly. Same
+// single-goroutine discipline as the event handlers.
+func (d *ShardedDetector) Publish(rs []Report) {
+	if !d.finished {
+		d.external = append(d.external, rs...)
+		return
+	}
+	d.fold(rs)
+}
+
+// fold merges external reports through the same dedup + MaxReports cut as
+// the detector's own findings. Finish must have built d.seen.
+func (d *ShardedDetector) fold(rs []Report) {
+	for i := range rs {
+		r := rs[i]
+		d.racy[r.Addr] = true
+		if d.seen[r.Key()] || len(d.reports) >= d.opts.MaxReports {
+			continue
+		}
+		d.seen[r.Key()] = true
+		d.reports = append(d.reports, r)
+	}
 }
 
 // publish folds the sharded pass's tallies into the registry: merged event

@@ -147,6 +147,15 @@ type Server struct {
 	reg *Registry
 	ln  net.Listener
 	srv *http.Server
+
+	// key is the EnsureServer registration address ("" for servers started
+	// directly via Serve); closed marks the server shut down. Both are
+	// guarded by serversMu so registration, lookup and Close are atomic
+	// with respect to each other — Close deregisters the address in the
+	// same critical section that marks the server dead, so a reused addr
+	// can never observe (and hand out) a stale closed server.
+	key    string
+	closed bool
 }
 
 // Serve starts a telemetry HTTP server on addr (host:port; port 0 picks a
@@ -167,8 +176,21 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Registry returns the registry the server scrapes.
 func (s *Server) Registry() *Registry { return s.reg }
 
-// Close shuts the listener down.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close shuts the listener down. A server handed out by EnsureServer is
+// deregistered in the same step, so the next EnsureServer call for its
+// address starts a fresh listener instead of returning the dead one.
+func (s *Server) Close() error {
+	serversMu.Lock()
+	s.closed = true
+	if s.key != "" {
+		if servers[s.key] == s {
+			delete(servers, s.key)
+		}
+		s.key = ""
+	}
+	serversMu.Unlock()
+	return s.srv.Close()
+}
 
 var (
 	serversMu sync.Mutex
@@ -179,16 +201,20 @@ var (
 // addr. The first call for an address creates the listener bound to reg;
 // subsequent calls with the same addr return the existing server, so
 // library entry points can call this unconditionally per analysis.
+// Registration is atomic with respect to Close: closing a server removes
+// its registration in the same serversMu critical section, so a reused
+// addr always yields a live listener.
 func EnsureServer(addr string, reg *Registry) (*Server, error) {
 	serversMu.Lock()
 	defer serversMu.Unlock()
-	if s, ok := servers[addr]; ok {
+	if s, ok := servers[addr]; ok && !s.closed {
 		return s, nil
 	}
 	s, err := Serve(addr, reg)
 	if err != nil {
 		return nil, err
 	}
+	s.key = addr
 	servers[addr] = s
 	return s, nil
 }

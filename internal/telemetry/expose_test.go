@@ -94,3 +94,55 @@ func TestEnsureServer(t *testing.T) {
 		t.Fatal("EnsureServer must reuse the existing server for an address")
 	}
 }
+
+// TestEnsureServerCloseDeregisters is the regression test for the stale
+// registration bug: Close left the server in the process-wide map, so
+// reusing its -metrics-addr returned a dead listener. Registration and
+// Close are now atomic — after Close, EnsureServer for the same address
+// must hand out a fresh, live server.
+func TestEnsureServerCloseDeregisters(t *testing.T) {
+	r := New()
+	const addr = "127.0.0.1:0"
+	s1, err := EnsureServer(addr, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := EnsureServer(addr, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != s1 {
+		s1.Close()
+		again.Close()
+		t.Fatal("EnsureServer must reuse the live server for an address")
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := EnsureServer(addr, r)
+	if err != nil {
+		t.Fatalf("EnsureServer after Close: %v", err)
+	}
+	defer s2.Close()
+	if s2 == s1 {
+		t.Fatal("EnsureServer returned the closed server for a reused address")
+	}
+	resp, err := http.Get("http://" + s2.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("replacement server not serving: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replacement server /metrics: %s", resp.Status)
+	}
+
+	// Closing the replacement must deregister it too (no stale entry).
+	s2.Close()
+	serversMu.Lock()
+	_, stale := servers[addr]
+	serversMu.Unlock()
+	if stale {
+		t.Fatal("closed server still registered")
+	}
+}

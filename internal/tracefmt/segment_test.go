@@ -1,0 +1,151 @@
+package tracefmt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// segTestTrace builds a trace with uneven per-thread stream lengths so
+// splits cut mid-stream everywhere: PT bytes that are not packet-aligned,
+// PEBS runs of different lengths, and a sync log spanning threads.
+func segTestTrace() *Trace {
+	t := NewTrace("segprog", 1000, 7)
+	t.WallCycles = 123456
+	t.DroppedSamples = 3
+	for tid := int32(0); tid < 3; tid++ {
+		n := 5 + int(tid)*7
+		for i := 0; i < n; i++ {
+			t.PEBS[tid] = append(t.PEBS[tid], PEBSRecord{
+				TID: tid, IP: uint64(0x1000 + i), Addr: uint64(0x8000 + i*8),
+				TSC: uint64(100*int(tid) + i),
+			})
+		}
+		stream := make([]byte, 13+int(tid)*29)
+		for i := range stream {
+			stream[i] = byte(i*7 + int(tid))
+		}
+		t.PT[tid] = stream
+	}
+	for i := 0; i < 23; i++ {
+		t.Sync = append(t.Sync, SyncRecord{
+			TID: int32(i % 3), Kind: SyncLock, Addr: 0x9000, TSC: uint64(i * 10),
+		})
+	}
+	return t
+}
+
+func TestSplitMergeRoundTripsByteIdentically(t *testing.T) {
+	orig := segTestTrace()
+	want := orig.Encode()
+	for _, n := range []int{1, 2, 3, 8, 17, 100} {
+		segs := orig.Split(n)
+		if len(segs) != n {
+			t.Fatalf("Split(%d) yielded %d segments", n, len(segs))
+		}
+		merged := &Trace{}
+		for i, seg := range segs {
+			if err := MergeSegment(merged, seg); err != nil {
+				t.Fatalf("n=%d: merge segment %d: %v", n, i, err)
+			}
+		}
+		if got := merged.Encode(); !bytes.Equal(got, want) {
+			t.Fatalf("n=%d: merged container differs from original (%d vs %d bytes)", n, len(got), len(want))
+		}
+		if merged.Fingerprint() != orig.Fingerprint() {
+			t.Fatalf("n=%d: merged fingerprint differs", n)
+		}
+	}
+}
+
+func TestSplitSegmentsCarryHeader(t *testing.T) {
+	orig := segTestTrace()
+	for i, seg := range orig.Split(4) {
+		if seg.Program != orig.Program || seg.Period != orig.Period || seg.Seed != orig.Seed {
+			t.Fatalf("segment %d lost header fields: %+v", i, seg)
+		}
+	}
+}
+
+func TestMergeSegmentRefusesForeignRun(t *testing.T) {
+	a := segTestTrace()
+	dst := &Trace{}
+	if err := MergeSegment(dst, a.Split(2)[0]); err != nil {
+		t.Fatal(err)
+	}
+	foreign := NewTrace("otherprog", 1000, 7)
+	if err := MergeSegment(dst, foreign); err == nil {
+		t.Fatal("merging a segment of a different program must fail")
+	}
+	wrongSeed := NewTrace("segprog", 1000, 8)
+	if err := MergeSegment(dst, wrongSeed); err == nil {
+		t.Fatal("merging a segment of a different seed must fail")
+	}
+	// The refused merges must leave dst untouched.
+	half := a.Split(2)[0]
+	if dst.Fingerprint() != half.CloneForMerge().Fingerprint() {
+		t.Fatal("refused merge modified the destination")
+	}
+}
+
+func TestCloneForMergeOwnsItsMemory(t *testing.T) {
+	orig := segTestTrace()
+	clone := orig.CloneForMerge()
+	if !bytes.Equal(clone.Encode(), orig.Encode()) {
+		t.Fatal("clone content differs")
+	}
+	extra := NewTrace("segprog", 1000, 7)
+	extra.PEBS[0] = []PEBSRecord{{TID: 0, IP: 0xdead, TSC: 999}}
+	extra.PT[1] = []byte{0xff, 0xfe}
+	extra.Sync = []SyncRecord{{TID: 2, Kind: SyncUnlock, TSC: 1000}}
+	if err := MergeSegment(clone, extra); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig.Encode(), segTestTrace().Encode()) {
+		t.Fatal("appending to the clone mutated the original trace")
+	}
+}
+
+func TestSegmentFrameRoundTrip(t *testing.T) {
+	orig := segTestTrace()
+	for _, hdr := range []SegmentHeader{
+		{},
+		{Seq: 42, Tenant: "web-7", Final: false},
+		{Seq: ^uint64(0), Tenant: "", Final: true},
+	} {
+		frame := EncodeSegment(hdr, orig)
+		got, tr, err := DecodeSegment(frame)
+		if err != nil {
+			t.Fatalf("hdr %+v: %v", hdr, err)
+		}
+		if got != hdr {
+			t.Fatalf("header mangled: got %+v want %+v", got, hdr)
+		}
+		if !bytes.Equal(tr.Encode(), orig.Encode()) {
+			t.Fatalf("hdr %+v: payload trace differs after round trip", hdr)
+		}
+	}
+}
+
+func TestSegmentFrameRejectsDamage(t *testing.T) {
+	frame := EncodeSegment(SegmentHeader{Seq: 1, Tenant: "t"}, segTestTrace())
+	cases := map[string][]byte{
+		"empty":        {},
+		"short":        frame[:10],
+		"bad magic":    append([]byte("XXXX"), frame[4:]...),
+		"truncated":    frame[:len(frame)-9],
+		"trailing":     append(append([]byte(nil), frame...), 0x00),
+		"flipped byte": flipByte(frame, len(frame)/2),
+		"flipped sum":  flipByte(frame, len(frame)-1),
+	}
+	for name, src := range cases {
+		if _, _, err := DecodeSegment(src); err == nil {
+			t.Errorf("%s: corrupt frame decoded without error", name)
+		}
+	}
+}
+
+func flipByte(src []byte, i int) []byte {
+	out := append([]byte(nil), src...)
+	out[i] ^= 0xa5
+	return out
+}

@@ -179,6 +179,15 @@ func WithMetricsAddr(addr string) Option {
 	}
 }
 
+// WithSegmentSize routes the analysis through the segment-resumable
+// session layer, feeding the trace in chunks of at most n serialised bytes
+// (AnalysisOptions.SegmentSize). Results are byte-identical to the
+// whole-trace default; the option exists to exercise — and measure — the
+// exact path streamed ingest (cmd/proraced) uses.
+func WithSegmentSize(n int) Option {
+	return func(_ *TraceOptions, a *AnalysisOptions) { a.SegmentSize = n }
+}
+
 // WithThreadRetries sets how many extra attempts a transiently-failing
 // per-thread stage gets before the thread is dropped (lenient) or the
 // analysis aborts (strict). 0 means the default of one retry; negative
@@ -204,4 +213,11 @@ func AnalyzeWith(p *Program, tr *TraceResult, opts ...Option) (*AnalysisResult, 
 func RunWith(p *Program, opts ...Option) (*Result, error) {
 	topts, aopts := NewOptions(opts...)
 	return Run(p, topts, aopts)
+}
+
+// NewAnalyzerWith opens a segment-resumable analysis session with
+// functional options (see NewAnalyzer for the session contract).
+func NewAnalyzerWith(p *Program, opts ...Option) (*Analyzer, error) {
+	_, aopts := NewOptions(opts...)
+	return NewAnalyzer(p, aopts)
 }

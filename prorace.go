@@ -72,6 +72,7 @@ import (
 	"prorace/internal/report"
 	"prorace/internal/synthesis"
 	"prorace/internal/telemetry"
+	"prorace/internal/tracefmt"
 	"prorace/internal/workload"
 )
 
@@ -89,6 +90,15 @@ type (
 	AnalysisOptions = core.AnalysisOptions
 	// AnalysisResult is the offline phase's outcome.
 	AnalysisResult = core.AnalysisResult
+	// Analyzer is a stateful, segment-resumable analysis session: Feed it
+	// trace segments as they arrive, Snapshot it at any point, Finish it to
+	// seal the run (see NewAnalyzer / NewAnalyzerWith). Feeding a trace in
+	// any number of segments yields reports byte-identical to one-shot
+	// Analyze.
+	Analyzer = core.Analyzer
+	// TraceSegment is a contiguous chunk of one run's trace streams, as
+	// produced by Trace.Split and consumed by Analyzer.Feed.
+	TraceSegment = tracefmt.Trace
 	// Result bundles a full pipeline run.
 	Result = core.Result
 	// Report is one detected data race.
@@ -156,12 +166,30 @@ func Trace(p *Program, opts TraceOptions) (*TraceResult, error) {
 
 // Analyze runs the offline phase over a collected trace: PT decode and
 // synthesis, memory-access reconstruction, and FastTrack detection. It is
-// the single analysis entry point, sequential by default; set
+// a thin wrapper over a single-segment Analyzer session — the same code
+// path streamed ingest takes — sequential by default; set
 // AnalysisOptions.Workers (or WithWorkers) to fan synthesis and
 // reconstruction out across a worker pool, and AnalysisOptions.DetectShards
 // (or WithDetectShards) to run address-sharded parallel detection.
 func Analyze(p *Program, tr *TraceResult, opts AnalysisOptions) (*AnalysisResult, error) {
-	return core.Analyze(p, tr.Trace, opts)
+	a, err := core.NewAnalyzer(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Feed(tr.Trace); err != nil {
+		return nil, err
+	}
+	return a.Finish()
+}
+
+// NewAnalyzer opens a segment-resumable analysis session for one traced
+// program: Feed it the run's trace in segments as they arrive (any cut
+// points — see TraceSegment), read intermediate results with Snapshot, and
+// seal it with Finish. The reports are byte-identical to one-shot Analyze
+// over the concatenated trace at every Workers/DetectShards/path-cache
+// configuration.
+func NewAnalyzer(p *Program, opts AnalysisOptions) (*Analyzer, error) {
+	return core.NewAnalyzer(p, opts)
 }
 
 // Run executes the complete pipeline.
