@@ -3,8 +3,16 @@
 // tenant's rolling window incrementally on the segment-resumable analysis
 // API, and maintains a persistent deduplicating race-report store.
 //
-//	proraced serve -listen :7077 -store /var/lib/proraced/reports.json
+//	proraced serve -listen :7077 -store /var/lib/proraced/reports.json \
+//	    -wal /var/lib/proraced/wal -fsync always
 //	proraced send -addr localhost:7077 -tenant web-1 -bug apache-21287 -segments 8
+//
+// With -wal set, every accepted segment is journalled durably before the
+// producer sees its acknowledgement; on restart the daemon replays the
+// unanalysed journal suffix, so a crash (or kill -9) loses nothing that
+// was acknowledged. SIGTERM/SIGINT triggers a graceful drain: ingest
+// stops, in-flight windows finish, journal and store are flushed, and the
+// process exits 0.
 //
 // The serve listener co-hosts the full observability surface: /metrics,
 // /debug/vars and /debug/pprof next to /ingest, /program, /reports,
@@ -12,20 +20,21 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"prorace/internal/bugs"
 	"prorace/internal/core"
 	"prorace/internal/monitor"
+	"prorace/internal/monitor/client"
 	"prorace/internal/pmu/driver"
 	"prorace/internal/prog"
 	"prorace/internal/progtest"
@@ -70,20 +79,33 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:7077", "HTTP listen address")
 	store := fs.String("store", "", "persistent report store path (empty = in memory)")
+	walDir := fs.String("wal", "", "write-ahead segment journal directory (empty = no journal)")
+	fsync := fs.String("fsync", "always", "journal fsync policy: always, off, or interval[=DURATION]")
 	window := fs.Int("window", 8, "rolling window: segments re-analysed per tenant round")
+	windowAge := fs.Duration("window-age", 0, "retire window segments older than this (0 = never)")
 	queueDepth := fs.Int("queue-depth", 32, "pending segments per tenant before admission rejection")
 	workers := fs.Int("workers", 2, "analysis worker pool size (0 = analyse inline on ingest)")
 	analysisWorkers := fs.Int("analysis-workers", 0, "replay workers per analysis round (0 sequential, -1 GOMAXPROCS)")
 	detectShards := fs.Int("detect-shards", 0, "detection shards per analysis round (0/1 sequential, -1 GOMAXPROCS)")
+	maxBody := fs.Int64("max-body", 0, "ingest/program HTTP body size cap in bytes (0 = default 256MiB)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before in-flight requests are cut")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	policy, err := monitor.ParseFsyncPolicy(*fsync)
+	if err != nil {
+		return fmt.Errorf("-fsync: %w", err)
+	}
 	reg := telemetry.New()
 	m, err := monitor.New(monitor.Config{
-		Window:     *window,
-		QueueDepth: *queueDepth,
-		Workers:    *workers,
-		StorePath:  *store,
+		Window:       *window,
+		QueueDepth:   *queueDepth,
+		Workers:      *workers,
+		StorePath:    *store,
+		WALDir:       *walDir,
+		Fsync:        policy,
+		WindowMaxAge: *windowAge,
+		MaxBodyBytes: *maxBody,
 		// Strict stays false: a degraded window is a tenant problem, not a
 		// daemon problem.
 		Analysis: core.AnalysisOptions{
@@ -101,13 +123,46 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return fmt.Errorf("-listen: %w", err)
 	}
-	srv := &http.Server{Handler: mux}
+	srv := &http.Server{
+		Handler: mux,
+		// Slow-client protection: a producer that stalls mid-headers or
+		// mid-body cannot pin a connection forever. WriteTimeout stays 0 —
+		// /reports on a large store and /debug/pprof profiles are
+		// legitimately slow.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "proraced: serving http://%s (store %s, window %d, %d workers)\n",
-		ln.Addr(), storeLabel(*store), *window, *workers)
+
+	var sweepStop chan struct{}
+	if *windowAge > 0 {
+		// Idle tenants get no analysis rounds, so aged segments would sit
+		// forever without a periodic sweep.
+		sweepStop = make(chan struct{})
+		interval := *windowAge / 4
+		if interval < time.Second {
+			interval = time.Second
+		}
+		go func() {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					m.Sweep()
+				case <-sweepStop:
+					return
+				}
+			}
+		}()
+	}
+
+	fmt.Fprintf(os.Stderr, "proraced: serving http://%s (store %s, wal %s, window %d, %d workers)\n",
+		ln.Addr(), pathLabel(*store, "in-memory"), pathLabel(*walDir, "off"), *window, *workers)
 	select {
 	case s := <-sig:
 		fmt.Fprintf(os.Stderr, "proraced: %v, draining\n", s)
@@ -115,7 +170,17 @@ func cmdServe(args []string) error {
 		m.Close()
 		return err
 	}
-	srv.Close()
+	if sweepStop != nil {
+		close(sweepStop)
+	}
+	// Graceful drain: stop accepting connections and let in-flight requests
+	// finish (bounded), then flush windows, journal cursors and the store.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "proraced: drain cut short: %v\n", err)
+		srv.Close()
+	}
 	if err := m.Close(); err != nil {
 		return err
 	}
@@ -123,9 +188,9 @@ func cmdServe(args []string) error {
 	return nil
 }
 
-func storeLabel(path string) string {
+func pathLabel(path, empty string) string {
 	if path == "" {
-		return "in-memory"
+		return empty
 	}
 	return path
 }
@@ -141,6 +206,11 @@ func cmdSend(args []string) error {
 	period := fs.Uint64("period", 10000, "PEBS sampling period")
 	seed := fs.Int64("seed", 1, "scheduler seed")
 	segments := fs.Int("segments", 8, "PRSG segments to split the trace into")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+	attempts := fs.Int("attempts", 10, "max attempts per segment before giving up")
+	backoff := fs.Duration("backoff", 100*time.Millisecond, "initial retry backoff (doubles per attempt, jittered)")
+	maxBackoff := fs.Duration("max-backoff", 5*time.Second, "retry backoff cap")
+	retryBudget := fs.Duration("retry-budget", 2*time.Minute, "total retry time per segment before giving up")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -188,8 +258,22 @@ func cmdSend(args []string) error {
 		return err
 	}
 
-	base := "http://" + *addr
-	if err := post(base+"/program", prog.EncodeImage(p)); err != nil {
+	c, err := client.New(client.Config{
+		BaseURL:        "http://" + *addr,
+		Tenant:         *tenant,
+		RequestTimeout: *timeout,
+		InitialBackoff: *backoff,
+		MaxBackoff:     *maxBackoff,
+		MaxAttempts:    *attempts,
+		RetryBudget:    *retryBudget,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "proraced send: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := c.UploadProgram(prog.EncodeImage(p)); err != nil {
 		return fmt.Errorf("uploading program image: %w", err)
 	}
 	segs := tr.Trace.Split(*segments)
@@ -199,23 +283,14 @@ func cmdSend(args []string) error {
 			Tenant: *tenant,
 			Final:  i == len(segs)-1,
 		}, seg)
-		if err := post(base+"/ingest?tenant="+*tenant, frame); err != nil {
+		if err := c.SendSegment(frame); err != nil {
 			return fmt.Errorf("segment %d/%d: %w", i+1, len(segs), err)
 		}
 		fmt.Fprintf(os.Stderr, "proraced send: segment %d/%d accepted (%d bytes)\n", i+1, len(segs), len(frame))
 	}
-	return nil
-}
-
-func post(url string, body []byte) error {
-	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		msg, _ := io.ReadAll(resp.Body)
-		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+	if st := c.Stats(); st.Retries > 0 || st.Throttled > 0 {
+		fmt.Fprintf(os.Stderr, "proraced send: done (%d requests, %d attempts, %d retries, %d throttled)\n",
+			st.Requests, st.Attempts, st.Retries, st.Throttled)
 	}
 	return nil
 }

@@ -1,0 +1,129 @@
+package faultinject
+
+// Crash points extend the trace injectors to the *process* failure model:
+// where the trace injectors damage data in flight, a crash point kills the
+// daemon at a seeded instruction boundary — mid journal append, before an
+// fsync, between a temp-file write and its rename — so the chaos harness
+// can prove that restart-and-replay reconstructs exactly the state an
+// uninterrupted run would have reached.
+//
+// Arming is deterministic: a spec "name=N" fires the named point on its
+// Nth hit (1-based) and never before, so a given spec kills a given
+// workload at exactly one reproducible place. Specs come from the
+// PRORACE_CRASHPOINTS environment variable ("wal.append.mid=3,
+// store.rename.mid=1") so a real spawned daemon can be killed without
+// test-only wiring, or from SetCrashPoints for in-process tests. A
+// process with no armed points pays one mutex + map lookup per site.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// CrashEnv is the environment variable consulted for crash-point specs.
+const CrashEnv = "PRORACE_CRASHPOINTS"
+
+// CrashExitCode is the status a fired crash point exits with, so harnesses
+// can tell an injected crash (restart and continue) from a clean exit.
+const CrashExitCode = 3
+
+var (
+	crashMu     sync.Mutex
+	crashPoints map[string]int // point -> hits remaining before firing
+	crashLoaded bool
+	crashExit   = func() { os.Exit(CrashExitCode) }
+)
+
+// SetCrashPoints arms the given spec ("name=N,name=M"; "" disarms all),
+// replacing any previously armed points including ones read from the
+// environment. N is the 1-based hit on which the point fires.
+func SetCrashPoints(spec string) error {
+	points, err := parseCrashSpec(spec)
+	if err != nil {
+		return err
+	}
+	crashMu.Lock()
+	crashLoaded = true
+	crashPoints = points
+	crashMu.Unlock()
+	return nil
+}
+
+// SetCrashExit overrides process termination (tests use a panic to observe
+// the firing site). It returns a function restoring the previous behaviour.
+func SetCrashExit(f func()) (restore func()) {
+	crashMu.Lock()
+	prev := crashExit
+	crashExit = f
+	crashMu.Unlock()
+	return func() {
+		crashMu.Lock()
+		crashExit = prev
+		crashMu.Unlock()
+	}
+}
+
+func parseCrashSpec(spec string) (map[string]int, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	points := map[string]int{}
+	for _, part := range strings.Split(spec, ",") {
+		name, nv, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("faultinject: bad crash point %q (want name=N)", part)
+		}
+		n, err := strconv.Atoi(nv)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("faultinject: bad crash count %q for %s (want N >= 1)", nv, name)
+		}
+		points[name] = n
+	}
+	return points, nil
+}
+
+// crashNow consumes one hit of the named point and reports whether it
+// fires. The environment spec is parsed on first use; a malformed env spec
+// disarms everything (a chaos harness typo must not change production
+// control flow).
+func crashNow(point string) (fire bool, exit func()) {
+	crashMu.Lock()
+	defer crashMu.Unlock()
+	if !crashLoaded {
+		crashLoaded = true
+		crashPoints, _ = parseCrashSpec(os.Getenv(CrashEnv))
+	}
+	n, ok := crashPoints[point]
+	if !ok {
+		return false, nil
+	}
+	n--
+	if n <= 0 {
+		delete(crashPoints, point) // disarm: relevant only when exit is overridden
+		return true, crashExit
+	}
+	crashPoints[point] = n
+	return false, nil
+}
+
+// Crash terminates the process if the named crash point is armed and this
+// is its firing hit; otherwise it is a cheap no-op.
+func Crash(point string) {
+	if fire, exit := crashNow(point); fire {
+		exit()
+	}
+}
+
+// CrashWith is Crash with a pre-crash damage callback: when the point
+// fires, damage runs first (e.g. writing half a journal record to model a
+// torn append) and then the process exits.
+func CrashWith(point string, damage func()) {
+	if fire, exit := crashNow(point); fire {
+		damage()
+		exit()
+	}
+}

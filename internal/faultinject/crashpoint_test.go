@@ -1,0 +1,76 @@
+package faultinject
+
+import "testing"
+
+func TestParseCrashSpec(t *testing.T) {
+	pts, err := parseCrashSpec("wal.append.mid=3, store.rename.mid=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts["wal.append.mid"] != 3 || pts["store.rename.mid"] != 1 {
+		t.Fatalf("parsed %v", pts)
+	}
+	if pts, err := parseCrashSpec("  "); err != nil || pts != nil {
+		t.Fatalf("empty spec = (%v, %v)", pts, err)
+	}
+	for _, bad := range []string{"noequals", "=3", "p=0", "p=-1", "p=x"} {
+		if _, err := parseCrashSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestCrashFiresOnNthHit(t *testing.T) {
+	if err := SetCrashPoints("p=3"); err != nil {
+		t.Fatal(err)
+	}
+	defer SetCrashPoints("")
+	fired := 0
+	restore := SetCrashExit(func() { fired++ })
+	defer restore()
+	for i := 0; i < 5; i++ {
+		Crash("p")
+		Crash("other") // unarmed points are no-ops
+	}
+	// Fires exactly once, on the 3rd hit, then disarms.
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1", fired)
+	}
+}
+
+func TestCrashWithRunsDamageFirst(t *testing.T) {
+	if err := SetCrashPoints("q=1"); err != nil {
+		t.Fatal(err)
+	}
+	defer SetCrashPoints("")
+	var order []string
+	restore := SetCrashExit(func() { order = append(order, "exit") })
+	defer restore()
+	CrashWith("q", func() { order = append(order, "damage") })
+	if len(order) != 2 || order[0] != "damage" || order[1] != "exit" {
+		t.Fatalf("order = %v, want [damage exit]", order)
+	}
+	// Disarmed now: neither damage nor exit runs again.
+	CrashWith("q", func() { order = append(order, "damage2") })
+	if len(order) != 2 {
+		t.Fatalf("disarmed point still ran: %v", order)
+	}
+}
+
+func TestSetCrashPointsRejectsBadSpec(t *testing.T) {
+	if err := SetCrashPoints("p=1"); err != nil {
+		t.Fatal(err)
+	}
+	defer SetCrashPoints("")
+	// A bad spec is an error and must not clobber the armed points...
+	if err := SetCrashPoints("bogus"); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	fired := 0
+	restore := SetCrashExit(func() { fired++ })
+	defer restore()
+	Crash("p")
+	if fired != 1 {
+		t.Fatal("good spec lost after rejected update")
+	}
+}

@@ -1,0 +1,301 @@
+package monitor
+
+// The chaos harness: a real proraced core serving real HTTP in a child
+// process, killed at deterministic crash points (or with SIGKILL) while a
+// retrying client streams a run at it, restarted, drained, and finally
+// audited — the surviving store must be indistinguishable from an
+// uninterrupted run's: same race fingerprints, same occurrence counts.
+//
+// The daemon child is this test binary re-executed with -test.run
+// selecting TestChaosDaemon and PRORACE_CHAOS_DAEMON=1 (the standard
+// helper-process pattern), so the crash points compiled into the monitor
+// fire in a genuinely separate process with its own page cache and file
+// descriptors.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"prorace/internal/faultinject"
+	"prorace/internal/monitor/client"
+	"prorace/internal/prog"
+)
+
+// TestChaosDaemon is not a test: it is the daemon body the chaos
+// scenarios re-execute this binary into. It serves until SIGTERM
+// (graceful drain, exit 0) or until an armed crash point kills it.
+func TestChaosDaemon(t *testing.T) {
+	if os.Getenv("PRORACE_CHAOS_DAEMON") != "1" {
+		t.Skip("helper process for the chaos harness")
+	}
+	workers, _ := strconv.Atoi(os.Getenv("PRORACE_CHAOS_WORKERS"))
+	m, err := New(Config{
+		Window:    4,
+		Workers:   workers,
+		StorePath: os.Getenv("PRORACE_CHAOS_STORE"),
+		WALDir:    os.Getenv("PRORACE_CHAOS_WAL"),
+		Fsync:     FsyncPolicy{Mode: FsyncAlways},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos daemon:", err)
+		os.Exit(1)
+	}
+	mux := http.NewServeMux()
+	m.Attach(mux)
+	// The address is fixed across restarts (the client keeps retrying one
+	// base URL); the previous incarnation is dead, but give a lingering
+	// socket a moment to release.
+	var ln net.Listener
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err = net.Listen("tcp", os.Getenv("PRORACE_CHAOS_ADDR"))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintln(os.Stderr, "chaos daemon listen:", err)
+			os.Exit(1)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	srv := &http.Server{Handler: mux}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM)
+	go srv.Serve(ln)
+	<-sig
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	if err := m.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos daemon drain:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// chaosDaemon supervises the child: it restarts a crashed incarnation
+// (without the crash env — the fault fires once) and records how each
+// incarnation ended.
+type chaosDaemon struct {
+	t     *testing.T
+	addr  string
+	store string
+	wal   string
+
+	mu        sync.Mutex
+	cmd       *exec.Cmd
+	stopping  bool
+	restarts  int
+	crashExit bool // some incarnation died with CrashExitCode or a signal
+	done      chan int
+}
+
+func startChaosDaemon(t *testing.T, dir, addr, crashSpec string, workers int) *chaosDaemon {
+	d := &chaosDaemon{
+		t:     t,
+		addr:  addr,
+		store: filepath.Join(dir, "reports.json"),
+		wal:   filepath.Join(dir, "wal"),
+		done:  make(chan int, 1),
+	}
+	d.mu.Lock()
+	d.startLocked(crashSpec, workers)
+	d.mu.Unlock()
+	return d
+}
+
+func (d *chaosDaemon) startLocked(crashSpec string, workers int) {
+	cmd := exec.Command(os.Args[0], "-test.run=^TestChaosDaemon$")
+	cmd.Env = append(os.Environ(),
+		"PRORACE_CHAOS_DAEMON=1",
+		"PRORACE_CHAOS_ADDR="+d.addr,
+		"PRORACE_CHAOS_STORE="+d.store,
+		"PRORACE_CHAOS_WAL="+d.wal,
+		"PRORACE_CHAOS_WORKERS="+strconv.Itoa(workers),
+		faultinject.CrashEnv+"="+crashSpec,
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		d.t.Fatalf("starting chaos daemon: %v", err)
+	}
+	d.cmd = cmd
+	go func() {
+		err := cmd.Wait()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		}
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if d.stopping {
+			d.done <- code
+			return
+		}
+		// An unexpected death: record it and restart clean (no crash env).
+		if code == faultinject.CrashExitCode || code == -1 {
+			d.crashExit = true
+		}
+		d.restarts++
+		d.startLocked("", workers)
+	}()
+}
+
+// kill SIGKILLs the current incarnation (the supervisor restarts it).
+func (d *chaosDaemon) kill() {
+	d.mu.Lock()
+	cmd := d.cmd
+	d.mu.Unlock()
+	cmd.Process.Kill()
+}
+
+// stop drains the daemon with SIGTERM and verifies a clean exit.
+func (d *chaosDaemon) stop() (restarts int, crashed bool) {
+	d.t.Helper()
+	d.mu.Lock()
+	d.stopping = true
+	cmd := d.cmd
+	restarts, crashed = d.restarts, d.crashExit
+	d.mu.Unlock()
+	cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case code := <-d.done:
+		if code != 0 {
+			d.t.Fatalf("drain exited %d, want 0", code)
+		}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		d.t.Fatal("drain timed out")
+	}
+	return restarts, crashed
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// runChaosScenario streams one traced run at a daemon that dies per
+// crashSpec (or by SIGKILL before segment killAt when killAt >= 0),
+// drains it, and returns the final store's fingerprint -> occurrences.
+func runChaosScenario(t *testing.T, p *prog.Program, frames [][]byte, crashSpec string, killAt, workers int) map[string]int {
+	t.Helper()
+	dir := t.TempDir()
+	d := startChaosDaemon(t, dir, freePort(t), crashSpec, workers)
+	c, err := client.New(client.Config{
+		BaseURL:        "http://" + d.addr,
+		Tenant:         "web-1",
+		RequestTimeout: 10 * time.Second,
+		InitialBackoff: 25 * time.Millisecond,
+		MaxBackoff:     250 * time.Millisecond,
+		MaxAttempts:    60,
+		RetryBudget:    time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UploadProgram(prog.EncodeImage(p)); err != nil {
+		t.Fatalf("uploading program: %v", err)
+	}
+	for i, f := range frames {
+		if i == killAt {
+			d.kill()
+		}
+		if err := c.SendSegment(f); err != nil {
+			t.Fatalf("segment %d: %v", i, err)
+		}
+	}
+	restarts, crashed := d.stop()
+	if crashSpec != "" || killAt >= 0 {
+		if restarts == 0 || !crashed {
+			t.Fatalf("fault never fired (restarts=%d crashed=%v) — the scenario tested nothing", restarts, crashed)
+		}
+	} else if restarts != 0 {
+		t.Fatalf("uninterrupted baseline restarted %d times", restarts)
+	}
+	s, err := OpenStore(d.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := s.LoadWarning(); w != "" {
+		t.Fatalf("final store needed salvage: %s", w)
+	}
+	return occurrences(s)
+}
+
+// TestChaosCrashRecovery is the acceptance gate: for every seeded crash
+// point in the ingest/analysis/persist pipeline, kill-at-the-point +
+// restart + replay must converge to the exact store an uninterrupted run
+// produces — same fingerprints, same occurrence counts.
+func TestChaosCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness spawns daemons; skipped in -short")
+	}
+	p, frames := oracleRun(t, "web-1", 6)
+	baseline := runChaosScenario(t, p, frames, "", -1, 0)
+	if len(baseline) == 0 {
+		t.Fatal("baseline run found no races")
+	}
+	scenarios := []struct {
+		name string
+		spec string
+	}{
+		// Torn journal record: the segment was never acknowledged; the
+		// client's keyed retry re-delivers it after restart.
+		{"wal-append-mid", "wal.append.mid=3"},
+		// Record written but not fsynced, ack never sent: same contract.
+		{"wal-append-presync", "wal.append.presync=4"},
+		// Journaled but unacknowledged: replay ingests it at boot, and the
+		// client's retry of the same key dedups instead of double-counting.
+		{"ingest-preack", "monitor.ingest.preack=2"},
+		// Round computed, nothing persisted: replay re-runs the round.
+		{"analyze-mid", "monitor.analyze.mid=3"},
+		// Store temp written, rename pending: the cursor never advanced,
+		// replay re-runs the round against the old store generation.
+		{"store-rename-mid", "store.rename.mid=2"},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			got := runChaosScenario(t, p, frames, sc.spec, -1, 0)
+			sameOccurrences(t, got, baseline)
+		})
+	}
+}
+
+// TestChaosSIGKILL: an unseeded hard kill mid-stream with a concurrent
+// worker pool. Round structure is nondeterministic under workers, so the
+// contract is the fingerprint set (no race lost, none invented), not
+// occurrence counts.
+func TestChaosSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness spawns daemons; skipped in -short")
+	}
+	p, frames := oracleRun(t, "web-1", 6)
+	baseline := runChaosScenario(t, p, frames, "", -1, 0)
+	got := runChaosScenario(t, p, frames, "", 3, 2)
+	if len(got) != len(baseline) {
+		t.Fatalf("fingerprint sets differ: %d vs %d", len(got), len(baseline))
+	}
+	for fp := range baseline {
+		if _, ok := got[fp]; !ok {
+			t.Fatalf("SIGKILL lost race %s", fp)
+		}
+	}
+}

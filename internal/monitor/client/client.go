@@ -1,0 +1,287 @@
+// Package client is the producer-side ingest library for proraced: it
+// ships PRSG segment frames (and program images) to a daemon over HTTP
+// with the retry discipline a flaky production network needs — request
+// timeouts, exponential backoff with jitter, a bounded retry budget,
+// Retry-After honoured on 429/503, and idempotent resends so a retry of a
+// request whose acknowledgement was lost is never double-ingested.
+//
+// Idempotency works by keying every segment send: the key is the FNV-1a
+// checksum of the frame combined with a per-Client run nonce. Retries of
+// one frame reuse the key (the daemon acknowledges without re-ingesting);
+// a deliberate re-send of the same run through a fresh Client gets a
+// fresh nonce and is ingested again (bumping occurrence counts), which is
+// exactly the split production wants.
+package client
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	mrand "math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"prorace/internal/telemetry"
+)
+
+// Config parameterises a Client. The zero value of every field is
+// replaced by a production-sensible default in New.
+type Config struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:7077".
+	BaseURL string
+	// Tenant tags every segment this client sends.
+	Tenant string
+	// HTTPClient overrides the transport (tests). Its Timeout is ignored;
+	// RequestTimeout governs.
+	HTTPClient *http.Client
+	// RequestTimeout bounds each individual HTTP attempt. Default 30s.
+	RequestTimeout time.Duration
+	// InitialBackoff is the delay after the first failure. Default 100ms.
+	InitialBackoff time.Duration
+	// MaxBackoff caps the exponential growth. Default 5s.
+	MaxBackoff time.Duration
+	// Multiplier is the backoff growth factor. Default 2.
+	Multiplier float64
+	// Jitter spreads each delay uniformly over ±Jitter of itself so a
+	// fleet of producers does not retry in lockstep. Default 0.2.
+	Jitter float64
+	// MaxAttempts bounds tries per request (first attempt included).
+	// Default 10.
+	MaxAttempts int
+	// RetryBudget bounds the total time spent retrying one request,
+	// whatever MaxAttempts says. Default 2m.
+	RetryBudget time.Duration
+	// Telemetry receives the prorace_client_* series (nil = disabled).
+	Telemetry *telemetry.Registry
+	// Rand injects determinism into jitter (tests). Default seeded from
+	// crypto/rand.
+	Rand *mrand.Rand
+	// Sleep overrides the backoff sleep (tests). Default time.Sleep.
+	Sleep func(time.Duration)
+	// Logf, when set, receives one line per retry (operator visibility).
+	Logf func(format string, args ...any)
+}
+
+// Stats counts what the client did, for end-of-run reporting.
+type Stats struct {
+	Requests  int // requests attempted at least once
+	Attempts  int // HTTP attempts, retries included
+	Retries   int // attempts beyond the first
+	Throttled int // 429/503 responses that carried Retry-After
+}
+
+// Client is a retrying ingest producer. Not safe for concurrent use (a
+// producer streams its segments in order).
+type Client struct {
+	cfg   Config
+	http  *http.Client
+	nonce string
+	stats Stats
+}
+
+// New validates the config and builds a Client with a fresh run nonce.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("client: BaseURL is required")
+	}
+	if cfg.Tenant == "" {
+		return nil, fmt.Errorf("client: Tenant is required")
+	}
+	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.InitialBackoff <= 0 {
+		cfg.InitialBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.Multiplier < 1 {
+		cfg.Multiplier = 2
+	}
+	if cfg.Jitter < 0 || cfg.Jitter >= 1 {
+		cfg.Jitter = 0.2
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 10
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 2 * time.Minute
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	if cfg.Rand == nil {
+		var seed [8]byte
+		rand.Read(seed[:])
+		cfg.Rand = mrand.New(mrand.NewSource(int64(uint64(seed[0])<<56 | uint64(seed[1])<<48 |
+			uint64(seed[2])<<40 | uint64(seed[3])<<32 | uint64(seed[4])<<24 |
+			uint64(seed[5])<<16 | uint64(seed[6])<<8 | uint64(seed[7]))))
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	var nonce [8]byte
+	rand.Read(nonce[:])
+	return &Client{cfg: cfg, http: hc, nonce: hex.EncodeToString(nonce[:])}, nil
+}
+
+// Stats returns what the client has done so far.
+func (c *Client) Stats() Stats { return c.stats }
+
+// SegmentKey computes the idempotency key this client would send for a
+// frame: FNV-1a of the frame, scoped by the client's run nonce.
+func (c *Client) SegmentKey(frame []byte) string {
+	h := fnv.New64a()
+	h.Write(frame)
+	return fmt.Sprintf("%s-%016x", c.nonce, h.Sum64())
+}
+
+// UploadProgram ships one PRIM program image (idempotent by nature — the
+// daemon re-registers the same image harmlessly — so retries are safe).
+func (c *Client) UploadProgram(image []byte) error {
+	return c.post("/program", nil, image)
+}
+
+// SendSegment ships one PRSG frame, retrying with backoff until the
+// daemon acknowledges it, the attempt limit is hit, or a permanent
+// rejection (4xx other than 429) says retrying cannot help.
+func (c *Client) SendSegment(frame []byte) error {
+	q := url.Values{}
+	q.Set("tenant", c.cfg.Tenant)
+	q.Set("key", c.SegmentKey(frame))
+	return c.post("/ingest", q, frame)
+}
+
+// permanentError is a rejection retrying cannot fix (corrupt frame,
+// unknown program, oversized body).
+type permanentError struct{ msg string }
+
+func (e *permanentError) Error() string { return e.msg }
+
+// post runs the retry loop for one request.
+func (c *Client) post(path string, q url.Values, body []byte) error {
+	u := c.cfg.BaseURL + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	c.stats.Requests++
+	tel := c.cfg.Telemetry
+	tel.Counter("prorace_client_requests_total", "Ingest-client requests issued (segments + program uploads).").Inc()
+	deadline := time.Now().Add(c.cfg.RetryBudget)
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.stats.Retries++
+			tel.Counter("prorace_client_retries_total", "Ingest-client attempts beyond the first.").Inc()
+		}
+		c.stats.Attempts++
+		retryAfter, err := c.attempt(u, body)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		var perm *permanentError
+		if ok := asPermanent(err, &perm); ok {
+			tel.Counter("prorace_client_rejected_total", "Ingest-client requests permanently rejected (4xx).").Inc()
+			return err
+		}
+		delay := c.backoff(attempt)
+		if retryAfter > 0 {
+			// The server said when to come back; believe it (still
+			// jittered so a fleet does not return in lockstep).
+			c.stats.Throttled++
+			tel.Counter("prorace_client_throttled_total", "429/503 responses whose Retry-After was honoured.").Inc()
+			delay = c.jitter(retryAfter)
+		}
+		if attempt == c.cfg.MaxAttempts-1 || time.Now().Add(delay).After(deadline) {
+			break
+		}
+		if c.cfg.Logf != nil {
+			c.cfg.Logf("retrying %s in %v (attempt %d/%d): %v", path, delay.Round(time.Millisecond), attempt+1, c.cfg.MaxAttempts, err)
+		}
+		c.cfg.Sleep(delay)
+	}
+	tel.Counter("prorace_client_giveups_total", "Requests abandoned after exhausting the retry budget.").Inc()
+	return fmt.Errorf("client: giving up on %s after %d attempts: %w", path, c.stats.Attempts, lastErr)
+}
+
+func asPermanent(err error, target **permanentError) bool {
+	p, ok := err.(*permanentError)
+	if ok {
+		*target = p
+	}
+	return ok
+}
+
+// attempt performs one HTTP POST. It returns a server-directed retry
+// delay when the response carried Retry-After.
+func (c *Client) attempt(u string, body []byte) (time.Duration, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return 0, &permanentError{msg: err.Error()}
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, err // transport error or timeout: retryable
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	switch {
+	case resp.StatusCode < 300:
+		return 0, nil
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		return parseRetryAfter(resp.Header.Get("Retry-After")), fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+	case resp.StatusCode >= 500:
+		return 0, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+	default:
+		return 0, &permanentError{msg: fmt.Sprintf("%s: %s", resp.Status, bytes.TrimSpace(msg))}
+	}
+}
+
+// parseRetryAfter reads seconds or an HTTP date; 0 means absent/unusable.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// backoff computes the jittered exponential delay for a just-failed
+// attempt (0-based).
+func (c *Client) backoff(attempt int) time.Duration {
+	d := float64(c.cfg.InitialBackoff) * math.Pow(c.cfg.Multiplier, float64(attempt))
+	if d > float64(c.cfg.MaxBackoff) {
+		d = float64(c.cfg.MaxBackoff)
+	}
+	return c.jitter(time.Duration(d))
+}
+
+func (c *Client) jitter(d time.Duration) time.Duration {
+	if c.cfg.Jitter == 0 || d <= 0 {
+		return d
+	}
+	f := 1 + c.cfg.Jitter*(2*c.cfg.Rand.Float64()-1)
+	return time.Duration(float64(d) * f)
+}

@@ -1,0 +1,229 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"prorace/internal/telemetry"
+)
+
+// flakyServer fails the first n requests per URL+body identity with the
+// given status before finally accepting, and records every body it
+// ingested (202 only).
+type flakyServer struct {
+	mu         sync.Mutex
+	failures   int
+	status     int
+	retryAfter string
+	seen       map[string]int // request key -> attempts
+	ingested   []string       // keys that got a 202
+}
+
+func (s *flakyServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := r.URL.String()
+	s.seen[key]++
+	if s.seen[key] <= s.failures {
+		if s.retryAfter != "" {
+			w.Header().Set("Retry-After", s.retryAfter)
+		}
+		http.Error(w, "induced failure", s.status)
+		return
+	}
+	s.ingested = append(s.ingested, key)
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func newTestClient(t *testing.T, url string, reg *telemetry.Registry) (*Client, *[]time.Duration) {
+	t.Helper()
+	var slept []time.Duration
+	c, err := New(Config{
+		BaseURL:        url,
+		Tenant:         "t",
+		RequestTimeout: 5 * time.Second,
+		InitialBackoff: 10 * time.Millisecond,
+		MaxBackoff:     80 * time.Millisecond,
+		MaxAttempts:    5,
+		Jitter:         0.2,
+		Telemetry:      reg,
+		Rand:           mrand.New(mrand.NewSource(1)),
+		Sleep:          func(d time.Duration) { slept = append(slept, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, &slept
+}
+
+func TestRetriesUntilAccepted(t *testing.T) {
+	fs := &flakyServer{failures: 2, status: http.StatusInternalServerError, seen: map[string]int{}}
+	srv := httptest.NewServer(fs)
+	defer srv.Close()
+	reg := telemetry.New()
+	c, slept := newTestClient(t, srv.URL, reg)
+	if err := c.SendSegment([]byte("frame-a")); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Attempts != 3 || st.Retries != 2 {
+		t.Fatalf("stats = %+v, want 3 attempts / 2 retries", st)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(*slept))
+	}
+	// Exponential: the second delay grows from the first (both jittered
+	// within ±20% of 10ms and 20ms).
+	if (*slept)[1] <= (*slept)[0] {
+		t.Fatalf("backoff did not grow: %v", *slept)
+	}
+	if got := reg.Snapshot().Counters["prorace_client_retries_total"]; got != 2 {
+		t.Fatalf("prorace_client_retries_total = %d", got)
+	}
+	if len(fs.ingested) != 1 {
+		t.Fatalf("server ingested %d times, want 1", len(fs.ingested))
+	}
+}
+
+func TestRetryAfterHonoured(t *testing.T) {
+	fs := &flakyServer{failures: 1, status: http.StatusTooManyRequests, retryAfter: "1", seen: map[string]int{}}
+	srv := httptest.NewServer(fs)
+	defer srv.Close()
+	reg := telemetry.New()
+	c, slept := newTestClient(t, srv.URL, reg)
+	if err := c.SendSegment([]byte("frame-b")); err != nil {
+		t.Fatal(err)
+	}
+	if len(*slept) != 1 {
+		t.Fatalf("slept %d times, want 1", len(*slept))
+	}
+	// The server said 1s; the jittered delay must track it, not the 10ms
+	// backoff schedule.
+	if d := (*slept)[0]; d < 800*time.Millisecond || d > 1200*time.Millisecond {
+		t.Fatalf("Retry-After delay = %v, want ~1s", d)
+	}
+	if c.Stats().Throttled != 1 {
+		t.Fatalf("throttled = %d, want 1", c.Stats().Throttled)
+	}
+	if got := reg.Snapshot().Counters["prorace_client_throttled_total"]; got != 1 {
+		t.Fatalf("prorace_client_throttled_total = %d", got)
+	}
+}
+
+func TestPermanentRejectionDoesNotRetry(t *testing.T) {
+	fs := &flakyServer{failures: 99, status: http.StatusBadRequest, seen: map[string]int{}}
+	srv := httptest.NewServer(fs)
+	defer srv.Close()
+	c, slept := newTestClient(t, srv.URL, telemetry.New())
+	err := c.SendSegment([]byte("frame-c"))
+	if err == nil {
+		t.Fatal("400 did not fail the send")
+	}
+	var perm *permanentError
+	if !errors.As(err, &perm) {
+		t.Fatalf("error type = %T (%v), want permanentError", err, err)
+	}
+	if c.Stats().Attempts != 1 || len(*slept) != 0 {
+		t.Fatalf("permanent rejection retried: %+v", c.Stats())
+	}
+}
+
+func TestGiveUpAfterMaxAttempts(t *testing.T) {
+	fs := &flakyServer{failures: 99, status: http.StatusServiceUnavailable, seen: map[string]int{}}
+	srv := httptest.NewServer(fs)
+	defer srv.Close()
+	reg := telemetry.New()
+	c, _ := newTestClient(t, srv.URL, reg)
+	err := c.SendSegment([]byte("frame-d"))
+	if err == nil || !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("err = %v, want give-up", err)
+	}
+	if c.Stats().Attempts != 5 {
+		t.Fatalf("attempts = %d, want MaxAttempts", c.Stats().Attempts)
+	}
+	if got := reg.Snapshot().Counters["prorace_client_giveups_total"]; got != 1 {
+		t.Fatalf("prorace_client_giveups_total = %d", got)
+	}
+}
+
+func TestTransportErrorsRetry(t *testing.T) {
+	// A server that does not exist: every attempt is a transport error.
+	c, slept := newTestClient(t, "http://127.0.0.1:1", telemetry.New())
+	if err := c.SendSegment([]byte("x")); err == nil {
+		t.Fatal("send to dead address succeeded")
+	}
+	if c.Stats().Attempts != 5 || len(*slept) != 4 {
+		t.Fatalf("transport errors not retried: %+v", c.Stats())
+	}
+}
+
+func TestSegmentKeyStableWithinRunFreshAcrossRuns(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	c1, _ := newTestClient(t, srv.URL, nil)
+	c2, _ := newTestClient(t, srv.URL, nil)
+	frame := []byte("the-frame")
+	if c1.SegmentKey(frame) != c1.SegmentKey(frame) {
+		t.Fatal("key not stable within a run")
+	}
+	if c1.SegmentKey(frame) == c2.SegmentKey(frame) {
+		t.Fatal("two runs share a key: deliberate re-sends would be deduplicated")
+	}
+	if c1.SegmentKey(frame) == c1.SegmentKey([]byte("other")) {
+		t.Fatal("distinct frames share a key")
+	}
+}
+
+func TestSendSegmentCarriesTenantAndKey(t *testing.T) {
+	var gotURL string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotURL = r.URL.String()
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer srv.Close()
+	c, _ := newTestClient(t, srv.URL, nil)
+	frame := []byte("f")
+	if err := c.SendSegment(frame); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("/ingest?key=%s&tenant=t", c.SegmentKey(frame))
+	if gotURL != want {
+		t.Fatalf("request URL = %q, want %q", gotURL, want)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	if d := parseRetryAfter("3"); d != 3*time.Second {
+		t.Fatalf("seconds form = %v", d)
+	}
+	if d := parseRetryAfter(""); d != 0 {
+		t.Fatalf("absent = %v", d)
+	}
+	if d := parseRetryAfter("garbage"); d != 0 {
+		t.Fatalf("garbage = %v", d)
+	}
+	future := time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(future); d < 25*time.Second || d > 30*time.Second {
+		t.Fatalf("http-date form = %v", d)
+	}
+	past := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(past); d != 0 {
+		t.Fatalf("past date = %v", d)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Tenant: "t"}); err == nil {
+		t.Fatal("missing BaseURL accepted")
+	}
+	if _, err := New(Config{BaseURL: "http://x"}); err == nil {
+		t.Fatal("missing Tenant accepted")
+	}
+}

@@ -9,18 +9,18 @@ import (
 	"prorace/internal/prog"
 )
 
-// maxBodyBytes bounds uploaded frame and image bodies; segments are
-// deliberately small (a producer flushes every few MB), so this is far
-// above any legitimate request.
-const maxBodyBytes = 256 << 20
-
 // Attach registers the daemon's HTTP surface on mux:
 //
-//	POST /ingest?tenant=NAME   one PRSG segment frame (body)
-//	POST /program              one PRIM program image (body)
-//	GET  /reports              the deduplicated race-report store (JSON)
-//	GET  /tenants              per-tenant stream health (JSON)
-//	GET  /healthz              liveness
+//	POST /ingest?tenant=NAME[&key=K]   one PRSG segment frame (body); a
+//	                                   non-empty key makes retries idempotent
+//	POST /program                      one PRIM program image (body)
+//	GET  /reports                      the deduplicated race-report store (JSON)
+//	GET  /tenants                      per-tenant stream health (JSON)
+//	GET  /healthz                      liveness
+//
+// Overload responses carry Retry-After: a 429 (tenant queue full) or 503
+// (draining, or the journal cannot accept writes) tells the producer when
+// to come back instead of leaving it to guess.
 //
 // Pass telemetry.NewMux's mux to co-host /metrics on the same listener.
 func (m *Monitor) Attach(mux *http.ServeMux) {
@@ -33,27 +33,48 @@ func (m *Monitor) Attach(mux *http.ServeMux) {
 	})
 }
 
+// readBody reads a request body under the configured size cap, mapping an
+// oversized body to 413 and anything else unreadable to 400.
+func (m *Monitor) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, m.cfg.MaxBodyBytes))
+	if err == nil {
+		return body, true
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+	} else {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+	}
+	return nil, false
+}
+
 func (m *Monitor) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	tenant := r.URL.Query().Get("tenant")
+	q := r.URL.Query()
+	tenant := q.Get("tenant")
 	if tenant == "" {
 		http.Error(w, "missing tenant parameter", http.StatusBadRequest)
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	if err != nil {
-		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+	body, ok := m.readBody(w, r)
+	if !ok {
 		return
 	}
-	switch err := m.Ingest(tenant, body); {
+	switch err := m.IngestKeyed(tenant, q.Get("key"), body); {
 	case err == nil:
 		w.WriteHeader(http.StatusAccepted)
 	case errors.Is(err, ErrQueueFull):
+		// The queue drains at analysis speed; a short backoff is enough.
+		w.Header().Set("Retry-After", "1")
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrDurability):
+		// Draining or the journal disk is refusing writes: retryable, but
+		// give the daemon (or its replacement) a moment.
+		w.Header().Set("Retry-After", "2")
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	default:
 		// Corrupt frame or unresolvable program: the producer's fault,
@@ -67,9 +88,8 @@ func (m *Monitor) handleProgram(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	if err != nil {
-		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+	body, ok := m.readBody(w, r)
+	if !ok {
 		return
 	}
 	p, err := prog.DecodeImage(body)

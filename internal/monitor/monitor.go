@@ -3,12 +3,14 @@ package monitor
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"time"
 
 	"prorace/internal/bugs"
 	"prorace/internal/core"
+	"prorace/internal/faultinject"
 	"prorace/internal/prog"
 	"prorace/internal/telemetry"
 	"prorace/internal/tracefmt"
@@ -29,6 +31,10 @@ var (
 	// ErrUnknownProgram reports a segment naming a program the daemon
 	// cannot resolve (no uploaded image, no built-in workload or bug).
 	ErrUnknownProgram = errors.New("monitor: unknown program")
+	// ErrDurability reports a journal append failure: the segment was NOT
+	// accepted (the durability contract could not be met) and the producer
+	// should retry, ideally after the operator fixes the disk.
+	ErrDurability = errors.New("monitor: journal append failed")
 )
 
 // Config parameterises a Monitor.
@@ -46,6 +52,22 @@ type Config struct {
 	Workers int
 	// StorePath is the persistent report store location ("" = in memory).
 	StorePath string
+	// WALDir enables the write-ahead segment journal: every accepted
+	// frame is journaled (fsynced per Fsync) before Ingest returns, and a
+	// restarted Monitor replays the unanalyzed suffix. "" disables
+	// durability (the PR-6 behaviour).
+	WALDir string
+	// Fsync is the journal fsync policy (zero value = FsyncAlways).
+	Fsync FsyncPolicy
+	// WindowMaxAge retires window segments older than this by wall clock
+	// (0 = never). Active tenants retire at round start; idle tenants need
+	// a periodic Sweep call.
+	WindowMaxAge time.Duration
+	// MaxBodyBytes bounds ingest/program HTTP bodies. Default 256 MiB.
+	MaxBodyBytes int64
+	// DedupKeys is how many recent idempotency keys each tenant retains
+	// for duplicate-resend detection. Default 512.
+	DedupKeys int
 	// Analysis configures each window's analysis round. Telemetry and
 	// MetricsAddr inside it are ignored — the monitor owns telemetry.
 	Analysis core.AnalysisOptions
@@ -53,6 +75,18 @@ type Config struct {
 	Telemetry *telemetry.Registry
 	// Now overrides the clock (tests).
 	Now func() time.Time
+	// Logf receives operational warnings (store salvage, journal damage).
+	// Defaults to stderr.
+	Logf func(format string, args ...any)
+}
+
+// ingestSeg is one accepted segment riding through pending and window:
+// the decoded trace slice, its ingest time (window-age retirement), and
+// its journal position (idx = journal index + 1; 0 = not journaled).
+type ingestSeg struct {
+	seg *tracefmt.Trace
+	at  time.Time
+	idx uint64
 }
 
 // tenant is one producer's stream state. Lifecycle: Ingest appends decoded
@@ -64,16 +98,24 @@ type tenant struct {
 	name string
 
 	mu      sync.Mutex
-	pending []*tracefmt.Trace
-	window  []*tracefmt.Trace
+	pending []ingestSeg
+	window  []ingestSeg
 	program *prog.Program
+
+	// Idempotent-resend detection: recent ingest keys, bounded FIFO.
+	keys     map[string]struct{}
+	keyOrder []string
 
 	// Rolling health/degradation record, served by TenantStatus.
 	segments     uint64
 	bytes        uint64
+	salvage      string // journal damage found at boot (sticky, unlike lastError)
 	corrupt      uint64
 	rejected     uint64
 	queueDrops   uint64
+	duplicates   uint64
+	replayed     uint64
+	retired      uint64
 	analyses     uint64
 	failures     uint64
 	lastError    string
@@ -81,6 +123,27 @@ type tenant struct {
 	lastReports  int
 
 	queued bool
+}
+
+// seenKeyLocked reports (and records) whether key was recently ingested.
+// Caller holds t.mu.
+func (t *tenant) seenKeyLocked(key string, cap int) bool {
+	if key == "" {
+		return false
+	}
+	if t.keys == nil {
+		t.keys = map[string]struct{}{}
+	}
+	if _, ok := t.keys[key]; ok {
+		return true
+	}
+	t.keys[key] = struct{}{}
+	t.keyOrder = append(t.keyOrder, key)
+	for len(t.keyOrder) > cap {
+		delete(t.keys, t.keyOrder[0])
+		t.keyOrder = t.keyOrder[1:]
+	}
+	return false
 }
 
 // TenantStatus is the externally visible health record of one tenant.
@@ -92,8 +155,12 @@ type TenantStatus struct {
 	Corrupt         uint64    `json:"corrupt"`
 	Rejected        uint64    `json:"rejected"`
 	QueueDrops      uint64    `json:"queue_drops"`
+	Duplicates      uint64    `json:"duplicates"`
+	Replayed        uint64    `json:"replayed"`
+	Retired         uint64    `json:"retired"`
 	Analyses        uint64    `json:"analyses"`
 	Failures        uint64    `json:"failures"`
+	Salvage         string    `json:"journal_salvage,omitempty"`
 	LastError       string    `json:"last_error,omitempty"`
 	LastAnalysis    time.Time `json:"last_analysis"`
 	LastReports     int       `json:"last_reports"`
@@ -103,12 +170,15 @@ type TenantStatus struct {
 
 // Monitor is the daemon core: per-tenant rolling-window incremental
 // analysis over the segment-resumable core API, feeding a deduplicating
-// persistent store. All methods are safe for concurrent use.
+// persistent store, with an optional write-ahead journal making the whole
+// ingest path crash-safe. All methods are safe for concurrent use.
 type Monitor struct {
 	cfg   Config
 	store *Store
+	wal   *WAL
 	tel   *telemetry.Registry
 	now   func() time.Time
+	logf  func(format string, args ...any)
 
 	mu       sync.Mutex
 	tenants  map[string]*tenant
@@ -124,8 +194,11 @@ type Monitor struct {
 	wg       sync.WaitGroup
 }
 
-// New builds a Monitor, opening (and replaying) the persistent store and
-// starting the worker pool.
+// New builds a Monitor: it opens (salvaging if damaged) the persistent
+// store and the write-ahead journal, reloads persisted program images,
+// starts the worker pool, and replays every journal's unanalyzed suffix
+// through the normal ingest path before returning — callers attach the
+// HTTP listener only after recovery is complete.
 func New(cfg Config) (*Monitor, error) {
 	if cfg.Window <= 0 {
 		cfg.Window = 8
@@ -133,8 +206,19 @@ func New(cfg Config) (*Monitor, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 32
 	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 256 << 20
+	}
+	if cfg.DedupKeys <= 0 {
+		cfg.DedupKeys = 512
+	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "proraced: "+format+"\n", args...)
+		}
 	}
 	cfg.Analysis.Telemetry = nil
 	cfg.Analysis.MetricsAddr = ""
@@ -148,14 +232,37 @@ func New(cfg Config) (*Monitor, error) {
 		store:    store,
 		tel:      cfg.Telemetry,
 		now:      cfg.Now,
+		logf:     cfg.Logf,
 		tenants:  map[string]*tenant{},
 		programs: map[string]*prog.Program{},
 	}
 	m.qcond = sync.NewCond(&m.qmu)
+	if w := store.LoadWarning(); w != "" {
+		m.logf("%s", w)
+		m.count("proraced_store_salvaged_total", "Corrupt store files set aside and restarted fresh at boot.").Inc()
+	}
+	if cfg.WALDir != "" {
+		wal, err := OpenWAL(cfg.WALDir, cfg.Fsync, cfg.Now)
+		if err != nil {
+			return nil, err
+		}
+		m.wal = wal
+		for _, raw := range wal.LoadPrograms() {
+			p, err := prog.DecodeImage(raw)
+			if err != nil {
+				m.logf("skipping corrupt persisted program image: %v", err)
+				continue
+			}
+			m.programs[p.Name] = p
+		}
+	}
 	m.gauge("proraced_store_reports", "Distinct races in the persistent report store.").Set(int64(store.Len()))
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
+	}
+	if m.wal != nil {
+		m.recover()
 	}
 	return m, nil
 }
@@ -164,11 +271,18 @@ func New(cfg Config) (*Monitor, error) {
 func (m *Monitor) Store() *Store { return m.store }
 
 // RegisterProgram makes a program image resolvable for incoming segments
-// whose trace header names it (the POST /program path).
+// whose trace header names it (the POST /program path). With a journal
+// directory configured the image is persisted too, so recovery replay can
+// still resolve it after a restart.
 func (m *Monitor) RegisterProgram(p *prog.Program) {
 	m.mu.Lock()
 	m.programs[p.Name] = p
 	m.mu.Unlock()
+	if m.wal != nil {
+		if err := m.wal.SaveProgram(p.Name, prog.EncodeImage(p)); err != nil {
+			m.logf("persisting program image %q: %v", p.Name, err)
+		}
+	}
 }
 
 // resolveProgram maps a trace's program name to a built program:
@@ -206,13 +320,23 @@ func (m *Monitor) tenantFor(name string) *tenant {
 	return t
 }
 
-// Ingest accepts one PRSG-framed segment from tenantName. Decoding,
-// admission and (with Workers == 0) the analysis round happen before it
-// returns; with a worker pool the analysis is scheduled and Ingest returns
-// once the segment is queued. Failures are tenant-scoped: a corrupt frame
-// or full queue degrades this tenant's record and leaves every other
-// tenant — and the daemon — untouched.
+// Ingest accepts one PRSG-framed segment from tenantName (no idempotency
+// key — every call is treated as a distinct segment).
 func (m *Monitor) Ingest(tenantName string, frame []byte) error {
+	return m.IngestKeyed(tenantName, "", frame)
+}
+
+// IngestKeyed accepts one PRSG-framed segment from tenantName. Decoding,
+// admission, the journal append (when durability is on) and — with
+// Workers == 0 — the analysis round happen before it returns; with a
+// worker pool the analysis is scheduled and IngestKeyed returns once the
+// segment is journaled and queued. A non-empty key makes the call
+// idempotent: a resend of a recently accepted key (a producer retrying a
+// request whose acknowledgement was lost) is acknowledged again without
+// being re-ingested. Failures are tenant-scoped: a corrupt frame or full
+// queue degrades this tenant's record and leaves every other tenant —
+// and the daemon — untouched.
+func (m *Monitor) IngestKeyed(tenantName, key string, frame []byte) error {
 	m.qmu.Lock()
 	closed := m.closed
 	m.qmu.Unlock()
@@ -220,6 +344,16 @@ func (m *Monitor) Ingest(tenantName string, frame []byte) error {
 		return ErrClosed
 	}
 	t := m.tenantFor(tenantName)
+	t.mu.Lock()
+	if key != "" {
+		if _, dup := t.keys[key]; dup {
+			t.duplicates++
+			t.mu.Unlock()
+			m.count("proraced_segments_duplicate_total", "Idempotent resends acknowledged without re-ingesting (producer retries).").Inc()
+			return nil
+		}
+	}
+	t.mu.Unlock()
 	_, seg, err := tracefmt.DecodeSegment(frame)
 	if err != nil {
 		t.mu.Lock()
@@ -237,6 +371,7 @@ func (m *Monitor) Ingest(tenantName string, frame []byte) error {
 		m.count("proraced_segments_rejected_total", "Decoded segments rejected before analysis (unknown program, session mismatch).").Inc()
 		return err
 	}
+	now := m.now()
 	t.mu.Lock()
 	if len(t.pending) >= m.cfg.QueueDepth {
 		t.queueDrops++
@@ -244,18 +379,153 @@ func (m *Monitor) Ingest(tenantName string, frame []byte) error {
 		m.count("proraced_queue_rejections_total", "Segments dropped at admission because the tenant's pending queue was full.").Inc()
 		return fmt.Errorf("%w: tenant %q has %d pending segments", ErrQueueFull, tenantName, m.cfg.QueueDepth)
 	}
-	t.pending = append(t.pending, seg)
+	// The durability point: journal the frame (fsync per policy) while
+	// still holding the admission slot, so "accepted" always means
+	// "replayable". Everything after this line is recoverable.
+	var idx uint64
+	if m.wal != nil {
+		jidx, err := m.wal.Append(tenantName, key, frame)
+		if err != nil {
+			t.mu.Unlock()
+			m.logf("journal append for tenant %q failed: %v", tenantName, err)
+			m.count("proraced_wal_append_failures_total", "Journal appends that failed (the segment was rejected, producer retries).").Inc()
+			return fmt.Errorf("%w: %v", ErrDurability, err)
+		}
+		idx = jidx + 1
+		m.count("proraced_wal_appends_total", "Segments appended to the write-ahead journal.").Inc()
+		m.count("proraced_wal_bytes_total", "Bytes appended to the write-ahead journal.").AddInt(len(frame))
+	}
+	t.seenKeyLocked(key, m.cfg.DedupKeys)
+	t.pending = append(t.pending, ingestSeg{seg: seg, at: now, idx: idx})
 	t.segments++
 	t.bytes += seg.TotalBytes()
 	t.mu.Unlock()
 	m.count("proraced_segments_ingested_total", "Segments accepted into tenant windows.").Inc()
 	m.count("proraced_segment_bytes_total", "Trace payload bytes accepted into tenant windows.").Add(seg.TotalBytes())
+	// Chaos point: the segment is journaled but the producer has not been
+	// acknowledged — a crash here must be covered by replay plus the
+	// producer's keyed retry.
+	faultinject.Crash("monitor.ingest.preack")
 	if m.cfg.Workers == 0 {
 		m.analyzeTenant(t)
 		return nil
 	}
 	m.schedule(t)
 	return nil
+}
+
+// recover replays every journal: segments the persisted cursor proves
+// were analyzed are restored into the tenant's rolling window (no
+// re-analysis, no re-observation), and the unanalyzed suffix is re-fed
+// through the normal ingest path — with Workers == 0 that reproduces the
+// exact round structure an uninterrupted run would have had, which is
+// what makes the chaos harness's occurrence-count equivalence hold.
+func (m *Monitor) recover() {
+	for tenantName, sal := range m.wal.Salvage() {
+		t := m.tenantFor(tenantName)
+		t.mu.Lock()
+		t.salvage = fmt.Sprintf("journal salvage: %d torn bytes, %d bad records", sal.TornBytes, sal.BadRecords)
+		t.mu.Unlock()
+		m.count("proraced_wal_torn_records_total", "Journal records dropped as torn or damaged during recovery.").AddInt(sal.BadRecords)
+		m.count("proraced_wal_salvaged_bytes_total", "Journal tail bytes truncated away during recovery salvage.").AddInt(sal.TornBytes)
+	}
+	for _, tenantName := range m.wal.Tenants() {
+		cursor := m.store.Cursor(tenantName)
+		recs, _, err := m.wal.Records(tenantName, 0)
+		if err != nil {
+			m.logf("reading journal for tenant %q: %v", tenantName, err)
+			continue
+		}
+		if len(recs) == 0 {
+			continue
+		}
+		m.count("proraced_recovery_tenants_total", "Tenants with journal records at boot.").Inc()
+		t := m.tenantFor(tenantName)
+		now := m.now()
+
+		// Rebuild the rolling window from the analyzed prefix: the last
+		// Window records the cursor has passed, filtered to the newest
+		// run's identity, exactly as live eviction would have left it.
+		var analyzed []WALRecord
+		var suffix []WALRecord
+		for _, rec := range recs {
+			if rec.Index+1 <= cursor {
+				analyzed = append(analyzed, rec)
+			} else {
+				suffix = append(suffix, rec)
+			}
+		}
+		if len(analyzed) > m.cfg.Window {
+			analyzed = analyzed[len(analyzed)-m.cfg.Window:]
+		}
+		t.mu.Lock()
+		for _, rec := range analyzed {
+			_, seg, err := tracefmt.DecodeSegment(rec.Frame)
+			if err != nil {
+				continue // bit rot in an already-analyzed record: window only degrades
+			}
+			t.seenKeyLocked(rec.Key, m.cfg.DedupKeys)
+			t.window = append(t.window, ingestSeg{seg: seg, at: now, idx: rec.Index + 1})
+		}
+		if n := len(t.window); n > 0 {
+			newest := t.window[n-1].seg
+			keep := t.window[:0]
+			for _, ws := range t.window {
+				if ws.seg.Program == newest.Program && ws.seg.Period == newest.Period && ws.seg.Seed == newest.Seed {
+					keep = append(keep, ws)
+				}
+			}
+			t.window = keep
+		}
+		restored := len(t.window)
+		t.mu.Unlock()
+		m.count("proraced_recovery_window_total", "Analyzed journal segments restored into rolling windows at boot.").AddInt(restored)
+
+		// Re-ingest the unanalyzed suffix through the normal path.
+		for _, rec := range suffix {
+			m.replayRecord(t, rec, now)
+		}
+	}
+}
+
+// replayRecord feeds one journaled-but-unanalyzed record back through the
+// ingest path: same decode, resolution and analysis as a live ingest, but
+// no re-journaling and no admission bound (the record was already
+// admitted once). Damaged or unresolvable records advance the in-memory
+// cursor so a poison record cannot wedge every future boot.
+func (m *Monitor) replayRecord(t *tenant, rec WALRecord, now time.Time) {
+	_, seg, err := tracefmt.DecodeSegment(rec.Frame)
+	if err != nil {
+		t.mu.Lock()
+		t.corrupt++
+		t.lastError = fmt.Sprintf("journal replay: %v", err)
+		t.mu.Unlock()
+		m.count("proraced_recovery_corrupt_total", "Journal records whose frames failed decoding during replay.").Inc()
+		m.store.SetCursor(t.name, rec.Index+1)
+		return
+	}
+	if _, err := m.resolveProgram(seg.Program); err != nil {
+		t.mu.Lock()
+		t.rejected++
+		t.lastError = fmt.Sprintf("journal replay: %v", err)
+		t.mu.Unlock()
+		m.count("proraced_segments_rejected_total", "Decoded segments rejected before analysis (unknown program, session mismatch).").Inc()
+		m.store.SetCursor(t.name, rec.Index+1)
+		return
+	}
+	t.mu.Lock()
+	t.seenKeyLocked(rec.Key, m.cfg.DedupKeys)
+	t.pending = append(t.pending, ingestSeg{seg: seg, at: now, idx: rec.Index + 1})
+	t.segments++
+	t.bytes += seg.TotalBytes()
+	t.replayed++
+	t.mu.Unlock()
+	m.count("proraced_recovery_replayed_total", "Unanalyzed journal segments re-fed through analysis at boot.").Inc()
+	if m.cfg.Workers == 0 {
+		m.analyzeTenant(t)
+	} else {
+		m.schedule(t)
+	}
 }
 
 // schedule puts t on the worker queue unless it is already there or being
@@ -309,24 +579,98 @@ func (m *Monitor) worker() {
 	}
 }
 
-// analyzeTenant runs one analysis round: drain pending into the rolling
-// window, re-analyse the window on a fresh session, fold reports into the
-// store. The tenant's busy claim (worker queue) serialises rounds, so
-// pending/window mutation order is ingest order.
+// retireLocked drops window segments older than WindowMaxAge. Caller
+// holds t.mu; returns how many were dropped and whether that emptied a
+// previously non-empty window.
+func (m *Monitor) retireLocked(t *tenant, now time.Time) (dropped int, emptied bool) {
+	if m.cfg.WindowMaxAge <= 0 || len(t.window) == 0 {
+		return 0, false
+	}
+	i := 0
+	for i < len(t.window) && now.Sub(t.window[i].at) > m.cfg.WindowMaxAge {
+		i++
+	}
+	if i == 0 {
+		return 0, false
+	}
+	emptied = i == len(t.window)
+	t.window = append(t.window[:0], t.window[i:]...)
+	t.retired += uint64(i)
+	return i, emptied
+}
+
+// noteRetirement publishes retirement counters (outside tenant locks).
+func (m *Monitor) noteRetirement(dropped int, emptied bool) {
+	if dropped == 0 {
+		return
+	}
+	m.count("proraced_window_segments_expired_total", "Window segments retired by wall-clock age.").AddInt(dropped)
+	if emptied {
+		m.count("proraced_windows_retired_total", "Rolling windows fully retired by wall-clock age.").Inc()
+	}
+}
+
+// Sweep retires expired window segments across all tenants (the periodic
+// janitor for idle tenants; active tenants also retire at round start).
+// It returns how many segments were dropped.
+func (m *Monitor) Sweep() int {
+	if m.cfg.WindowMaxAge <= 0 {
+		return 0
+	}
+	now := m.now()
+	m.mu.Lock()
+	ts := make([]*tenant, 0, len(m.tenants))
+	for _, t := range m.tenants {
+		ts = append(ts, t)
+	}
+	m.mu.Unlock()
+	total := 0
+	for _, t := range ts {
+		t.mu.Lock()
+		dropped, emptied := m.retireLocked(t, now)
+		t.mu.Unlock()
+		m.noteRetirement(dropped, emptied)
+		total += dropped
+		if dropped > 0 {
+			m.maybeCompact(t)
+		}
+	}
+	return total
+}
+
+// analyzeTenant runs one analysis round: retire aged window segments,
+// drain pending into the rolling window, re-analyse the window on a fresh
+// session, fold reports into the store and advance the journal cursor in
+// the same persist. The tenant's busy claim (worker queue) serialises
+// rounds, so pending/window mutation order is ingest order.
 func (m *Monitor) analyzeTenant(t *tenant) {
+	roundNow := m.now()
 	t.mu.Lock()
+	retiredN, retiredEmpty := m.retireLocked(t, roundNow)
+	// cursorAdv is the journal position this round consumes through: the
+	// last drained segment's position (trimmed-away segments count as
+	// consumed — they will never be analysed, by design of the window).
+	var cursorAdv uint64
+	if n := len(t.pending); n > 0 {
+		cursorAdv = t.pending[n-1].idx
+	}
 	t.window = append(t.window, t.pending...)
 	t.pending = nil
 	if len(t.window) > m.cfg.Window {
 		t.window = t.window[len(t.window)-m.cfg.Window:]
 	}
-	window := append([]*tracefmt.Trace(nil), t.window...)
+	window := make([]ingestSeg, len(t.window))
+	copy(window, t.window)
 	t.mu.Unlock()
+	m.noteRetirement(retiredN, retiredEmpty)
 	if len(window) == 0 {
+		if cursorAdv > 0 {
+			m.store.SetCursor(t.name, cursorAdv)
+		}
 		return
 	}
 
-	p, err := m.resolveProgram(window[0].Program)
+	p, err := m.resolveProgram(window[0].seg.Program)
 	if err != nil {
 		m.recordFailure(t, err)
 		return
@@ -337,8 +681,8 @@ func (m *Monitor) analyzeTenant(t *tenant) {
 		return
 	}
 	rejected := 0
-	for _, seg := range window {
-		if err := a.Feed(seg); err != nil {
+	for _, ws := range window {
+		if err := a.Feed(ws.seg); err != nil {
 			// A window can legitimately mix runs (the producer restarted
 			// with a new seed): segments of a different run are rejected
 			// by the session and recorded as tenant degradation, and the
@@ -353,11 +697,11 @@ func (m *Monitor) analyzeTenant(t *tenant) {
 		t.mu.Lock()
 		t.rejected += uint64(rejected)
 		// Keep only the suffix matching the newest segment's run identity.
-		newest := window[len(window)-1]
+		newest := window[len(window)-1].seg
 		keep := t.window[:0]
-		for _, seg := range t.window {
-			if seg.Program == newest.Program && seg.Period == newest.Period && seg.Seed == newest.Seed {
-				keep = append(keep, seg)
+		for _, ws := range t.window {
+			if ws.seg.Program == newest.Program && ws.seg.Period == newest.Period && ws.seg.Seed == newest.Seed {
+				keep = append(keep, ws)
 			}
 		}
 		t.window = keep
@@ -368,7 +712,10 @@ func (m *Monitor) analyzeTenant(t *tenant) {
 		m.recordFailure(t, err)
 		return
 	}
-	added, repeated, serr := m.store.Observe(t.name, window[0].Program, res.Reports)
+	// Chaos point: the round is computed but nothing is persisted — a
+	// crash here must replay the round from the journal.
+	faultinject.Crash("monitor.analyze.mid")
+	added, repeated, serr := m.store.ObserveAt(t.name, window[0].seg.Program, res.Reports, cursorAdv)
 	now := m.now()
 	t.mu.Lock()
 	t.analyses++
@@ -385,6 +732,51 @@ func (m *Monitor) analyzeTenant(t *tenant) {
 	m.count("proraced_reports_new_total", "Distinct races first observed by this daemon.").AddInt(added)
 	m.count("proraced_reports_dup_total", "Race observations deduplicated against the store.").AddInt(repeated)
 	m.gauge("proraced_store_reports", "Distinct races in the persistent report store.").Set(int64(m.store.Len()))
+	m.maybeCompact(t)
+}
+
+// maybeCompact drops the journal prefix that is both analysed (behind the
+// cursor) and outside the rebuildable window, once enough of it has
+// accumulated to be worth a rewrite.
+func (m *Monitor) maybeCompact(t *tenant) {
+	if m.wal == nil {
+		return
+	}
+	cursor := m.store.Cursor(t.name)
+	if cursor == 0 {
+		return
+	}
+	// The oldest journal record still needed is the first window
+	// segment's; with an empty window everything before the cursor is
+	// droppable.
+	keepFrom := cursor
+	t.mu.Lock()
+	for _, ws := range t.window {
+		if ws.idx > 0 {
+			keepFrom = ws.idx - 1
+			break
+		}
+	}
+	t.mu.Unlock()
+	threshold := uint64(m.cfg.Window)
+	if threshold < 8 {
+		threshold = 8
+	}
+	j, err := m.wal.journalFor(t.name)
+	if err != nil {
+		return
+	}
+	j.mu.Lock()
+	droppable := int64(keepFrom) - int64(j.base)
+	j.mu.Unlock()
+	if droppable < int64(threshold) {
+		return
+	}
+	if err := m.wal.Compact(t.name, keepFrom); err != nil {
+		m.logf("compacting journal for tenant %q: %v", t.name, err)
+		return
+	}
+	m.count("proraced_wal_compactions_total", "Journal compactions (analysed prefix dropped).").Inc()
 }
 
 func (m *Monitor) recordFailure(t *tenant, err error) {
@@ -406,8 +798,11 @@ func (m *Monitor) Wait() {
 	m.qmu.Unlock()
 }
 
-// Close drains the worker pool (queued rounds finish first) and persists
-// the store. Ingest after Close returns ErrClosed.
+// Close is the graceful drain: it stops accepting ingest (ErrClosed /
+// HTTP 503 + Retry-After), lets every queued and in-flight analysis round
+// finish, persists the store with the final journal cursors, and syncs
+// and closes the journal. After Close returns, a restarted Monitor finds
+// nothing to replay — no accepted segment is lost.
 func (m *Monitor) Close() error {
 	m.qmu.Lock()
 	if m.closed {
@@ -421,7 +816,16 @@ func (m *Monitor) Close() error {
 	m.qcond.Broadcast()
 	m.qmu.Unlock()
 	m.wg.Wait()
-	return m.store.Save()
+	err := m.store.Save()
+	if m.wal != nil {
+		if serr := m.wal.Sync(); serr != nil && err == nil {
+			err = serr
+		}
+		if cerr := m.wal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Tenants returns every tenant's status, sorted by name.
@@ -450,8 +854,12 @@ func (m *Monitor) tenantStatus(t *tenant) TenantStatus {
 		Corrupt:         t.corrupt,
 		Rejected:        t.rejected,
 		QueueDrops:      t.queueDrops,
+		Duplicates:      t.duplicates,
+		Replayed:        t.replayed,
+		Retired:         t.retired,
 		Analyses:        t.analyses,
 		Failures:        t.failures,
+		Salvage:         t.salvage,
 		LastError:       t.lastError,
 		LastAnalysis:    t.lastAnalysis,
 		LastReports:     t.lastReports,
@@ -459,9 +867,9 @@ func (m *Monitor) tenantStatus(t *tenant) TenantStatus {
 		PendingSegments: len(t.pending),
 	}
 	if len(t.window) > 0 {
-		st.Program = t.window[len(t.window)-1].Program
+		st.Program = t.window[len(t.window)-1].seg.Program
 	} else if len(t.pending) > 0 {
-		st.Program = t.pending[len(t.pending)-1].Program
+		st.Program = t.pending[len(t.pending)-1].seg.Program
 	}
 	return st
 }

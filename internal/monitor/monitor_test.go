@@ -200,7 +200,7 @@ func TestQueueAdmission(t *testing.T) {
 		t.Fatal(err)
 	}
 	ten := m.tenantFor("t")
-	ten.pending = append(ten.pending, seg, seg)
+	ten.pending = append(ten.pending, ingestSeg{seg: seg}, ingestSeg{seg: seg})
 	if err := m.Ingest("t", frames[1]); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("ingest into full queue = %v, want ErrQueueFull", err)
 	}
@@ -306,15 +306,42 @@ func TestStoreObserveDedup(t *testing.T) {
 	}
 }
 
-// TestStoreCorruptFile: a damaged store file is a startup error, not a
-// silent history wipe.
+// TestStoreCorruptFile: a damaged store file is salvaged — the daemon
+// starts fresh with the damaged original preserved next to the store and a
+// warning recorded — rather than refusing to boot and leaving the fleet
+// unmonitored.
 func TestStoreCorruptFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "reports.json")
 	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenStore(path); err == nil {
-		t.Fatal("corrupt store opened without error")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatalf("corrupt store was not salvaged: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("salvaged store has %d reports, want 0", s.Len())
+	}
+	if s.LoadWarning() == "" {
+		t.Fatal("salvage left no load warning")
+	}
+	backup, err := os.ReadFile(path + ".corrupt")
+	if err != nil {
+		t.Fatalf("damaged original not preserved: %v", err)
+	}
+	if string(backup) != "{not json" {
+		t.Fatalf("preserved backup altered: %q", backup)
+	}
+	// The fresh store persists over the old path.
+	if _, _, err := s.Observe("t", "p", []race.Report{{
+		First:  race.AccessInfo{TID: 1, PC: 0x40, Write: true},
+		Second: race.AccessInfo{TID: 2, PC: 0x80},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(path)
+	if err != nil || s2.Len() != 1 || s2.LoadWarning() != "" {
+		t.Fatalf("reopen after salvage = (%v, %d reports, warning %q)", err, s2.Len(), s2.LoadWarning())
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"prorace/internal/faultinject"
 	"prorace/internal/race"
 )
 
@@ -71,24 +72,44 @@ type Store struct {
 	mu      sync.Mutex
 	path    string
 	reports map[string]*StoredReport
+	cursors map[string]uint64
 	now     func() time.Time
+
+	// loadWarning describes a corrupt store file that load salvaged into
+	// a fresh store (the damaged original is kept as path.corrupt). The
+	// daemon surfaces it via log + telemetry instead of refusing to boot.
+	loadWarning string
 }
 
-// storeFile is the on-disk envelope.
+// storeFile is the on-disk envelope. Cursors maps each tenant to the
+// journal index its analysis has durably reached (see wal.go): persisting
+// it in the same atomic rename as the reports it covers is what makes
+// replay effectively-once — a round's observations and its cursor advance
+// land together or not at all.
 type storeFile struct {
-	Version int             `json:"version"`
-	Reports []*StoredReport `json:"reports"`
+	Version int               `json:"version"`
+	Reports []*StoredReport   `json:"reports"`
+	Cursors map[string]uint64 `json:"cursors,omitempty"`
 }
 
 const storeVersion = 1
 
 // OpenStore opens (creating if absent) the report store at path; an empty
-// path yields a memory-only store. A corrupt store file is an error — the
-// operator must decide, the daemon must not silently discard history.
+// path yields a memory-only store. A corrupt or truncated store file is
+// salvaged: the damaged file is preserved as path.corrupt, the store
+// starts fresh, and LoadWarning reports what happened — a bad byte on
+// disk degrades history, it must not keep the fleet unmonitored.
 func OpenStore(path string) (*Store, error) {
-	s := &Store{path: path, reports: map[string]*StoredReport{}, now: time.Now}
+	s := &Store{path: path, reports: map[string]*StoredReport{}, cursors: map[string]uint64{}, now: time.Now}
 	if path == "" {
 		return s, nil
+	}
+	// A crash between temp write and rename leaves .store-* litter behind;
+	// sweep it so the directory does not accumulate orphans.
+	if stale, err := filepath.Glob(filepath.Join(filepath.Dir(path), ".store-*")); err == nil {
+		for _, p := range stale {
+			os.Remove(p)
+		}
 	}
 	raw, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -98,16 +119,51 @@ func OpenStore(path string) (*Store, error) {
 		return nil, fmt.Errorf("monitor: reading store: %w", err)
 	}
 	var f storeFile
+	salvage := func(reason string) (*Store, error) {
+		backup := path + ".corrupt"
+		if err := os.Rename(path, backup); err != nil {
+			return nil, fmt.Errorf("monitor: store %s is corrupt (%s) and could not be set aside: %w", path, reason, err)
+		}
+		s.loadWarning = fmt.Sprintf("store %s was corrupt (%s); starting fresh, damaged file kept at %s", path, reason, backup)
+		return s, nil
+	}
 	if err := json.Unmarshal(raw, &f); err != nil {
-		return nil, fmt.Errorf("monitor: store %s is corrupt: %w", path, err)
+		return salvage(err.Error())
 	}
 	if f.Version != storeVersion {
-		return nil, fmt.Errorf("monitor: store %s has unsupported version %d", path, f.Version)
+		return salvage(fmt.Sprintf("unsupported version %d", f.Version))
 	}
 	for _, r := range f.Reports {
 		s.reports[r.Fingerprint] = r
 	}
+	for t, c := range f.Cursors {
+		s.cursors[t] = c
+	}
 	return s, nil
+}
+
+// LoadWarning reports a salvaged-at-open condition ("" = clean load).
+func (s *Store) LoadWarning() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loadWarning
+}
+
+// Cursor returns the journal index tenant's analysis has durably reached.
+func (s *Store) Cursor(tenant string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cursors[tenant]
+}
+
+// SetCursor advances tenant's cursor in memory (persisted by the next
+// save). Cursors never move backwards.
+func (s *Store) SetCursor(tenant string, v uint64) {
+	s.mu.Lock()
+	if v > s.cursors[tenant] {
+		s.cursors[tenant] = v
+	}
+	s.mu.Unlock()
 }
 
 // SetClock overrides the store's time source (tests).
@@ -121,11 +177,24 @@ func (s *Store) SetClock(now func() time.Time) {
 // (tenant, program). It returns how many races were new and how many were
 // repeat observations, and persists the store if anything changed.
 func (s *Store) Observe(tenant, program string, rs []race.Report) (added, repeated int, err error) {
+	return s.ObserveAt(tenant, program, rs, 0)
+}
+
+// ObserveAt is Observe plus a cursor advance: cursor (when non-zero) is
+// the journal index this round's analysis reached, recorded in the same
+// atomic persist as the round's observations. A round with no reports
+// advances the cursor in memory only — replaying such a round after a
+// crash is idempotent (it observes nothing again), so the extra disk
+// write would buy nothing.
+func (s *Store) ObserveAt(tenant, program string, rs []race.Report, cursor uint64) (added, repeated int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cursor > s.cursors[tenant] {
+		s.cursors[tenant] = cursor
+	}
 	if len(rs) == 0 {
 		return 0, 0, nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	now := s.now()
 	// One analysis round re-reports every race in the window, so dedup
 	// within the batch: a fingerprint counts once per Observe call.
@@ -197,7 +266,10 @@ func (s *Store) Save() error {
 	return s.saveLocked()
 }
 
-// saveLocked writes the JSON envelope atomically. Caller holds s.mu.
+// saveLocked writes the JSON envelope atomically and durably: the temp
+// file is fsynced before the rename and the parent directory after it, so
+// a machine crash leaves either the complete old state or the complete
+// new state — never a torn or unlinked file. Caller holds s.mu.
 func (s *Store) saveLocked() error {
 	if s.path == "" {
 		return nil
@@ -207,6 +279,12 @@ func (s *Store) saveLocked() error {
 		f.Reports = append(f.Reports, r)
 	}
 	sort.Slice(f.Reports, func(i, j int) bool { return f.Reports[i].Fingerprint < f.Reports[j].Fingerprint })
+	if len(s.cursors) > 0 {
+		f.Cursors = make(map[string]uint64, len(s.cursors))
+		for t, c := range s.cursors {
+			f.Cursors[t] = c
+		}
+	}
 	raw, err := json.MarshalIndent(&f, "", " ")
 	if err != nil {
 		return fmt.Errorf("monitor: encoding store: %w", err)
@@ -220,13 +298,23 @@ func (s *Store) saveLocked() error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("monitor: persisting store: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("monitor: persisting store: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("monitor: persisting store: %w", err)
 	}
+	// Chaos point: the classic torn-update window — temp written, rename
+	// pending. Recovery must replay the round because the cursor inside
+	// the temp file never became the store.
+	faultinject.Crash("store.rename.mid")
 	if err := os.Rename(tmp.Name(), s.path); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("monitor: persisting store: %w", err)
 	}
+	syncDir(filepath.Dir(s.path))
 	return nil
 }

@@ -1,0 +1,378 @@
+package monitor
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func walFrames(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = bytes.Repeat([]byte{byte('a' + i)}, 20+i)
+	}
+	return out
+}
+
+func TestWALAppendRecordsRoundtrip(t *testing.T) {
+	w, err := OpenWAL(t.TempDir(), FsyncPolicy{Mode: FsyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	frames := walFrames(3)
+	for i, f := range frames {
+		idx, err := w.Append("ten", "key-"+string(rune('0'+i)), f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != uint64(i) {
+			t.Fatalf("append %d got index %d", i, idx)
+		}
+	}
+	if got := w.NextIndex("ten"); got != 3 {
+		t.Fatalf("NextIndex = %d, want 3", got)
+	}
+	recs, sal, err := w.Records("ten", 0)
+	if err != nil || sal.Degraded() {
+		t.Fatalf("Records = (%v, %+v)", err, sal)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	for i, r := range recs {
+		if r.Index != uint64(i) || !bytes.Equal(r.Frame, frames[i]) || r.Key != "key-"+string(rune('0'+i)) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+	// from filters by global index.
+	if recs, _, _ := w.Records("ten", 2); len(recs) != 1 || recs[0].Index != 2 {
+		t.Fatalf("Records(from=2) = %+v", recs)
+	}
+	// Unknown tenants are empty, not errors.
+	if recs, _, err := w.Records("nope", 0); err != nil || len(recs) != 0 {
+		t.Fatalf("unknown tenant Records = (%v, %v)", recs, err)
+	}
+}
+
+func TestWALReopenContinuesIndices(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, FsyncPolicy{Mode: FsyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := walFrames(2)
+	for _, f := range frames {
+		if _, err := w.Append("ten", "", f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(dir, FsyncPolicy{Mode: FsyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if got := w2.Tenants(); len(got) != 1 || got[0] != "ten" {
+		t.Fatalf("Tenants after reopen = %v", got)
+	}
+	idx, err := w2.Append("ten", "", []byte("third"))
+	if err != nil || idx != 2 {
+		t.Fatalf("append after reopen = (%d, %v), want (2, nil)", idx, err)
+	}
+	recs, _, err := w2.Records("ten", 0)
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("reopen records = (%d, %v)", len(recs), err)
+	}
+}
+
+func TestWALTornTailSalvage(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, FsyncPolicy{Mode: FsyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := walFrames(3)
+	for _, f := range frames {
+		if _, err := w.Append("ten", "k", f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	// Tear the last record in half, as a crash mid-append would.
+	paths, _ := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if len(paths) != 1 {
+		t.Fatalf("journal files = %v", paths)
+	}
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastLen := walRecordLen("k", frames[2])
+	torn := data[:len(data)-lastLen/2]
+	if err := os.WriteFile(paths[0], torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(dir, FsyncPolicy{Mode: FsyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	sal := w2.Salvage()["ten"]
+	if !sal.Degraded() || sal.TornBytes == 0 {
+		t.Fatalf("salvage = %+v, want torn bytes", sal)
+	}
+	recs, _, err := w2.Records("ten", 0)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("salvaged records = (%d, %v), want 2 intact", len(recs), err)
+	}
+	// The torn tail was truncated away, so the next append lands on a
+	// record boundary and the journal reads clean again.
+	if idx, err := w2.Append("ten", "k2", frames[2]); err != nil || idx != 2 {
+		t.Fatalf("append after salvage = (%d, %v)", idx, err)
+	}
+	recs, sal2, err := w2.Records("ten", 0)
+	if err != nil || sal2.Degraded() || len(recs) != 3 {
+		t.Fatalf("post-salvage journal = (%d recs, %+v, %v)", len(recs), sal2, err)
+	}
+}
+
+func TestWALChecksumDamageEndsScan(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, FsyncPolicy{Mode: FsyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := walFrames(3)
+	for _, f := range frames {
+		w.Append("ten", "", f)
+	}
+	w.Close()
+	paths, _ := filepath.Glob(filepath.Join(dir, "*.wal"))
+	data, _ := os.ReadFile(paths[0])
+	// Flip a byte inside the second record's body.
+	off := journalHeaderLen("ten") + walRecordLen("", frames[0]) + 8
+	data[off] ^= 0xFF
+	os.WriteFile(paths[0], data, 0o644)
+
+	w2, err := OpenWAL(dir, FsyncPolicy{Mode: FsyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	sal := w2.Salvage()["ten"]
+	if sal.BadRecords == 0 {
+		t.Fatalf("salvage = %+v, want a bad record", sal)
+	}
+	// Only the prefix before the damage survives; later boundaries cannot
+	// be trusted.
+	recs, _, err := w2.Records("ten", 0)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("records after mid-file damage = (%d, %v), want 1", len(recs), err)
+	}
+}
+
+func TestWALQuarantineBadHeader(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "deadbeefdeadbeef.wal")
+	if err := os.WriteFile(bad, []byte("not a journal at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := OpenWAL(dir, FsyncPolicy{Mode: FsyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if len(w.Tenants()) != 0 {
+		t.Fatalf("tenants from a quarantined file: %v", w.Tenants())
+	}
+	if _, err := os.Stat(bad + ".corrupt"); err != nil {
+		t.Fatalf("bad journal not quarantined: %v", err)
+	}
+}
+
+func TestWALCompaction(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, FsyncPolicy{Mode: FsyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := walFrames(6)
+	for i, f := range frames {
+		w.Append("ten", "k"+string(rune('0'+i)), f)
+	}
+	if err := w.Compact("ten", 4); err != nil {
+		t.Fatal(err)
+	}
+	// Indices are global: the survivors keep 4 and 5.
+	recs, _, err := w.Records("ten", 0)
+	if err != nil || len(recs) != 2 || recs[0].Index != 4 || recs[1].Index != 5 {
+		t.Fatalf("post-compact records = %+v (%v)", recs, err)
+	}
+	// Appends continue the global sequence.
+	if idx, _ := w.Append("ten", "", []byte("seventh")); idx != 6 {
+		t.Fatalf("append after compact = index %d, want 6", idx)
+	}
+	w.Close()
+
+	// The compacted base survives reopen.
+	w2, err := OpenWAL(dir, FsyncPolicy{Mode: FsyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	recs, _, err = w2.Records("ten", 0)
+	if err != nil || len(recs) != 3 || recs[0].Index != 4 {
+		t.Fatalf("reopen post-compact = %+v (%v)", recs, err)
+	}
+	if got := w2.NextIndex("ten"); got != 7 {
+		t.Fatalf("NextIndex after reopen = %d, want 7", got)
+	}
+	// Compacting at or below base is a no-op, not an error.
+	if err := w2.Compact("ten", 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALFsyncInterval(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	now := base
+	w, err := OpenWAL(t.TempDir(), FsyncPolicy{Mode: FsyncInterval, Interval: time.Second},
+		func() time.Time { return now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.Append("ten", "", []byte("one"))
+	j, _ := w.journalFor("ten")
+	// Within the interval the journal stays dirty; past it, the next
+	// append syncs.
+	now = now.Add(500 * time.Millisecond)
+	w.Append("ten", "", []byte("two"))
+	j.mu.Lock()
+	dirty := j.dirty
+	j.mu.Unlock()
+	if !dirty {
+		t.Fatal("append inside the interval synced")
+	}
+	now = now.Add(2 * time.Second)
+	w.Append("ten", "", []byte("three"))
+	j.mu.Lock()
+	dirty = j.dirty
+	j.mu.Unlock()
+	if dirty {
+		t.Fatal("append past the interval did not sync")
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		mode string
+		ival time.Duration
+		bad  bool
+	}{
+		{"always", FsyncAlways, 0, false},
+		{"", FsyncAlways, 0, false},
+		{"off", FsyncOff, 0, false},
+		{"interval", FsyncInterval, 100 * time.Millisecond, false},
+		{"interval=250ms", FsyncInterval, 250 * time.Millisecond, false},
+		{"interval=0s", "", 0, true},
+		{"sometimes", "", 0, true},
+	}
+	for _, c := range cases {
+		p, err := ParseFsyncPolicy(c.in)
+		if c.bad {
+			if err == nil {
+				t.Errorf("ParseFsyncPolicy(%q) accepted", c.in)
+			}
+			continue
+		}
+		if err != nil || p.Mode != c.mode || p.Interval != c.ival {
+			t.Errorf("ParseFsyncPolicy(%q) = (%+v, %v)", c.in, p, err)
+		}
+	}
+}
+
+func TestWALPrograms(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, FsyncPolicy{Mode: FsyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SaveProgram("p1", []byte("image-one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SaveProgram("p1", []byte("image-one-v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SaveProgram("p2", []byte("image-two")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	w2, err := OpenWAL(dir, FsyncPolicy{Mode: FsyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	imgs := w2.LoadPrograms()
+	if len(imgs) != 2 {
+		t.Fatalf("loaded %d images, want 2", len(imgs))
+	}
+	found := map[string]bool{}
+	for _, img := range imgs {
+		found[string(img)] = true
+	}
+	if !found["image-one-v2"] || !found["image-two"] {
+		t.Fatalf("loaded images = %v", found)
+	}
+}
+
+// FuzzWALJournal: journal decoding is lenient by contract — arbitrary
+// bytes may only yield an error or a salvaged prefix, never a panic; and
+// whatever it salvages must re-encode to a journal that decodes to the
+// same records with no residual damage.
+func FuzzWALJournal(f *testing.F) {
+	valid := encodeJournalHeader("ten", 7)
+	valid = append(valid, encodeWALRecord("key", []byte("frame-bytes"))...)
+	valid = append(valid, encodeWALRecord("", []byte("second"))...)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])       // torn tail
+	f.Add(encodeJournalHeader("", 0)) // empty journal
+	f.Add([]byte("PRWJ"))             // truncated header
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tenant, base, recs, sal, err := decodeJournal(data)
+		if err != nil {
+			return
+		}
+		if sal.TornBytes > len(data) {
+			t.Fatalf("salvage claims %d torn bytes of a %d-byte file", sal.TornBytes, len(data))
+		}
+		// Round-trip: the salvaged records must survive re-encoding intact.
+		out := encodeJournalHeader(tenant, base)
+		for _, r := range recs {
+			out = append(out, encodeWALRecord(r.Key, r.Frame)...)
+		}
+		ten2, base2, recs2, sal2, err := decodeJournal(out)
+		if err != nil || sal2.Degraded() {
+			t.Fatalf("re-encoded journal damaged: (%v, %+v)", err, sal2)
+		}
+		if ten2 != tenant || base2 != base || len(recs2) != len(recs) {
+			t.Fatalf("round trip changed shape: (%q, %d, %d) vs (%q, %d, %d)",
+				ten2, base2, len(recs2), tenant, base, len(recs))
+		}
+		for i := range recs {
+			if recs2[i].Index != recs[i].Index || recs2[i].Key != recs[i].Key || !bytes.Equal(recs2[i].Frame, recs[i].Frame) {
+				t.Fatalf("round trip changed record %d", i)
+			}
+		}
+	})
+}

@@ -50,6 +50,35 @@ func fuzzProgram() (*prog.Program, error) {
 	return b.Build()
 }
 
+// FuzzSegmentDecode feeds arbitrary bytes through the PRSG ingest framing
+// — the daemon-facing attack surface: every producer-supplied frame goes
+// through DecodeSegment before anything else. It must reject damage with
+// an error, never panic, and a valid frame must round-trip.
+func FuzzSegmentDecode(f *testing.F) {
+	seed := fuzzSeedTrace()
+	f.Add(tracefmt.EncodeSegment(tracefmt.SegmentHeader{Seq: 3, Tenant: "web-1", Final: true}, seed))
+	f.Add(tracefmt.EncodeSegment(tracefmt.SegmentHeader{}, tracefmt.NewTrace("p", 1, 1)))
+	f.Add([]byte("PRSG"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, tr, err := tracefmt.DecodeSegment(data)
+		if err != nil {
+			return
+		}
+		if tr == nil {
+			t.Fatal("DecodeSegment returned nil trace without error")
+		}
+		re := tracefmt.EncodeSegment(h, tr)
+		h2, _, err := tracefmt.DecodeSegment(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed decoding: %v", err)
+		}
+		if h2 != h {
+			t.Fatalf("header round trip changed: %+v vs %+v", h2, h)
+		}
+	})
+}
+
 // FuzzTraceDecode feeds arbitrary bytes through every container decode
 // path, the PT packet reader, and a lenient end-to-end analysis. Nothing
 // may panic; strict paths may only return errors.
