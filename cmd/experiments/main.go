@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated: table1,fig6,fig7,fig8,fig9,fig10,table2,fig11,fig12,related,scaling,faults,oracle,perf,all")
+	expFlag := flag.String("exp", "all", "comma-separated: table1,fig6,fig7,fig8,fig9,fig10,table2,fig11,fig12,related,scaling,faults,oracle,perf,memscale,all")
 	full := flag.Bool("full", false, "paper-scale configuration (slow)")
 	scale := flag.Int("scale", 0, "override workload scale")
 	trials := flag.Int("trials", 0, "override Table 2 traces per cell")
@@ -34,6 +34,11 @@ func main() {
 	soak := flag.Bool("soak", false, "oracle experiment: full 200-seed soak with a dense determinism matrix")
 	oracleSeeds := flag.Int("oracle-seeds", 0, "override oracle differential-sweep seed count")
 	benchOut := flag.String("bench-out", "BENCH_PR6.json", "perf experiment: JSON measurement file")
+	memOut := flag.String("memscale-out", "BENCH_PR8.json", "memscale experiment: JSON measurement file")
+	memVars := flag.Int("memscale-vars", 0, "memscale: variable count (0 = the 1M-variable acceptance scale)")
+	memThreads := flag.Int("memscale-threads", 64, "memscale: thread count")
+	memBudget := flag.Float64("memscale-budget", 0, "memscale: fail if flat shadow bytes/variable exceed this (CI ratchet)")
+	memReduction := flag.Float64("memscale-min-reduction", 0, "memscale: fail if heap bytes/variable reduction vs the reference representation is below this")
 	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry on this address (/metrics, /debug/vars, /timeline, /debug/pprof)")
 	timeline := flag.String("timeline", "", "write a chrome://tracing stage-span timeline JSON to this file")
 	metricsHold := flag.Duration("metrics-hold", 0, "keep the -metrics-addr listener alive this long after the experiments finish (for scrapers)")
@@ -227,6 +232,36 @@ func main() {
 		}
 		fmt.Print(res.Render())
 		fmt.Printf("[perf measured in %v, wrote %s]\n\n", time.Since(t0).Round(time.Millisecond), *benchOut)
+	}
+
+	// memscale is opt-in only (not part of "all"): at the default
+	// acceptance scale it feeds 2M accesses through three detector
+	// representations and holds gigabyte-scale shadow state alive.
+	if want["memscale"] {
+		ran++
+		t0 := time.Now()
+		mcfg := experiments.DefaultMemScale()
+		if *memVars > 0 {
+			mcfg.Vars = *memVars
+		}
+		if *memThreads > 1 {
+			mcfg.Threads = *memThreads
+		}
+		mcfg.BudgetBytesPerVar = *memBudget
+		mcfg.MinReduction = *memReduction
+		res, err := h.MemScale(mcfg)
+		if res != nil {
+			if werr := res.WriteJSON(*memOut); werr != nil {
+				fmt.Fprintln(os.Stderr, "memscale:", werr)
+				os.Exit(1)
+			}
+			fmt.Print(res.Render())
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memscale:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[memscale measured in %v, wrote %s]\n\n", time.Since(t0).Round(time.Millisecond), *memOut)
 	}
 
 	if ran == 0 {

@@ -154,6 +154,16 @@ type AnalysisOptions struct {
 	// 0 or 1 = sequential FastTrack, <0 = GOMAXPROCS, n > 1 = n shards.
 	// The reported race set is identical at any shard count.
 	DetectShards int
+	// DetectWorkers bounds the goroutines multiplexing the detection
+	// shards (shards are CAS-claimed stripes, so N shards can share M <
+	// N workers): 0 = one per shard up to GOMAXPROCS. Ignored without
+	// sharded detection. Results are identical at any worker count.
+	DetectWorkers int
+	// ShadowCapacityHint pre-sizes the detector's shadow table for the
+	// expected number of distinct variables (addresses × allocation
+	// generations), avoiding growth-and-reinsert cycles on large traces.
+	// 0 starts small and grows; the hint never changes results.
+	ShadowCapacityHint int
 	// DisableMemoryEmulation turns off the §5.1 program-map memory
 	// emulation (ablation).
 	DisableMemoryEmulation bool
@@ -408,7 +418,13 @@ func Analyze(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions) (*Analys
 	gaps := synctrace.AnalyzeLog(tr.Sync)
 	deg.SyncAnomalies = gaps.Anomalies()
 
-	ropts := race.Options{TrackAllocations: !opts.DisableAllocationTracking, MaxReports: opts.MaxReports, Telemetry: tel}
+	ropts := race.Options{
+		TrackAllocations:   !opts.DisableAllocationTracking,
+		MaxReports:         opts.MaxReports,
+		Telemetry:          tel,
+		Workers:            opts.DetectWorkers,
+		ShadowCapacityHint: opts.ShadowCapacityHint,
+	}
 	engine := replay.NewEngine(p, replay.Config{Mode: opts.Mode, Telemetry: tel})
 	if opts.DisableMemoryEmulation {
 		engine = engine.DisableMemoryEmulation()

@@ -89,9 +89,12 @@ func (d *DjitDetector) HandleAccess(a *replay.Access) {
 }
 
 // checkAgainst reports a race for every thread whose entry in the
-// variable's clock is not covered by the current thread's clock.
+// variable's clock is not covered by the current thread's clock. The scan
+// covers the vector's true length (it used to clamp at TID 64, silently
+// skipping readers beyond — the same unclamping is applied to every
+// detector so they stay equivalent on wide traces).
 func (d *DjitDetector) checkAgainst(a *replay.Access, varVC *vc.VC, pcs map[int32]uint64, priorIsWrite bool, c *vc.VC) {
-	for t := int32(0); t < 64; t++ {
+	for t := int32(0); int(t) < varVC.Len(); t++ {
 		cl := varVC.Get(t)
 		if cl == 0 || t == a.TID {
 			continue

@@ -24,6 +24,10 @@ import (
 
 var shardCounts = []int{1, 4, 7}
 
+// workerCounts oversubscribes and undersubscribes the stripes: 1 worker
+// serialises all stripes, 4 workers share 7 stripes (and idle at 1).
+var workerCounts = []int{1, 4}
+
 func eacc(tid int32, pc, addr uint64, store bool, tsc uint64) replay.Access {
 	return replay.Access{TID: tid, PC: pc, Addr: addr, Store: store, TSC: tsc, Step: -1}
 }
@@ -68,14 +72,31 @@ func checkEquivalence(t *testing.T, sync []tracefmt.SyncRecord, accs map[int32][
 		t.Errorf("DJIT+ race set differs from FastTrack: %d keys vs %d", len(got), len(want))
 	}
 
-	for _, n := range shardCounts {
-		sd := race.DetectSharded(sync, accs, n, opts)
-		if len(sd.Reports()) != len(ft.Reports()) {
-			t.Fatalf("%d shards: %d reports, FastTrack has %d", n, len(sd.Reports()), len(ft.Reports()))
+	// The map-based reference detector must match the flat-table detector
+	// report-for-report — same keys, same order, same provenance.
+	ref := race.NewReferenceDetector(opts)
+	race.Feed(ref, sync, accs)
+	if len(ref.Reports()) != len(ft.Reports()) {
+		t.Fatalf("reference detector: %d reports, flat table has %d", len(ref.Reports()), len(ft.Reports()))
+	}
+	for i, r := range ref.Reports() {
+		if r != ft.Reports()[i] {
+			t.Fatalf("reference report %d differs from flat table:\n  ref:  %+v\n  flat: %+v", i, r, ft.Reports()[i])
 		}
-		for i, r := range sd.Reports() {
-			if r.Key() != ft.Reports()[i].Key() {
-				t.Fatalf("%d shards: report %d key differs from FastTrack", n, i)
+	}
+
+	for _, n := range shardCounts {
+		for _, m := range workerCounts {
+			sopts := opts
+			sopts.Workers = m
+			sd := race.DetectSharded(sync, accs, n, sopts)
+			if len(sd.Reports()) != len(ft.Reports()) {
+				t.Fatalf("%d shards × %d workers: %d reports, FastTrack has %d", n, m, len(sd.Reports()), len(ft.Reports()))
+			}
+			for i, r := range sd.Reports() {
+				if r.Key() != ft.Reports()[i].Key() {
+					t.Fatalf("%d shards × %d workers: report %d key differs from FastTrack", n, m, i)
+				}
 			}
 		}
 	}

@@ -79,15 +79,34 @@ type Options struct {
 	// Finish. The event hot path only maintains plain per-detector ints;
 	// nil disables publication entirely.
 	Telemetry *telemetry.Registry
+	// Workers (sharded detector only) bounds the worker goroutines that
+	// multiplex the logical detection stripes: 0 = one worker per stripe
+	// up to GOMAXPROCS, n > 0 = exactly n workers. Stripes are
+	// CAS-claimed, so any worker count produces the identical report
+	// list.
+	Workers int
+	// ShadowCapacityHint pre-sizes each detector's flat shadow table for
+	// the expected live-variable count, avoiding growth rehashes on
+	// workloads whose scale is known up front. 0 = small default. For the
+	// sharded detector the hint names the whole trace's variable count
+	// and is divided across stripes.
+	ShadowCapacityHint int
 }
 
-// Detector runs FastTrack over a merged event stream.
+// Detector runs FastTrack over a merged event stream. Per-variable state
+// lives in a flat open-addressing shadow table (shadow.go): one inline
+// 72-byte slot per variable, shared-read vector clocks deduplicated
+// through a vc.Interner and shared-read provenance slab-allocated in a
+// provPool — no per-variable heap objects.
 type Detector struct {
 	opts Options
 
 	hbState // shared sync-clock machinery (hb.go)
 
-	vars map[varKey]*varState
+	shadow  shadowTable
+	intern  *vc.Interner
+	prov    provPool
+	scratch []uint64 // reusable build buffer for interned-VC updates
 
 	reports []Report
 	seen    map[[2]uint64]bool
@@ -108,22 +127,6 @@ type varKey struct {
 	gen  uint32
 }
 
-// varState is FastTrack's per-variable state: a write epoch and an adaptive
-// read representation (epoch or full vector clock).
-type varState struct {
-	w        vc.Epoch
-	wPC      uint64
-	wTSC     uint64
-	r        vc.Epoch
-	rPC      uint64
-	rTSC     uint64
-	rShared  *vc.VC
-	rPCs     map[int32]uint64 // per-thread read PCs when shared
-	rTSCs    map[int32]uint64
-	hasWrite bool
-	hasRead  bool
-}
-
 // NewDetector creates a detector.
 func NewDetector(opts Options) *Detector {
 	if opts.MaxReports == 0 {
@@ -132,7 +135,9 @@ func NewDetector(opts Options) *Detector {
 	return &Detector{
 		opts:      opts,
 		hbState:   newHBState(opts.TrackAllocations),
-		vars:      map[varKey]*varState{},
+		shadow:    newShadowTable(opts.ShadowCapacityHint),
+		intern:    vc.NewInterner(),
+		prov:      newProvPool(),
 		reports:   nil,
 		seen:      map[[2]uint64]bool{},
 		RacyAddrs: map[uint64]bool{},
@@ -145,72 +150,126 @@ func (d *Detector) HandleSync(rec *tracefmt.SyncRecord) {
 	d.hbState.HandleSync(rec)
 }
 
-// HandleAccess processes one memory access of the extended trace.
+// HandleAccess processes one memory access of the extended trace. The
+// decision logic is FastTrack's, identical to the reference map-based
+// detector (reference.go); only the state representation differs.
 func (d *Detector) HandleAccess(a *replay.Access) {
 	d.nAccess++
 	tid := a.TID
 	c := d.clock(tid)
-	key := varKey{addr: a.Addr, gen: d.genOf(a.Addr)}
-	v := d.vars[key]
-	if v == nil {
-		v = &varState{}
-		d.vars[key] = v
-	}
+	s := d.shadow.slot(a.Addr, d.genOf(a.Addr))
 	me := c.EpochOf(tid)
 
 	if a.Store {
 		// Write-write race?
-		if v.hasWrite && v.w.TID() != tid && !v.w.LEQ(c) {
-			d.report(a, AccessInfo{TID: v.w.TID(), PC: v.wPC, Write: true, TSC: v.wTSC})
+		if s.flags&slotHasWrite != 0 && s.w.TID() != tid && !s.w.LEQ(c) {
+			d.report(a, AccessInfo{TID: s.w.TID(), PC: s.wPC, Write: true, TSC: s.wTSC})
 		}
 		// Read-write races?
-		if v.hasRead {
-			if v.rShared != nil {
-				for t := int32(0); ; t++ {
-					cl := v.rShared.Get(t)
-					if t >= 64 { // clamp scan; threads beyond are absent
-						break
-					}
-					if cl == 0 || t == tid {
+		if s.flags&slotHasRead != 0 {
+			if s.flags&slotShared != 0 {
+				// Ascending TID over the canonical (trimmed) vector: the
+				// same order — and therefore the same first-reported PC
+				// pairs — as the reference detector's scan.
+				for t, cl := range d.intern.Clocks(s.rvc) {
+					rt := int32(t)
+					if cl == 0 || rt == tid {
 						continue
 					}
-					if cl > c.Get(t) {
-						d.report(a, AccessInfo{TID: t, PC: v.rPCs[t], Write: false, TSC: v.rTSCs[t]})
+					if cl > c.Get(rt) {
+						pc, tsc := d.prov.get(s.prov, rt)
+						d.report(a, AccessInfo{TID: rt, PC: pc, Write: false, TSC: tsc})
 					}
 				}
-			} else if v.r.TID() != tid && !v.r.LEQ(c) {
-				d.report(a, AccessInfo{TID: v.r.TID(), PC: v.rPC, Write: false, TSC: v.rTSC})
+			} else if s.r.TID() != tid && !s.r.LEQ(c) {
+				d.report(a, AccessInfo{TID: s.r.TID(), PC: s.rPC, Write: false, TSC: s.rTSC})
 			}
 		}
-		v.hasWrite = true
-		v.w = me
-		v.wPC, v.wTSC = a.PC, a.TSC
+		s.flags |= slotHasWrite
+		s.w = me
+		s.wPC, s.wTSC = a.PC, a.TSC
 		return
 	}
 
 	// Read: write-read race?
-	if v.hasWrite && v.w.TID() != tid && !v.w.LEQ(c) {
-		d.report(a, AccessInfo{TID: v.w.TID(), PC: v.wPC, Write: true, TSC: v.wTSC})
+	if s.flags&slotHasWrite != 0 && s.w.TID() != tid && !s.w.LEQ(c) {
+		d.report(a, AccessInfo{TID: s.w.TID(), PC: s.wPC, Write: true, TSC: s.wTSC})
 	}
 	// Update read state (FastTrack's adaptive representation).
-	if v.rShared != nil {
-		v.rShared.Set(tid, me.Clock())
-		v.rPCs[tid], v.rTSCs[tid] = a.PC, a.TSC
+	if s.flags&slotShared != 0 {
+		old := s.rvc
+		s.rvc, d.scratch = d.intern.WithSet(old, tid, me.Clock(), d.scratch)
+		d.intern.Release(old)
+		d.prov.set(&s.prov, tid, a.PC, a.TSC)
 		return
 	}
-	if !v.hasRead || v.r.TID() == tid || v.r.LEQ(c) {
-		v.hasRead = true
-		v.r = me
-		v.rPC, v.rTSC = a.PC, a.TSC
+	if s.flags&slotHasRead == 0 || s.r.TID() == tid || s.r.LEQ(c) {
+		s.flags |= slotHasRead
+		s.r = me
+		s.rPC, s.rTSC = a.PC, a.TSC
 		return
 	}
-	// Inflate to read-shared.
+	// Inflate to read-shared: build the two-reader vector in the scratch
+	// buffer and intern it; provenance moves into a slab row.
 	d.inflations++
-	v.rShared = vc.New()
-	v.rShared.Set(v.r.TID(), v.r.Clock())
-	v.rShared.Set(tid, me.Clock())
-	v.rPCs = map[int32]uint64{v.r.TID(): v.rPC, tid: a.PC}
-	v.rTSCs = map[int32]uint64{v.r.TID(): v.rTSC, tid: a.TSC}
+	prev := s.r.TID()
+	n := int(tid) + 1
+	if int(prev) >= n {
+		n = int(prev) + 1
+	}
+	if cap(d.scratch) < n {
+		d.scratch = make([]uint64, n)
+	}
+	d.scratch = d.scratch[:n]
+	clear(d.scratch)
+	d.scratch[prev] = s.r.Clock()
+	d.scratch[tid] = me.Clock()
+	s.rvc = d.intern.Intern(d.scratch)
+	s.prov = d.prov.newRow(2)
+	d.prov.set(&s.prov, prev, s.rPC, s.rTSC)
+	d.prov.set(&s.prov, tid, a.PC, a.TSC)
+	s.flags |= slotShared
+}
+
+// ShadowStats is the detector's resident shadow-memory accounting, the
+// basis of the bytes-per-variable measurements and the
+// prorace_detect_shadow_* telemetry.
+type ShadowStats struct {
+	// Variables is the number of live shadow slots (distinct varKeys).
+	Variables int
+	// TableBytes is the flat slot array's resident size; PeakTableBytes its
+	// high-water mark across growth.
+	TableBytes     uint64
+	PeakTableBytes uint64
+	// InternBytes / ProvBytes are the interner's and provenance pool's slab
+	// footprints; InternedVCs the distinct live vectors.
+	InternBytes uint64
+	ProvBytes   uint64
+	InternedVCs int
+	// InternHits / InternMisses / InternReuses expose dedup effectiveness.
+	InternHits, InternMisses, InternReuses uint64
+}
+
+// Bytes is the total resident shadow footprint.
+func (s ShadowStats) Bytes() uint64 { return s.TableBytes + s.InternBytes + s.ProvBytes }
+
+// PeakBytes is the high-water shadow footprint (slab pools only grow, so
+// only the table term differs from Bytes).
+func (s ShadowStats) PeakBytes() uint64 { return s.PeakTableBytes + s.InternBytes + s.ProvBytes }
+
+// ShadowStats returns the detector's current shadow-memory accounting.
+func (d *Detector) ShadowStats() ShadowStats {
+	return ShadowStats{
+		Variables:      d.shadow.used,
+		TableBytes:     d.shadow.bytes(),
+		PeakTableBytes: d.shadow.peak,
+		InternBytes:    d.intern.Bytes(),
+		ProvBytes:      d.prov.bytes(),
+		InternedVCs:    d.intern.Live(),
+		InternHits:     d.intern.Hits(),
+		InternMisses:   d.intern.Misses(),
+		InternReuses:   d.intern.Reuses(),
+	}
 }
 
 func (d *Detector) report(a *replay.Access, prior AccessInfo) {
@@ -241,6 +300,7 @@ func (d *Detector) Finish() {
 	}
 	d.published = true
 	publishDetect(tel, d.nSync, d.nAccess, d.inflations)
+	publishShadow(tel, d.ShadowStats())
 }
 
 // publishDetect folds one detection pass's tallies into the registry.
@@ -248,6 +308,18 @@ func publishDetect(tel *telemetry.Registry, nSync, nAccess, inflations int) {
 	tel.Counter("prorace_detect_sync_events_total", "Synchronization records processed by detection.").AddInt(nSync)
 	tel.Counter("prorace_detect_access_events_total", "Memory accesses processed by detection.").AddInt(nAccess)
 	tel.Counter("prorace_detect_read_share_inflations_total", "FastTrack read-epoch to vector-clock (read-shared) transitions.").AddInt(inflations)
+}
+
+// publishShadow folds a pass's shadow-memory accounting into the registry
+// (for the sharded detector, st is the sum across stripes).
+func publishShadow(tel *telemetry.Registry, st ShadowStats) {
+	tel.Gauge("prorace_detect_shadow_variables", "Live shadow-table slots (distinct variables) after the detection pass.").Set(int64(st.Variables))
+	tel.Gauge("prorace_detect_shadow_bytes", "Resident shadow-state bytes (flat table + VC interner + provenance slabs).").Set(int64(st.Bytes()))
+	tel.Gauge("prorace_detect_shadow_bytes_peak", "High-water shadow-state bytes across the detection pass.").Set(int64(st.PeakBytes()))
+	tel.Gauge("prorace_detect_vc_interned", "Distinct live interned vector clocks.").Set(int64(st.InternedVCs))
+	tel.Counter("prorace_detect_vc_intern_hits_total", "Interned-VC lookups served by an existing shared vector.").AddInt(int(st.InternHits))
+	tel.Counter("prorace_detect_vc_intern_misses_total", "Interned-VC lookups that inserted a fresh vector.").AddInt(int(st.InternMisses))
+	tel.Counter("prorace_detect_vc_intern_reuses_total", "Fresh interned-VC insertions served from recycled slab regions.").AddInt(int(st.InternReuses))
 }
 
 // RacyAddrSet returns the distinct racy addresses, for the §5.1 feedback.

@@ -1,7 +1,10 @@
 package race
 
 import (
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"prorace/internal/replay"
 	"prorace/internal/telemetry"
@@ -9,37 +12,60 @@ import (
 )
 
 // ShardedDetector runs FastTrack detection in parallel by partitioning the
-// per-variable state across N shards keyed by address hash. Each shard is a
-// complete FastTrack detector running on its own goroutine:
+// per-variable shadow state across N logical stripes keyed by address
+// hash, multiplexed onto M worker goroutines. Each stripe is a complete
+// FastTrack detector over its address subset:
 //
-//   - synchronization records are broadcast to every shard, so each shard
-//     holds the same view of every thread's vector clock (and of the
-//     malloc/free generation map) that the sequential detector would —
+//   - synchronization records are broadcast to every stripe, so each
+//     stripe holds the same view of every thread's vector clock (and of
+//     the malloc/free generation map) that the sequential detector would —
 //     sync volume is tiny relative to accesses, so the duplication is
 //     cheap;
-//   - memory accesses are routed to exactly one shard by address hash.
+//   - memory accesses are routed to exactly one stripe by address hash.
 //     FastTrack only ever compares accesses to the same address, and
 //     accesses never modify thread clocks, so routing is lossless: every
-//     shard makes exactly the decisions the sequential detector makes for
+//     stripe makes exactly the decisions the sequential detector makes for
 //     its subset of addresses.
 //
+// Earlier revisions pinned each shard to an owner goroutine and handed
+// every chunk across a channel — a router hop per chunk, and shard count
+// locked to goroutine count. Stripes are instead CAS-claimed: the feeder
+// appends event chunks to a stripe's lock-free queue and only when the
+// stripe is idle publishes its index to the worker pool; whichever worker
+// claims the stripe (a single compare-and-swap) drains everything queued,
+// then releases it. Accesses therefore never cross a channel — only
+// stripe indices do, at most one in flight per stripe — and N stripes
+// oversubscribe M workers freely (N > M spreads hot addresses, M > N is
+// clamped). Options.Workers picks M; the report list is identical at
+// every (N, M).
+//
 // Reports stay deterministic: the feeder stamps every event with a global
-// sequence number, shards tag each finding with the sequence of the access
-// that produced it, and Finish merges all shards' findings in sequence
-// order before deduplicating and applying MaxReports — byte-for-byte the
-// report set sequential FastTrack emits.
+// sequence number, stripes tag each finding with the sequence of the
+// access that produced it, and Finish merges all stripes' findings in
+// sequence order before deduplicating and applying MaxReports —
+// byte-for-byte the report set sequential FastTrack emits, at any stripe
+// or worker count, regardless of how claims interleave.
 //
 // A ShardedDetector is one-shot: feed events, call Finish once, then read
 // Reports/RacyAddrSet. The feeding goroutine must be single; only the
-// internal shard workers run concurrently.
+// internal workers run concurrently, and a stripe is only ever drained by
+// the one worker holding its claim.
 type ShardedDetector struct {
 	opts     Options
-	shards   []*shardWorker
+	stripes  []*stripe
 	pending  [][]shardEvent
 	seq      uint64
 	finished bool
-	// free recycles routing buffers: workers return each processed chunk,
-	// the feeder prefers a recycled buffer over allocating a fresh one, so
+	nworkers int
+
+	// runq carries stripe indices to the worker pool. Capacity is one per
+	// stripe and the claim flag guarantees at most one outstanding index
+	// per stripe, so the feeder never blocks here.
+	runq chan int
+	wg   sync.WaitGroup
+
+	// free recycles chunk buffers: workers return each drained chunk, the
+	// feeder prefers a recycled buffer over allocating a fresh one, so
 	// steady-state ingestion reuses a fixed set of chunk buffers.
 	free chan []shardEvent
 
@@ -47,7 +73,7 @@ type ShardedDetector struct {
 	racy    map[uint64]bool
 	// seen is the merged report key set (built by Finish, extended by
 	// Publish); external buffers reports published before Finish so they
-	// fold in after the shards' own sequence-ordered findings.
+	// fold in after the stripes' own sequence-ordered findings.
 	seen     map[[2]uint64]bool
 	external []Report
 
@@ -59,8 +85,8 @@ type ShardedDetector struct {
 	nAccess    int
 }
 
-// shardChunkSize amortises channel traffic: events are handed to shard
-// workers in batches.
+// shardChunkSize amortises queue traffic: events are handed to stripes in
+// batches.
 const shardChunkSize = 256
 
 // shardEvent is one event stamped with its global stream sequence.
@@ -70,51 +96,41 @@ type shardEvent struct {
 	acc  *replay.Access
 }
 
-// taggedReport is a shard finding positioned in the global stream.
+// taggedReport is a stripe finding positioned in the global stream.
 type taggedReport struct {
 	seq uint64
 	r   Report
 }
 
-type shardWorker struct {
-	inner  *Detector
-	ch     chan []shardEvent
-	free   chan<- []shardEvent
-	done   chan struct{}
+// chunkNode is one queued batch in a stripe's lock-free list.
+type chunkNode struct {
+	next   *chunkNode
+	events []shardEvent
+}
+
+// stripe is one logical shard of the shadow state plus its intake queue.
+type stripe struct {
+	inner *Detector
+
+	// head is a Treiber-style push list: the single feeder pushes, the
+	// claiming worker swaps the whole list out and reverses it to FIFO.
+	head atomic.Pointer[chunkNode]
+	// claimed is the CAS claim word: 0 = idle, 1 = queued-or-running.
+	// Whoever wins the 0→1 transition owns the stripe until it stores 0.
+	claimed atomic.Int32
+	// depth tracks queued-but-undrained chunks, for the queue-depth
+	// histogram.
+	depth atomic.Int32
+
 	tagged []taggedReport
 }
 
-func (w *shardWorker) run() {
-	defer close(w.done)
-	for chunk := range w.ch {
-		for i := range chunk {
-			ev := &chunk[i]
-			if ev.sync != nil {
-				w.inner.HandleSync(ev.sync)
-				continue
-			}
-			before := len(w.inner.reports)
-			w.inner.HandleAccess(ev.acc)
-			for _, r := range w.inner.reports[before:] {
-				w.tagged = append(w.tagged, taggedReport{seq: ev.seq, r: r})
-			}
-		}
-		// Hand the drained buffer back to the feeder; if the free list is
-		// full (the feeder is far ahead) let the buffer drop instead of
-		// blocking detection.
-		clear(chunk)
-		select {
-		case w.free <- chunk[:0]:
-		default:
-		}
-	}
-}
-
-// NewShardedDetector creates a detector with n shard workers (n < 1 is
-// clamped to 1). Each shard enforces the same MaxReports bound as the
+// NewShardedDetector creates a detector with n logical stripes (n < 1 is
+// clamped to 1) served by opts.Workers goroutines (0 = one per stripe up
+// to GOMAXPROCS). Each stripe enforces the same MaxReports bound as the
 // merged output, which is sufficient: any report surviving the global
 // first-MaxReports cut is also among the first MaxReports distinct keys of
-// its own shard.
+// its own stripe.
 func NewShardedDetector(n int, opts Options) *ShardedDetector {
 	if n < 1 {
 		n = 1
@@ -122,45 +138,59 @@ func NewShardedDetector(n int, opts Options) *ShardedDetector {
 	if opts.MaxReports == 0 {
 		opts.MaxReports = 10000
 	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = n
+		if p := runtime.GOMAXPROCS(0); workers > p {
+			workers = p
+		}
+	}
+	if workers > n {
+		workers = n // more workers than stripes can never all be busy
+	}
 	d := &ShardedDetector{
-		opts:    opts,
-		shards:  make([]*shardWorker, n),
-		pending: make([][]shardEvent, n),
-		free:    make(chan []shardEvent, 4*n),
-		racy:    map[uint64]bool{},
-		tel:     opts.Telemetry,
+		opts:     opts,
+		stripes:  make([]*stripe, n),
+		pending:  make([][]shardEvent, n),
+		nworkers: workers,
+		runq:     make(chan int, n),
+		free:     make(chan []shardEvent, 4*n),
+		racy:     map[uint64]bool{},
+		tel:      opts.Telemetry,
 	}
 	if d.tel != nil {
 		d.queueDepth = d.tel.Histogram("prorace_detect_queue_depth",
-			"Shard-worker channel depth observed at each chunk flush (scheduling-dependent).", telemetry.DepthBuckets)
+			"Stripe queue depth (chunks) observed at each flush (scheduling-dependent).", telemetry.DepthBuckets)
 	}
 	// Inner detectors never publish themselves: the sharded detector owns
 	// the merged telemetry so sync broadcasts are not counted once per
-	// shard.
+	// stripe. The shadow capacity hint names the whole trace; each stripe
+	// holds ~1/n of the variables.
 	innerOpts := opts
 	innerOpts.Telemetry = nil
-	for i := range d.shards {
-		w := &shardWorker{
-			inner: NewDetector(innerOpts),
-			ch:    make(chan []shardEvent, 4),
-			free:  d.free,
-			done:  make(chan struct{}),
-		}
-		d.shards[i] = w
+	innerOpts.ShadowCapacityHint = opts.ShadowCapacityHint / n
+	for i := range d.stripes {
+		d.stripes[i] = &stripe{inner: NewDetector(innerOpts)}
 		d.pending[i] = make([]shardEvent, 0, shardChunkSize)
-		go w.run()
+	}
+	d.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go d.worker()
 	}
 	return d
 }
 
-// NumShards reports the shard count.
-func (d *ShardedDetector) NumShards() int { return len(d.shards) }
+// NumShards reports the logical stripe count.
+func (d *ShardedDetector) NumShards() int { return len(d.stripes) }
 
-// shardOf routes an address to its shard. Fibonacci hashing spreads the
+// NumWorkers reports the resolved worker goroutine count.
+func (d *ShardedDetector) NumWorkers() int { return d.nworkers }
+
+// shardOf routes an address to its stripe. Fibonacci hashing spreads the
 // regular strides of array workloads evenly.
 func (d *ShardedDetector) shardOf(addr uint64) int {
 	h := addr * 0x9E3779B97F4A7C15
-	return int((h >> 32) % uint64(len(d.shards)))
+	return int((h >> 32) % uint64(len(d.stripes)))
 }
 
 func (d *ShardedDetector) push(i int, ev shardEvent) {
@@ -170,12 +200,27 @@ func (d *ShardedDetector) push(i int, ev shardEvent) {
 	}
 }
 
+// flush queues the pending chunk on stripe i and, if the stripe is idle,
+// claims it and publishes its index to the worker pool. The push is a
+// single CAS on the stripe's list head; no event data crosses a channel.
 func (d *ShardedDetector) flush(i int) {
 	if len(d.pending[i]) == 0 {
 		return
 	}
-	d.queueDepth.Observe(float64(len(d.shards[i].ch)))
-	d.shards[i].ch <- d.pending[i]
+	s := d.stripes[i]
+	d.queueDepth.Observe(float64(s.depth.Load()))
+	node := &chunkNode{events: d.pending[i]}
+	for {
+		old := s.head.Load()
+		node.next = old
+		if s.head.CompareAndSwap(old, node) {
+			break
+		}
+	}
+	s.depth.Add(1)
+	if s.claimed.CompareAndSwap(0, 1) {
+		d.runq <- i
+	}
 	select {
 	case buf := <-d.free:
 		d.pending[i] = buf
@@ -184,44 +229,114 @@ func (d *ShardedDetector) flush(i int) {
 	}
 }
 
-// HandleSync broadcasts one synchronization record to every shard.
+// worker claims stripes off the run queue and drains them.
+func (d *ShardedDetector) worker() {
+	defer d.wg.Done()
+	for i := range d.runq {
+		d.serve(d.stripes[i])
+	}
+}
+
+// serve drains everything queued on a claimed stripe, releases the claim,
+// and re-claims if the feeder queued more in the release window — the
+// standard claim-flag dance that makes lost wakeups impossible: either the
+// feeder's post-push CAS sees 0 and publishes the stripe, or serve's own
+// re-claim CAS sees 0 first and keeps draining.
+func (d *ShardedDetector) serve(s *stripe) {
+	for {
+		for node := reverseChunks(s.head.Swap(nil)); node != nil; {
+			d.drain(s, node.events)
+			s.depth.Add(-1)
+			next := node.next
+			node.next = nil
+			clear(node.events)
+			select {
+			case d.free <- node.events[:0]:
+			default:
+			}
+			node = next
+		}
+		s.claimed.Store(0)
+		if s.head.Load() == nil {
+			return
+		}
+		if !s.claimed.CompareAndSwap(0, 1) {
+			return // feeder re-published the stripe; another claim owns it
+		}
+	}
+}
+
+// reverseChunks flips a swapped-out push list (newest first) into FIFO
+// order.
+func reverseChunks(n *chunkNode) *chunkNode {
+	var out *chunkNode
+	for n != nil {
+		next := n.next
+		n.next = out
+		out = n
+		n = next
+	}
+	return out
+}
+
+// drain applies one chunk to the stripe's detector, tagging findings with
+// their event sequence.
+func (d *ShardedDetector) drain(s *stripe, chunk []shardEvent) {
+	for i := range chunk {
+		ev := &chunk[i]
+		if ev.sync != nil {
+			s.inner.HandleSync(ev.sync)
+			continue
+		}
+		before := len(s.inner.reports)
+		s.inner.HandleAccess(ev.acc)
+		for _, r := range s.inner.reports[before:] {
+			s.tagged = append(s.tagged, taggedReport{seq: ev.seq, r: r})
+		}
+	}
+}
+
+// HandleSync broadcasts one synchronization record to every stripe.
 func (d *ShardedDetector) HandleSync(rec *tracefmt.SyncRecord) {
 	d.seq++
 	d.nSync++
-	for i := range d.shards {
+	for i := range d.stripes {
 		d.push(i, shardEvent{seq: d.seq, sync: rec})
 	}
 }
 
-// HandleAccess routes one memory access to its address's shard.
+// HandleAccess routes one memory access to its address's stripe.
 func (d *ShardedDetector) HandleAccess(a *replay.Access) {
 	d.seq++
 	d.nAccess++
 	d.push(d.shardOf(a.Addr), shardEvent{seq: d.seq, acc: a})
 }
 
-// Finish flushes the remaining chunks, waits for every shard worker, and
-// merges their findings into the deterministic report list.
+// Finish flushes the remaining chunks, waits for every stripe to drain,
+// and merges their findings into the deterministic report list.
 func (d *ShardedDetector) Finish() {
 	if d.finished {
 		return
 	}
 	d.finished = true
-	for i := range d.shards {
+	for i := range d.stripes {
 		d.flush(i)
-		close(d.shards[i].ch)
 	}
+	// Every queued chunk is covered by a published claim (flush publishes
+	// any idle stripe it queued on), so once the run queue closes the
+	// workers finish the outstanding claims and every queue is empty.
+	close(d.runq)
+	d.wg.Wait()
 	var tagged []taggedReport
-	for _, w := range d.shards {
-		<-w.done
-		tagged = append(tagged, w.tagged...)
-		for addr := range w.inner.RacyAddrs {
+	for _, s := range d.stripes {
+		tagged = append(tagged, s.tagged...)
+		for addr := range s.inner.RacyAddrs {
 			d.racy[addr] = true
 		}
 	}
 	// Sequence order reproduces the order the sequential detector would
 	// have reported in; SliceStable keeps multiple findings of one access
-	// (same seq, same shard) in their within-event order.
+	// (same seq, same stripe) in their within-event order.
 	sort.SliceStable(tagged, func(i, j int) bool { return tagged[i].seq < tagged[j].seq })
 	d.seen = map[[2]uint64]bool{}
 	for _, t := range tagged {
@@ -238,7 +353,7 @@ func (d *ShardedDetector) Finish() {
 
 // Publish absorbs externally produced reports (the report.Sink side of the
 // detector). Reports published before Finish are buffered and folded in
-// after the shards' own sequence-ordered findings, preserving the native
+// after the stripes' own sequence-ordered findings, preserving the native
 // deterministic order; after Finish they fold in directly. Same
 // single-goroutine discipline as the event handlers.
 func (d *ShardedDetector) Publish(rs []Report) {
@@ -263,35 +378,58 @@ func (d *ShardedDetector) fold(rs []Report) {
 	}
 }
 
+// ShadowStats sums the shadow-memory accounting across stripes (each
+// address lives in exactly one stripe, so variable counts and table bytes
+// add; interner dedup is per-stripe). Finish must have run.
+func (d *ShardedDetector) ShadowStats() ShadowStats {
+	var sum ShadowStats
+	for _, s := range d.stripes {
+		st := s.inner.ShadowStats()
+		sum.Variables += st.Variables
+		sum.TableBytes += st.TableBytes
+		sum.PeakTableBytes += st.PeakTableBytes
+		sum.InternBytes += st.InternBytes
+		sum.ProvBytes += st.ProvBytes
+		sum.InternedVCs += st.InternedVCs
+		sum.InternHits += st.InternHits
+		sum.InternMisses += st.InternMisses
+		sum.InternReuses += st.InternReuses
+	}
+	return sum
+}
+
 // publish folds the sharded pass's tallies into the registry: merged event
-// counts from the feeder (sync broadcasts counted once, not per shard),
-// read-shared inflations summed across shards (each address lives in
-// exactly one shard, so the sum equals the sequential detector's count),
-// and a per-shard events_total series for load-balance visibility.
+// counts from the feeder (sync broadcasts counted once, not per stripe),
+// read-shared inflations summed across stripes (each address lives in
+// exactly one stripe, so the sum equals the sequential detector's count),
+// shadow-memory gauges summed the same way, and a per-stripe events_total
+// series for load-balance visibility.
 func (d *ShardedDetector) publish() {
 	if d.tel == nil {
 		return
 	}
 	inflations := 0
-	for i, w := range d.shards {
-		inflations += w.inner.inflations
+	for i, s := range d.stripes {
+		inflations += s.inner.inflations
 		d.tel.Counter(telemetry.Label("prorace_detect_shard_events_total", "shard", i),
-			"Events processed per detection shard (sync broadcasts + routed accesses).").
-			AddInt(w.inner.nSync + w.inner.nAccess)
+			"Events processed per detection stripe (sync broadcasts + routed accesses).").
+			AddInt(s.inner.nSync + s.inner.nAccess)
 	}
 	publishDetect(d.tel, d.nSync, d.nAccess, inflations)
-	d.tel.Gauge("prorace_detect_shards", "Shard workers in the most recent sharded detection pass.").Set(int64(len(d.shards)))
+	publishShadow(d.tel, d.ShadowStats())
+	d.tel.Gauge("prorace_detect_shards", "Logical detection stripes in the most recent sharded pass.").Set(int64(len(d.stripes)))
+	d.tel.Gauge("prorace_detect_workers", "Worker goroutines multiplexing the stripes in the most recent sharded pass.").Set(int64(d.nworkers))
 }
 
 // Reports returns the deduplicated race reports; Finish must have run.
 func (d *ShardedDetector) Reports() []Report { return d.reports }
 
-// RacyAddrSet returns the union of racy addresses across shards, for the
+// RacyAddrSet returns the union of racy addresses across stripes, for the
 // §5.1 invalidation/regeneration feedback; Finish must have run.
 func (d *ShardedDetector) RacyAddrSet() map[uint64]bool { return d.racy }
 
-// DetectSharded runs address-sharded parallel FastTrack over a whole trace
-// through the same event merge as Detect, returning the finished detector.
+// DetectSharded runs stripe-parallel FastTrack over a whole trace through
+// the same event merge as Detect, returning the finished detector.
 func DetectSharded(sync []tracefmt.SyncRecord, accesses map[int32][]replay.Access, shards int, opts Options) *ShardedDetector {
 	d := NewShardedDetector(shards, opts)
 	Feed(d, sync, accesses)

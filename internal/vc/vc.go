@@ -25,9 +25,34 @@ const NoEpoch Epoch = 0
 const clockBits = 48
 const clockMask = (1 << clockBits) - 1
 
-// MakeEpoch builds c@t.
+// MaxTID is the largest thread ID an Epoch can carry: the packing gives the
+// thread the high 16 bits. The analysis layer screens trace TIDs far below
+// this (core.sanitizeTrace), so a larger value here is an invariant
+// violation, never expected data.
+const MaxTID TID = 1<<16 - 1
+
+// MaxClock is the largest clock value an Epoch can carry (48 bits). Clocks
+// at or beyond it saturate rather than alias a smaller value.
+const MaxClock uint64 = clockMask
+
+// TIDInRange reports whether t fits the Epoch packing.
+func TIDInRange(t TID) bool { return t >= 0 && t <= MaxTID }
+
+// MakeEpoch builds c@t. Thread IDs outside [0, MaxTID] would silently alias
+// another thread's clock through the 16-bit packing — a soundness hole that
+// once truncated int32 TIDs through uint16 — so they panic instead; callers
+// obtain TIDs from sanitized traces, which bound them far below MaxTID.
+// Clock values beyond the 48-bit field saturate at MaxClock (monotone, so a
+// saturated epoch still orders correctly against any live clock) instead of
+// wrapping into a smaller clock.
 func MakeEpoch(t TID, c uint64) Epoch {
-	return Epoch(uint64(uint16(t))<<clockBits | (c & clockMask))
+	if !TIDInRange(t) {
+		panic(fmt.Sprintf("vc: thread id %d outside the Epoch packing range [0, %d]", t, MaxTID))
+	}
+	if c > clockMask {
+		c = clockMask
+	}
+	return Epoch(uint64(t)<<clockBits | c)
 }
 
 // TID returns the owning thread.
@@ -73,9 +98,20 @@ func (v *VC) Tick(t TID) uint64 {
 }
 
 func (v *VC) grow(n int) {
-	for len(v.clocks) < n {
-		v.clocks = append(v.clocks, 0)
+	if n <= len(v.clocks) {
+		return
 	}
+	if n <= cap(v.clocks) {
+		// Assign can shrink len below a previously used region; zero what
+		// re-extending exposes.
+		old := len(v.clocks)
+		v.clocks = v.clocks[:n]
+		clear(v.clocks[old:])
+		return
+	}
+	// One append reserves the full target (plus append's usual headroom)
+	// instead of re-appending element by element.
+	v.clocks = append(v.clocks, make([]uint64, n-len(v.clocks))...)
 }
 
 // Join merges other into v (pointwise max) — the release/acquire edge.
@@ -107,6 +143,10 @@ func (v *VC) LEQ(other *VC) bool {
 	}
 	return true
 }
+
+// Len returns the number of tracked thread entries; entries at or beyond
+// Len are implicitly zero.
+func (v *VC) Len() int { return len(v.clocks) }
 
 // EpochOf returns thread t's current epoch in v.
 func (v *VC) EpochOf(t TID) Epoch { return MakeEpoch(t, v.Get(t)) }

@@ -138,3 +138,86 @@ func TestQuickJoinProperties(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMakeEpochRejectsOutOfRangeTID(t *testing.T) {
+	// The 16-bit TID field used to truncate silently: TID 65536 aliased
+	// TID 0's clock, TID -1 scrambled the whole word. Both must panic now.
+	for _, tid := range []TID{MaxTID + 1, -1, 1 << 20} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MakeEpoch(%d, 1) must panic", tid)
+				}
+			}()
+			MakeEpoch(tid, 1)
+		}()
+	}
+	// Boundary TIDs round-trip exactly.
+	for _, tid := range []TID{0, 1, MaxTID} {
+		if e := MakeEpoch(tid, 7); e.TID() != tid || e.Clock() != 7 {
+			t.Errorf("MakeEpoch(%d, 7) round trip: got %d@%d", tid, e.Clock(), e.TID())
+		}
+	}
+}
+
+func TestEpochClockSaturates(t *testing.T) {
+	// A clock beyond 48 bits must saturate at MaxClock, not wrap into the
+	// TID field or alias a small clock.
+	e := MakeEpoch(3, MaxClock+5)
+	if e.Clock() != MaxClock {
+		t.Errorf("clock = %d, want saturation at %d", e.Clock(), MaxClock)
+	}
+	if e.TID() != 3 {
+		t.Errorf("saturating clock corrupted TID: got %d", e.TID())
+	}
+	// Saturation is monotone: the saturated epoch still orders correctly
+	// against any representable vector entry.
+	v := New()
+	v.Set(3, MaxClock)
+	if !e.LEQ(v) {
+		t.Error("saturated epoch must be LEQ a vector at MaxClock")
+	}
+	v.Set(3, MaxClock-1)
+	if e.LEQ(v) {
+		t.Error("saturated epoch must not be LEQ a smaller clock")
+	}
+	if MakeEpoch(2, MaxClock).Clock() != MaxClock {
+		t.Error("MaxClock itself must be representable")
+	}
+}
+
+func TestGrowSingleAppend(t *testing.T) {
+	// grow used to append one zero per iteration — O(n) appends and about
+	// a dozen reallocations for one Set of a high TID. A single Set must
+	// cost at most the backing array plus the append-make temporary (the
+	// temporary only materialises under -race, which disables the
+	// append(s, make(...)...) optimisation).
+	v := New()
+	allocs := testing.AllocsPerRun(100, func() {
+		v.clocks = nil
+		v.Set(4095, 1)
+	})
+	if allocs > 2 {
+		t.Errorf("Set(4095) cost %.1f allocs, want ≤ 2", allocs)
+	}
+	// Correctness at the boundary: only the target entry is nonzero.
+	v = New()
+	v.Set(1000, 9)
+	if v.Len() != 1001 || v.Get(1000) != 9 || v.Get(999) != 0 {
+		t.Errorf("grow result wrong: len %d", v.Len())
+	}
+}
+
+func TestGrowZeroesReexposedCapacity(t *testing.T) {
+	// Assign shrinks len without clearing the backing array; growing back
+	// into that region must see zeros, not stale clocks.
+	v := New()
+	v.Set(10, 42) // len 11
+	small := New()
+	small.Set(0, 1)
+	v.Assign(small) // len 1, stale 42 at index 10 in spare capacity
+	v.Set(20, 5)    // re-extends through index 10
+	if got := v.Get(10); got != 0 {
+		t.Errorf("re-exposed entry = %d, want 0 (stale clock leaked)", got)
+	}
+}

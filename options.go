@@ -18,9 +18,10 @@ package prorace
 // reconstruction); TraceWith / AnalyzeWith / RunWith apply it in one call.
 //
 // Performance options never change results: WithWorkers, WithDetectShards,
-// WithPathCache and WithoutPathCache all produce byte-identical race
-// reports for a given trace (see the package's Determinism section; the
-// guarantee is enforced by internal/oracle's metamorphic matrix).
+// WithDetectWorkers, WithShadowTable, WithPathCache and WithoutPathCache
+// all produce byte-identical race reports for a given trace (see the
+// package's Determinism section; the guarantee is enforced by
+// internal/oracle's metamorphic matrix).
 
 // Option configures one pipeline run, spanning the online tracing phase
 // and the offline analysis phase.
@@ -100,6 +101,24 @@ func WithWorkers(n int) Option {
 // n > 1 = n shards. The reported race set is identical at any count.
 func WithDetectShards(n int) Option {
 	return func(_ *TraceOptions, a *AnalysisOptions) { a.DetectShards = n }
+}
+
+// WithDetectWorkers bounds the goroutines multiplexing the detection
+// shards. Shards are CAS-claimed stripes, not goroutine-owned, so N
+// shards can share M < N workers: 0 (the default) runs one worker per
+// shard up to GOMAXPROCS. Ignored without WithDetectShards. The reported
+// race set is identical at any worker count.
+func WithDetectWorkers(n int) Option {
+	return func(_ *TraceOptions, a *AnalysisOptions) { a.DetectWorkers = n }
+}
+
+// WithShadowTable pre-sizes the detector's flat shadow table for the
+// expected number of distinct variables (addresses × allocation
+// generations), avoiding growth-and-reinsert cycles on million-variable
+// traces. 0 starts small and grows on demand; the hint never changes
+// results.
+func WithShadowTable(variables int) Option {
+	return func(_ *TraceOptions, a *AnalysisOptions) { a.ShadowCapacityHint = variables }
 }
 
 // WithMaxReports bounds the race report list.
