@@ -4,6 +4,8 @@
 //	prorace run -workload mysql -period 1000
 //	prorace run -bug apache-21287 -period 100 -trials 20
 //	prorace run -workload mysql -workers -1 -detect-shards 8
+//	prorace run -bug apache-25520 -witness-dir witnesses/
+//	prorace reproduce witnesses/apache-25520-0.witness
 //	prorace trace -workload apache -period 1000 -o apache.trace
 //	prorace analyze -workload apache -in apache.trace -detect-shards 4
 //	prorace disasm -workload pfscan | head
@@ -13,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -50,6 +53,8 @@ func main() {
 		err = cmdTrace(os.Args[2:])
 	case "analyze":
 		err = cmdAnalyze(os.Args[2:])
+	case "reproduce", "-reproduce":
+		err = cmdReproduce(os.Args[2:])
 	case "disasm":
 		err = cmdDisasm(os.Args[2:])
 	case "-h", "--help", "help":
@@ -73,6 +78,7 @@ commands:
   run       trace and analyze a workload or bug end to end
   trace     run the online phase only, writing the trace to a file
   analyze   run the offline phase over a trace file
+  reproduce deterministically replay .witness files; non-zero exit on drift
   disasm    disassemble a workload's program`)
 }
 
@@ -255,6 +261,7 @@ func cmdRun(args []string) error {
 	c := addCommon(fs)
 	trials := fs.Int("trials", 1, "number of traces (distinct seeds)")
 	overhead := fs.Bool("overhead", true, "measure overhead against an untraced run")
+	witnessDir := fs.String("witness-dir", "", "generate a deterministic replay witness per race and write .witness files here (see `prorace reproduce`)")
 	fs.Parse(args)
 
 	w, built, err := c.resolve()
@@ -264,6 +271,16 @@ func cmdRun(args []string) error {
 	opts, err := c.options(w)
 	if err != nil {
 		return err
+	}
+	if *witnessDir != "" {
+		spec := prorace.WorkloadWitnessSpec(w.Name, c.scale)
+		if c.bugID != "" {
+			spec = prorace.BugWitnessSpec(c.bugID, c.scale)
+		}
+		opts = append(opts, prorace.WithWitnesses(spec))
+		if err := os.MkdirAll(*witnessDir, 0o755); err != nil {
+			return fmt.Errorf("-witness-dir: %w", err)
+		}
 	}
 	stopProf, err := c.prof.Start()
 	if err != nil {
@@ -282,6 +299,7 @@ func cmdRun(args []string) error {
 	// One deduplicating sink across all trials: a race re-detected under a
 	// different seed prints once, not once per trial.
 	printer := report.NewPrinter(w.Program, os.Stdout)
+	witnessed := map[[2]uint64]bool{}
 	for trial := 0; trial < *trials; trial++ {
 		seed := c.seed + int64(trial)*7919
 		res, err := prorace.RunWith(w.Program, append(opts, prorace.WithSeed(seed))...)
@@ -311,6 +329,33 @@ func cmdRun(args []string) error {
 			fmt.Printf("  %d data race(s) in this trace:\n", len(ar.Reports))
 		}
 		printer.Publish(ar.Reports)
+		if *witnessDir != "" {
+			name := w.Name
+			if c.bugID != "" {
+				name = c.bugID
+			}
+			for i, wo := range ar.Witnesses {
+				key := ar.Reports[i].Key()
+				if witnessed[key] {
+					continue
+				}
+				if wo == nil || wo.Witness == nil {
+					why := "skipped"
+					if wo != nil {
+						why = wo.Err
+					}
+					fmt.Printf("  witness: pair %#x/%#x: %s\n", key[0], key[1], why)
+					continue
+				}
+				witnessed[key] = true
+				path := filepath.Join(*witnessDir, fmt.Sprintf("%s-%d.witness", name, len(witnessed)-1))
+				if err := wo.Witness.WriteFile(path); err != nil {
+					return err
+				}
+				fmt.Printf("  witness: wrote %s (rung %s, %d forced decisions, %d replays spent)\n",
+					path, wo.Rung, len(wo.Witness.Forced), wo.Replays)
+			}
+		}
 	}
 	if *trials > 1 {
 		fmt.Printf("\n%d distinct data race(s) across %d trials\n", printer.Printed(), *trials)
@@ -426,6 +471,57 @@ func cmdAnalyze(args []string) error {
 	printDegradation(&ar.Degradation)
 	fmt.Print(prorace.FormatRaces(w.Program, ar.Reports))
 	return stopTel()
+}
+
+// cmdReproduce replays witness files and exits non-zero — with a
+// human-readable diff — when any witnessed race no longer manifests
+// exactly as recorded.
+func cmdReproduce(args []string) error {
+	fs := flag.NewFlagSet("reproduce", flag.ExitOnError)
+	quiet := fs.Bool("q", false, "print failures only")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: prorace reproduce <report.witness> [...]")
+	}
+	rw := func(write bool) string {
+		if write {
+			return "write"
+		}
+		return "read"
+	}
+	failed := 0
+	for _, path := range fs.Args() {
+		w, err := prorace.ReadWitness(path)
+		if err != nil {
+			fmt.Printf("%s: FAILED — %v\n", path, err)
+			failed++
+			continue
+		}
+		out, err := w.ReplayResolved()
+		if err != nil {
+			fmt.Printf("%s: FAILED — %v\n", path, err)
+			failed++
+			continue
+		}
+		if !out.OK {
+			fmt.Printf("%s: FAILED — %s drifted from the witnessed execution:\n%s", path, w.Prog, out.Diff())
+			failed++
+			continue
+		}
+		if !*quiet {
+			e := w.Expect
+			fmt.Printf("%s: reproduced %s: race on %#x between T%d %s@%#x and T%d %s@%#x (seed %d, %d forced decisions)\n",
+				path, w.Prog, e.Addr,
+				e.First.TID, rw(e.First.Write), e.First.PC,
+				e.Second.TID, rw(e.Second.Write), e.Second.PC,
+				w.Machine.Seed, len(w.Forced))
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d witness(es) failed to reproduce", failed, fs.NArg())
+	}
+	fmt.Printf("%d witness(es) reproduced\n", fs.NArg())
+	return nil
 }
 
 func cmdDisasm(args []string) error {

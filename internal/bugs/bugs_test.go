@@ -1,19 +1,23 @@
-package bugs
+// External test package: these tests drive the full pipeline through
+// internal/core, which (via the witness layer) imports this package —
+// an in-package test file would form an import cycle.
+package bugs_test
 
 import (
 	"testing"
 
+	"prorace/internal/bugs"
 	"prorace/internal/core"
 	"prorace/internal/pmu/driver"
 	"prorace/internal/replay"
 )
 
 func TestAllBugsBuildAndValidate(t *testing.T) {
-	bs := All()
+	bs := bugs.All()
 	if len(bs) != 12 {
 		t.Fatalf("bugs = %d, want 12 (Table 2)", len(bs))
 	}
-	types := map[AccessType]int{}
+	types := map[bugs.AccessType]int{}
 	for _, b := range bs {
 		types[b.Type]++
 		built := b.Build(1)
@@ -26,34 +30,34 @@ func TestAllBugsBuildAndValidate(t *testing.T) {
 	}
 	// Table 2's composition: 6 memory-indirect, 3 register-indirect... the
 	// paper has 5 mem, 4 reg, 3 pcrel.
-	if types[PCRel] != 3 {
-		t.Errorf("pcrel bugs = %d, want 3", types[PCRel])
+	if types[bugs.PCRel] != 3 {
+		t.Errorf("pcrel bugs = %d, want 3", types[bugs.PCRel])
 	}
-	if types[MemIndirect]+types[RegIndirect] != 9 {
-		t.Errorf("indirect bugs = %d, want 9", types[MemIndirect]+types[RegIndirect])
+	if types[bugs.MemIndirect]+types[bugs.RegIndirect] != 9 {
+		t.Errorf("indirect bugs = %d, want 9", types[bugs.MemIndirect]+types[bugs.RegIndirect])
 	}
 }
 
 func TestByID(t *testing.T) {
-	if _, err := ByID("pfscan"); err != nil {
+	if _, err := bugs.ByID("pfscan"); err != nil {
 		t.Error(err)
 	}
-	if _, err := ByID("nosuch"); err == nil {
+	if _, err := bugs.ByID("nosuch"); err == nil {
 		t.Error("unknown id must fail")
 	}
-	for _, ty := range []AccessType{MemIndirect, RegIndirect, PCRel} {
+	for _, ty := range []bugs.AccessType{bugs.MemIndirect, bugs.RegIndirect, bugs.PCRel} {
 		if ty.String() == "?" {
 			t.Error("access type unnamed")
 		}
 	}
-	if AccessType(9).String() != "?" {
+	if bugs.AccessType(9).String() != "?" {
 		t.Error("unknown access type must render ?")
 	}
 }
 
 // runOnce traces and analyzes one bug run, returning whether the planted
 // race was detected.
-func runOnce(t *testing.T, built *Built, period uint64, seed int64, prorace bool) bool {
+func runOnce(t *testing.T, built *bugs.Built, period uint64, seed int64, prorace bool) bool {
 	t.Helper()
 	var topts core.TraceOptions
 	var aopts core.AnalysisOptions
@@ -77,7 +81,7 @@ func TestPCRelBugsAlwaysDetected(t *testing.T) {
 	// The paper's Table 2: PC-relative bugs are detected in every trace at
 	// every period — the path alone reconstructs the racy accesses.
 	for _, id := range []string{"pfscan", "aget-bug2", "pbzip2-0.9.1"} {
-		b, err := ByID(id)
+		b, err := bugs.ByID(id)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -98,7 +102,7 @@ func TestPCRelBugsAlwaysDetected(t *testing.T) {
 func TestIndirectBugsDetectableAtSmallPeriod(t *testing.T) {
 	// At period 100 the paper detects 11/12 bugs in nearly every trace.
 	for _, id := range []string{"apache-21287", "mysql-3596"} {
-		b, err := ByID(id)
+		b, err := bugs.ByID(id)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -124,7 +128,7 @@ func TestProRaceBeatsRaceZ(t *testing.T) {
 	proHits, rzHits := 0, 0
 	const trials = 5
 	for _, id := range ids {
-		b, err := ByID(id)
+		b, err := bugs.ByID(id)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -145,7 +149,7 @@ func TestProRaceBeatsRaceZ(t *testing.T) {
 }
 
 func TestDetectionImprovesWithSmallerPeriod(t *testing.T) {
-	b, err := ByID("apache-21287")
+	b, err := bugs.ByID("apache-21287")
 	if err != nil {
 		t.Fatal(err)
 	}

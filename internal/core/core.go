@@ -25,6 +25,7 @@ import (
 	"prorace/internal/synthesis"
 	"prorace/internal/telemetry"
 	"prorace/internal/tracefmt"
+	"prorace/internal/witness"
 )
 
 // TraceOptions configures the online phase.
@@ -219,6 +220,13 @@ type AnalysisOptions struct {
 	// segments before decode); the knob exists so whole-trace callers and
 	// tests cover the exact code path streaming ingest uses.
 	SegmentSize int
+	// Witnesses, when non-nil, attaches a deterministic reproduction to
+	// every report: a replay-verified witness schedule (seed + forced
+	// scheduler-decision prefix) is generated per race, serialized into
+	// Report.Witness and summarised in AnalysisResult.Witnesses. Witness
+	// generation re-executes the program a bounded number of times per
+	// report; it never changes which races are reported.
+	Witnesses *WitnessOptions
 }
 
 // threadRetries resolves the ThreadRetries knob.
@@ -274,6 +282,10 @@ type AnalysisResult struct {
 	// registry (the cmds' process-wide default), counters accumulate
 	// across runs and the snapshot reflects the registry, not one run.
 	Telemetry *telemetry.Snapshot
+	// Witnesses holds one generation outcome per report (parallel to
+	// Reports), populated only when AnalysisOptions.Witnesses was set.
+	// A nil Outcome.Witness means no reproduction was found in budget.
+	Witnesses []*witness.Outcome
 }
 
 // TotalTime is the full offline analysis duration.
@@ -517,6 +529,11 @@ func Analyze(p *prog.Program, tr *tracefmt.Trace, opts AnalysisOptions) (*Analys
 	res.Reports = det.Reports()
 	res.RacyAddrs = det.RacyAddrSet()
 	flagGapAdjacent(res, tts, gaps, deg)
+	if opts.Witnesses != nil && opts.Witnesses.Spec.Kind != "" {
+		spanWitness := tel.StartSpan("witness")
+		attachWitnesses(p, tr, res, opts.Witnesses)
+		spanWitness.End()
+	}
 	publishAnalysis(tel, res)
 	res.Telemetry = tel.Snapshot()
 	return res, nil

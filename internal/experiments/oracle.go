@@ -22,7 +22,7 @@ func (o *OracleResult) Render() string {
 	tab := report.NewTable(
 		fmt.Sprintf("Ground-truth oracle: recall and precision vs sampling period (%d seeded programs, seeds %d..%d)",
 			o.Seeds, o.StartSeed, o.StartSeed+int64(o.Seeds)-1),
-		"period", "racy execs", "GT racy addrs", "addr recall", "GT racy pairs", "pair recall", "false pairs", "false addrs")
+		"period", "racy execs", "GT racy addrs", "addr recall", "GT racy pairs", "pair recall", "false pairs", "false addrs", "witnessed/true_positive")
 	for _, a := range o.Aggregates {
 		tab.AddRow(
 			fmt.Sprintf("%d", a.Period),
@@ -33,11 +33,12 @@ func (o *OracleResult) Render() string {
 			fmt.Sprintf("%.1f%%", 100*a.PairRecall()),
 			fmt.Sprintf("%d", a.FalsePairs),
 			fmt.Sprintf("%d", a.FalseAddrs),
+			fmt.Sprintf("%d/%d (%.2f)", a.WitnessedPairs, a.TruePairs, a.WitnessRatio()),
 		)
 	}
 	s := tab.String()
 	if len(o.Violations) == 0 {
-		s += fmt.Sprintf("invariants: all hold (zero false positives, recall@1=100%%, monotone recall, deterministic reports)\n")
+		s += fmt.Sprintf("invariants: all hold (zero false positives, recall@1=100%%, monotone recall, deterministic reports, every true positive witnessed)\n")
 	} else {
 		s += fmt.Sprintf("INVARIANT VIOLATIONS (%d):\n", len(o.Violations))
 		for _, v := range o.Violations {
@@ -57,6 +58,7 @@ func (h *Harness) Oracle() (*OracleResult, error) {
 		Seeds:            cfg.OracleSeeds,
 		Periods:          cfg.OraclePeriods,
 		DeterminismEvery: cfg.OracleDeterminismEvery,
+		Witness:          true,
 	})
 	if err != nil {
 		return nil, err

@@ -57,6 +57,19 @@ type Config struct {
 	MaxCycles uint64
 	// Tracer observes the run; nil means NopTracer.
 	Tracer Tracer
+	// SchedObserver, when non-nil, receives every scheduler decision as it
+	// is made — the decision-log hook internal/witness records through.
+	// Observation never perturbs the run.
+	SchedObserver func(SchedDecision)
+	// SchedDirector, when non-nil, may override the scheduler's
+	// seeded-random pick: it receives the decision ordinal, the runnable
+	// queue and the index the seeded rng chose, and returns the index to
+	// run instead. The rng is drawn exactly as in an undirected run
+	// regardless of the override, so directed and undirected executions
+	// consume the machine's random stream identically — a director that
+	// returns pick unchanged reproduces the undirected run bit for bit.
+	// Out-of-range returns fall back to pick.
+	SchedDirector func(pos uint64, runq []TID, pick int) int
 }
 
 func (c *Config) setDefaults() {
@@ -169,7 +182,25 @@ type Machine struct {
 	fileBusFree uint64
 	logBytes    uint64
 
+	schedPos uint64
+
 	stats Stats
+}
+
+// SchedDecision describes one pick of the machine's seeded preemptive
+// scheduler: at decision point Pos (the run-wide ordinal of picks made with
+// more than one runnable candidate), thread TID was chosen out of Queue
+// candidates and dispatched onto core Core at TSC. Single-candidate picks
+// carry no scheduling freedom and are not decision points. The decision stream is the run's interleaving in compressed form:
+// given the program, the Config and the Seed, forcing the same picks at the
+// same ordinals (via Config.SchedDirector) reproduces the same execution —
+// the mechanism behind internal/witness's deterministic race reproduction.
+type SchedDecision struct {
+	Pos   uint64
+	TID   TID
+	Core  int
+	Queue int
+	TSC   uint64
 }
 
 // Stats summarises a completed run.
@@ -348,14 +379,28 @@ func (m *Machine) Run() (Stats, error) {
 
 // scheduleOn assigns a runnable thread to core ci. Selection is seeded-
 // random among the run queue, which is the source of cross-run interleaving
-// diversity.
+// diversity. A SchedDirector may override the pick; the rng draw happens
+// either way so the SysRand stream (which shares m.rng) is unperturbed.
 func (m *Machine) scheduleOn(ci int) {
 	if len(m.runq) == 0 {
 		return
 	}
 	k := 0
 	if len(m.runq) > 1 {
+		// Only multi-candidate picks are decision points: with one runnable
+		// thread the scheduler has no freedom, so those picks are neither
+		// numbered, observed nor directable.
 		k = m.rng.Intn(len(m.runq))
+		pos := m.schedPos
+		m.schedPos++
+		if d := m.cfg.SchedDirector; d != nil {
+			if fk := d(pos, m.runq, k); fk >= 0 && fk < len(m.runq) {
+				k = fk
+			}
+		}
+		if o := m.cfg.SchedObserver; o != nil {
+			o(SchedDecision{Pos: pos, TID: m.runq[k], Core: ci, Queue: len(m.runq), TSC: m.cycle})
+		}
 	}
 	tid := m.runq[k]
 	m.runq = append(m.runq[:k], m.runq[k+1:]...)

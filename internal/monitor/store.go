@@ -208,6 +208,11 @@ func (s *Store) ObserveAt(tenant, program string, rs []race.Report, cursor uint6
 		if have, ok := s.reports[fp]; ok {
 			have.LastSeen = now
 			have.Occurrences++
+			// Upgrade: if an earlier occurrence had no reproduction recipe
+			// and this one does, keep it with the representative report.
+			if have.Report.Witness == "" && r.Witness != "" {
+				have.Report.Witness = r.Witness
+			}
 			repeated++
 			continue
 		}

@@ -40,6 +40,7 @@ import (
 	"prorace/internal/race"
 	"prorace/internal/replay"
 	"prorace/internal/tracefmt"
+	"prorace/internal/witness"
 )
 
 // Recorder is a machine.Tracer wrapper that captures every retired memory
@@ -116,6 +117,19 @@ type PeriodScore struct {
 	FalsePairs int `json:"false_pairs"`
 	TrueAddrs  int `json:"true_addrs"`
 	FalseAddrs int `json:"false_addrs"`
+	// WitnessedPairs counts true-positive pairs for which witness
+	// generation produced a replay-verified reproduction (only populated
+	// when Options.Witness is set; the witnessability invariant requires
+	// it to equal TruePairs).
+	WitnessedPairs int `json:"witnessed_pairs"`
+}
+
+// WitnessRatio is witnessed / true positives (1.0 when there were none).
+func (s PeriodScore) WitnessRatio() float64 {
+	if s.TruePairs == 0 {
+		return 1.0
+	}
+	return float64(s.WitnessedPairs) / float64(s.TruePairs)
 }
 
 // AddrRecall is the fraction of ground-truth racy addresses the pipeline
@@ -146,6 +160,12 @@ type Options struct {
 	// matrix on this seed's period-1 trace (expensive; soak runs it on a
 	// subset of seeds).
 	Determinism bool
+	// Witness enables the second differential axis: every true-positive
+	// report must come with a replay-verified witness (internal/witness).
+	// A true race the witness generator cannot reproduce is a violation —
+	// either the race is not really there, or the replayer drifted from
+	// the traced machine.
+	Witness bool
 }
 
 // DefaultPeriods is the standard recall-vs-period sweep.
@@ -166,12 +186,17 @@ func RunSeed(seed int64, opts Options) (*SeedResult, error) {
 	res := &SeedResult{Seed: seed, Info: info}
 
 	for _, period := range opts.Periods {
-		score, tr, err := runPeriod(p, seed, period)
+		score, tr, err := runPeriod(p, seed, period, opts.Witness)
 		if err != nil {
 			return nil, fmt.Errorf("oracle: seed %d period %d: %w", seed, period, err)
 		}
 		res.Scores = append(res.Scores, *score)
 
+		if opts.Witness && score.WitnessedPairs != score.TruePairs {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("seed %d period %d: %d/%d true-positive pairs have no replay-verified witness",
+					seed, period, score.TruePairs-score.WitnessedPairs, score.TruePairs))
+		}
 		if score.FalsePairs > 0 {
 			res.Violations = append(res.Violations,
 				fmt.Sprintf("seed %d period %d: %d reported pairs not in ground truth", seed, period, score.FalsePairs))
@@ -191,8 +216,9 @@ func RunSeed(seed int64, opts Options) (*SeedResult, error) {
 	return res, nil
 }
 
-// runPeriod performs one traced execution + ground truth + pipeline run.
-func runPeriod(p *prog.Program, seed int64, period uint64) (*PeriodScore, *tracefmt.Trace, error) {
+// runPeriod performs one traced execution + ground truth + pipeline run;
+// withWitness additionally requires a replay-verified witness per report.
+func runPeriod(p *prog.Program, seed int64, period uint64, withWitness bool) (*PeriodScore, *tracefmt.Trace, error) {
 	rec := NewRecorder()
 	tr, err := core.TraceProgram(p, core.TraceOptions{
 		Kind:       driver.ProRace,
@@ -208,7 +234,17 @@ func runPeriod(p *prog.Program, seed int64, period uint64) (*PeriodScore, *trace
 	gt := GroundTruth(tr.Trace.Sync, rec.Accesses)
 	gtPairs := pairSet(gt.Reports())
 
-	ar, err := core.Analyze(p, tr.Trace, core.AnalysisOptions{Mode: replay.ModeForwardBackward})
+	aopts := core.AnalysisOptions{Mode: replay.ModeForwardBackward}
+	if withWitness {
+		// The generator seed doubles as the scheduler seed in this harness,
+		// so the program is rebuildable from the witness file alone.
+		aopts.Witnesses = &core.WitnessOptions{
+			Spec:       witness.OracleSpec(seed),
+			DriverKind: driver.ProRace,
+			EnablePT:   true,
+		}
+	}
+	ar, err := core.Analyze(p, tr.Trace, aopts)
 	if err != nil {
 		return nil, nil, fmt.Errorf("analyze: %w", err)
 	}
@@ -218,9 +254,14 @@ func runPeriod(p *prog.Program, seed int64, period uint64) (*PeriodScore, *trace
 		GTPairs: len(gtPairs),
 		GTAddrs: len(gt.RacyAddrSet()),
 	}
-	for _, r := range ar.Reports {
+	for i, r := range ar.Reports {
 		if gtPairs[r.Key()] {
 			score.TruePairs++
+			if withWitness && i < len(ar.Witnesses) {
+				if wo := ar.Witnesses[i]; wo != nil && wo.Witness != nil {
+					score.WitnessedPairs++
+				}
+			}
 		} else {
 			score.FalsePairs++
 		}

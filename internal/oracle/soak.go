@@ -16,6 +16,10 @@ type SoakConfig struct {
 	// DeterminismEvery runs the metamorphic worker/shard/cache/strict
 	// matrix on every Nth seed (0 disables; 1 = every seed).
 	DeterminismEvery int
+	// Witness enables the witnessability axis on every seed: each
+	// true-positive report must yield a replay-verified witness
+	// (Options.Witness).
+	Witness bool
 }
 
 // Aggregate is the per-period sum over all soaked seeds. Each seed's
@@ -29,8 +33,19 @@ type Aggregate struct {
 	FalsePairs int    `json:"false_pairs"`
 	TrueAddrs  int    `json:"true_addrs"`
 	FalseAddrs int    `json:"false_addrs"`
+	// WitnessedPairs counts true positives with a replay-verified witness
+	// (only populated when SoakConfig.Witness is set).
+	WitnessedPairs int `json:"witnessed_pairs"`
 	// RacySeeds counts seeds whose execution had at least one true race.
 	RacySeeds int `json:"racy_seeds"`
+}
+
+// WitnessRatio is aggregate witnessed / true positives (1.0 when none).
+func (a Aggregate) WitnessRatio() float64 {
+	if a.TruePairs == 0 {
+		return 1.0
+	}
+	return float64(a.WitnessedPairs) / float64(a.TruePairs)
 }
 
 // AddrRecall is the aggregate per-variable recall at this period.
@@ -84,7 +99,7 @@ func Soak(cfg SoakConfig) (*SoakResult, error) {
 
 	for i := 0; i < cfg.Seeds; i++ {
 		seed := cfg.StartSeed + int64(i)
-		opts := Options{Periods: periods}
+		opts := Options{Periods: periods, Witness: cfg.Witness}
 		if cfg.DeterminismEvery > 0 && i%cfg.DeterminismEvery == 0 {
 			opts.Determinism = true
 		}
@@ -102,6 +117,7 @@ func Soak(cfg SoakConfig) (*SoakResult, error) {
 			a.FalsePairs += sc.FalsePairs
 			a.TrueAddrs += sc.TrueAddrs
 			a.FalseAddrs += sc.FalseAddrs
+			a.WitnessedPairs += sc.WitnessedPairs
 			if sc.GTAddrs > 0 {
 				a.RacySeeds++
 			}

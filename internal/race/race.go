@@ -34,6 +34,13 @@ type Report struct {
 	// and deserve extra scrutiny. The flag is set by the analysis layer
 	// after detection; it does not participate in Key().
 	GapAdjacent bool
+	// Witness, when non-empty, is a serialized internal/witness
+	// reproduction recipe (the prorace-witness text format) that replays
+	// the program deterministically to this racing pair. It is attached
+	// by the analysis layer behind AnalysisOptions.Witnesses and carried
+	// through every report.Sink; it participates in neither Key() nor
+	// String().
+	Witness string
 }
 
 // AccessInfo locates one side of a race.

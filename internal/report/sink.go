@@ -74,24 +74,29 @@ func (pr *Printer) Printed() int {
 // arrival order (tests, and callers that want a slice back).
 type Collector struct {
 	mu      sync.Mutex
-	seen    map[[2]uint64]bool
+	seen    map[[2]uint64]int
 	reports []race.Report
 }
 
 // NewCollector returns an empty Collector.
 func NewCollector() *Collector {
-	return &Collector{seen: map[[2]uint64]bool{}}
+	return &Collector{seen: map[[2]uint64]int{}}
 }
 
-// Publish folds the batch into the collected set.
+// Publish folds the batch into the collected set. A re-published race is
+// dropped, except that a republication carrying a witness upgrades a
+// witness-less collected report — reproduction recipes survive dedup.
 func (c *Collector) Publish(rs []race.Report) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, r := range rs {
-		if c.seen[r.Key()] {
+		if i, ok := c.seen[r.Key()]; ok {
+			if c.reports[i].Witness == "" && r.Witness != "" {
+				c.reports[i].Witness = r.Witness
+			}
 			continue
 		}
-		c.seen[r.Key()] = true
+		c.seen[r.Key()] = len(c.reports)
 		c.reports = append(c.reports, r)
 	}
 }

@@ -1,0 +1,248 @@
+package witness
+
+import (
+	"fmt"
+
+	"prorace/internal/machine"
+	"prorace/internal/pmu/driver"
+	"prorace/internal/prog"
+	"prorace/internal/race"
+	"prorace/internal/replay"
+	"prorace/internal/synctrace"
+	"prorace/internal/tracefmt"
+)
+
+// ExecSpec parameterises one deterministic (re-)execution.
+type ExecSpec struct {
+	// Machine is the simulator configuration; Tracer and scheduler hooks
+	// are overwritten by the executor.
+	Machine machine.Config
+	// Tracer, when non-nil, attaches a PMU driver (its stall cycles then
+	// shape the interleaving exactly as in a traced production run).
+	Tracer *TracerSpec
+	// Forced are decisions to impose, sorted by Pos. A forced thread that
+	// is not runnable at its decision falls back to the seeded pick and
+	// counts as a miss — a deterministic fallback, so even partially
+	// applicable schedules replay identically.
+	Forced []Pick
+	// KeepPCs filters which accesses are retained in the result (the
+	// racing pair's PCs); zero values retain nothing. The totals in Check
+	// always count every access.
+	KeepPCs [2]uint64
+}
+
+// ExecResult is everything one execution yields for witness purposes.
+type ExecResult struct {
+	// Decisions is the full scheduler decision log.
+	Decisions []machine.SchedDecision
+	// Accesses holds the retained (KeepPCs-filtered) accesses per thread.
+	Accesses map[int32][]replay.Access
+	// Sync is the complete synchronization log.
+	Sync []tracefmt.SyncRecord
+	// Check digests the run.
+	Check Check
+	// Stats is the machine's run summary.
+	Stats machine.Stats
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func mix(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime
+		x >>= 8
+	}
+	return h
+}
+
+// recorder is the replayer's tracer: it digests every event, collects the
+// sync log, and retains the accesses at the racing PCs, delegating to the
+// wrapped tracer (the PMU driver, or NopTracer for bare replays) so stall
+// charging — and therefore timing — matches the witnessed run.
+type recorder struct {
+	inner  machine.Tracer
+	sync   *synctrace.Collector
+	res    *ExecResult
+	keep   [2]uint64
+	steps  map[int32]int
+	digest uint64
+	insts  uint64
+	memOps uint64
+}
+
+func (r *recorder) InstRetired(ev *machine.InstEvent) uint64 {
+	r.insts++
+	h := mix(r.digest, uint64(uint32(ev.TID)))
+	h = mix(h, ev.PC)
+	h = mix(h, ev.TSC)
+	if ev.IsMem {
+		flag := uint64(1)
+		if ev.IsStore {
+			flag = 3
+		}
+		h = mix(h, ev.MemAddr<<2|flag)
+		r.memOps++
+		if ev.PC == r.keep[0] || ev.PC == r.keep[1] {
+			tid := int32(ev.TID)
+			r.res.Accesses[tid] = append(r.res.Accesses[tid], replay.Access{
+				TID:   tid,
+				PC:    ev.PC,
+				Addr:  ev.MemAddr,
+				Store: ev.IsStore,
+				TSC:   ev.TSC,
+				Step:  r.steps[tid],
+			})
+		}
+	}
+	if ev.Taken {
+		h = mix(h, ev.Target)
+	}
+	r.digest = h
+	r.steps[int32(ev.TID)]++
+	return r.inner.InstRetired(ev)
+}
+
+func (r *recorder) SyscallRetired(ev *machine.SyscallEvent) uint64 {
+	h := mix(r.digest, uint64(uint32(ev.TID)))
+	h = mix(h, ev.PC)
+	h = mix(h, ev.TSC)
+	h = mix(h, uint64(ev.Sys))
+	h = mix(h, ev.Ret)
+	r.digest = h
+	r.sync.OnSyscall(ev)
+	return r.inner.SyscallRetired(ev)
+}
+
+func (r *recorder) ThreadStarted(tid machine.TID, tsc uint64) {
+	r.digest = mix(mix(r.digest, uint64(uint32(tid))), tsc)
+	r.sync.OnThreadStart(tid, tsc)
+	r.inner.ThreadStarted(tid, tsc)
+}
+
+func (r *recorder) ThreadExited(tid machine.TID, tsc uint64) {
+	r.digest = mix(mix(r.digest, uint64(uint32(tid))), tsc)
+	r.sync.OnThreadExit(tid, tsc)
+	r.inner.ThreadExited(tid, tsc)
+}
+
+// driverKind maps a TracerSpec kind string to the driver enum.
+func driverKind(kind string) (driver.Kind, error) {
+	switch kind {
+	case "prorace":
+		return driver.ProRace, nil
+	case "vanilla":
+		return driver.Vanilla, nil
+	}
+	return 0, fmt.Errorf("witness: unknown driver kind %q", kind)
+}
+
+// DriverKindName is the inverse of the TracerSpec kind mapping.
+func DriverKindName(k driver.Kind) string {
+	if k == driver.Vanilla {
+		return "vanilla"
+	}
+	return "prorace"
+}
+
+// Execute runs p once under spec's machine configuration, optional driver
+// and forced schedule, and returns the run's decision log, sync log,
+// filtered accesses and digests. Execution is fully deterministic: the
+// same spec replays to the same ExecResult, byte for byte.
+func Execute(p *prog.Program, spec ExecSpec) (*ExecResult, error) {
+	res := &ExecResult{Accesses: map[int32][]replay.Access{}}
+	rec := &recorder{
+		sync:   synctrace.New(),
+		res:    res,
+		keep:   spec.KeepPCs,
+		steps:  map[int32]int{},
+		digest: fnvOffset,
+	}
+
+	mcfg := spec.Machine
+	mcfg.Tracer = nil
+	mcfg.SchedObserver = func(d machine.SchedDecision) { res.Decisions = append(res.Decisions, d) }
+	if len(spec.Forced) > 0 {
+		forced := make(map[uint64]int32, len(spec.Forced))
+		for _, f := range spec.Forced {
+			forced[f.Pos] = f.TID
+		}
+		mcfg.SchedDirector = func(pos uint64, runq []machine.TID, pick int) int {
+			tid, ok := forced[pos]
+			if !ok {
+				return pick
+			}
+			for i, cand := range runq {
+				if int32(cand) == tid {
+					return i
+				}
+			}
+			res.Check.Misses++
+			return pick
+		}
+	}
+
+	mac := machine.New(p, mcfg)
+	var inner machine.Tracer = machine.NopTracer{}
+	var drv *driver.Driver
+	if spec.Tracer != nil {
+		kind, err := driverKind(spec.Tracer.Kind)
+		if err != nil {
+			return nil, err
+		}
+		drv = driver.New(mac, driver.Options{
+			Kind:     kind,
+			Period:   spec.Tracer.Period,
+			Seed:     spec.Tracer.Seed,
+			EnablePT: spec.Tracer.EnablePT,
+		})
+		inner = drv
+	}
+	rec.inner = inner
+	mac.SetTracer(rec)
+
+	st, err := mac.Run()
+	if err != nil {
+		return nil, fmt.Errorf("witness: replay run: %w", err)
+	}
+	if drv != nil {
+		drv.Finish()
+	}
+	res.Stats = st
+	res.Sync = rec.sync.Records()
+	res.Check.Events = rec.digest
+	res.Check.Insts = rec.insts
+	res.Check.Accesses = rec.memOps
+	res.Check.Decisions = uint64(len(res.Decisions))
+	return res, nil
+}
+
+// FindPairRace feeds the execution's sync log and pair-filtered accesses
+// through the pair-complete happens-before oracle and returns the report
+// matching the (pc1, pc2) pair, if the pair raced in this execution.
+//
+// Filtering accesses to the two PCs is sound: happens-before clocks derive
+// only from the sync log, which is complete, so the pair is unordered in
+// the filtered feed exactly when it is unordered in the full one.
+func FindPairRace(res *ExecResult, pc1, pc2 uint64) (race.Report, bool) {
+	o := race.NewPairOracle(race.Options{TrackAllocations: true})
+	race.Feed(o, res.Sync, res.Accesses)
+	o.Finish()
+	want := pairKey(pc1, pc2)
+	for _, r := range o.Reports() {
+		if r.Key() == want {
+			return r, true
+		}
+	}
+	return race.Report{}, false
+}
+
+func pairKey(a, b uint64) [2]uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]uint64{a, b}
+}

@@ -1,0 +1,410 @@
+package witness
+
+// The witness file format, tracefmt-style: versioned, line-oriented text
+// with a trailing whole-file checksum, safe to check into testdata and to
+// diff by eye.
+//
+//	prorace-witness v1
+//	# apache-25520: double free (Table 2)
+//	prog kind=bug name=apache-25520 scale=1 seed=0 fp=0x1b2c3d4e5f607182
+//	machine cores=4 seed=7 quantum=61 netlat=60000 netpb=0.35 filelat=8000 filepb=0.01 maxcycles=2000000000
+//	tracer kind=prorace period=100 seed=7 pt=1
+//	expect addr=0x10008 first=2:0x100a8:w:12345 second=3:0x100c0:r:12399
+//	check events=0x9a3fd0e1c2b3a495 insts=812345 accesses=400123 decisions=57 misses=0
+//	forced 2
+//	pick 17=2
+//	pick 45=0
+//	end fnv=0x7c1d2e3f40516273
+//
+// Lines appear in exactly this order; the tracer line is optional (absent
+// for bare replays), # comment lines may only follow the header. The end
+// line's fnv is the FNV-1a 64 digest of every byte before the end line
+// itself. Decode is strict: unknown keys, out-of-order lines, count
+// mismatches, unsorted picks and checksum failures are all errors, so a
+// corrupt witness can never silently replay the wrong schedule.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"prorace/internal/machine"
+)
+
+const formatHeader = "prorace-witness v1"
+
+// maxForced bounds the forced-decision list a decoder will accept,
+// protecting against hostile counts; real minimized witnesses are tiny.
+const maxForced = 1 << 20
+
+// Encode serializes the witness into its canonical text form.
+func (w *Witness) Encode() []byte {
+	var b strings.Builder
+	b.WriteString(formatHeader)
+	b.WriteByte('\n')
+	for _, line := range strings.Split(w.Comment, "\n") {
+		if line != "" {
+			fmt.Fprintf(&b, "# %s\n", line)
+		}
+	}
+	fmt.Fprintf(&b, "prog kind=%s name=%s scale=%d seed=%d fp=%#x\n",
+		w.Prog.Kind, w.Prog.Name, w.Prog.scale(), w.Prog.Seed, w.Prog.FP)
+	m := w.Machine
+	fmt.Fprintf(&b, "machine cores=%d seed=%d quantum=%d netlat=%d netpb=%s filelat=%d filepb=%s maxcycles=%d\n",
+		m.Cores, m.Seed, m.Quantum, m.NetLatencyCycles, ftoa(m.NetCyclesPerByte),
+		m.FileLatencyCycles, ftoa(m.FileCyclesPerByte), m.MaxCycles)
+	if t := w.Tracer; t != nil {
+		fmt.Fprintf(&b, "tracer kind=%s period=%d seed=%d pt=%d\n",
+			t.Kind, t.Period, t.Seed, btoi(t.EnablePT))
+	}
+	fmt.Fprintf(&b, "expect addr=%#x first=%s second=%s\n",
+		w.Expect.Addr, encodeEndpoint(w.Expect.First), encodeEndpoint(w.Expect.Second))
+	fmt.Fprintf(&b, "check events=%#x insts=%d accesses=%d decisions=%d misses=%d\n",
+		w.Check.Events, w.Check.Insts, w.Check.Accesses, w.Check.Decisions, w.Check.Misses)
+	fmt.Fprintf(&b, "forced %d\n", len(w.Forced))
+	for _, f := range w.Forced {
+		fmt.Fprintf(&b, "pick %d=%d\n", f.Pos, f.TID)
+	}
+	sum := fnvSum([]byte(b.String()))
+	fmt.Fprintf(&b, "end fnv=%#x\n", sum)
+	return []byte(b.String())
+}
+
+func encodeEndpoint(e Endpoint) string {
+	return fmt.Sprintf("%d:%#x:%s:%d", e.TID, e.PC, rw(e.Write), e.TSC)
+}
+
+func rw(w bool) string {
+	if w {
+		return "w"
+	}
+	return "r"
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func fnvSum(b []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// Decode parses and validates a witness file. Every structural defect —
+// bad header, bad checksum, truncation, unknown or missing keys, malformed
+// numbers, count mismatches, unsorted or duplicate picks — is an error;
+// Decode never panics on hostile input (FuzzWitnessDecode enforces this).
+func Decode(data []byte) (*Witness, error) {
+	text := string(data)
+	lines := strings.Split(text, "\n")
+	// Canonical files end with a trailing newline: last split element empty.
+	if len(lines) < 2 {
+		return nil, fmt.Errorf("witness: truncated file")
+	}
+	if lines[len(lines)-1] != "" {
+		return nil, fmt.Errorf("witness: missing trailing newline")
+	}
+	lines = lines[:len(lines)-1]
+	if lines[0] != formatHeader {
+		return nil, fmt.Errorf("witness: bad header %q (want %q)", clip(lines[0]), formatHeader)
+	}
+	endLine := lines[len(lines)-1]
+	if !strings.HasPrefix(endLine, "end ") {
+		return nil, fmt.Errorf("witness: missing end line")
+	}
+	endKV, err := parseKV(strings.TrimPrefix(endLine, "end "), "fnv")
+	if err != nil {
+		return nil, fmt.Errorf("witness: end line: %w", err)
+	}
+	wantSum, err := parseU64(endKV["fnv"])
+	if err != nil {
+		return nil, fmt.Errorf("witness: end fnv: %w", err)
+	}
+	// The checksum covers every byte before the end line.
+	body := text[:strings.LastIndex(text, endLine)]
+	if got := fnvSum([]byte(body)); got != wantSum {
+		return nil, fmt.Errorf("witness: checksum mismatch: file says %#x, content hashes to %#x", wantSum, got)
+	}
+
+	w := &Witness{}
+	i := 1
+	var comments []string
+	for i < len(lines)-1 && strings.HasPrefix(lines[i], "#") {
+		comments = append(comments, strings.TrimSpace(strings.TrimPrefix(lines[i], "#")))
+		i++
+	}
+	w.Comment = strings.Join(comments, "\n")
+
+	next := func(word string) (string, error) {
+		if i >= len(lines)-1 {
+			return "", fmt.Errorf("witness: truncated before %q line", word)
+		}
+		line := lines[i]
+		i++
+		if !strings.HasPrefix(line, word+" ") {
+			return "", fmt.Errorf("witness: expected %q line, got %q", word, clip(line))
+		}
+		return strings.TrimPrefix(line, word+" "), nil
+	}
+
+	// prog
+	rest, err := next("prog")
+	if err != nil {
+		return nil, err
+	}
+	kv, err := parseKV(rest, "kind", "name", "scale", "seed", "fp")
+	if err != nil {
+		return nil, fmt.Errorf("witness: prog line: %w", err)
+	}
+	w.Prog.Kind = kv["kind"]
+	w.Prog.Name = kv["name"]
+	if w.Prog.Scale, err = parseInt(kv["scale"]); err != nil {
+		return nil, fmt.Errorf("witness: prog scale: %w", err)
+	}
+	if w.Prog.Seed, err = parseI64(kv["seed"]); err != nil {
+		return nil, fmt.Errorf("witness: prog seed: %w", err)
+	}
+	if w.Prog.FP, err = parseU64(kv["fp"]); err != nil {
+		return nil, fmt.Errorf("witness: prog fp: %w", err)
+	}
+	switch w.Prog.Kind {
+	case "bug", "workload", "oracle":
+	default:
+		return nil, fmt.Errorf("witness: unknown program kind %q", w.Prog.Kind)
+	}
+
+	// machine
+	if rest, err = next("machine"); err != nil {
+		return nil, err
+	}
+	if kv, err = parseKV(rest, "cores", "seed", "quantum", "netlat", "netpb", "filelat", "filepb", "maxcycles"); err != nil {
+		return nil, fmt.Errorf("witness: machine line: %w", err)
+	}
+	var m machine.Config
+	if m.Cores, err = parseInt(kv["cores"]); err != nil {
+		return nil, fmt.Errorf("witness: machine cores: %w", err)
+	}
+	if m.Seed, err = parseI64(kv["seed"]); err != nil {
+		return nil, fmt.Errorf("witness: machine seed: %w", err)
+	}
+	if m.Quantum, err = parseInt(kv["quantum"]); err != nil {
+		return nil, fmt.Errorf("witness: machine quantum: %w", err)
+	}
+	if m.NetLatencyCycles, err = parseU64(kv["netlat"]); err != nil {
+		return nil, fmt.Errorf("witness: machine netlat: %w", err)
+	}
+	if m.NetCyclesPerByte, err = parseF64(kv["netpb"]); err != nil {
+		return nil, fmt.Errorf("witness: machine netpb: %w", err)
+	}
+	if m.FileLatencyCycles, err = parseU64(kv["filelat"]); err != nil {
+		return nil, fmt.Errorf("witness: machine filelat: %w", err)
+	}
+	if m.FileCyclesPerByte, err = parseF64(kv["filepb"]); err != nil {
+		return nil, fmt.Errorf("witness: machine filepb: %w", err)
+	}
+	if m.MaxCycles, err = parseU64(kv["maxcycles"]); err != nil {
+		return nil, fmt.Errorf("witness: machine maxcycles: %w", err)
+	}
+	w.Machine = m
+
+	// tracer (optional)
+	if i < len(lines)-1 && strings.HasPrefix(lines[i], "tracer ") {
+		rest = strings.TrimPrefix(lines[i], "tracer ")
+		i++
+		if kv, err = parseKV(rest, "kind", "period", "seed", "pt"); err != nil {
+			return nil, fmt.Errorf("witness: tracer line: %w", err)
+		}
+		t := &TracerSpec{Kind: kv["kind"]}
+		if _, err := driverKind(t.Kind); err != nil {
+			return nil, err
+		}
+		if t.Period, err = parseU64(kv["period"]); err != nil {
+			return nil, fmt.Errorf("witness: tracer period: %w", err)
+		}
+		if t.Seed, err = parseI64(kv["seed"]); err != nil {
+			return nil, fmt.Errorf("witness: tracer seed: %w", err)
+		}
+		pt, err := parseInt(kv["pt"])
+		if err != nil || (pt != 0 && pt != 1) {
+			return nil, fmt.Errorf("witness: tracer pt must be 0 or 1")
+		}
+		t.EnablePT = pt == 1
+		w.Tracer = t
+	}
+
+	// expect
+	if rest, err = next("expect"); err != nil {
+		return nil, err
+	}
+	if kv, err = parseKV(rest, "addr", "first", "second"); err != nil {
+		return nil, fmt.Errorf("witness: expect line: %w", err)
+	}
+	if w.Expect.Addr, err = parseU64(kv["addr"]); err != nil {
+		return nil, fmt.Errorf("witness: expect addr: %w", err)
+	}
+	if w.Expect.First, err = parseEndpoint(kv["first"]); err != nil {
+		return nil, fmt.Errorf("witness: expect first: %w", err)
+	}
+	if w.Expect.Second, err = parseEndpoint(kv["second"]); err != nil {
+		return nil, fmt.Errorf("witness: expect second: %w", err)
+	}
+
+	// check
+	if rest, err = next("check"); err != nil {
+		return nil, err
+	}
+	if kv, err = parseKV(rest, "events", "insts", "accesses", "decisions", "misses"); err != nil {
+		return nil, fmt.Errorf("witness: check line: %w", err)
+	}
+	if w.Check.Events, err = parseU64(kv["events"]); err != nil {
+		return nil, fmt.Errorf("witness: check events: %w", err)
+	}
+	if w.Check.Insts, err = parseU64(kv["insts"]); err != nil {
+		return nil, fmt.Errorf("witness: check insts: %w", err)
+	}
+	if w.Check.Accesses, err = parseU64(kv["accesses"]); err != nil {
+		return nil, fmt.Errorf("witness: check accesses: %w", err)
+	}
+	if w.Check.Decisions, err = parseU64(kv["decisions"]); err != nil {
+		return nil, fmt.Errorf("witness: check decisions: %w", err)
+	}
+	if w.Check.Misses, err = parseU64(kv["misses"]); err != nil {
+		return nil, fmt.Errorf("witness: check misses: %w", err)
+	}
+
+	// forced + picks
+	if rest, err = next("forced"); err != nil {
+		return nil, err
+	}
+	n, err := parseInt(rest)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("witness: forced count %q", clip(rest))
+	}
+	if n > maxForced {
+		return nil, fmt.Errorf("witness: forced count %d exceeds limit %d", n, maxForced)
+	}
+	for k := 0; k < n; k++ {
+		rest, err = next("pick")
+		if err != nil {
+			return nil, err
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("witness: pick line %q", clip(rest))
+		}
+		pos, err := parseU64(rest[:eq])
+		if err != nil {
+			return nil, fmt.Errorf("witness: pick pos: %w", err)
+		}
+		tid, err := parseI64(rest[eq+1:])
+		if err != nil || tid < 0 || tid > 1<<30 {
+			return nil, fmt.Errorf("witness: pick tid %q", clip(rest[eq+1:]))
+		}
+		if len(w.Forced) > 0 && pos <= w.Forced[len(w.Forced)-1].Pos {
+			return nil, fmt.Errorf("witness: picks not strictly ascending at pos %d", pos)
+		}
+		w.Forced = append(w.Forced, Pick{Pos: pos, TID: int32(tid)})
+	}
+	if i != len(lines)-1 {
+		return nil, fmt.Errorf("witness: %d unexpected lines before end", len(lines)-1-i)
+	}
+	return w, nil
+}
+
+// parseEndpoint parses "tid:pc:r|w:tsc".
+func parseEndpoint(s string) (Endpoint, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 4 {
+		return Endpoint{}, fmt.Errorf("endpoint %q: want tid:pc:rw:tsc", clip(s))
+	}
+	tid, err := parseI64(parts[0])
+	if err != nil || tid < 0 || tid > 1<<30 {
+		return Endpoint{}, fmt.Errorf("endpoint tid %q", clip(parts[0]))
+	}
+	pc, err := parseU64(parts[1])
+	if err != nil {
+		return Endpoint{}, fmt.Errorf("endpoint pc: %w", err)
+	}
+	var write bool
+	switch parts[2] {
+	case "r":
+	case "w":
+		write = true
+	default:
+		return Endpoint{}, fmt.Errorf("endpoint rw %q", clip(parts[2]))
+	}
+	tsc, err := parseU64(parts[3])
+	if err != nil {
+		return Endpoint{}, fmt.Errorf("endpoint tsc: %w", err)
+	}
+	return Endpoint{TID: int32(tid), PC: pc, Write: write, TSC: tsc}, nil
+}
+
+// parseKV splits "k=v k=v ..." requiring exactly the given keys.
+func parseKV(s string, keys ...string) (map[string]string, error) {
+	out := map[string]string{}
+	for _, f := range strings.Fields(s) {
+		eq := strings.IndexByte(f, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("malformed field %q", clip(f))
+		}
+		k, v := f[:eq], f[eq+1:]
+		if _, dup := out[k]; dup {
+			return nil, fmt.Errorf("duplicate key %q", k)
+		}
+		out[k] = v
+	}
+	for _, k := range keys {
+		if _, ok := out[k]; !ok {
+			return nil, fmt.Errorf("missing key %q", k)
+		}
+	}
+	if len(out) != len(keys) {
+		known := map[string]bool{}
+		for _, k := range keys {
+			known[k] = true
+		}
+		var extra []string
+		for k := range out {
+			if !known[k] {
+				extra = append(extra, k)
+			}
+		}
+		sort.Strings(extra)
+		return nil, fmt.Errorf("unknown keys %v", extra)
+	}
+	return out, nil
+}
+
+func parseU64(s string) (uint64, error) {
+	if v, ok := strings.CutPrefix(s, "0x"); ok {
+		return strconv.ParseUint(v, 16, 64)
+	}
+	return strconv.ParseUint(s, 10, 64)
+}
+
+func parseI64(s string) (int64, error) { return strconv.ParseInt(s, 10, 64) }
+
+func parseInt(s string) (int, error) {
+	v, err := strconv.ParseInt(s, 10, 32)
+	return int(v), err
+}
+
+func parseF64(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
+
+func clip(s string) string {
+	if len(s) > 40 {
+		return s[:40] + "…"
+	}
+	return s
+}

@@ -1,0 +1,143 @@
+package witness
+
+import (
+	"fmt"
+	"os"
+
+	"prorace/internal/prog"
+	"prorace/internal/race"
+)
+
+// ReplayOutcome reports one witness replay.
+type ReplayOutcome struct {
+	// OK is true when the race manifested exactly as witnessed.
+	OK bool
+	// Drift lists every divergence from the witnessed execution, in
+	// human-readable form — empty when OK.
+	Drift []string
+	// Matched is the race report of the replayed execution (valid when
+	// the pair manifested, even if digests drifted).
+	Matched race.Report
+	// Result is the replayed execution, for diagnostics.
+	Result *ExecResult
+}
+
+// Diff renders the drift list as a multi-line string.
+func (r *ReplayOutcome) Diff() string {
+	if r.OK {
+		return ""
+	}
+	out := ""
+	for _, d := range r.Drift {
+		out += "  - " + d + "\n"
+	}
+	return out
+}
+
+// Replay re-executes the witness against p and checks every recorded
+// property: the event-stream digest and counts (any scheduler, ISA or
+// timing drift), and the racing pair itself (same endpoints, no
+// happens-before edge). It returns the outcome; err is non-nil only when
+// the replay could not run at all.
+func (w *Witness) Replay(p *prog.Program) (*ReplayOutcome, error) {
+	if w.Prog.FP != 0 {
+		if fp := Fingerprint(p); fp != w.Prog.FP {
+			return nil, fmt.Errorf("witness: program fingerprint %#x does not match recorded %#x", fp, w.Prog.FP)
+		}
+	}
+	res, err := Execute(p, ExecSpec{
+		Machine: w.Machine,
+		Tracer:  w.Tracer,
+		Forced:  w.Forced,
+		KeepPCs: [2]uint64{w.Expect.First.PC, w.Expect.Second.PC},
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &ReplayOutcome{Result: res}
+
+	matched, raced := FindPairRace(res, w.Expect.First.PC, w.Expect.Second.PC)
+	if !raced {
+		out.Drift = append(out.Drift, fmt.Sprintf(
+			"racing pair pc %#x / pc %#x did not manifest: no unordered conflicting accesses in the replayed execution",
+			w.Expect.First.PC, w.Expect.Second.PC))
+	} else {
+		out.Matched = matched
+		if matched.Addr != w.Expect.Addr {
+			out.Drift = append(out.Drift, fmt.Sprintf(
+				"race address: replay %#x, witness %#x", matched.Addr, w.Expect.Addr))
+		}
+		if got, want := Endpoint(matched.First), w.Expect.First; got != want {
+			out.Drift = append(out.Drift, endpointDiff("first access", got, want))
+		}
+		if got, want := Endpoint(matched.Second), w.Expect.Second; got != want {
+			out.Drift = append(out.Drift, endpointDiff("second access", got, want))
+		}
+	}
+
+	if res.Check.Events != w.Check.Events {
+		out.Drift = append(out.Drift, fmt.Sprintf(
+			"event-stream digest: replay %#x, witness %#x (scheduler or ISA drift)",
+			res.Check.Events, w.Check.Events))
+	}
+	if res.Check.Insts != w.Check.Insts {
+		out.Drift = append(out.Drift, fmt.Sprintf(
+			"retired instructions: replay %d, witness %d", res.Check.Insts, w.Check.Insts))
+	}
+	if res.Check.Accesses != w.Check.Accesses {
+		out.Drift = append(out.Drift, fmt.Sprintf(
+			"memory accesses: replay %d, witness %d", res.Check.Accesses, w.Check.Accesses))
+	}
+	if res.Check.Decisions != w.Check.Decisions {
+		out.Drift = append(out.Drift, fmt.Sprintf(
+			"scheduler decisions: replay %d, witness %d", res.Check.Decisions, w.Check.Decisions))
+	}
+	if res.Check.Misses != w.Check.Misses {
+		out.Drift = append(out.Drift, fmt.Sprintf(
+			"forced-pick misses: replay %d, witness %d", res.Check.Misses, w.Check.Misses))
+	}
+	out.OK = len(out.Drift) == 0
+	return out, nil
+}
+
+func endpointDiff(what string, got, want Endpoint) string {
+	return fmt.Sprintf("%s: replay T%d %s@%#x tsc=%d, witness T%d %s@%#x tsc=%d",
+		what,
+		got.TID, rwWord(got.Write), got.PC, got.TSC,
+		want.TID, rwWord(want.Write), want.PC, want.TSC)
+}
+
+func rwWord(w bool) string {
+	if w {
+		return "write"
+	}
+	return "read"
+}
+
+// ReplayResolved rebuilds the witness's program from its ProgSpec
+// (verifying the fingerprint) and replays.
+func (w *Witness) ReplayResolved() (*ReplayOutcome, error) {
+	p, err := w.Prog.Build()
+	if err != nil {
+		return nil, err
+	}
+	return w.Replay(p)
+}
+
+// ReadFile loads and decodes a witness file.
+func ReadFile(path string) (*Witness, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("witness: %w", err)
+	}
+	w, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("witness: %s: %w", path, err)
+	}
+	return w, nil
+}
+
+// WriteFile encodes the witness to path.
+func (w *Witness) WriteFile(path string) error {
+	return os.WriteFile(path, w.Encode(), 0o644)
+}

@@ -1,0 +1,220 @@
+// Package witness turns race reports into deterministic reproductions.
+//
+// A report from the analysis pipeline names two stack-less accesses; a
+// production user needs to *see* the race happen. A Witness packages
+// everything required to re-execute the simulated machine to the racing
+// pair: the program's identity, the machine configuration and scheduler
+// seed, optionally the attached PMU driver, and a bounded prefix of forced
+// scheduler decisions (recorded through machine.Config's decision-log
+// hooks). Replaying a witness re-runs the program under that exact
+// schedule, recomputes the happens-before relation of the replayed
+// execution with the pair-complete race.PairOracle, and asserts that the
+// reported access pair occurs — same PCs, same access kinds — with no
+// happens-before edge between the two accesses. The machine is
+// deterministic, so a witness recorded once replays byte-identically
+// forever; the Check digests pin the entire event stream, making any
+// scheduler or ISA drift loud.
+//
+// Witnesses serialize to a versioned, checksummed text format (see
+// format.go) that is safe to check into testdata and to ship alongside
+// reports: internal/witness/testdata holds the golden corpus for the 12
+// Table-2 bugs, and `prorace reproduce report.witness` replays one from
+// the command line.
+//
+// The reproduction loop follows Ronsse & De Bosschere's record/replay
+// RecPlay cycle (arXiv cs/0011005) and the replay-driven complete race
+// detection of Guo et al. (arXiv 1107.2003), adapted to the simulator: the
+// scheduler's decision stream *is* the interleaving, so a seed plus a
+// forced-decision prefix is a complete reproduction recipe.
+package witness
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"prorace/internal/bugs"
+	"prorace/internal/isa"
+	"prorace/internal/machine"
+	"prorace/internal/prog"
+	"prorace/internal/progtest"
+	"prorace/internal/workload"
+)
+
+// FormatVersion is the current witness file format version.
+const FormatVersion = 1
+
+// Pick is one forced scheduler decision: at multi-candidate decision
+// ordinal Pos, dispatch thread TID.
+type Pick struct {
+	Pos uint64
+	TID int32
+}
+
+// TracerSpec describes a PMU driver attached during the witnessed run.
+// Most witnesses replay bare (nil TracerSpec): the schedule alone
+// reproduces the race without paying for tracing. A witness falls back to
+// a traced replay only when the race manifests exclusively under the
+// driver's stall-cycle timing.
+type TracerSpec struct {
+	Kind     string // "prorace" or "vanilla"
+	Period   uint64
+	Seed     int64
+	EnablePT bool
+}
+
+// Endpoint pins one side of the expected race.
+type Endpoint struct {
+	TID   int32
+	PC    uint64
+	Write bool
+	TSC   uint64
+}
+
+// Expectation is what the replay must manifest: an unordered conflicting
+// access pair on Addr with exactly these endpoints.
+type Expectation struct {
+	Addr          uint64
+	First, Second Endpoint
+}
+
+// Check digests the witnessed execution. Replays must reproduce every
+// field exactly; a mismatch means the simulator, ISA or scheduler drifted
+// since the witness was recorded.
+type Check struct {
+	// Events is the FNV-1a digest of the full event stream (every retired
+	// instruction, syscall, and thread start/exit, with TSCs).
+	Events uint64
+	// Insts is the total retired instruction count.
+	Insts uint64
+	// Accesses is the total retired memory-access count.
+	Accesses uint64
+	// Decisions is the number of multi-candidate scheduler decisions.
+	Decisions uint64
+	// Misses counts forced picks whose thread was not runnable at that
+	// decision (the replayer falls back to the seeded pick — still
+	// deterministic, so the count reproduces exactly).
+	Misses uint64
+}
+
+// Witness is a complete reproduction recipe for one race report.
+type Witness struct {
+	// Comment is a free-form description rendered as # lines.
+	Comment string
+	// Prog identifies (and fingerprints) the program to replay.
+	Prog ProgSpec
+	// Machine is the simulator configuration of the witnessed run. Only
+	// scalar fields participate; Tracer and the scheduler hooks are the
+	// replayer's to install.
+	Machine machine.Config
+	// Tracer, when non-nil, attaches a PMU driver during replay.
+	Tracer *TracerSpec
+	// Expect is the racing pair the replay must manifest.
+	Expect Expectation
+	// Check digests the witnessed execution for drift detection.
+	Check Check
+	// Forced is the minimized scheduler-decision prefix, sorted by Pos.
+	Forced []Pick
+}
+
+// ProgSpec identifies a replayable program. Witness files do not embed
+// program text; they name one of the repository's deterministic program
+// sources and pin its content with a fingerprint.
+type ProgSpec struct {
+	// Kind selects the source: "bug" (internal/bugs Table-2 entry),
+	// "workload" (internal/workload by name), or "oracle"
+	// (progtest.ConcurrentProgram from a generator seed).
+	Kind string
+	// Name is the bug ID or workload name (unused for "oracle").
+	Name string
+	// Scale is the workload scale (bug and workload kinds; 0 means 1).
+	Scale int
+	// Seed is the program-generator seed ("oracle" kind only).
+	Seed int64
+	// FP is the program fingerprint (see Fingerprint); Build verifies it.
+	FP uint64
+}
+
+// String renders the spec compactly for messages.
+func (s ProgSpec) String() string {
+	switch s.Kind {
+	case "oracle":
+		return fmt.Sprintf("oracle:seed=%d", s.Seed)
+	default:
+		return fmt.Sprintf("%s:%s@%d", s.Kind, s.Name, s.scale())
+	}
+}
+
+func (s ProgSpec) scale() int {
+	if s.Scale <= 0 {
+		return 1
+	}
+	return s.Scale
+}
+
+// BugSpec identifies a Table-2 bug program.
+func BugSpec(id string, scale int) ProgSpec {
+	return ProgSpec{Kind: "bug", Name: id, Scale: scale}
+}
+
+// WorkloadSpec identifies an internal/workload program.
+func WorkloadSpec(name string, scale int) ProgSpec {
+	return ProgSpec{Kind: "workload", Name: name, Scale: scale}
+}
+
+// OracleSpec identifies a generated oracle program by its generator seed.
+func OracleSpec(seed int64) ProgSpec {
+	return ProgSpec{Kind: "oracle", Seed: seed}
+}
+
+// Build resolves the spec to its program and verifies the fingerprint
+// (when set). The returned program is freshly built, so a stale spec —
+// one whose source program has since changed — fails here rather than
+// replaying a different program than the witness describes.
+func (s ProgSpec) Build() (*prog.Program, error) {
+	var p *prog.Program
+	switch s.Kind {
+	case "bug":
+		b, err := bugs.ByID(s.Name)
+		if err != nil {
+			return nil, fmt.Errorf("witness: %w", err)
+		}
+		p = b.Build(workload.Scale(s.scale())).Workload.Program
+	case "workload":
+		w, err := workload.ByName(s.Name, workload.Scale(s.scale()))
+		if err != nil {
+			return nil, fmt.Errorf("witness: %w", err)
+		}
+		p = w.Program
+	case "oracle":
+		p, _ = progtest.ConcurrentProgram(rand.New(rand.NewSource(s.Seed)))
+	default:
+		return nil, fmt.Errorf("witness: unknown program kind %q", s.Kind)
+	}
+	if s.FP != 0 {
+		if fp := Fingerprint(p); fp != s.FP {
+			return nil, fmt.Errorf("witness: program %s fingerprint %#x does not match recorded %#x: the program changed since the witness was recorded", s, fp, s.FP)
+		}
+	}
+	return p, nil
+}
+
+// WithFP returns the spec with its fingerprint pinned to p.
+func (s ProgSpec) WithFP(p *prog.Program) ProgSpec {
+	s.FP = Fingerprint(p)
+	return s
+}
+
+// Fingerprint hashes a program's observable content: encoded text segment,
+// data segment, and entry point.
+func Fingerprint(p *prog.Program) uint64 {
+	h := fnv.New64a()
+	h.Write(isa.EncodeProgram(p.Insts))
+	h.Write(p.Data)
+	var eb [8]byte
+	for i := 0; i < 8; i++ {
+		eb[i] = byte(p.Entry >> (8 * i))
+	}
+	h.Write(eb[:])
+	return h.Sum64()
+}

@@ -1,4 +1,7 @@
-package workload
+// External test package: the race-freedom test runs the full pipeline
+// through internal/core, which (via the witness layer) imports this
+// package — an in-package test file would form an import cycle.
+package workload_test
 
 import (
 	"testing"
@@ -6,10 +9,11 @@ import (
 	"prorace/internal/core"
 	"prorace/internal/machine"
 	"prorace/internal/pmu/driver"
+	"prorace/internal/workload"
 )
 
 func TestAllWorkloadsBuildAndValidate(t *testing.T) {
-	ws := All(1)
+	ws := workload.All(1)
 	if len(ws) != 13+8 {
 		t.Fatalf("workloads = %d, want 21", len(ws))
 	}
@@ -29,7 +33,7 @@ func TestAllWorkloadsBuildAndValidate(t *testing.T) {
 }
 
 func TestAllWorkloadsRunToCompletion(t *testing.T) {
-	for _, w := range All(1) {
+	for _, w := range workload.All(1) {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			t.Parallel()
@@ -56,7 +60,7 @@ func TestTable1ThreadCounts(t *testing.T) {
 		"apache": 4, "cherokee": 38, "mysql": 20, "memcached": 5,
 		"transmission": 4, "pfscan": 4, "pbzip2": 4, "aget": 4,
 	}
-	for _, w := range RealApps(1) {
+	for _, w := range workload.RealApps(1) {
 		if want[w.Name] != w.Threads {
 			t.Errorf("%s: %d threads, want %d", w.Name, w.Threads, want[w.Name])
 		}
@@ -67,7 +71,9 @@ func TestWorkloadsAreRaceFree(t *testing.T) {
 	// The base workloads must contain no data races: the bug reproducers
 	// in internal/bugs are the only place races are planted. Detection
 	// over a densely sampled trace must come back clean.
-	for _, w := range []Workload{PARSEC(1)[0], PARSEC(1)[2], MySQL(1), Pbzip2(1)} {
+	for _, w := range []workload.Workload{
+		workload.PARSEC(1)[0], workload.PARSEC(1)[2], workload.MySQL(1), workload.Pbzip2(1),
+	} {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			t.Parallel()
@@ -89,25 +95,26 @@ func TestWorkloadsAreRaceFree(t *testing.T) {
 }
 
 func TestClassesAndNames(t *testing.T) {
-	if CPUBound.String() != "cpu" || NetBound.String() != "net" ||
-		FileBound.String() != "file" || Mixed.String() != "mixed" || Class(9).String() != "class?" {
+	if workload.CPUBound.String() != "cpu" || workload.NetBound.String() != "net" ||
+		workload.FileBound.String() != "file" || workload.Mixed.String() != "mixed" ||
+		workload.Class(9).String() != "class?" {
 		t.Error("class names wrong")
 	}
-	if _, err := ByName("mysql", 1); err != nil {
+	if _, err := workload.ByName("mysql", 1); err != nil {
 		t.Error(err)
 	}
-	if _, err := ByName("nosuch", 1); err == nil {
+	if _, err := workload.ByName("nosuch", 1); err == nil {
 		t.Error("unknown workload must fail")
 	}
-	if len(Names()) != 21 {
-		t.Errorf("names = %d", len(Names()))
+	if len(workload.Names()) != 21 {
+		t.Errorf("names = %d", len(workload.Names()))
 	}
 }
 
 func TestScaleGrowsWork(t *testing.T) {
-	w1 := Apache(1)
-	w2 := Apache(3)
-	run := func(w Workload) uint64 {
+	w1 := workload.Apache(1)
+	w2 := workload.Apache(3)
+	run := func(w workload.Workload) uint64 {
 		cfg := w.Machine
 		cfg.Seed = 1
 		m := machine.New(w.Program, cfg)

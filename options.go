@@ -35,6 +35,13 @@ func NewOptions(opts ...Option) (TraceOptions, AnalysisOptions) {
 	for _, o := range opts {
 		o(&topts, &aopts)
 	}
+	if aopts.Witnesses != nil {
+		// Witness generation re-executes the traced run, so it inherits the
+		// online configuration regardless of option order.
+		aopts.Witnesses.Machine = topts.Machine
+		aopts.Witnesses.DriverKind = topts.Kind
+		aopts.Witnesses.EnablePT = topts.EnablePT
+	}
 	return topts, aopts
 }
 
@@ -205,6 +212,38 @@ func WithMetricsAddr(addr string) Option {
 // exact path streamed ingest (cmd/proraced) uses.
 func WithSegmentSize(n int) Option {
 	return func(_ *TraceOptions, a *AnalysisOptions) { a.SegmentSize = n }
+}
+
+// WithWitnesses asks the offline phase to attach a deterministic
+// reproduction recipe — a witness — to every race report
+// (Report.Witness, serialized; AnalysisResult.Witnesses, structured).
+// spec names the replayable program source the trace came from
+// (BugWitnessSpec, WorkloadWitnessSpec or OracleWitnessSpec): witnesses
+// name their program and pin it with a fingerprint, they do not embed
+// it. The machine configuration, driver kind and PT setting of the
+// witnessed run are taken from the resolved trace options, so the option
+// composes with WithMachine / WithDriver / WithoutPT in any order.
+// Witness generation replays the program (bounded by WithWitnessBudget)
+// and never changes which races are reported.
+func WithWitnesses(spec WitnessSpec) Option {
+	return func(_ *TraceOptions, a *AnalysisOptions) {
+		if a.Witnesses == nil {
+			a.Witnesses = &WitnessOptions{}
+		}
+		a.Witnesses.Spec = spec
+	}
+}
+
+// WithWitnessBudget caps the number of replays witness generation may
+// spend per report (0 = the default budget). Implies nothing without
+// WithWitnesses.
+func WithWitnessBudget(replays int) Option {
+	return func(_ *TraceOptions, a *AnalysisOptions) {
+		if a.Witnesses == nil {
+			a.Witnesses = &WitnessOptions{}
+		}
+		a.Witnesses.Budget = replays
+	}
 }
 
 // WithThreadRetries sets how many extra attempts a transiently-failing

@@ -73,6 +73,7 @@ import (
 	"prorace/internal/synthesis"
 	"prorace/internal/telemetry"
 	"prorace/internal/tracefmt"
+	"prorace/internal/witness"
 	"prorace/internal/workload"
 )
 
@@ -137,6 +138,24 @@ type (
 	TelemetrySnapshot = telemetry.Snapshot
 	// MetricsServer is a live telemetry HTTP listener (see ServeMetrics).
 	MetricsServer = telemetry.Server
+	// Witness is a deterministic reproduction recipe for one race report:
+	// program identity, machine configuration, optional PMU driver, the
+	// expected racing pair, event-stream digests, and a minimized forced
+	// scheduler-decision prefix. See WithWitnesses and ReadWitness.
+	Witness = witness.Witness
+	// WitnessSpec names the replayable program source a witness re-executes
+	// (see BugWitnessSpec, WorkloadWitnessSpec, OracleWitnessSpec).
+	WitnessSpec = witness.ProgSpec
+	// WitnessOptions configures witness generation on AnalysisOptions
+	// (WithWitnesses fills it from the resolved trace options).
+	WitnessOptions = core.WitnessOptions
+	// WitnessOutcome is one report's generation result: the witness (nil if
+	// none was found within budget), the rung that produced it, and the
+	// replays spent.
+	WitnessOutcome = witness.Outcome
+	// WitnessReplay is the result of replaying a witness: OK, or a
+	// human-readable drift list.
+	WitnessReplay = witness.ReplayOutcome
 )
 
 // Driver kinds.
@@ -251,6 +270,30 @@ func Bugs() []Bug { return bugs.All() }
 
 // BugByID finds a Table 2 bug by its identifier (e.g. "apache-25520").
 func BugByID(id string) (Bug, error) { return bugs.ByID(id) }
+
+// BugWitnessSpec identifies a Table-2 bug program for witness generation.
+func BugWitnessSpec(id string, scale int) WitnessSpec { return witness.BugSpec(id, scale) }
+
+// WorkloadWitnessSpec identifies a built-in workload program for witness
+// generation.
+func WorkloadWitnessSpec(name string, scale int) WitnessSpec {
+	return witness.WorkloadSpec(name, scale)
+}
+
+// OracleWitnessSpec identifies a generated differential-oracle program by
+// its generator seed.
+func OracleWitnessSpec(seed int64) WitnessSpec { return witness.OracleSpec(seed) }
+
+// ReadWitness loads and decodes a witness file (the prorace-witness text
+// format; see DecodeWitness for parsing bytes directly). Replay it with
+// Witness.ReplayResolved, or from the command line with
+// `prorace reproduce <file>`.
+func ReadWitness(path string) (*Witness, error) { return witness.ReadFile(path) }
+
+// DecodeWitness parses the versioned, checksummed prorace-witness text
+// format. Corrupt or truncated input errors; it never replays a wrong
+// schedule.
+func DecodeWitness(data []byte) (*Witness, error) { return witness.Decode(data) }
 
 // NewPathCache returns a decoded-path cache holding up to capacity traces,
 // for analyses that want cache isolation via WithPathCache. Analyses that
