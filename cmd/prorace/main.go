@@ -145,6 +145,7 @@ func (c *commonFlags) startTelemetry() (func() error, error) {
 		return func() error { return nil }, nil
 	}
 	reg := telemetry.EnableDefault()
+	telemetry.RegisterBuildInfo(reg, "prorace")
 	if c.metricsAddr != "" {
 		srv, err := telemetry.EnsureServer(c.metricsAddr, reg)
 		if err != nil {

@@ -16,19 +16,27 @@
 //
 // The serve listener co-hosts the full observability surface: /metrics,
 // /debug/vars and /debug/pprof next to /ingest, /program, /reports,
-// /tenants and /healthz.
+// /tenants, /statusz, /tenantz and /healthz. `proraced status` renders a
+// running daemon's /statusz as a fleet table; -log-format json switches
+// the daemon's event log to structured JSON; -alert-url POSTs one webhook
+// alert per first-seen race.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
+	"text/tabwriter"
 	"time"
 
 	"prorace/internal/bugs"
@@ -54,6 +62,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "send":
 		err = cmdSend(os.Args[2:])
+	case "status":
+		err = cmdStatus(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -72,7 +82,8 @@ func usage() {
 
 commands:
   serve     run the monitoring daemon
-  send      trace a workload locally and stream it to a daemon in segments`)
+  send      trace a workload locally and stream it to a daemon in segments
+  status    render a running daemon's /statusz as a fleet table`)
 }
 
 func cmdServe(args []string) error {
@@ -89,6 +100,11 @@ func cmdServe(args []string) error {
 	detectShards := fs.Int("detect-shards", 0, "detection shards per analysis round (0/1 sequential, -1 GOMAXPROCS)")
 	maxBody := fs.Int64("max-body", 0, "ingest/program HTTP body size cap in bytes (0 = default 256MiB)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before in-flight requests are cut")
+	logFormat := fs.String("log-format", "text", "structured log encoding: json or text")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	lineageDepth := fs.Int("lineage-depth", 256, "per-tenant lineage ring size (recent segments with reconstructable stage histories)")
+	alertURL := fs.String("alert-url", "", "webhook POSTed one JSON alert per first-seen race (empty = off)")
+	alertRate := fs.Int("alert-rate", 30, "alert webhook rate limit, deliveries per minute")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,7 +112,12 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return fmt.Errorf("-fsync: %w", err)
 	}
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
 	reg := telemetry.New()
+	telemetry.RegisterBuildInfo(reg, "proraced")
 	m, err := monitor.New(monitor.Config{
 		Window:       *window,
 		QueueDepth:   *queueDepth,
@@ -106,6 +127,7 @@ func cmdServe(args []string) error {
 		Fsync:        policy,
 		WindowMaxAge: *windowAge,
 		MaxBodyBytes: *maxBody,
+		LineageDepth: *lineageDepth,
 		// Strict stays false: a degraded window is a tenant problem, not a
 		// daemon problem.
 		Analysis: core.AnalysisOptions{
@@ -113,6 +135,11 @@ func cmdServe(args []string) error {
 			DetectShards: *detectShards,
 		},
 		Telemetry: reg,
+		Alert: monitor.AlertConfig{
+			URL:           *alertURL,
+			RatePerMinute: *alertRate,
+		},
+		Logger: logger,
 	})
 	if err != nil {
 		return err
@@ -161,11 +188,16 @@ func cmdServe(args []string) error {
 		}()
 	}
 
-	fmt.Fprintf(os.Stderr, "proraced: serving http://%s (store %s, wal %s, window %d, %d workers)\n",
-		ln.Addr(), pathLabel(*store, "in-memory"), pathLabel(*walDir, "off"), *window, *workers)
+	logger.Info("serving",
+		"addr", "http://"+ln.Addr().String(),
+		"store", pathLabel(*store, "in-memory"),
+		"wal", pathLabel(*walDir, "off"),
+		"window", *window,
+		"workers", *workers,
+		"alerting", *alertURL != "")
 	select {
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "proraced: %v, draining\n", s)
+		logger.Info("draining", "signal", s.String())
 	case err := <-done:
 		m.Close()
 		return err
@@ -178,14 +210,32 @@ func cmdServe(args []string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "proraced: drain cut short: %v\n", err)
+		logger.Warn("drain cut short", "err", err)
 		srv.Close()
 	}
 	if err := m.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintln(os.Stderr, "proraced: store persisted, bye")
+	logger.Info("store persisted, exiting")
 	return nil
+}
+
+// buildLogger assembles the daemon's structured logger from the
+// -log-format/-log-level flags.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level: %w", err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format: unknown format %q (want json or text)", format)
+	}
 }
 
 func pathLabel(path, empty string) string {
@@ -193,6 +243,66 @@ func pathLabel(path, empty string) string {
 		return empty
 	}
 	return path
+}
+
+// cmdStatus fetches a running daemon's /statusz JSON and renders it as a
+// fleet table — `proraced status -addr host:7077` is the operator's
+// one-command overview without a browser.
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7077", "daemon address")
+	timeout := fs.Duration("timeout", 10*time.Second, "request timeout")
+	raw := fs.Bool("json", false, "print the raw /statusz JSON instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	hc := &http.Client{Timeout: *timeout}
+	resp, err := hc.Get("http://" + *addr + "/statusz?format=json")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("daemon returned %s: %s", resp.Status, body)
+	}
+	if *raw {
+		_, err := os.Stdout.Write(body)
+		return err
+	}
+	var s monitor.Statusz
+	if err := json.Unmarshal(body, &s); err != nil {
+		return fmt.Errorf("decoding /statusz: %w", err)
+	}
+	fmt.Printf("proraced %s (%s) · pid %d · up %s · %d distinct races stored\n",
+		s.Version, s.GoVersion, s.PID, (time.Duration(s.UptimeSeconds * float64(time.Second))).Round(time.Second), s.StoreReports)
+	fmt.Printf("config: window=%d queue=%d workers=%d fsync=%s durability=%t lineage=%d",
+		s.Config.Window, s.Config.QueueDepth, s.Config.Workers, s.Config.Fsync, s.Config.Durability, s.Config.LineageDepth)
+	if s.Config.AlertURL != "" {
+		fmt.Printf(" alerts=%s", s.Config.AlertURL)
+	}
+	fmt.Println()
+	if len(s.Tenants) == 0 {
+		fmt.Println("(no tenants yet)")
+		return nil
+	}
+	sort.Slice(s.Tenants, func(i, j int) bool { return s.Tenants[i].Tenant < s.Tenants[j].Tenant })
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "TENANT\tPROGRAM\tSEGS\tPEND\tWIN\tWAL B\tLAG\tANALYSES\tREPORTS\tLINEAGE\tLAST STAGE\tERROR")
+	for _, t := range s.Tenants {
+		lastStage := "—"
+		if n := len(t.LineageTail); n > 0 {
+			lastStage = t.LineageTail[n-1].Stage
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d/%d\t%s\t%s\n",
+			t.Tenant, t.Program, t.Segments, t.PendingSegments, t.WindowSegments,
+			t.WALBytes, t.CursorLag, t.Analyses, t.LastReports,
+			t.LineageTerminal, t.LineageMinted, lastStage, t.LastError)
+	}
+	return tw.Flush()
 }
 
 func cmdSend(args []string) error {

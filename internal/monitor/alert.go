@@ -1,0 +1,201 @@
+package monitor
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"prorace/internal/telemetry"
+)
+
+// AlertConfig parameterises the first-seen race webhook. Deduplication is
+// not configured here because it falls out of the store: only reports the
+// persistent store has never held fire an alert, so one fingerprint alerts
+// exactly once across window re-analyses, replays and daemon restarts.
+type AlertConfig struct {
+	// URL receives one JSON POST per first-seen race ("" disables alerting).
+	URL string
+	// RatePerMinute bounds deliveries with a token bucket (burst equals the
+	// same value); alerts beyond it are dropped and counted, never queued —
+	// a stale page is worse than a dropped one. Default 30.
+	RatePerMinute int
+	// MaxAttempts bounds delivery attempts per alert; 5xx, 429 and
+	// transport errors retry with exponential backoff, other 4xx are
+	// permanent. Default 4.
+	MaxAttempts int
+	// Backoff is the first retry delay, doubled per attempt. Default 250ms.
+	Backoff time.Duration
+	// Timeout bounds each HTTP attempt. Default 5s.
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+}
+
+// AlertEvent is the webhook payload: one first-seen race with enough
+// context to triage without scraping the daemon — the stable fingerprint,
+// the racing PC pair, whether a deterministic witness recipe is attached,
+// and the lineage of the segment whose analysis round surfaced the race.
+type AlertEvent struct {
+	Time        time.Time       `json:"time"`
+	Tenant      string          `json:"tenant"`
+	Program     string          `json:"program"`
+	Fingerprint string          `json:"fingerprint"`
+	FirstPC     string          `json:"first_pc"`
+	SecondPC    string          `json:"second_pc"`
+	Occurrences int             `json:"occurrences"`
+	Witness     bool            `json:"witness"`
+	Lineage     *SegmentLineage `json:"lineage,omitempty"`
+}
+
+// alerter delivers AlertEvents asynchronously: Fire is non-blocking (the
+// analysis hot path never waits on a webhook), a single goroutine drains
+// the queue, and Close flushes whatever is still queued so tests and the
+// daemon's graceful drain observe every accepted alert delivered.
+type alerter struct {
+	cfg  AlertConfig
+	log  *slog.Logger
+	tel  *telemetry.Registry
+	now  func() time.Time
+	ch   chan AlertEvent
+	done chan struct{}
+
+	mu     sync.Mutex
+	tokens float64
+	refill time.Time
+}
+
+func newAlerter(cfg AlertConfig, tel *telemetry.Registry, log *slog.Logger, now func() time.Time) *alerter {
+	if cfg.RatePerMinute <= 0 {
+		cfg.RatePerMinute = 30
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 250 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: cfg.Timeout}
+	}
+	a := &alerter{
+		cfg:    cfg,
+		log:    log,
+		tel:    tel,
+		now:    now,
+		ch:     make(chan AlertEvent, 256),
+		done:   make(chan struct{}),
+		tokens: float64(cfg.RatePerMinute),
+		refill: now(),
+	}
+	go a.run()
+	return a
+}
+
+// fire enqueues one alert. The token bucket is taken synchronously (so
+// rate-limit decisions are deterministic under a test clock); delivery
+// happens on the drain goroutine.
+func (a *alerter) fire(ev AlertEvent) {
+	if !a.takeToken() {
+		a.tel.Counter("proraced_alerts_ratelimited_total", "First-seen race alerts dropped by the webhook rate limit.").Inc()
+		a.log.Warn("alert rate-limited", "tenant", ev.Tenant, "fingerprint", ev.Fingerprint)
+		return
+	}
+	select {
+	case a.ch <- ev:
+	default:
+		a.tel.Counter("proraced_alerts_dropped_total", "First-seen race alerts dropped because the delivery queue was full.").Inc()
+		a.log.Warn("alert queue full", "tenant", ev.Tenant, "fingerprint", ev.Fingerprint)
+	}
+}
+
+func (a *alerter) takeToken() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	if d := now.Sub(a.refill); d > 0 {
+		a.tokens += d.Minutes() * float64(a.cfg.RatePerMinute)
+		if max := float64(a.cfg.RatePerMinute); a.tokens > max {
+			a.tokens = max
+		}
+	}
+	a.refill = now
+	if a.tokens < 1 {
+		return false
+	}
+	a.tokens--
+	return true
+}
+
+// close drains the queue (delivering everything already accepted) and
+// stops the goroutine.
+func (a *alerter) close() {
+	close(a.ch)
+	<-a.done
+}
+
+func (a *alerter) run() {
+	defer close(a.done)
+	for ev := range a.ch {
+		a.deliver(ev)
+	}
+}
+
+func (a *alerter) deliver(ev AlertEvent) {
+	body, err := json.Marshal(ev)
+	if err != nil {
+		a.log.Error("alert encode failed", "err", err)
+		return
+	}
+	delay := a.cfg.Backoff
+	for attempt := 1; ; attempt++ {
+		status, err := a.post(body)
+		switch {
+		case err == nil && status/100 == 2:
+			a.tel.Counter("proraced_alerts_sent_total", "First-seen race alerts delivered to the webhook.").Inc()
+			a.log.Info("alert delivered", "tenant", ev.Tenant, "fingerprint", ev.Fingerprint, "attempts", attempt)
+			return
+		case err == nil && status/100 == 4 && status != 429:
+			// Permanent: the receiver rejected the payload; retrying cannot
+			// help and would only re-spend the rate budget.
+			a.tel.Counter("proraced_alerts_failed_total", "First-seen race alerts that permanently failed delivery.").Inc()
+			a.log.Warn("alert rejected by webhook", "tenant", ev.Tenant, "fingerprint", ev.Fingerprint, "status", status)
+			return
+		}
+		if attempt >= a.cfg.MaxAttempts {
+			a.tel.Counter("proraced_alerts_failed_total", "First-seen race alerts that permanently failed delivery.").Inc()
+			if err != nil {
+				a.log.Warn("alert delivery failed", "tenant", ev.Tenant, "fingerprint", ev.Fingerprint, "attempts", attempt, "err", err)
+			} else {
+				a.log.Warn("alert delivery failed", "tenant", ev.Tenant, "fingerprint", ev.Fingerprint, "attempts", attempt, "status", status)
+			}
+			return
+		}
+		a.tel.Counter("proraced_alerts_retried_total", "Alert delivery attempts retried after a retryable failure (5xx, 429, transport error).").Inc()
+		time.Sleep(delay)
+		delay *= 2
+	}
+}
+
+func (a *alerter) post(body []byte) (int, error) {
+	req, err := http.NewRequest(http.MethodPost, a.cfg.URL, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.cfg.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// pcHex renders a program counter the way reports do.
+func pcHex(pc uint64) string { return fmt.Sprintf("0x%x", pc) }

@@ -81,6 +81,13 @@ func TestChaosDaemon(t *testing.T) {
 		fmt.Fprintln(os.Stderr, "chaos daemon drain:", err)
 		os.Exit(1)
 	}
+	// Lineage completeness gate: after a drain every minted lineage —
+	// including the ones reconstructed from the journal after a crash —
+	// must have reached a terminal stage. An open entry here is an orphan.
+	if open := m.OpenLineages(); len(open) > 0 {
+		fmt.Fprintf(os.Stderr, "chaos daemon: open lineages after drain: %+v\n", open)
+		os.Exit(3)
+	}
 	os.Exit(0)
 }
 

@@ -78,12 +78,18 @@ type Stats struct {
 	Throttled int // 429/503 responses that carried Retry-After
 }
 
+// HeaderLineage is the request header carrying the producer-minted
+// segment lineage ID; the daemon persists it in the WAL record and keys
+// the segment's stage-transition history on it.
+const HeaderLineage = "X-Prorace-Lineage"
+
 // Client is a retrying ingest producer. Not safe for concurrent use (a
 // producer streams its segments in order).
 type Client struct {
 	cfg   Config
 	http  *http.Client
 	nonce string
+	seq   uint64
 	stats Stats
 }
 
@@ -150,17 +156,21 @@ func (c *Client) SegmentKey(frame []byte) string {
 // UploadProgram ships one PRIM program image (idempotent by nature — the
 // daemon re-registers the same image harmlessly — so retries are safe).
 func (c *Client) UploadProgram(image []byte) error {
-	return c.post("/program", nil, image)
+	return c.post("/program", nil, "", image)
 }
 
 // SendSegment ships one PRSG frame, retrying with backoff until the
 // daemon acknowledges it, the attempt limit is hit, or a permanent
-// rejection (4xx other than 429) says retrying cannot help.
+// rejection (4xx other than 429) says retrying cannot help. Each segment
+// is sent with a freshly minted lineage ID (nonce-scoped, sequential);
+// retries of one frame reuse both the idempotency key and the lineage ID,
+// so the daemon's lineage ring sees exactly one history per segment.
 func (c *Client) SendSegment(frame []byte) error {
 	q := url.Values{}
 	q.Set("tenant", c.cfg.Tenant)
 	q.Set("key", c.SegmentKey(frame))
-	return c.post("/ingest", q, frame)
+	c.seq++
+	return c.post("/ingest", q, fmt.Sprintf("%s-seq-%d", c.nonce, c.seq), frame)
 }
 
 // permanentError is a rejection retrying cannot fix (corrupt frame,
@@ -170,7 +180,7 @@ type permanentError struct{ msg string }
 func (e *permanentError) Error() string { return e.msg }
 
 // post runs the retry loop for one request.
-func (c *Client) post(path string, q url.Values, body []byte) error {
+func (c *Client) post(path string, q url.Values, lineage string, body []byte) error {
 	u := c.cfg.BaseURL + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
@@ -186,7 +196,7 @@ func (c *Client) post(path string, q url.Values, body []byte) error {
 			tel.Counter("prorace_client_retries_total", "Ingest-client attempts beyond the first.").Inc()
 		}
 		c.stats.Attempts++
-		retryAfter, err := c.attempt(u, body)
+		retryAfter, err := c.attempt(u, lineage, body)
 		if err == nil {
 			return nil
 		}
@@ -226,7 +236,7 @@ func asPermanent(err error, target **permanentError) bool {
 
 // attempt performs one HTTP POST. It returns a server-directed retry
 // delay when the response carried Retry-After.
-func (c *Client) attempt(u string, body []byte) (time.Duration, error) {
+func (c *Client) attempt(u, lineage string, body []byte) (time.Duration, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.RequestTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
@@ -234,6 +244,9 @@ func (c *Client) attempt(u string, body []byte) (time.Duration, error) {
 		return 0, &permanentError{msg: err.Error()}
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	if lineage != "" {
+		req.Header.Set(HeaderLineage, lineage)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return 0, err // transport error or timeout: retryable

@@ -199,6 +199,58 @@ func TestSendSegmentCarriesTenantAndKey(t *testing.T) {
 	}
 }
 
+func TestSendSegmentMintsLineage(t *testing.T) {
+	var mu sync.Mutex
+	var headers []string
+	fail := false
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		headers = append(headers, r.Header.Get(HeaderLineage))
+		failNow := fail
+		fail = false
+		mu.Unlock()
+		if failNow {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer srv.Close()
+	c, _ := newTestClient(t, srv.URL, nil)
+	if err := c.UploadProgram([]byte("image")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendSegment([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	fail = true
+	mu.Unlock()
+	if err := c.SendSegment([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(headers) != 4 {
+		t.Fatalf("saw %d requests, want 4 (program + seg + failed seg + retry)", len(headers))
+	}
+	// Program uploads carry no lineage; segments carry sequential IDs
+	// scoped by the run nonce.
+	if headers[0] != "" {
+		t.Fatalf("program upload carried lineage %q", headers[0])
+	}
+	if !strings.HasSuffix(headers[1], "-seq-1") || !strings.HasSuffix(headers[2], "-seq-2") {
+		t.Fatalf("segment lineage IDs = %q, %q", headers[1], headers[2])
+	}
+	// The retry of segment two reuses its ID — one history per segment.
+	if headers[3] != headers[2] {
+		t.Fatalf("retry minted a fresh lineage: %q vs %q", headers[3], headers[2])
+	}
+	if headers[1] == headers[2] {
+		t.Fatal("distinct segments share a lineage ID")
+	}
+}
+
 func TestParseRetryAfter(t *testing.T) {
 	if d := parseRetryAfter("3"); d != 3*time.Second {
 		t.Fatalf("seconds form = %v", d)

@@ -40,7 +40,7 @@ func durableConfig(dir string) Config {
 	cfg := syncConfig(filepath.Join(dir, "reports.json"), telemetry.New())
 	cfg.Window = 4
 	cfg.WALDir = filepath.Join(dir, "wal")
-	cfg.Logf = func(string, ...any) {}
+	cfg.Logger = discardLogger()
 	return cfg
 }
 
@@ -81,7 +81,7 @@ func TestRecoveryReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, f := range frames {
-		if _, err := w.Append("web-1", fmt.Sprintf("run-%d", i), f); err != nil {
+		if _, err := w.Append("web-1", fmt.Sprintf("run-%d", i), fmt.Sprintf("lin-%d", i), f); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -211,13 +211,13 @@ func TestRecoveryTornTail(t *testing.T) {
 	}
 	w.SaveProgram(p.Name, prog.EncodeImage(p))
 	for _, f := range frames {
-		if _, err := w.Append("web-1", "", f); err != nil {
+		if _, err := w.Append("web-1", "", "", f); err != nil {
 			t.Fatal(err)
 		}
 	}
 	j, _ := w.journalFor("web-1")
 	// Model the crash mid-append: chop the final record in half.
-	tear := int64(walRecordLen("", frames[len(frames)-1]) / 2)
+	tear := int64(walRecordLen(walVersion, "", "", frames[len(frames)-1]) / 2)
 	if err := j.f.Truncate(j.size - tear); err != nil {
 		t.Fatal(err)
 	}

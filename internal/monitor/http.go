@@ -9,18 +9,27 @@ import (
 	"prorace/internal/prog"
 )
 
+// HeaderLineage is the ingest request header carrying the producer-minted
+// segment lineage ID (mirrored by the client package).
+const HeaderLineage = "X-Prorace-Lineage"
+
 // Attach registers the daemon's HTTP surface on mux:
 //
 //	POST /ingest?tenant=NAME[&key=K]   one PRSG segment frame (body); a
-//	                                   non-empty key makes retries idempotent
+//	                                   non-empty key makes retries idempotent,
+//	                                   X-Prorace-Lineage tags the segment's
+//	                                   lineage history
 //	POST /program                      one PRIM program image (body)
 //	GET  /reports                      the deduplicated race-report store (JSON)
 //	GET  /tenants                      per-tenant stream health (JSON)
+//	GET  /statusz[?format=json]        fleet overview (HTML; JSON on request)
+//	GET  /tenantz?tenant=X             one tenant's lineage ring + recent reports
 //	GET  /healthz                      liveness
 //
 // Overload responses carry Retry-After: a 429 (tenant queue full) or 503
 // (draining, or the journal cannot accept writes) tells the producer when
-// to come back instead of leaving it to guess.
+// to come back instead of leaving it to guess. Introspection responses
+// are marked Cache-Control: no-store.
 //
 // Pass telemetry.NewMux's mux to co-host /metrics on the same listener.
 func (m *Monitor) Attach(mux *http.ServeMux) {
@@ -28,7 +37,10 @@ func (m *Monitor) Attach(mux *http.ServeMux) {
 	mux.HandleFunc("/program", m.handleProgram)
 	mux.HandleFunc("/reports", m.handleReports)
 	mux.HandleFunc("/tenants", m.handleTenants)
+	mux.HandleFunc("/statusz", m.handleStatusz)
+	mux.HandleFunc("/tenantz", m.handleTenantz)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Cache-Control", "no-store")
 		io.WriteString(w, "ok\n")
 	})
 }
@@ -64,7 +76,8 @@ func (m *Monitor) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	switch err := m.IngestKeyed(tenant, q.Get("key"), body); {
+	meta := IngestMeta{Key: q.Get("key"), Lineage: r.Header.Get(HeaderLineage)}
+	switch err := m.IngestWith(tenant, meta, body); {
 	case err == nil:
 		w.WriteHeader(http.StatusAccepted)
 	case errors.Is(err, ErrQueueFull):
@@ -111,6 +124,7 @@ func (m *Monitor) handleTenants(w http.ResponseWriter, r *http.Request) {
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	enc.Encode(v)

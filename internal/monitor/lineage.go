@@ -1,0 +1,243 @@
+package monitor
+
+// Segment lineage: every accepted segment carries a lineage ID (minted by
+// the producing client, or by the daemon when the producer predates the
+// header) and the monitor records a timestamped transition for each stage
+// of the segment's life:
+//
+//	ingested → fsynced → acked → queued → analyzing → analyzed
+//	                                                │ rejected
+//	                                                │ retired
+//
+// analyzed, rejected and retired are terminal; a segment that reached one
+// of them never transitions again (window re-analyses bump Rounds
+// instead). The transitions live in a bounded per-tenant ring, so any
+// recently acked segment's life — including across a crash, where the
+// lineage ID is replayed out of the WAL record and the entry is flagged
+// Recovered — can be reconstructed after the fact via /tenantz, and the
+// completeness invariant ("every acked segment ends terminal") is
+// checkable by tests and the chaos harness.
+
+import (
+	"sync"
+	"time"
+)
+
+// Lineage stages, in pipeline order.
+const (
+	StageIngested  = "ingested"  // decoded and admitted
+	StageFsynced   = "fsynced"   // journaled per the fsync policy
+	StageAcked     = "acked"     // acknowledgement to the producer is guaranteed
+	StageQueued    = "queued"    // waiting in the tenant's pending queue
+	StageAnalyzing = "analyzing" // part of an in-flight analysis round
+	StageAnalyzed  = "analyzed"  // terminal: at least one round completed over it
+	StageRejected  = "rejected"  // terminal: corrupt, unresolvable or session-mismatched
+	StageRetired   = "retired"   // terminal: evicted before any round completed
+)
+
+// TerminalStage reports whether stage ends a segment's lineage.
+func TerminalStage(stage string) bool {
+	return stage == StageAnalyzed || stage == StageRejected || stage == StageRetired
+}
+
+// LineageTransition is one timestamped stage entry.
+type LineageTransition struct {
+	Stage string    `json:"stage"`
+	At    time.Time `json:"at"`
+}
+
+// SegmentLineage is the reconstructed life of one segment. It is plain
+// data: every accessor on lineageRing returns deep copies, safe to
+// serialize or retain.
+type SegmentLineage struct {
+	// ID is the lineage ID: producer-minted (X-Prorace-Lineage) when the
+	// client sent one, daemon-minted otherwise. Persisted in the WAL
+	// record, so it survives a crash.
+	ID string `json:"id"`
+	// Seq is the producer-assigned segment sequence number within its run.
+	Seq uint64 `json:"seq"`
+	// JournalIndex is idx+1 of the segment's WAL record (0 = not journaled).
+	JournalIndex uint64 `json:"journal_index,omitempty"`
+	// Bytes is the segment's trace payload size.
+	Bytes uint64 `json:"bytes,omitempty"`
+	// Recovered marks a segment that re-entered the pipeline through
+	// crash-recovery replay rather than a live ingest.
+	Recovered bool `json:"recovered,omitempty"`
+	// Rounds counts analysis rounds that included this segment (window
+	// re-analyses keep counting after the terminal analyzed transition).
+	Rounds int `json:"rounds"`
+	// Stage is the current (last) stage.
+	Stage string `json:"stage"`
+	// Error carries the rejection reason for rejected segments.
+	Error string `json:"error,omitempty"`
+	// Transitions is the full timestamped history, oldest first.
+	Transitions []LineageTransition `json:"transitions"`
+}
+
+// clone deep-copies the entry (the ring hands out copies only).
+func (l *SegmentLineage) clone() SegmentLineage {
+	cp := *l
+	cp.Transitions = append([]LineageTransition(nil), l.Transitions...)
+	return cp
+}
+
+// lineageRing is one tenant's bounded lineage history: a FIFO of at most
+// depth entries indexed by lineage ID. It has its own mutex — callers may
+// hold tenant or monitor locks; the ring never takes any lock but its own.
+type lineageRing struct {
+	mu      sync.Mutex
+	depth   int
+	order   []string // insertion order, oldest first
+	entries map[string]*SegmentLineage
+
+	minted    uint64 // entries ever minted
+	terminal  uint64 // entries that reached a terminal stage
+	evictOpen uint64 // entries evicted from the ring before terminating
+}
+
+func newLineageRing(depth int) *lineageRing {
+	if depth <= 0 {
+		depth = 256
+	}
+	return &lineageRing{depth: depth, entries: map[string]*SegmentLineage{}}
+}
+
+// mint records a new segment entering the pipeline at StageIngested and
+// returns false if the ID already exists (an idempotent resend or a replay
+// of a live entry — the existing lineage is kept).
+func (r *lineageRing) mint(id string, seq uint64, bytes uint64, recovered bool, now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[id]; ok {
+		return false
+	}
+	e := &SegmentLineage{
+		ID:          id,
+		Seq:         seq,
+		Bytes:       bytes,
+		Recovered:   recovered,
+		Stage:       StageIngested,
+		Transitions: []LineageTransition{{Stage: StageIngested, At: now}},
+	}
+	r.entries[id] = e
+	r.order = append(r.order, id)
+	r.minted++
+	for len(r.order) > r.depth {
+		old := r.order[0]
+		r.order = r.order[1:]
+		if ev, ok := r.entries[old]; ok {
+			if !TerminalStage(ev.Stage) {
+				r.evictOpen++
+			}
+			delete(r.entries, old)
+		}
+	}
+	return true
+}
+
+// setJournal records the WAL position of a just-journaled segment.
+func (r *lineageRing) setJournal(id string, journalIdx uint64) {
+	r.mu.Lock()
+	if e, ok := r.entries[id]; ok {
+		e.JournalIndex = journalIdx
+	}
+	r.mu.Unlock()
+}
+
+// stage returns the entry's current stage ("" if unknown or evicted).
+func (r *lineageRing) stage(id string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[id]; ok {
+		return e.Stage
+	}
+	return ""
+}
+
+// transition appends a stage to the entry's history. Terminal entries are
+// immutable: a transition on one is a no-op (ok=false). It returns how
+// long the segment has been in flight (since ingested) and how long the
+// previous stage lasted, for the latency histograms.
+func (r *lineageRing) transition(id, stage string, now time.Time) (sinceIngest, sincePrev time.Duration, ok bool) {
+	return r.transitionErr(id, stage, "", now)
+}
+
+// transitionErr is transition with a rejection reason attached.
+func (r *lineageRing) transitionErr(id, stage, errMsg string, now time.Time) (sinceIngest, sincePrev time.Duration, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, found := r.entries[id]
+	if !found || TerminalStage(e.Stage) {
+		return 0, 0, false
+	}
+	sinceIngest = now.Sub(e.Transitions[0].At)
+	sincePrev = now.Sub(e.Transitions[len(e.Transitions)-1].At)
+	e.Transitions = append(e.Transitions, LineageTransition{Stage: stage, At: now})
+	e.Stage = stage
+	if errMsg != "" {
+		e.Error = errMsg
+	}
+	if TerminalStage(stage) {
+		r.terminal++
+	}
+	return sinceIngest, sincePrev, true
+}
+
+// bumpRounds counts one more analysis round over an (already terminal)
+// segment.
+func (r *lineageRing) bumpRounds(id string) {
+	r.mu.Lock()
+	if e, ok := r.entries[id]; ok {
+		e.Rounds++
+	}
+	r.mu.Unlock()
+}
+
+// get returns a copy of one entry.
+func (r *lineageRing) get(id string) (SegmentLineage, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[id]; ok {
+		return e.clone(), true
+	}
+	return SegmentLineage{}, false
+}
+
+// tail returns copies of the newest n entries, oldest of them first
+// (n <= 0 means all).
+func (r *lineageRing) tail(n int) []SegmentLineage {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ids := r.order
+	if n > 0 && len(ids) > n {
+		ids = ids[len(ids)-n:]
+	}
+	out := make([]SegmentLineage, 0, len(ids))
+	for _, id := range ids {
+		if e, ok := r.entries[id]; ok {
+			out = append(out, e.clone())
+		}
+	}
+	return out
+}
+
+// open returns copies of every non-terminal entry — the completeness
+// invariant's violation set after quiescence.
+func (r *lineageRing) open() []SegmentLineage {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []SegmentLineage
+	for _, id := range r.order {
+		if e, ok := r.entries[id]; ok && !TerminalStage(e.Stage) {
+			out = append(out, e.clone())
+		}
+	}
+	return out
+}
+
+// stats returns the ring's lifetime accounting.
+func (r *lineageRing) stats() (minted, terminal, evictedOpen uint64, held int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.minted, r.terminal, r.evictOpen, len(r.entries)
+}

@@ -1,11 +1,14 @@
 package monitor
 
 import (
+	"crypto/rand"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prorace/internal/bugs"
@@ -68,25 +71,32 @@ type Config struct {
 	// DedupKeys is how many recent idempotency keys each tenant retains
 	// for duplicate-resend detection. Default 512.
 	DedupKeys int
+	// LineageDepth bounds each tenant's lineage ring (how many recent
+	// segments' stage histories are reconstructable). Default 256.
+	LineageDepth int
 	// Analysis configures each window's analysis round. Telemetry and
 	// MetricsAddr inside it are ignored — the monitor owns telemetry.
 	Analysis core.AnalysisOptions
 	// Telemetry receives the proraced_* series (nil disables).
 	Telemetry *telemetry.Registry
+	// Alert configures the first-seen race webhook (zero URL disables).
+	Alert AlertConfig
 	// Now overrides the clock (tests).
 	Now func() time.Time
-	// Logf receives operational warnings (store salvage, journal damage).
-	// Defaults to stderr.
-	Logf func(format string, args ...any)
+	// Logger receives structured operational events (store salvage, journal
+	// damage, alert delivery). Defaults to a text handler on stderr.
+	Logger *slog.Logger
 }
 
 // ingestSeg is one accepted segment riding through pending and window:
-// the decoded trace slice, its ingest time (window-age retirement), and
-// its journal position (idx = journal index + 1; 0 = not journaled).
+// the decoded trace slice, its ingest time (window-age retirement), its
+// journal position (idx = journal index + 1; 0 = not journaled), and its
+// lineage ID for stage-transition recording.
 type ingestSeg struct {
 	seg *tracefmt.Trace
 	at  time.Time
 	idx uint64
+	lin string
 }
 
 // tenant is one producer's stream state. Lifecycle: Ingest appends decoded
@@ -96,6 +106,11 @@ type ingestSeg struct {
 // claim serialises analysis per tenant, so window order is ingest order.
 type tenant struct {
 	name string
+
+	// lin is the tenant's bounded lineage ring. It has its own mutex and
+	// never takes another lock, so it may be called while holding mu (the
+	// lock order is t.mu → lin.mu, and lin.mu is always a leaf).
+	lin *lineageRing
 
 	mu      sync.Mutex
 	pending []ingestSeg
@@ -166,6 +181,19 @@ type TenantStatus struct {
 	LastReports     int       `json:"last_reports"`
 	WindowSegments  int       `json:"window_segments"`
 	PendingSegments int       `json:"pending_segments"`
+
+	// Introspection additions (statusz): journal footprint, how far the
+	// durable analysis cursor trails the journal head, the rolling window's
+	// age bounds, and the lineage ring's lifetime accounting.
+	WALBytes        int64     `json:"wal_bytes,omitempty"`
+	Cursor          uint64    `json:"cursor,omitempty"`
+	CursorLag       uint64    `json:"cursor_lag,omitempty"`
+	WindowOldest    time.Time `json:"window_oldest,omitempty"`
+	WindowNewest    time.Time `json:"window_newest,omitempty"`
+	LineageMinted   uint64    `json:"lineage_minted"`
+	LineageTerminal uint64    `json:"lineage_terminal"`
+	LineageEvicted  uint64    `json:"lineage_evicted_open"`
+	LineageHeld     int       `json:"lineage_held"`
 }
 
 // Monitor is the daemon core: per-tenant rolling-window incremental
@@ -173,12 +201,19 @@ type TenantStatus struct {
 // persistent store, with an optional write-ahead journal making the whole
 // ingest path crash-safe. All methods are safe for concurrent use.
 type Monitor struct {
-	cfg   Config
-	store *Store
-	wal   *WAL
-	tel   *telemetry.Registry
-	now   func() time.Time
-	logf  func(format string, args ...any)
+	cfg     Config
+	store   *Store
+	wal     *WAL
+	tel     *telemetry.Registry
+	now     func() time.Time
+	log     *slog.Logger
+	alerter *alerter
+
+	// started anchors the daemon's uptime; bootID + linSeq mint lineage IDs
+	// for producers that predate the X-Prorace-Lineage header.
+	started time.Time
+	bootID  string
+	linSeq  atomic.Uint64
 
 	mu       sync.Mutex
 	tenants  map[string]*tenant
@@ -212,13 +247,14 @@ func New(cfg Config) (*Monitor, error) {
 	if cfg.DedupKeys <= 0 {
 		cfg.DedupKeys = 512
 	}
+	if cfg.LineageDepth <= 0 {
+		cfg.LineageDepth = 256
+	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "proraced: "+format+"\n", args...)
-		}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 	cfg.Analysis.Telemetry = nil
 	cfg.Analysis.MetricsAddr = ""
@@ -232,13 +268,18 @@ func New(cfg Config) (*Monitor, error) {
 		store:    store,
 		tel:      cfg.Telemetry,
 		now:      cfg.Now,
-		logf:     cfg.Logf,
+		log:      cfg.Logger,
+		started:  cfg.Now(),
+		bootID:   mintBootID(),
 		tenants:  map[string]*tenant{},
 		programs: map[string]*prog.Program{},
 	}
 	m.qcond = sync.NewCond(&m.qmu)
+	if cfg.Alert.URL != "" {
+		m.alerter = newAlerter(cfg.Alert, m.tel, m.log, m.now)
+	}
 	if w := store.LoadWarning(); w != "" {
-		m.logf("%s", w)
+		m.log.Warn("store salvaged at boot", "detail", w)
 		m.count("proraced_store_salvaged_total", "Corrupt store files set aside and restarted fresh at boot.").Inc()
 	}
 	if cfg.WALDir != "" {
@@ -250,7 +291,7 @@ func New(cfg Config) (*Monitor, error) {
 		for _, raw := range wal.LoadPrograms() {
 			p, err := prog.DecodeImage(raw)
 			if err != nil {
-				m.logf("skipping corrupt persisted program image: %v", err)
+				m.log.Warn("skipping corrupt persisted program image", "err", err)
 				continue
 			}
 			m.programs[p.Name] = p
@@ -267,8 +308,27 @@ func New(cfg Config) (*Monitor, error) {
 	return m, nil
 }
 
+// mintBootID draws a short random tag distinguishing this process's
+// daemon-minted lineage IDs from a restarted daemon's.
+func mintBootID() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "d0"
+	}
+	return fmt.Sprintf("d%x", b)
+}
+
+// mintLineage creates a daemon-side lineage ID for a segment whose
+// producer did not send one.
+func (m *Monitor) mintLineage(tenant string) string {
+	return fmt.Sprintf("%s-%s-%d", m.bootID, tenant, m.linSeq.Add(1))
+}
+
 // Store exposes the monitor's report store.
 func (m *Monitor) Store() *Store { return m.store }
+
+// Started returns when the monitor was constructed (uptime anchor).
+func (m *Monitor) Started() time.Time { return m.started }
 
 // RegisterProgram makes a program image resolvable for incoming segments
 // whose trace header names it (the POST /program path). With a journal
@@ -280,7 +340,7 @@ func (m *Monitor) RegisterProgram(p *prog.Program) {
 	m.mu.Unlock()
 	if m.wal != nil {
 		if err := m.wal.SaveProgram(p.Name, prog.EncodeImage(p)); err != nil {
-			m.logf("persisting program image %q: %v", p.Name, err)
+			m.log.Error("persisting program image failed", "program", p.Name, "err", err)
 		}
 	}
 }
@@ -313,30 +373,49 @@ func (m *Monitor) tenantFor(name string) *tenant {
 	defer m.mu.Unlock()
 	t, ok := m.tenants[name]
 	if !ok {
-		t = &tenant{name: name}
+		t = &tenant{name: name, lin: newLineageRing(m.cfg.LineageDepth)}
 		m.tenants[name] = t
 		m.gauge("proraced_tenants", "Tenants with at least one ingest attempt.").Set(int64(len(m.tenants)))
 	}
 	return t
 }
 
+// IngestMeta carries per-segment ingest metadata from the transport.
+type IngestMeta struct {
+	// Key is the idempotency key ("" = none): a resend of a recently
+	// accepted key is acknowledged without re-ingesting.
+	Key string
+	// Lineage is the producer-minted lineage ID (X-Prorace-Lineage; "" =
+	// the daemon mints one).
+	Lineage string
+}
+
 // Ingest accepts one PRSG-framed segment from tenantName (no idempotency
 // key — every call is treated as a distinct segment).
 func (m *Monitor) Ingest(tenantName string, frame []byte) error {
-	return m.IngestKeyed(tenantName, "", frame)
+	return m.IngestWith(tenantName, IngestMeta{}, frame)
 }
 
-// IngestKeyed accepts one PRSG-framed segment from tenantName. Decoding,
+// IngestKeyed is IngestWith with only an idempotency key.
+func (m *Monitor) IngestKeyed(tenantName, key string, frame []byte) error {
+	return m.IngestWith(tenantName, IngestMeta{Key: key}, frame)
+}
+
+// IngestWith accepts one PRSG-framed segment from tenantName. Decoding,
 // admission, the journal append (when durability is on) and — with
 // Workers == 0 — the analysis round happen before it returns; with a
-// worker pool the analysis is scheduled and IngestKeyed returns once the
-// segment is journaled and queued. A non-empty key makes the call
-// idempotent: a resend of a recently accepted key (a producer retrying a
-// request whose acknowledgement was lost) is acknowledged again without
-// being re-ingested. Failures are tenant-scoped: a corrupt frame or full
-// queue degrades this tenant's record and leaves every other tenant —
-// and the daemon — untouched.
-func (m *Monitor) IngestKeyed(tenantName, key string, frame []byte) error {
+// worker pool the analysis is scheduled and IngestWith returns once the
+// segment is journaled and queued. Failures are tenant-scoped: a corrupt
+// frame or full queue degrades this tenant's record and leaves every
+// other tenant — and the daemon — untouched.
+//
+// Lineage: an accepted segment's ID enters the tenant's lineage ring at
+// StageIngested and rides the WAL record, so the history survives a
+// crash. Permanent rejections (corrupt frame, unknown program) record a
+// terminal rejected lineage when the producer supplied an ID; retryable
+// rejections (queue full, journal failure) record nothing, because the
+// producer's retry of the same lineage ID must be mintable.
+func (m *Monitor) IngestWith(tenantName string, meta IngestMeta, frame []byte) error {
 	m.qmu.Lock()
 	closed := m.closed
 	m.qmu.Unlock()
@@ -345,8 +424,8 @@ func (m *Monitor) IngestKeyed(tenantName, key string, frame []byte) error {
 	}
 	t := m.tenantFor(tenantName)
 	t.mu.Lock()
-	if key != "" {
-		if _, dup := t.keys[key]; dup {
+	if meta.Key != "" {
+		if _, dup := t.keys[meta.Key]; dup {
 			t.duplicates++
 			t.mu.Unlock()
 			m.count("proraced_segments_duplicate_total", "Idempotent resends acknowledged without re-ingesting (producer retries).").Inc()
@@ -354,12 +433,13 @@ func (m *Monitor) IngestKeyed(tenantName, key string, frame []byte) error {
 		}
 	}
 	t.mu.Unlock()
-	_, seg, err := tracefmt.DecodeSegment(frame)
+	hdr, seg, err := tracefmt.DecodeSegment(frame)
 	if err != nil {
 		t.mu.Lock()
 		t.corrupt++
 		t.lastError = err.Error()
 		t.mu.Unlock()
+		m.rejectLineage(t, meta.Lineage, 0, len(frame), err)
 		m.count("proraced_segments_corrupt_total", "Ingested frames that failed PRSG decoding.").Inc()
 		return fmt.Errorf("%w: %v", ErrCorruptSegment, err)
 	}
@@ -368,10 +448,15 @@ func (m *Monitor) IngestKeyed(tenantName, key string, frame []byte) error {
 		t.rejected++
 		t.lastError = err.Error()
 		t.mu.Unlock()
+		m.rejectLineage(t, meta.Lineage, hdr.Seq, len(frame), err)
 		m.count("proraced_segments_rejected_total", "Decoded segments rejected before analysis (unknown program, session mismatch).").Inc()
 		return err
 	}
 	now := m.now()
+	lin := meta.Lineage
+	if lin == "" {
+		lin = m.mintLineage(tenantName)
+	}
 	t.mu.Lock()
 	if len(t.pending) >= m.cfg.QueueDepth {
 		t.queueDrops++
@@ -381,13 +466,14 @@ func (m *Monitor) IngestKeyed(tenantName, key string, frame []byte) error {
 	}
 	// The durability point: journal the frame (fsync per policy) while
 	// still holding the admission slot, so "accepted" always means
-	// "replayable". Everything after this line is recoverable.
+	// "replayable". Everything after this line is recoverable — the
+	// record carries the lineage ID, so replay reconstructs the history.
 	var idx uint64
 	if m.wal != nil {
-		jidx, err := m.wal.Append(tenantName, key, frame)
+		jidx, err := m.wal.Append(tenantName, meta.Key, lin, frame)
 		if err != nil {
 			t.mu.Unlock()
-			m.logf("journal append for tenant %q failed: %v", tenantName, err)
+			m.log.Error("journal append failed", "tenant", tenantName, "err", err)
 			m.count("proraced_wal_append_failures_total", "Journal appends that failed (the segment was rejected, producer retries).").Inc()
 			return fmt.Errorf("%w: %v", ErrDurability, err)
 		}
@@ -395,23 +481,54 @@ func (m *Monitor) IngestKeyed(tenantName, key string, frame []byte) error {
 		m.count("proraced_wal_appends_total", "Segments appended to the write-ahead journal.").Inc()
 		m.count("proraced_wal_bytes_total", "Bytes appended to the write-ahead journal.").AddInt(len(frame))
 	}
-	t.seenKeyLocked(key, m.cfg.DedupKeys)
-	t.pending = append(t.pending, ingestSeg{seg: seg, at: now, idx: idx})
+	if !t.lin.mint(lin, hdr.Seq, uint64(len(frame)), false, now) {
+		// The producer reused a live or remembered ID (e.g. a retry whose
+		// key aged out of the dedup FIFO). Keep histories separate.
+		lin = m.mintLineage(tenantName)
+		t.lin.mint(lin, hdr.Seq, uint64(len(frame)), false, now)
+	}
+	if m.wal != nil {
+		t.lin.setJournal(lin, idx)
+		if _, d, ok := t.lin.transition(lin, StageFsynced, m.now()); ok {
+			m.hist("proraced_stage_fsync_seconds", "Time from ingest admission to the segment being journaled.").Observe(d.Seconds())
+		}
+	}
+	t.seenKeyLocked(meta.Key, m.cfg.DedupKeys)
+	t.pending = append(t.pending, ingestSeg{seg: seg, at: now, idx: idx, lin: lin})
 	t.segments++
 	t.bytes += seg.TotalBytes()
 	t.mu.Unlock()
+	// The acknowledgement is now guaranteed (journaled + admitted): the
+	// lineage advances to acked, then queued as it waits in pending.
+	if _, d, ok := t.lin.transition(lin, StageAcked, m.now()); ok {
+		m.hist("proraced_stage_ack_seconds", "Time from journaled to acknowledgement-guaranteed.").Observe(d.Seconds())
+	}
 	m.count("proraced_segments_ingested_total", "Segments accepted into tenant windows.").Inc()
 	m.count("proraced_segment_bytes_total", "Trace payload bytes accepted into tenant windows.").Add(seg.TotalBytes())
 	// Chaos point: the segment is journaled but the producer has not been
 	// acknowledged — a crash here must be covered by replay plus the
 	// producer's keyed retry.
 	faultinject.Crash("monitor.ingest.preack")
+	t.lin.transition(lin, StageQueued, m.now())
 	if m.cfg.Workers == 0 {
 		m.analyzeTenant(t)
 		return nil
 	}
 	m.schedule(t)
 	return nil
+}
+
+// rejectLineage records a terminal rejected lineage for a permanently
+// rejected ingest, but only when the producer supplied the ID: a 400 is
+// not retried, so the terminal entry cannot wedge a future resend, and
+// the producer can correlate the rejection with its own send.
+func (m *Monitor) rejectLineage(t *tenant, lin string, seq uint64, bytes int, cause error) {
+	if lin == "" {
+		return
+	}
+	now := m.now()
+	t.lin.mint(lin, seq, uint64(bytes), false, now)
+	t.lin.transitionErr(lin, StageRejected, cause.Error(), now)
 }
 
 // recover replays every journal: segments the persisted cursor proves
@@ -433,7 +550,7 @@ func (m *Monitor) recover() {
 		cursor := m.store.Cursor(tenantName)
 		recs, _, err := m.wal.Records(tenantName, 0)
 		if err != nil {
-			m.logf("reading journal for tenant %q: %v", tenantName, err)
+			m.log.Error("reading journal failed", "tenant", tenantName, "err", err)
 			continue
 		}
 		if len(recs) == 0 {
@@ -460,12 +577,17 @@ func (m *Monitor) recover() {
 		}
 		t.mu.Lock()
 		for _, rec := range analyzed {
-			_, seg, err := tracefmt.DecodeSegment(rec.Frame)
+			hdr, seg, err := tracefmt.DecodeSegment(rec.Frame)
 			if err != nil {
 				continue // bit rot in an already-analyzed record: window only degrades
 			}
 			t.seenKeyLocked(rec.Key, m.cfg.DedupKeys)
-			t.window = append(t.window, ingestSeg{seg: seg, at: now, idx: rec.Index + 1})
+			// The lineage replays out of the WAL record, flagged Recovered;
+			// the cursor proves it was analyzed before the crash, so the
+			// reconstructed history jumps straight to its terminal stage.
+			lid := m.replayLineage(t, rec, hdr.Seq, now)
+			t.lin.transition(lid, StageAnalyzed, now)
+			t.window = append(t.window, ingestSeg{seg: seg, at: now, idx: rec.Index + 1, lin: lid})
 		}
 		if n := len(t.window); n > 0 {
 			newest := t.window[n-1].seg
@@ -488,18 +610,36 @@ func (m *Monitor) recover() {
 	}
 }
 
+// replayLineage re-mints a journaled record's lineage into the ring,
+// flagged Recovered (falling back to a synthetic ID for pre-lineage v1
+// records), and returns the ID in effect.
+func (m *Monitor) replayLineage(t *tenant, rec WALRecord, seq uint64, now time.Time) string {
+	lid := rec.Lineage
+	if lid == "" {
+		lid = fmt.Sprintf("recovered-%s-%d", t.name, rec.Index)
+	}
+	if !t.lin.mint(lid, seq, uint64(len(rec.Frame)), true, now) {
+		lid = fmt.Sprintf("recovered-%s-%d", t.name, rec.Index)
+		t.lin.mint(lid, seq, uint64(len(rec.Frame)), true, now)
+	}
+	t.lin.setJournal(lid, rec.Index+1)
+	return lid
+}
+
 // replayRecord feeds one journaled-but-unanalyzed record back through the
 // ingest path: same decode, resolution and analysis as a live ingest, but
 // no re-journaling and no admission bound (the record was already
 // admitted once). Damaged or unresolvable records advance the in-memory
 // cursor so a poison record cannot wedge every future boot.
 func (m *Monitor) replayRecord(t *tenant, rec WALRecord, now time.Time) {
-	_, seg, err := tracefmt.DecodeSegment(rec.Frame)
+	hdr, seg, err := tracefmt.DecodeSegment(rec.Frame)
 	if err != nil {
 		t.mu.Lock()
 		t.corrupt++
 		t.lastError = fmt.Sprintf("journal replay: %v", err)
 		t.mu.Unlock()
+		lid := m.replayLineage(t, rec, 0, now)
+		t.lin.transitionErr(lid, StageRejected, fmt.Sprintf("journal replay: %v", err), now)
 		m.count("proraced_recovery_corrupt_total", "Journal records whose frames failed decoding during replay.").Inc()
 		m.store.SetCursor(t.name, rec.Index+1)
 		return
@@ -509,17 +649,22 @@ func (m *Monitor) replayRecord(t *tenant, rec WALRecord, now time.Time) {
 		t.rejected++
 		t.lastError = fmt.Sprintf("journal replay: %v", err)
 		t.mu.Unlock()
+		lid := m.replayLineage(t, rec, hdr.Seq, now)
+		t.lin.transitionErr(lid, StageRejected, fmt.Sprintf("journal replay: %v", err), now)
 		m.count("proraced_segments_rejected_total", "Decoded segments rejected before analysis (unknown program, session mismatch).").Inc()
 		m.store.SetCursor(t.name, rec.Index+1)
 		return
 	}
+	lid := m.replayLineage(t, rec, hdr.Seq, now)
+	t.lin.transition(lid, StageFsynced, now) // it came from the journal
 	t.mu.Lock()
 	t.seenKeyLocked(rec.Key, m.cfg.DedupKeys)
-	t.pending = append(t.pending, ingestSeg{seg: seg, at: now, idx: rec.Index + 1})
+	t.pending = append(t.pending, ingestSeg{seg: seg, at: now, idx: rec.Index + 1, lin: lid})
 	t.segments++
 	t.bytes += seg.TotalBytes()
 	t.replayed++
 	t.mu.Unlock()
+	t.lin.transition(lid, StageQueued, now)
 	m.count("proraced_recovery_replayed_total", "Unanalyzed journal segments re-fed through analysis at boot.").Inc()
 	if m.cfg.Workers == 0 {
 		m.analyzeTenant(t)
@@ -593,6 +738,11 @@ func (m *Monitor) retireLocked(t *tenant, now time.Time) (dropped int, emptied b
 	if i == 0 {
 		return 0, false
 	}
+	for _, ws := range t.window[:i] {
+		// Already-analyzed segments are terminal (no-op); one that aged out
+		// before any round completed ends its lineage as retired.
+		t.lin.transitionErr(ws.lin, StageRetired, "window age", now)
+	}
 	emptied = i == len(t.window)
 	t.window = append(t.window[:0], t.window[i:]...)
 	t.retired += uint64(i)
@@ -657,6 +807,12 @@ func (m *Monitor) analyzeTenant(t *tenant) {
 	t.window = append(t.window, t.pending...)
 	t.pending = nil
 	if len(t.window) > m.cfg.Window {
+		for _, ws := range t.window[:len(t.window)-m.cfg.Window] {
+			// Trimmed away before a round could include it (terminal
+			// entries no-op): consumed by design of the window, never
+			// analysed — the lineage ends as retired.
+			t.lin.transitionErr(ws.lin, StageRetired, "window overflow", roundNow)
+		}
 		t.window = t.window[len(t.window)-m.cfg.Window:]
 	}
 	window := make([]ingestSeg, len(t.window))
@@ -668,6 +824,13 @@ func (m *Monitor) analyzeTenant(t *tenant) {
 			m.store.SetCursor(t.name, cursorAdv)
 		}
 		return
+	}
+	for _, ws := range window {
+		// First round over a segment: queued → analyzing (re-analyses of
+		// terminal segments are counted via Rounds after the round).
+		if _, d, ok := t.lin.transition(ws.lin, StageAnalyzing, roundNow); ok {
+			m.hist("proraced_stage_queue_wait_seconds", "Time a segment waited in the pending queue before its first analysis round.").Observe(d.Seconds())
+		}
 	}
 
 	p, err := m.resolveProgram(window[0].seg.Program)
@@ -689,6 +852,7 @@ func (m *Monitor) analyzeTenant(t *tenant) {
 			// stale prefix is evicted below so the window converges on
 			// the newest run instead of rejecting forever.
 			rejected++
+			t.lin.transitionErr(ws.lin, StageRejected, err.Error(), m.now())
 			m.count("proraced_segments_rejected_total", "Decoded segments rejected before analysis (unknown program, session mismatch).").Inc()
 			continue
 		}
@@ -715,7 +879,7 @@ func (m *Monitor) analyzeTenant(t *tenant) {
 	// Chaos point: the round is computed but nothing is persisted — a
 	// crash here must replay the round from the journal.
 	faultinject.Crash("monitor.analyze.mid")
-	added, repeated, serr := m.store.ObserveAt(t.name, window[0].seg.Program, res.Reports, cursorAdv)
+	fresh, repeated, serr := m.store.ObserveNewAt(t.name, window[0].seg.Program, res.Reports, cursorAdv)
 	now := m.now()
 	t.mu.Lock()
 	t.analyses++
@@ -727,11 +891,52 @@ func (m *Monitor) analyzeTenant(t *tenant) {
 		t.lastError = ""
 	}
 	t.mu.Unlock()
+	// Terminal lineage accounting: every window segment that was part of
+	// this completed round is now analyzed; segments already terminal get a
+	// round bump instead (rejected/retired ones were not part of the
+	// round's results and get neither).
+	for _, ws := range window {
+		if ws.lin == "" {
+			continue
+		}
+		switch t.lin.stage(ws.lin) {
+		case StageAnalyzed:
+			t.lin.bumpRounds(ws.lin)
+		case StageRejected, StageRetired, "":
+		default:
+			if sinceIngest, d, ok := t.lin.transition(ws.lin, StageAnalyzed, now); ok {
+				t.lin.bumpRounds(ws.lin)
+				m.hist("proraced_stage_analyze_seconds", "Time a segment spent in its first analysis round.").Observe(d.Seconds())
+				m.hist("proraced_ingest_to_analyzed_seconds", "End-to-end latency from ingest admission to the first completed analysis round over the segment.").Observe(sinceIngest.Seconds())
+			}
+		}
+	}
 	m.count("proraced_analyses_total", "Rolling-window analysis rounds completed.").Inc()
 	m.count("proraced_reports_total", "Race reports produced by analysis rounds (pre-dedup).").AddInt(len(res.Reports))
-	m.count("proraced_reports_new_total", "Distinct races first observed by this daemon.").AddInt(added)
+	m.count("proraced_reports_new_total", "Distinct races first observed by this daemon.").AddInt(len(fresh))
 	m.count("proraced_reports_dup_total", "Race observations deduplicated against the store.").AddInt(repeated)
 	m.gauge("proraced_store_reports", "Distinct races in the persistent report store.").Set(int64(m.store.Len()))
+	if m.alerter != nil && len(fresh) > 0 {
+		// The newest window segment is the one whose arrival completed the
+		// round that surfaced these races — its lineage goes on the alert.
+		var surfaced *SegmentLineage
+		if l, ok := t.lin.get(window[len(window)-1].lin); ok {
+			surfaced = &l
+		}
+		for _, sr := range fresh {
+			m.alerter.fire(AlertEvent{
+				Time:        now,
+				Tenant:      sr.Tenant,
+				Program:     sr.Program,
+				Fingerprint: sr.Fingerprint,
+				FirstPC:     pcHex(sr.Report.First.PC),
+				SecondPC:    pcHex(sr.Report.Second.PC),
+				Occurrences: sr.Occurrences,
+				Witness:     sr.Report.Witness != "",
+				Lineage:     surfaced,
+			})
+		}
+	}
 	m.maybeCompact(t)
 }
 
@@ -773,7 +978,7 @@ func (m *Monitor) maybeCompact(t *tenant) {
 		return
 	}
 	if err := m.wal.Compact(t.name, keepFrom); err != nil {
-		m.logf("compacting journal for tenant %q: %v", t.name, err)
+		m.log.Error("journal compaction failed", "tenant", t.name, "err", err)
 		return
 	}
 	m.count("proraced_wal_compactions_total", "Journal compactions (analysed prefix dropped).").Inc()
@@ -816,6 +1021,9 @@ func (m *Monitor) Close() error {
 	m.qcond.Broadcast()
 	m.qmu.Unlock()
 	m.wg.Wait()
+	if m.alerter != nil {
+		m.alerter.close()
+	}
 	err := m.store.Save()
 	if m.wal != nil {
 		if serr := m.wal.Sync(); serr != nil && err == nil {
@@ -868,10 +1076,62 @@ func (m *Monitor) tenantStatus(t *tenant) TenantStatus {
 	}
 	if len(t.window) > 0 {
 		st.Program = t.window[len(t.window)-1].seg.Program
+		st.WindowOldest = t.window[0].at
+		st.WindowNewest = t.window[len(t.window)-1].at
 	} else if len(t.pending) > 0 {
 		st.Program = t.pending[len(t.pending)-1].seg.Program
 	}
+	st.LineageMinted, st.LineageTerminal, st.LineageEvicted, st.LineageHeld = t.lin.stats()
+	if m.wal != nil {
+		st.WALBytes = m.wal.Size(t.name)
+		st.Cursor = m.store.Cursor(t.name)
+		if head := m.wal.NextIndex(t.name); head > st.Cursor {
+			st.CursorLag = head - st.Cursor
+		}
+	}
 	return st
+}
+
+// Lineages returns copies of tenantName's newest n lineage-ring entries,
+// oldest of them first (n <= 0 means the whole ring).
+func (m *Monitor) Lineages(tenantName string, n int) []SegmentLineage {
+	m.mu.Lock()
+	t, ok := m.tenants[tenantName]
+	m.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return t.lin.tail(n)
+}
+
+// Lineage returns one tenant's lineage entry by ID.
+func (m *Monitor) Lineage(tenantName, id string) (SegmentLineage, bool) {
+	m.mu.Lock()
+	t, ok := m.tenants[tenantName]
+	m.mu.Unlock()
+	if !ok {
+		return SegmentLineage{}, false
+	}
+	return t.lin.get(id)
+}
+
+// OpenLineages returns every tenant's non-terminal lineage entries — the
+// completeness invariant's violation set once the monitor is quiescent
+// (tests assert it is empty after Close).
+func (m *Monitor) OpenLineages() map[string][]SegmentLineage {
+	m.mu.Lock()
+	ts := make([]*tenant, 0, len(m.tenants))
+	for _, t := range m.tenants {
+		ts = append(ts, t)
+	}
+	m.mu.Unlock()
+	out := map[string][]SegmentLineage{}
+	for _, t := range ts {
+		if open := t.lin.open(); len(open) > 0 {
+			out[t.name] = open
+		}
+	}
+	return out
 }
 
 func sortTenantStatus(ts []TenantStatus) {
@@ -885,4 +1145,8 @@ func (m *Monitor) count(name, help string) *telemetry.Counter {
 
 func (m *Monitor) gauge(name, help string) *telemetry.Gauge {
 	return m.tel.Gauge(name, help)
+}
+
+func (m *Monitor) hist(name, help string) *telemetry.Histogram {
+	return m.tel.Histogram(name, help, telemetry.DurationBuckets)
 }

@@ -1,0 +1,249 @@
+package monitor
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"prorace/internal/telemetry"
+)
+
+// StatuszConfig is the operator-relevant slice of the daemon's Config,
+// rendered on /statusz so "what is this daemon running with?" never needs
+// a shell on the box.
+type StatuszConfig struct {
+	Window       int    `json:"window"`
+	QueueDepth   int    `json:"queue_depth"`
+	Workers      int    `json:"workers"`
+	Fsync        string `json:"fsync"`
+	Durability   bool   `json:"durability"`
+	WindowMaxAge string `json:"window_max_age,omitempty"`
+	LineageDepth int    `json:"lineage_depth"`
+	StorePath    string `json:"store_path,omitempty"`
+	AlertURL     string `json:"alert_url,omitempty"`
+}
+
+// TenantStatusz is one /statusz table row: the health record plus the
+// tail of the lineage ring.
+type TenantStatusz struct {
+	TenantStatus
+	LineageTail []SegmentLineage `json:"lineage_tail"`
+}
+
+// Statusz is the full fleet-overview document.
+type Statusz struct {
+	Service       string          `json:"service"`
+	Version       string          `json:"version"`
+	GoVersion     string          `json:"go_version"`
+	PID           int             `json:"pid"`
+	Started       time.Time       `json:"started"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Config        StatuszConfig   `json:"config"`
+	StoreReports  int             `json:"store_reports"`
+	Tenants       []TenantStatusz `json:"tenants"`
+}
+
+// Tenantz is the /tenantz drill-down: one tenant's health, its whole
+// lineage ring, and its recent reports.
+type Tenantz struct {
+	TenantStatus
+	Lineages []SegmentLineage `json:"lineages"`
+	Reports  []*StoredReport  `json:"reports"`
+}
+
+// statuszLineageTail bounds the per-tenant lineage preview on the fleet
+// overview (the full ring lives on /tenantz).
+const statuszLineageTail = 8
+
+// Statusz assembles the fleet-overview snapshot.
+func (m *Monitor) Statusz() Statusz {
+	now := m.now()
+	cfg := StatuszConfig{
+		Window:       m.cfg.Window,
+		QueueDepth:   m.cfg.QueueDepth,
+		Workers:      m.cfg.Workers,
+		Fsync:        m.cfg.Fsync.Mode,
+		Durability:   m.wal != nil,
+		LineageDepth: m.cfg.LineageDepth,
+		StorePath:    m.cfg.StorePath,
+		AlertURL:     m.cfg.Alert.URL,
+	}
+	if cfg.Fsync == "" {
+		cfg.Fsync = FsyncAlways
+	}
+	if m.cfg.WindowMaxAge > 0 {
+		cfg.WindowMaxAge = m.cfg.WindowMaxAge.String()
+	}
+	s := Statusz{
+		Service:       "proraced",
+		Version:       telemetry.BuildVersion(),
+		GoVersion:     runtime.Version(),
+		PID:           os.Getpid(),
+		Started:       m.started,
+		UptimeSeconds: now.Sub(m.started).Seconds(),
+		Config:        cfg,
+		StoreReports:  m.store.Len(),
+	}
+	for _, ts := range m.Tenants() {
+		s.Tenants = append(s.Tenants, TenantStatusz{
+			TenantStatus: ts,
+			LineageTail:  m.Lineages(ts.Tenant, statuszLineageTail),
+		})
+	}
+	return s
+}
+
+// Tenantz assembles the drill-down for one tenant (ok=false: unknown).
+func (m *Monitor) Tenantz(tenantName string) (Tenantz, bool) {
+	m.mu.Lock()
+	t, ok := m.tenants[tenantName]
+	m.mu.Unlock()
+	if !ok {
+		return Tenantz{}, false
+	}
+	return Tenantz{
+		TenantStatus: m.tenantStatus(t),
+		Lineages:     t.lin.tail(0),
+		Reports:      m.store.ReportsFor(tenantName, 20),
+	}, true
+}
+
+// wantJSON: explicit ?format=json, or an Accept header that asks for JSON
+// without asking for HTML (curl-with-Accept and the status subcommand).
+func wantJSON(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "json" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "application/json") && !strings.Contains(accept, "text/html")
+}
+
+func (m *Monitor) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	s := m.Statusz()
+	if wantJSON(r) {
+		writeJSON(w, s)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	if err := statuszTmpl.Execute(w, s); err != nil {
+		m.log.Error("rendering statusz failed", "err", err)
+	}
+}
+
+func (m *Monitor) handleTenantz(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("tenant")
+	if name == "" {
+		http.Error(w, "missing tenant parameter", http.StatusBadRequest)
+		return
+	}
+	tz, ok := m.Tenantz(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown tenant %q", name), http.StatusNotFound)
+		return
+	}
+	if wantJSON(r) {
+		writeJSON(w, tz)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	if err := tenantzTmpl.Execute(w, tz); err != nil {
+		m.log.Error("rendering tenantz failed", "err", err)
+	}
+}
+
+var statuszFuncs = template.FuncMap{
+	"age": func(t time.Time) string {
+		if t.IsZero() {
+			return "—"
+		}
+		return time.Since(t).Round(time.Second).String()
+	},
+	"dur": func(secs float64) string {
+		return (time.Duration(secs * float64(time.Second))).Round(time.Second).String()
+	},
+	"stamps": func(ls []LineageTransition) string {
+		parts := make([]string, 0, len(ls))
+		for _, tr := range ls {
+			parts = append(parts, tr.Stage)
+		}
+		return strings.Join(parts, " → ")
+	},
+}
+
+var statuszTmpl = template.Must(template.New("statusz").Funcs(statuszFuncs).Parse(`<!DOCTYPE html>
+<html><head><title>proraced statusz</title><style>
+body { font-family: monospace; margin: 2em; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #999; padding: 4px 8px; text-align: left; }
+th { background: #eee; }
+.err { color: #a00; }
+.terminal { color: #060; }
+</style></head><body>
+<h1>proraced</h1>
+<p>version {{.Version}} · {{.GoVersion}} · pid {{.PID}} · up {{dur .UptimeSeconds}} · {{.StoreReports}} distinct races stored</p>
+<h2>config</h2>
+<table><tr>
+<th>window</th><th>queue depth</th><th>workers</th><th>fsync</th><th>durability</th><th>window max age</th><th>lineage depth</th><th>alerting</th>
+</tr><tr>
+<td>{{.Config.Window}}</td><td>{{.Config.QueueDepth}}</td><td>{{.Config.Workers}}</td><td>{{.Config.Fsync}}</td><td>{{.Config.Durability}}</td><td>{{if .Config.WindowMaxAge}}{{.Config.WindowMaxAge}}{{else}}off{{end}}</td><td>{{.Config.LineageDepth}}</td><td>{{if .Config.AlertURL}}{{.Config.AlertURL}}{{else}}off{{end}}</td>
+</tr></table>
+<h2>tenants</h2>
+{{if not .Tenants}}<p>(no tenants yet)</p>{{else}}
+<table><tr>
+<th>tenant</th><th>program</th><th>segments</th><th>pending</th><th>window</th><th>wal bytes</th><th>cursor lag</th><th>window oldest</th><th>analyses</th><th>last reports</th><th>lineage (minted/terminal/held)</th><th>last error</th>
+</tr>
+{{range .Tenants}}<tr>
+<td><a href="/tenantz?tenant={{.Tenant}}">{{.Tenant}}</a></td>
+<td>{{.Program}}</td><td>{{.Segments}}</td><td>{{.PendingSegments}}</td><td>{{.WindowSegments}}</td>
+<td>{{.WALBytes}}</td><td>{{.CursorLag}}</td><td>{{age .WindowOldest}}</td>
+<td>{{.Analyses}}</td><td>{{.LastReports}}</td>
+<td>{{.LineageMinted}}/{{.LineageTerminal}}/{{.LineageHeld}}</td>
+<td class="err">{{.LastError}}</td>
+</tr>{{end}}
+</table>
+{{range .Tenants}}{{if .LineageTail}}
+<h3>{{.Tenant}} — lineage tail</h3>
+<table><tr><th>id</th><th>seq</th><th>stage</th><th>rounds</th><th>recovered</th><th>path</th></tr>
+{{$tenant := .Tenant}}{{range .LineageTail}}<tr>
+<td>{{.ID}}</td><td>{{.Seq}}</td><td class="terminal">{{.Stage}}</td><td>{{.Rounds}}</td><td>{{if .Recovered}}yes{{end}}</td><td>{{stamps .Transitions}}</td>
+</tr>{{end}}</table>
+{{end}}{{end}}
+{{end}}
+</body></html>
+`))
+
+var tenantzTmpl = template.Must(template.New("tenantz").Funcs(statuszFuncs).Parse(`<!DOCTYPE html>
+<html><head><title>proraced tenantz: {{.Tenant}}</title><style>
+body { font-family: monospace; margin: 2em; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #999; padding: 4px 8px; text-align: left; }
+th { background: #eee; }
+.err { color: #a00; }
+</style></head><body>
+<h1>tenant {{.Tenant}}</h1>
+<p><a href="/statusz">&larr; statusz</a></p>
+<p>program {{.Program}} · {{.Segments}} segments ({{.Bytes}} bytes) · {{.Analyses}} analyses · {{.Failures}} failures
+· {{.Replayed}} replayed · {{.Retired}} retired · {{.Duplicates}} duplicates</p>
+{{if .LastError}}<p class="err">last error: {{.LastError}}</p>{{end}}
+{{if .Salvage}}<p class="err">{{.Salvage}}</p>{{end}}
+<h2>lineage ring ({{len .Lineages}} entries)</h2>
+<table><tr><th>id</th><th>seq</th><th>journal</th><th>bytes</th><th>stage</th><th>rounds</th><th>recovered</th><th>error</th><th>transitions</th></tr>
+{{range .Lineages}}<tr>
+<td>{{.ID}}</td><td>{{.Seq}}</td><td>{{.JournalIndex}}</td><td>{{.Bytes}}</td><td>{{.Stage}}</td><td>{{.Rounds}}</td><td>{{if .Recovered}}yes{{end}}</td><td class="err">{{.Error}}</td>
+<td>{{range $i, $tr := .Transitions}}{{if $i}} → {{end}}{{$tr.Stage}}@{{$tr.At.Format "15:04:05.000"}}{{end}}</td>
+</tr>{{end}}</table>
+<h2>recent reports</h2>
+{{if not .Reports}}<p>(none)</p>{{else}}
+<table><tr><th>fingerprint</th><th>program</th><th>occurrences</th><th>first seen</th><th>last seen</th><th>witness</th></tr>
+{{range .Reports}}<tr>
+<td>{{.Fingerprint}}</td><td>{{.Program}}</td><td>{{.Occurrences}}</td><td>{{.FirstSeen.Format "2006-01-02 15:04:05"}}</td><td>{{.LastSeen.Format "2006-01-02 15:04:05"}}</td><td>{{if .Report.Witness}}yes{{end}}</td>
+</tr>{{end}}</table>
+{{end}}
+</body></html>
+`))

@@ -187,13 +187,23 @@ func (s *Store) Observe(tenant, program string, rs []race.Report) (added, repeat
 // crash is idempotent (it observes nothing again), so the extra disk
 // write would buy nothing.
 func (s *Store) ObserveAt(tenant, program string, rs []race.Report, cursor uint64) (added, repeated int, err error) {
+	fresh, repeated, err := s.ObserveNewAt(tenant, program, rs, cursor)
+	return len(fresh), repeated, err
+}
+
+// ObserveNewAt is ObserveAt, additionally returning a copy of every
+// first-seen report the batch introduced. The store's dedup is durable
+// (the report set reloads across restarts), which makes "fresh here"
+// exactly "alert-worthy": a race the daemon has never stored before, not
+// one re-observed by a window re-analysis or a replay.
+func (s *Store) ObserveNewAt(tenant, program string, rs []race.Report, cursor uint64) (fresh []*StoredReport, repeated int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if cursor > s.cursors[tenant] {
 		s.cursors[tenant] = cursor
 	}
 	if len(rs) == 0 {
-		return 0, 0, nil
+		return nil, 0, nil
 	}
 	now := s.now()
 	// One analysis round re-reports every race in the window, so dedup
@@ -216,7 +226,7 @@ func (s *Store) ObserveAt(tenant, program string, rs []race.Report, cursor uint6
 			repeated++
 			continue
 		}
-		s.reports[fp] = &StoredReport{
+		sr := &StoredReport{
 			Fingerprint: fp,
 			Tenant:      tenant,
 			Program:     program,
@@ -225,12 +235,14 @@ func (s *Store) ObserveAt(tenant, program string, rs []race.Report, cursor uint6
 			LastSeen:    now,
 			Occurrences: 1,
 		}
-		added++
+		s.reports[fp] = sr
+		cp := *sr
+		fresh = append(fresh, &cp)
 	}
-	if added+repeated == 0 {
-		return 0, 0, nil
+	if len(fresh)+repeated == 0 {
+		return nil, 0, nil
 	}
-	return added, repeated, s.saveLocked()
+	return fresh, repeated, s.saveLocked()
 }
 
 // Publish implements report.Sink: Observe without attribution.
@@ -254,6 +266,31 @@ func (s *Store) Reports() []*StoredReport {
 		}
 		return out[i].Fingerprint < out[j].Fingerprint
 	})
+	return out
+}
+
+// ReportsFor returns tenant's stored races, newest-first by last-seen
+// time, at most n of them (n <= 0 means all). The /tenantz drill-down
+// uses it to show recent reports next to the lineage ring.
+func (s *Store) ReportsFor(tenant string, n int) []*StoredReport {
+	s.mu.Lock()
+	out := make([]*StoredReport, 0, 8)
+	for _, r := range s.reports {
+		if r.Tenant == tenant {
+			cp := *r
+			out = append(out, &cp)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].LastSeen.Equal(out[j].LastSeen) {
+			return out[i].LastSeen.After(out[j].LastSeen)
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
 	return out
 }
 

@@ -15,7 +15,14 @@ package monitor
 //
 //	header: magic "PRWJ" | version u16 | base u64 | tenLen u16 | tenant
 //	record: n u32 | body (n bytes) | check u64 (FNV-1a over body)
-//	body:   keyLen u16 | key | frame (raw PRSG bytes)
+//	body v1: keyLen u16 | key | frame (raw PRSG bytes)
+//	body v2: keyLen u16 | key | linLen u16 | lineage | frame
+//
+// Version 2 adds the segment's lineage ID to every record, so a restarted
+// daemon reconstructs the same lineage entries (flagged Recovered) that
+// the crashed incarnation was tracking. Version 1 journals remain
+// readable — their records simply carry no lineage — and keep appending
+// v1 records until a compaction rewrites the file as v2.
 //
 // base is the global index of the file's first record: indices never
 // reset, so the store's cursor stays valid across compactions (a rewrite
@@ -80,17 +87,19 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
 }
 
 const (
-	walMagic   = "PRWJ"
-	walVersion = 1
+	walMagic     = "PRWJ"
+	walVersion   = 2
+	walVersionV1 = 1
 )
 
 // WALRecord is one journaled ingest: the raw frame plus the idempotency
-// key the producer sent with it. Index is the record's global position in
-// its tenant's journal (never reset by compaction).
+// key and lineage ID the producer sent with it. Index is the record's
+// global position in its tenant's journal (never reset by compaction).
 type WALRecord struct {
-	Index uint64
-	Key   string
-	Frame []byte
+	Index   uint64
+	Key     string
+	Lineage string
+	Frame   []byte
 }
 
 // WALSalvage accounts what a lenient journal read had to give up.
@@ -111,6 +120,7 @@ type journal struct {
 	path     string
 	tenant   string
 	f        *os.File
+	version  uint16 // record encoding appended to this file
 	base     uint64 // global index of the file's first record
 	count    uint64 // records currently in the file
 	size     int64  // current file size (append offset)
@@ -176,13 +186,9 @@ func (w *WAL) openExisting(path string) error {
 	if err != nil {
 		return err
 	}
-	tenant, base, recs, sal, err := decodeJournal(data)
+	tenant, base, version, recs, good, sal, err := decodeJournal(data)
 	if err != nil {
 		return err
-	}
-	good := journalHeaderLen(tenant)
-	for _, r := range recs {
-		good += walRecordLen(r.Key, r.Frame)
 	}
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
@@ -199,12 +205,13 @@ func (w *WAL) openExisting(path string) error {
 		return err
 	}
 	w.journals[tenant] = &journal{
-		path:   path,
-		tenant: tenant,
-		f:      f,
-		base:   base,
-		count:  uint64(len(recs)),
-		size:   int64(good),
+		path:    path,
+		tenant:  tenant,
+		f:       f,
+		version: version,
+		base:    base,
+		count:   uint64(len(recs)),
+		size:    int64(good),
 	}
 	if sal.Degraded() {
 		w.salvage[tenant] = sal
@@ -254,7 +261,7 @@ func (w *WAL) journalFor(tenant string) (*journal, error) {
 		f.Close()
 		return nil, err
 	}
-	j := &journal{path: path, tenant: tenant, f: f, size: int64(len(hdr))}
+	j := &journal{path: path, tenant: tenant, f: f, version: walVersion, size: int64(len(hdr))}
 	w.journals[tenant] = j
 	return j, nil
 }
@@ -262,14 +269,14 @@ func (w *WAL) journalFor(tenant string) (*journal, error) {
 // Append journals one accepted frame and returns its global index. The
 // write (and, under FsyncAlways, the sync) completes before Append
 // returns — this is the durability point the ingest 200 stands on.
-func (w *WAL) Append(tenant, key string, frame []byte) (uint64, error) {
+func (w *WAL) Append(tenant, key, lineage string, frame []byte) (uint64, error) {
 	j, err := w.journalFor(tenant)
 	if err != nil {
 		return 0, err
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	rec := encodeWALRecord(key, frame)
+	rec := encodeWALRecord(j.version, key, lineage, frame)
 	// Chaos point: a crash halfway through the append leaves a torn tail
 	// for recovery to salvage.
 	faultinject.CrashWith("wal.append.mid", func() {
@@ -329,6 +336,20 @@ func (w *WAL) NextIndex(tenant string) uint64 {
 	return j.base + j.count
 }
 
+// Size returns the tenant's current journal file size in bytes (0 when
+// the tenant has no journal) — the /statusz per-tenant WAL bytes column.
+func (w *WAL) Size(tenant string) int64 {
+	w.mu.Lock()
+	j, ok := w.journals[tenant]
+	w.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
 // Records reads the tenant's journal and returns every record with
 // Index >= from, plus salvage accounting for any tail damage found.
 func (w *WAL) Records(tenant string, from uint64) ([]WALRecord, WALSalvage, error) {
@@ -344,7 +365,7 @@ func (w *WAL) Records(tenant string, from uint64) ([]WALRecord, WALSalvage, erro
 	if err != nil {
 		return nil, WALSalvage{}, err
 	}
-	_, _, recs, sal, err := decodeJournal(data)
+	_, _, _, recs, _, sal, err := decodeJournal(data)
 	if err != nil {
 		return nil, sal, err
 	}
@@ -381,15 +402,16 @@ func (w *WAL) Compact(tenant string, keepFrom uint64) error {
 	if err != nil {
 		return err
 	}
-	_, _, recs, _, err := decodeJournal(data)
+	_, _, _, recs, _, _, err := decodeJournal(data)
 	if err != nil {
 		return err
 	}
+	// Compaction re-encodes at the current version, upgrading v1 journals.
 	out := encodeJournalHeader(j.tenant, keepFrom)
 	kept := uint64(0)
 	for _, r := range recs {
 		if r.Index >= keepFrom {
-			out = append(out, encodeWALRecord(r.Key, r.Frame)...)
+			out = append(out, encodeWALRecord(walVersion, r.Key, r.Lineage, r.Frame)...)
 			kept++
 		}
 	}
@@ -412,6 +434,7 @@ func (w *WAL) Compact(tenant string, keepFrom uint64) error {
 	}
 	j.f.Close()
 	j.f = f
+	j.version = walVersion
 	j.base = keepFrom
 	j.count = kept
 	j.size = int64(len(out))
@@ -499,14 +522,24 @@ func encodeJournalHeader(tenant string, base uint64) []byte {
 	return out
 }
 
-func walRecordLen(key string, frame []byte) int { return 4 + 2 + len(key) + len(frame) + 8 }
+func walRecordLen(version uint16, key, lineage string, frame []byte) int {
+	n := 4 + 2 + len(key) + len(frame) + 8
+	if version >= 2 {
+		n += 2 + len(lineage)
+	}
+	return n
+}
 
-func encodeWALRecord(key string, frame []byte) []byte {
-	n := 2 + len(key) + len(frame)
+func encodeWALRecord(version uint16, key, lineage string, frame []byte) []byte {
+	n := walRecordLen(version, key, lineage, frame) - 4 - 8
 	out := make([]byte, 0, 4+n+8)
 	out = binary.LittleEndian.AppendUint32(out, uint32(n))
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(key)))
 	out = append(out, key...)
+	if version >= 2 {
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(lineage)))
+		out = append(out, lineage...)
+	}
 	out = append(out, frame...)
 	h := fnv.New64a()
 	h.Write(out[4:])
@@ -517,20 +550,24 @@ func encodeWALRecord(key string, frame []byte) []byte {
 // decodeJournal leniently parses a journal image. A damaged header is a
 // hard error (the file is quarantined); per-record damage ends the scan
 // there, salvaging the prefix — the usual shape of a crash mid append.
-func decodeJournal(data []byte) (tenant string, base uint64, recs []WALRecord, sal WALSalvage, err error) {
+// good is the byte offset of the last cleanly decoded record's end (the
+// truncation point for a torn tail).
+func decodeJournal(data []byte) (tenant string, base uint64, version uint16, recs []WALRecord, good int, sal WALSalvage, err error) {
 	if len(data) < 4+2+8+2 || string(data[:4]) != walMagic {
-		return "", 0, nil, sal, fmt.Errorf("monitor: not a journal (bad magic)")
+		return "", 0, 0, nil, 0, sal, fmt.Errorf("monitor: not a journal (bad magic)")
 	}
-	if v := binary.LittleEndian.Uint16(data[4:]); v != walVersion {
-		return "", 0, nil, sal, fmt.Errorf("monitor: unsupported journal version %d", v)
+	version = binary.LittleEndian.Uint16(data[4:])
+	if version != walVersionV1 && version != walVersion {
+		return "", 0, 0, nil, 0, sal, fmt.Errorf("monitor: unsupported journal version %d", version)
 	}
 	base = binary.LittleEndian.Uint64(data[6:])
 	tenLen := int(binary.LittleEndian.Uint16(data[14:]))
 	if 16+tenLen > len(data) {
-		return "", 0, nil, sal, fmt.Errorf("monitor: journal tenant name exceeds file")
+		return "", 0, 0, nil, 0, sal, fmt.Errorf("monitor: journal tenant name exceeds file")
 	}
 	tenant = string(data[16 : 16+tenLen])
 	off := 16 + tenLen
+	good = off
 	idx := base
 	for off < len(data) {
 		rest := data[off:]
@@ -559,15 +596,30 @@ func decodeJournal(data []byte) (tenant string, base uint64, recs []WALRecord, s
 			sal.TornBytes += len(rest)
 			break
 		}
-		recs = append(recs, WALRecord{
-			Index: idx,
-			Key:   string(body[2 : 2+keyLen]),
-			Frame: append([]byte(nil), body[2+keyLen:]...),
-		})
+		rec := WALRecord{Index: idx, Key: string(body[2 : 2+keyLen])}
+		payload := body[2+keyLen:]
+		if version >= 2 {
+			if len(payload) < 2 {
+				sal.BadRecords++
+				sal.TornBytes += len(rest)
+				break
+			}
+			linLen := int(binary.LittleEndian.Uint16(payload))
+			if 2+linLen > len(payload) {
+				sal.BadRecords++
+				sal.TornBytes += len(rest)
+				break
+			}
+			rec.Lineage = string(payload[2 : 2+linLen])
+			payload = payload[2+linLen:]
+		}
+		rec.Frame = append([]byte(nil), payload...)
+		recs = append(recs, rec)
 		idx++
 		off += 4 + n + 8
+		good = off
 	}
-	return tenant, base, recs, sal, nil
+	return tenant, base, version, recs, good, sal, nil
 }
 
 // writeFileSync writes data and fsyncs the file before returning.

@@ -2,8 +2,12 @@ package monitor
 
 import (
 	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 	"time"
 )
@@ -24,7 +28,7 @@ func TestWALAppendRecordsRoundtrip(t *testing.T) {
 	defer w.Close()
 	frames := walFrames(3)
 	for i, f := range frames {
-		idx, err := w.Append("ten", "key-"+string(rune('0'+i)), f)
+		idx, err := w.Append("ten", "key-"+string(rune('0'+i)), "lin-"+string(rune('0'+i)), f)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -43,7 +47,7 @@ func TestWALAppendRecordsRoundtrip(t *testing.T) {
 		t.Fatalf("got %d records, want 3", len(recs))
 	}
 	for i, r := range recs {
-		if r.Index != uint64(i) || !bytes.Equal(r.Frame, frames[i]) || r.Key != "key-"+string(rune('0'+i)) {
+		if r.Index != uint64(i) || !bytes.Equal(r.Frame, frames[i]) || r.Key != "key-"+string(rune('0'+i)) || r.Lineage != "lin-"+string(rune('0'+i)) {
 			t.Fatalf("record %d = %+v", i, r)
 		}
 	}
@@ -65,7 +69,7 @@ func TestWALReopenContinuesIndices(t *testing.T) {
 	}
 	frames := walFrames(2)
 	for _, f := range frames {
-		if _, err := w.Append("ten", "", f); err != nil {
+		if _, err := w.Append("ten", "", "", f); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -81,7 +85,7 @@ func TestWALReopenContinuesIndices(t *testing.T) {
 	if got := w2.Tenants(); len(got) != 1 || got[0] != "ten" {
 		t.Fatalf("Tenants after reopen = %v", got)
 	}
-	idx, err := w2.Append("ten", "", []byte("third"))
+	idx, err := w2.Append("ten", "", "", []byte("third"))
 	if err != nil || idx != 2 {
 		t.Fatalf("append after reopen = (%d, %v), want (2, nil)", idx, err)
 	}
@@ -99,7 +103,7 @@ func TestWALTornTailSalvage(t *testing.T) {
 	}
 	frames := walFrames(3)
 	for _, f := range frames {
-		if _, err := w.Append("ten", "k", f); err != nil {
+		if _, err := w.Append("ten", "k", "", f); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -114,7 +118,7 @@ func TestWALTornTailSalvage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lastLen := walRecordLen("k", frames[2])
+	lastLen := walRecordLen(walVersion, "k", "", frames[2])
 	torn := data[:len(data)-lastLen/2]
 	if err := os.WriteFile(paths[0], torn, 0o644); err != nil {
 		t.Fatal(err)
@@ -135,7 +139,7 @@ func TestWALTornTailSalvage(t *testing.T) {
 	}
 	// The torn tail was truncated away, so the next append lands on a
 	// record boundary and the journal reads clean again.
-	if idx, err := w2.Append("ten", "k2", frames[2]); err != nil || idx != 2 {
+	if idx, err := w2.Append("ten", "k2", "", frames[2]); err != nil || idx != 2 {
 		t.Fatalf("append after salvage = (%d, %v)", idx, err)
 	}
 	recs, sal2, err := w2.Records("ten", 0)
@@ -152,13 +156,13 @@ func TestWALChecksumDamageEndsScan(t *testing.T) {
 	}
 	frames := walFrames(3)
 	for _, f := range frames {
-		w.Append("ten", "", f)
+		w.Append("ten", "", "", f)
 	}
 	w.Close()
 	paths, _ := filepath.Glob(filepath.Join(dir, "*.wal"))
 	data, _ := os.ReadFile(paths[0])
 	// Flip a byte inside the second record's body.
-	off := journalHeaderLen("ten") + walRecordLen("", frames[0]) + 8
+	off := journalHeaderLen("ten") + walRecordLen(walVersion, "", "", frames[0]) + 8
 	data[off] ^= 0xFF
 	os.WriteFile(paths[0], data, 0o644)
 
@@ -206,7 +210,7 @@ func TestWALCompaction(t *testing.T) {
 	}
 	frames := walFrames(6)
 	for i, f := range frames {
-		w.Append("ten", "k"+string(rune('0'+i)), f)
+		w.Append("ten", "k"+string(rune('0'+i)), "l"+string(rune('0'+i)), f)
 	}
 	if err := w.Compact("ten", 4); err != nil {
 		t.Fatal(err)
@@ -217,7 +221,7 @@ func TestWALCompaction(t *testing.T) {
 		t.Fatalf("post-compact records = %+v (%v)", recs, err)
 	}
 	// Appends continue the global sequence.
-	if idx, _ := w.Append("ten", "", []byte("seventh")); idx != 6 {
+	if idx, _ := w.Append("ten", "", "", []byte("seventh")); idx != 6 {
 		t.Fatalf("append after compact = index %d, want 6", idx)
 	}
 	w.Close()
@@ -250,12 +254,12 @@ func TestWALFsyncInterval(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer w.Close()
-	w.Append("ten", "", []byte("one"))
+	w.Append("ten", "", "", []byte("one"))
 	j, _ := w.journalFor("ten")
 	// Within the interval the journal stays dirty; past it, the next
 	// append syncs.
 	now = now.Add(500 * time.Millisecond)
-	w.Append("ten", "", []byte("two"))
+	w.Append("ten", "", "", []byte("two"))
 	j.mu.Lock()
 	dirty := j.dirty
 	j.mu.Unlock()
@@ -263,7 +267,7 @@ func TestWALFsyncInterval(t *testing.T) {
 		t.Fatal("append inside the interval synced")
 	}
 	now = now.Add(2 * time.Second)
-	w.Append("ten", "", []byte("three"))
+	w.Append("ten", "", "", []byte("three"))
 	j.mu.Lock()
 	dirty = j.dirty
 	j.mu.Unlock()
@@ -341,27 +345,32 @@ func TestWALPrograms(t *testing.T) {
 // same records with no residual damage.
 func FuzzWALJournal(f *testing.F) {
 	valid := encodeJournalHeader("ten", 7)
-	valid = append(valid, encodeWALRecord("key", []byte("frame-bytes"))...)
-	valid = append(valid, encodeWALRecord("", []byte("second"))...)
+	valid = append(valid, encodeWALRecord(walVersion, "key", "lin-a", []byte("frame-bytes"))...)
+	valid = append(valid, encodeWALRecord(walVersion, "", "", []byte("second"))...)
 	f.Add(valid)
-	f.Add(valid[:len(valid)-5])       // torn tail
-	f.Add(encodeJournalHeader("", 0)) // empty journal
-	f.Add([]byte("PRWJ"))             // truncated header
+	f.Add(valid[:len(valid)-5])                                     // torn tail
+	f.Add(encodeJournalHeader("", 0))                               // empty journal
+	f.Add([]byte("PRWJ"))                                           // truncated header
+	f.Add(v1Journal("ten", 3, map[string]string{"k": "old-frame"})) // v1 compat
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		tenant, base, recs, sal, err := decodeJournal(data)
+		tenant, base, _, recs, good, sal, err := decodeJournal(data)
 		if err != nil {
 			return
+		}
+		if good > len(data) {
+			t.Fatalf("consumed offset %d exceeds the %d-byte file", good, len(data))
 		}
 		if sal.TornBytes > len(data) {
 			t.Fatalf("salvage claims %d torn bytes of a %d-byte file", sal.TornBytes, len(data))
 		}
-		// Round-trip: the salvaged records must survive re-encoding intact.
+		// Round-trip: the salvaged records must survive re-encoding intact
+		// (v1 inputs upgrade to v2 with empty lineage, as compaction does).
 		out := encodeJournalHeader(tenant, base)
 		for _, r := range recs {
-			out = append(out, encodeWALRecord(r.Key, r.Frame)...)
+			out = append(out, encodeWALRecord(walVersion, r.Key, r.Lineage, r.Frame)...)
 		}
-		ten2, base2, recs2, sal2, err := decodeJournal(out)
+		ten2, base2, _, recs2, _, sal2, err := decodeJournal(out)
 		if err != nil || sal2.Degraded() {
 			t.Fatalf("re-encoded journal damaged: (%v, %+v)", err, sal2)
 		}
@@ -370,9 +379,93 @@ func FuzzWALJournal(f *testing.F) {
 				ten2, base2, len(recs2), tenant, base, len(recs))
 		}
 		for i := range recs {
-			if recs2[i].Index != recs[i].Index || recs2[i].Key != recs[i].Key || !bytes.Equal(recs2[i].Frame, recs[i].Frame) {
+			if recs2[i].Index != recs[i].Index || recs2[i].Key != recs[i].Key ||
+				recs2[i].Lineage != recs[i].Lineage || !bytes.Equal(recs2[i].Frame, recs[i].Frame) {
 				t.Fatalf("round trip changed record %d", i)
 			}
 		}
 	})
+}
+
+// v1Journal hand-assembles a version-1 journal image (no lineage field in
+// record bodies) — the on-disk format every pre-lineage daemon wrote.
+func v1Journal(tenant string, base uint64, recs map[string]string) []byte {
+	out := encodeJournalHeader(tenant, base)
+	binary.LittleEndian.PutUint16(out[4:], walVersionV1)
+	keys := make([]string, 0, len(recs))
+	for k := range recs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, encodeWALRecord(walVersionV1, k, "", []byte(recs[k]))...)
+	}
+	return out
+}
+
+// TestWALV1Compat: a v1 journal (written before lineage existed) still
+// reads, keeps appending v1 records so mixed-version files never occur,
+// and upgrades to v2 on compaction.
+func TestWALV1Compat(t *testing.T) {
+	dir := t.TempDir()
+	img := v1Journal("ten", 0, map[string]string{"k0": "frame-zero", "k1": "frame-one"})
+	h := fnv.New64a()
+	h.Write([]byte("ten"))
+	path := filepath.Join(dir, fmt.Sprintf("%016x.wal", h.Sum64()))
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := OpenWAL(dir, FsyncPolicy{Mode: FsyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, sal, err := w.Records("ten", 0)
+	if err != nil || sal.Degraded() || len(recs) != 2 {
+		t.Fatalf("v1 journal read = (%d recs, %+v, %v), want 2 clean", len(recs), sal, err)
+	}
+	for _, r := range recs {
+		if r.Lineage != "" {
+			t.Fatalf("v1 record %d grew a lineage %q", r.Index, r.Lineage)
+		}
+	}
+	// Appends to a v1 journal stay v1 (the lineage is dropped, not written
+	// in a format the file's version cannot carry).
+	if idx, err := w.Append("ten", "k2", "lin-live", []byte("frame-two")); err != nil || idx != 2 {
+		t.Fatalf("append to v1 journal = (%d, %v)", idx, err)
+	}
+	recs, sal, err = w.Records("ten", 0)
+	if err != nil || sal.Degraded() || len(recs) != 3 {
+		t.Fatalf("v1 journal after append = (%d recs, %+v, %v)", len(recs), sal, err)
+	}
+	if recs[2].Key != "k2" || recs[2].Lineage != "" || string(recs[2].Frame) != "frame-two" {
+		t.Fatalf("appended v1 record = %+v", recs[2])
+	}
+
+	// Compaction rewrites at v2; lineage persists from then on.
+	if err := w.Compact("ten", 1); err != nil {
+		t.Fatal(err)
+	}
+	if idx, err := w.Append("ten", "k3", "lin-after", []byte("frame-three")); err != nil || idx != 3 {
+		t.Fatalf("append after upgrade = (%d, %v)", idx, err)
+	}
+	recs, sal, err = w.Records("ten", 0)
+	if err != nil || sal.Degraded() || len(recs) != 3 {
+		t.Fatalf("upgraded journal = (%d recs, %+v, %v)", len(recs), sal, err)
+	}
+	if recs[2].Lineage != "lin-after" {
+		t.Fatalf("post-upgrade record lost lineage: %+v", recs[2])
+	}
+	w.Close()
+
+	// The upgraded file reopens as v2.
+	w2, err := OpenWAL(dir, FsyncPolicy{Mode: FsyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	recs, sal, err = w2.Records("ten", 0)
+	if err != nil || sal.Degraded() || len(recs) != 3 || recs[2].Lineage != "lin-after" {
+		t.Fatalf("reopen after upgrade = (%d recs, %+v, %v)", len(recs), sal, err)
+	}
 }

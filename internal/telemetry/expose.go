@@ -6,6 +6,8 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -120,22 +122,57 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Snapshot())
 }
 
+// processStart anchors the prorace_uptime_seconds gauge.
+var processStart = time.Now()
+
+// touchUptime refreshes the uptime gauge so every scrape sees a current
+// value (a gauge is a stored int; there is no read hook to compute it).
+func touchUptime(reg *Registry) {
+	reg.Gauge("prorace_uptime_seconds", "Seconds since the process started.").
+		Set(int64(time.Since(processStart).Seconds()))
+}
+
+// BuildVersion reports the module version baked into the binary by the go
+// toolchain ("devel" for plain `go build` trees).
+func BuildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
+}
+
+// RegisterBuildInfo publishes the conventional build-metadata gauge: a
+// constant 1 carrying the service name, module version and Go toolchain
+// version as labels, so a fleet dashboard can group scrape targets by
+// binary.
+func RegisterBuildInfo(reg *Registry, service string) {
+	name := fmt.Sprintf(`prorace_build_info{service=%q,version=%q,goversion=%q}`,
+		service, BuildVersion(), runtime.Version())
+	reg.Gauge(name, "Build metadata: constant 1, labelled with the service, module version and Go version.").Set(1)
+}
+
 // NewMux returns the telemetry HTTP handler set: /metrics (Prometheus
 // text), /debug/vars (expvar-style JSON snapshot), /timeline
 // (chrome://tracing trace events), and /debug/pprof/* via
-// internal/profiling.
+// internal/profiling. Introspection responses are marked
+// Cache-Control: no-store — a cached scrape is a lie about the present.
 func NewMux(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		touchUptime(reg)
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
 		reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		touchUptime(reg)
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
 		reg.WriteJSON(w)
 	})
 	mux.HandleFunc("/timeline", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
 		reg.WriteTimeline(w)
 	})
 	profiling.AttachPprof(mux)

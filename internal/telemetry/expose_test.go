@@ -34,6 +34,13 @@ func TestServe(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
 		}
+		// The registry-backed endpoints must suppress caching (the pprof
+		// handlers are the stdlib's and set their own headers).
+		if !strings.HasPrefix(path, "/debug/pprof") {
+			if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+				t.Errorf("GET %s: Cache-Control = %q, want no-store", path, cc)
+			}
+		}
 		body, _ := io.ReadAll(resp.Body)
 		return string(body), resp.Header.Get("Content-Type")
 	}
@@ -42,8 +49,12 @@ func TestServe(t *testing.T) {
 	if !strings.Contains(metrics, "prorace_test_total 42") {
 		t.Errorf("/metrics missing counter:\n%s", metrics)
 	}
-	if !strings.Contains(ctype, "version=0.0.4") {
+	if !strings.Contains(ctype, "version=0.0.4") || !strings.Contains(ctype, "charset=utf-8") {
 		t.Errorf("/metrics content type = %q", ctype)
+	}
+	// Every scrape refreshes the uptime gauge.
+	if !strings.Contains(metrics, "prorace_uptime_seconds") {
+		t.Errorf("/metrics missing uptime gauge:\n%s", metrics)
 	}
 
 	vars, _ := get("/debug/vars")
@@ -66,6 +77,36 @@ func TestServe(t *testing.T) {
 
 	if body, _ := get("/debug/pprof/"); !strings.Contains(body, "profile") {
 		t.Errorf("/debug/pprof/ index looks wrong:\n%.200s", body)
+	}
+}
+
+// TestRegisterBuildInfo: the conventional build-metadata gauge renders as
+// a constant 1 carrying service, version and Go toolchain labels.
+func TestRegisterBuildInfo(t *testing.T) {
+	r := New()
+	RegisterBuildInfo(r, "proraced")
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `prorace_build_info{service="proraced"`) {
+		t.Fatalf("build-info gauge missing service label:\n%s", out)
+	}
+	for _, want := range []string{`version=`, `goversion="go`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("build-info gauge missing %s label:\n%s", want, out)
+		}
+	}
+	// The rendered family name strips the labels (Prometheus grouping).
+	if !strings.Contains(out, "# TYPE prorace_build_info gauge") {
+		t.Fatalf("build-info family header wrong:\n%s", out)
+	}
+	snap := r.Snapshot()
+	for name, v := range snap.Gauges {
+		if strings.HasPrefix(name, "prorace_build_info") && v != 1 {
+			t.Fatalf("build-info gauge = %d, want constant 1", v)
+		}
 	}
 }
 
